@@ -1,0 +1,198 @@
+package sgxperf_test
+
+// One benchmark per table and figure of the paper's evaluation. The
+// simulation runs on virtual time, so the interesting outputs are the
+// custom metrics (virtual-ns per operation, event counts, speedups) —
+// wall-clock ns/op only measures the simulator itself.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or, with the paper's full experiment sizes, via cmd/sgx-perf-bench -full.
+
+import (
+	"testing"
+	"time"
+
+	"sgxperf/internal/experiments"
+)
+
+// BenchmarkSec231_TransitionCost regenerates the §2.3.1 measurement:
+// enclave transition round trips under the three mitigation levels.
+func BenchmarkSec231_TransitionCost(b *testing.B) {
+	var rows []experiments.TransitionRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Transitions()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Measured.Nanoseconds()), "virtual-ns/"+r.Mitigation)
+	}
+}
+
+// BenchmarkTable2_LoggerOverhead regenerates Table 2: the logger's
+// per-ecall, per-ocall and per-AEX probe costs.
+func BenchmarkTable2_LoggerOverhead(b *testing.B) {
+	var res *experiments.Table2
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunTable2(experiments.Table2Options{Calls: 500, LongCalls: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.NativeEcall.Nanoseconds()), "native-ecall-ns")
+	b.ReportMetric(float64(res.LoggedEcall.Nanoseconds()), "logged-ecall-ns")
+	b.ReportMetric(float64(res.EcallOverhead.Nanoseconds()), "ecall-probe-ns")
+	b.ReportMetric(float64(res.OcallOverhead.Nanoseconds()), "ocall-probe-ns")
+	b.ReportMetric(float64(res.PerAEXCount.Nanoseconds()), "aex-count-ns")
+	b.ReportMetric(float64(res.PerAEXTrace.Nanoseconds()), "aex-trace-ns")
+	b.ReportMetric(res.MeanAEXs, "aex-per-long-ecall")
+}
+
+// BenchmarkFig5_TaLoSCallGraph regenerates the §5.2.1 TaLoS+nginx study:
+// 1,000 HTTP GETs traced and analysed (scaled by -benchtime via b.N runs
+// of 200 requests each).
+func BenchmarkFig5_TaLoSCallGraph(b *testing.B) {
+	var f *experiments.Fig5
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = experiments.RunFig5(200)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(f.EcallEvents)/float64(f.Requests), "ecalls/request")
+	b.ReportMetric(float64(f.OcallEvents)/float64(f.Requests), "ocalls/request")
+	b.ReportMetric(float64(f.DistinctEcalls), "distinct-ecalls")
+	b.ReportMetric(f.ShortEcallFrac*100, "short-ecall-%")
+	b.ReportMetric(f.ShortOcallFrac*100, "short-ocall-%")
+}
+
+// BenchmarkFig6_SQLite regenerates the SQLite bars of Fig. 6 (native /
+// enclavised / merged × three mitigation levels).
+func BenchmarkFig6_SQLite(b *testing.B) {
+	var rows []experiments.Fig6Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunFig6SQLite(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Mitigation == "vanilla" {
+			b.ReportMetric(r.Normalised, "norm-"+r.Variant)
+		}
+	}
+}
+
+// BenchmarkFig6_LibreSSL regenerates the LibreSSL bars of Fig. 6 and the
+// §5.2.3 optimised-vs-enclave speedups.
+func BenchmarkFig6_LibreSSL(b *testing.B) {
+	var rows []experiments.Fig6Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunFig6LibreSSL(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Mitigation == "vanilla" {
+			b.ReportMetric(r.Normalised, "norm-"+r.Variant)
+		}
+	}
+	sp := experiments.Speedups(rows, "enclave", "optimized")
+	b.ReportMetric(sp["vanilla"], "speedup-vanilla")
+	b.ReportMetric(sp["spectre"], "speedup-spectre")
+	b.ReportMetric(sp["spectre+l1tf"], "speedup-l1tf")
+}
+
+// BenchmarkFig7_8_SecureKeeper regenerates the SecureKeeper histogram /
+// scatter study and the §5.2.4 working-set numbers.
+func BenchmarkFig7_8_SecureKeeper(b *testing.B) {
+	var f *experiments.Fig78
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = experiments.RunFig78(300 * time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(f.EcallEvents)/f.Duration.Seconds(), "ecall-events/s")
+	b.ReportMetric(float64(f.ClientMean.Nanoseconds()), "client-ecall-ns")
+	b.ReportMetric(float64(f.ZKMean.Nanoseconds()), "zk-ecall-ns")
+	b.ReportMetric(float64(f.StartupPages), "ws-startup-pages")
+	b.ReportMetric(float64(f.SteadyPages), "ws-steady-pages")
+	b.ReportMetric(float64(f.EnclavesFitEPC), "enclaves-fit-epc")
+}
+
+// BenchmarkWS_Glamdring regenerates the §5.2.3 working-set measurement
+// (61 pages at start-up, 32 during the benchmark).
+func BenchmarkWS_Glamdring(b *testing.B) {
+	var ws *experiments.GlamdringWS
+	var err error
+	for i := 0; i < b.N; i++ {
+		ws, err = experiments.RunGlamdringWorkingSet()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ws.StartupPages), "startup-pages")
+	b.ReportMetric(float64(ws.SteadyPages), "steady-pages")
+}
+
+// BenchmarkAblation_HybridLock compares the SDK mutex against the hybrid
+// spin-then-sleep lock under contention (§3.4).
+func BenchmarkAblation_HybridLock(b *testing.B) {
+	var rows []experiments.HybridLockRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunHybridLockAblation(4, 150)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.SyncOcalls), "sync-ocalls-"+r.Strategy)
+	}
+}
+
+// BenchmarkAblation_Paging compares the §3.5 paging mitigation
+// strategies when the working set exceeds the EPC.
+func BenchmarkAblation_Paging(b *testing.B) {
+	var rows []experiments.PagingRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunPagingAblation(256, 192, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Virtual.Microseconds()), "virtual-us-"+r.Strategy)
+		b.ReportMetric(float64(r.PageIns), "page-ins-"+r.Strategy)
+	}
+}
+
+// BenchmarkAblation_Switchless compares the paper's interface redesign
+// against switchless calls (the SCONE/HotCalls/Eleos technique, §2.3/§6)
+// on the Glamdring signing workload.
+func BenchmarkAblation_Switchless(b *testing.B) {
+	var rows []experiments.SwitchlessRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunSwitchlessAblation(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.SignsPerSec, "signs/s-"+r.Variant)
+	}
+}

@@ -1,0 +1,157 @@
+// Command sgx-perf-analyze analyses a trace file recorded by
+// sgx-perf-log: general statistics, the Table 1 anti-pattern detectors
+// with recommendations, security hints, and optional DOT call graphs,
+// histograms and scatter data (§4.3).
+//
+// Usage:
+//
+//	sgx-perf-analyze trace.evdb
+//	sgx-perf-analyze -dot graph.dot -hist sgx_ecall_SSL_read trace.evdb
+//	sgx-perf-analyze -edl enclave.edl trace.evdb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sgxperf"
+	"sgxperf/internal/perf/analyzer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sgx-perf-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dotOut  = flag.String("dot", "", "write the Fig. 5-style call graph to this DOT file")
+		histFor = flag.String("hist", "", "print a histogram of this call's execution times (Fig. 7)")
+		bins    = flag.Int("bins", 100, "histogram bin count")
+		scatFor = flag.String("scatter", "", "print scatter data for this call (Fig. 8)")
+		edlPath = flag.String("edl", "", "EDL file for the security checks (default: the EDL embedded in the trace)")
+		csvDir  = flag.String("csv-dir", "", "write stats.csv (plus histogram/scatter CSVs and gnuplot scripts for -hist/-scatter) into this directory")
+		compare = flag.String("compare", "", "second trace file: print a before/after comparison (the §5.2 optimise-and-remeasure workflow)")
+		enclave = flag.Uint64("enclave", 0, "restrict the analysis to one enclave ID (0 = all)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("expected exactly one trace file argument")
+	}
+	trace, err := sgxperf.LoadTrace(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	opts := sgxperf.AnalyzerOptions{Enclave: sgxperf.EnclaveID(*enclave)}
+	if *edlPath != "" {
+		src, err := os.ReadFile(*edlPath)
+		if err != nil {
+			return err
+		}
+		iface, warnings, err := sgxperf.ParseEDL(string(src))
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", *edlPath, err)
+		}
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, "edl warning:", w)
+		}
+		opts.Interface = iface
+	}
+	a, err := sgxperf.NewAnalyzer(trace, opts)
+	if err != nil {
+		return err
+	}
+	if *compare != "" {
+		other, err := sgxperf.LoadTrace(*compare)
+		if err != nil {
+			return err
+		}
+		b, err := sgxperf.NewAnalyzer(other, sgxperf.AnalyzerOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(analyzer.Compare(a, b).Render())
+		return nil
+	}
+	report := a.Analyze()
+	fmt.Print(report.Render())
+
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(report.Graph.DOT()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("call graph written to %s (render with: dot -Tpdf)\n", *dotOut)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(*csvDir, "stats.csv"), []byte(a.StatsCSV()), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(*csvDir, "wakegraph.csv"), []byte(a.WakeGraphCSV()), 0o644); err != nil {
+			return err
+		}
+		written := []string{"stats.csv", "wakegraph.csv"}
+		if *histFor != "" {
+			csv, err := a.HistogramCSV(*histFor, *bins)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(filepath.Join(*csvDir, "histogram.csv"), []byte(csv), 0o644); err != nil {
+				return err
+			}
+			script := analyzer.GnuplotHistogram(*histFor, "histogram.csv", "histogram.pdf")
+			if err := os.WriteFile(filepath.Join(*csvDir, "histogram.gp"), []byte(script), 0o644); err != nil {
+				return err
+			}
+			written = append(written, "histogram.csv", "histogram.gp")
+		}
+		if *scatFor != "" {
+			csv, err := a.ScatterCSV(*scatFor)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(filepath.Join(*csvDir, "scatter.csv"), []byte(csv), 0o644); err != nil {
+				return err
+			}
+			script := analyzer.GnuplotScatter(*scatFor, "scatter.csv", "scatter.pdf")
+			if err := os.WriteFile(filepath.Join(*csvDir, "scatter.gp"), []byte(script), 0o644); err != nil {
+				return err
+			}
+			written = append(written, "scatter.csv", "scatter.gp")
+		}
+		fmt.Printf("wrote %v to %s (render plots with gnuplot)\n", written, *csvDir)
+	}
+	if *histFor != "" {
+		hist := a.Histogram(*histFor, *bins)
+		if hist == nil {
+			return fmt.Errorf("no events for call %q", *histFor)
+		}
+		fmt.Printf("\nhistogram of %s (%d bins):\n", *histFor, *bins)
+		for _, b := range hist {
+			if b.Count == 0 {
+				continue
+			}
+			fmt.Printf("%12s – %-12s %d\n",
+				b.Lo.Round(100*time.Nanosecond), b.Hi.Round(100*time.Nanosecond), b.Count)
+		}
+	}
+	if *scatFor != "" {
+		pts := a.Scatter(*scatFor)
+		if pts == nil {
+			return fmt.Errorf("no events for call %q", *scatFor)
+		}
+		fmt.Printf("\nscatter of %s (time-since-start, execution-time):\n", *scatFor)
+		for _, p := range pts {
+			fmt.Printf("%v\t%v\n", p.T, p.Dur)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+// Command sgx-perf-bench regenerates every table and figure of the
+// paper's evaluation on the simulated substrate, printing ours next to
+// the paper's values.
+//
+// Usage:
+//
+//	sgx-perf-bench                     # run everything at default sizes
+//	sgx-perf-bench -exp table2
+//	sgx-perf-bench -exp fig6-libressl -signs 10
+//	sgx-perf-bench -exp fig78 -duration 31s -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sgxperf/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sgx-perf-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp      = flag.String("exp", "all", "experiment: all, transitions, table2, fig5, fig6-sqlite, fig6-libressl, fig78, ws-glamdring, ablation-lock, ablation-paging, ablation-switchless")
+		requests = flag.Int("requests", 1000, "fig5: HTTP GET count")
+		inserts  = flag.Int("inserts", 2000, "fig6-sqlite: insert count")
+		signs    = flag.Int("signs", 5, "fig6-libressl: signatures per variant")
+		duration = flag.Duration("duration", time.Second, "fig78: load duration (paper: 31s)")
+		full     = flag.Bool("full", false, "use the paper's full experiment sizes (slower)")
+		dotOut   = flag.String("dot", "", "fig5: also write the call graph to this DOT file")
+	)
+	flag.Parse()
+	if *full {
+		*requests = 1000
+		*inserts = 20000
+		*signs = 30
+		*duration = 31 * time.Second
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "transitions":
+			rows, err := experiments.Transitions()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderTransitions(rows))
+		case "table2":
+			t2, err := experiments.RunTable2(experiments.Table2Options{})
+			if err != nil {
+				return err
+			}
+			fmt.Println(t2.Render())
+		case "fig5":
+			f, err := experiments.RunFig5(*requests)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+			if *dotOut != "" {
+				if err := os.WriteFile(*dotOut, []byte(f.DOT), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("call graph written to %s\n\n", *dotOut)
+			}
+		case "fig6-sqlite":
+			rows, err := experiments.RunFig6SQLite(*inserts)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderFig6("SQLite inserts (paper: 1.00 / 0.57 / 0.76 vanilla bars)", rows))
+		case "fig6-libressl":
+			rows, err := experiments.RunFig6LibreSSL(*signs)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderFig6("LibreSSL signing (paper: 1.00 / 0.23 / 0.50 vanilla bars)", rows))
+			speedups := experiments.Speedups(rows, "enclave", "optimized")
+			fmt.Printf("optimised/enclave speedups: vanilla %.2fx, spectre %.2fx, l1tf %.2fx (paper: 2.16 / 2.66 / 2.87)\n\n",
+				speedups["vanilla"], speedups["spectre"], speedups["spectre+l1tf"])
+		case "fig78":
+			f, err := experiments.RunFig78(*duration)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+		case "ws-glamdring":
+			ws, err := experiments.RunGlamdringWorkingSet()
+			if err != nil {
+				return err
+			}
+			fmt.Println(ws.Render())
+		case "ablation-lock":
+			rows, err := experiments.RunHybridLockAblation(0, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderHybridLock(rows))
+		case "ablation-paging":
+			rows, err := experiments.RunPagingAblation(0, 0, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderPaging(rows))
+		case "ablation-switchless":
+			rows, err := experiments.RunSwitchlessAblation(*signs)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderSwitchless(rows))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if *exp != "all" {
+		return runOne(*exp)
+	}
+	for _, name := range []string{
+		"transitions", "table2", "fig5", "fig6-sqlite", "fig6-libressl",
+		"fig78", "ws-glamdring", "ablation-lock", "ablation-paging",
+		"ablation-switchless",
+	} {
+		start := time.Now()
+		if err := runOne(name); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Command sgx-perf-ws estimates an enclave's working set (§4.2): it runs
+// a workload with all MMU page permissions stripped, repairs pages on the
+// resulting faults, and reports how many pages were accessed after
+// start-up and during the benchmark phase — the numbers §5.2.3 and §5.2.4
+// report for Glamdring-LibreSSL and SecureKeeper.
+//
+// Usage:
+//
+//	sgx-perf-ws -workload glamdring
+//	sgx-perf-ws -workload securekeeper -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sgxperf"
+	"sgxperf/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sgx-perf-ws:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workload = flag.String("workload", "", "workload: glamdring, securekeeper, sqlite, talos")
+		variant  = flag.String("variant", "", "workload variant")
+		ops      = flag.Int("ops", 0, "operation count")
+		duration = flag.Duration("duration", time.Second, "virtual-time bound (securekeeper)")
+	)
+	flag.Parse()
+	switch *workload {
+	case "glamdring":
+		ws, err := experiments.RunGlamdringWorkingSet()
+		if err != nil {
+			return err
+		}
+		fmt.Print(ws.Render())
+		return nil
+	case "securekeeper":
+		f, err := experiments.RunFig78(*duration)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== §5.2.4 SecureKeeper working set ==\n")
+		fmt.Printf("start-up: %d pages / %.2f MiB (paper: 322 / 1.26 MiB)\n",
+			f.StartupPages, float64(f.StartupPages)*4096/(1<<20))
+		fmt.Printf("benchmark: %d pages / %.2f MiB (paper: 94 / 0.36 MiB)\n",
+			f.SteadyPages, float64(f.SteadyPages)*4096/(1<<20))
+		fmt.Printf("EPC capacity: %d such enclaves without paging (paper: 249)\n", f.EnclavesFitEPC)
+		return nil
+	case "":
+		flag.Usage()
+		return fmt.Errorf("missing -workload")
+	default:
+		res, err := sgxperf.RunWorkload(*workload, sgxperf.WorkloadOptions{
+			Variant:    *variant,
+			Ops:        *ops,
+			Duration:   *duration,
+			WorkingSet: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Result.String())
+		fmt.Printf("working set: %d pages / %.2f MiB accessed during the run\n",
+			res.SteadyPages, float64(res.SteadyPages)*4096/(1<<20))
+		return nil
+	}
+}

@@ -1,0 +1,108 @@
+package sgxperf_test
+
+import (
+	"fmt"
+	"time"
+
+	"sgxperf"
+)
+
+// Example traces a small enclave application and checks what the analyser
+// finds. Everything runs on deterministic virtual time, so the output is
+// stable.
+func Example() {
+	h, err := sgxperf.NewHost()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	lg, err := sgxperf.AttachLogger(h, sgxperf.LoggerOptions{Workload: "example"})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	iface, _, err := sgxperf.ParseEDL(`
+		enclave {
+			trusted   { public ecall_tiny(); };
+			untrusted { ocall_log(); };
+		};
+	`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ctx := h.NewContext("main")
+	app, err := h.URTS.CreateEnclave(ctx, sgxperf.EnclaveConfig{Name: "example"}, iface,
+		map[string]sgxperf.TrustedFn{
+			// A trivially short ecall: the SISC anti-pattern (§3.1).
+			"ecall_tiny": func(env *sgxperf.Env, args any) (any, error) {
+				env.Compute(300 * time.Nanosecond)
+				return nil, nil
+			},
+		})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	otab, err := sgxperf.BuildOcallTable(iface, h, map[string]sgxperf.OcallFn{
+		"ocall_log": func(ctx *sgxperf.Context, args any) (any, error) { return nil, nil },
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	proxies := sgxperf.Proxies(app, h, otab)
+	for i := 0; i < 1000; i++ {
+		if _, err := proxies["ecall_tiny"](ctx, nil); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+
+	report := sgxperf.MustAnalyze(lg.Trace())
+	fmt.Println("ecall events recorded:", lg.Trace().Ecalls.Len())
+	fmt.Println("SISC detected:", report.HasProblem(sgxperf.ProblemSISC))
+	for _, f := range report.FindingsFor("ecall_tiny") {
+		fmt.Printf("finding: [%s] first recommendation: %s\n", f.Problem, f.Solutions[0])
+		break
+	}
+	// Output:
+	// ecall events recorded: 1000
+	// SISC detected: true
+	// finding: [Short Identical Successive Calls] first recommendation: batch calls
+}
+
+// ExampleRunWorkload reproduces a slice of the paper's SQLite study
+// (§5.2.2) through the workload registry.
+func ExampleRunWorkload() {
+	run, err := sgxperf.RunWorkload("sqlite", sgxperf.WorkloadOptions{
+		Variant: "enclave",
+		Ops:     100,
+		Logger:  true,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("inserts:", run.Result.Ops)
+
+	report := sgxperf.MustAnalyze(run.Trace)
+	merge := false
+	for _, f := range report.Findings {
+		if f.Problem == sgxperf.ProblemSDSC && f.Partner == "ocall_lseek" {
+			merge = true
+		}
+	}
+	fmt.Println("lseek+write merge recommended:", merge)
+	// Output:
+	// inserts: 100
+	// lseek+write merge recommended: true
+}
+
+// ExampleCatalogue prints Table 1's problem classes.
+func ExampleCatalogue() {
+	fmt.Println("problem classes:", len(sgxperf.Catalogue()))
+	// Output:
+	// problem classes: 6
+}

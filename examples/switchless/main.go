@@ -1,0 +1,45 @@
+// switchless demonstrates the transition-elimination technique from the
+// paper's related work (SCONE's asynchronous calls, HotCalls, Eleos —
+// §2.3, §6), which this library implements as sdk.Switchless: worker
+// threads parked inside the enclave service a call queue, so a short
+// ecall costs a queue round trip instead of an EENTER/EEXIT round trip.
+//
+// The example runs the Glamdring signing workload three ways — the broken
+// partition, the same partition over switchless calls, and the paper's
+// interface redesign — and compares the traces.
+//
+// Run with: go run ./examples/switchless [-signs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sgxperf/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	signs := flag.Int("signs", 3, "signatures per variant")
+	flag.Parse()
+
+	rows, err := experiments.RunSwitchlessAblation(*signs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderSwitchless(rows))
+	fmt.Println()
+	fmt.Println("reading the table:")
+	fmt.Println("  enclave    — every bn_sub_part_words is an EENTER/EEXIT round trip")
+	fmt.Println("  switchless — the same calls go through an in-enclave worker queue:")
+	fmt.Println("               most of the loss is recovered without touching the partition")
+	fmt.Println("  optimized  — the paper's fix (move bn_mul_recursive inside) still wins,")
+	fmt.Println("               because no cross-boundary traffic beats cheap cross-boundary traffic")
+	return nil
+}

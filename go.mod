@@ -1,0 +1,3 @@
+module sgxperf
+
+go 1.22

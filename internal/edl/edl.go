@@ -1,0 +1,318 @@
+// Package edl implements a dialect of Intel's Enclave Description Language
+// (§2.2): the interface definition from which the SDK's edger8r generates
+// ecall/ocall wrappers. The model keeps exactly the information sgx-perf
+// needs — public vs private ecalls, per-ocall allow-lists, and pointer
+// direction annotations (in / out / user_check) — which drive both the
+// runtime dispatch checks (§3.6) and the analyser's security hints
+// (§4.3.2).
+//
+// Grammar (a simplification of Intel's, same shape):
+//
+//	enclave {
+//	    trusted {
+//	        public ecall_work([in, size=len] buf, len);
+//	        ecall_helper([user_check] p);          // private: no 'public'
+//	    };
+//	    untrusted {
+//	        ocall_print([in, string] msg) allow(ecall_helper);
+//	        ocall_read([out, size=n] buf, n);
+//	    };
+//	};
+package edl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CallKind distinguishes ecalls from ocalls.
+type CallKind int
+
+const (
+	// Ecall is a call from the untrusted application into the enclave.
+	Ecall CallKind = iota + 1
+	// Ocall is a call from the enclave out into the application.
+	Ocall
+)
+
+// String names the kind.
+func (k CallKind) String() string {
+	switch k {
+	case Ecall:
+		return "ecall"
+	case Ocall:
+		return "ocall"
+	default:
+		return "unknown"
+	}
+}
+
+// PtrDir is a pointer-direction annotation (§3.6).
+type PtrDir int
+
+const (
+	// DirValue is a plain by-value parameter (no pointer annotation).
+	DirValue PtrDir = iota + 1
+	// DirIn copies the buffer into the enclave before an ecall (out of it
+	// before an ocall).
+	DirIn
+	// DirOut copies the buffer out after the call.
+	DirOut
+	// DirInOut copies both ways.
+	DirInOut
+	// DirUserCheck leaves all pointer handling to the developer — the
+	// annotation the analyser flags as a security risk.
+	DirUserCheck
+)
+
+// String renders the direction as it appears in EDL.
+func (d PtrDir) String() string {
+	switch d {
+	case DirValue:
+		return "value"
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	case DirInOut:
+		return "in, out"
+	case DirUserCheck:
+		return "user_check"
+	default:
+		return "unknown"
+	}
+}
+
+// Param is one declared parameter.
+type Param struct {
+	Name string
+	Dir  PtrDir
+	// Size names the parameter carrying the buffer length (size=len), if
+	// any.
+	Size string
+	// IsString marks NUL-terminated string copying.
+	IsString bool
+}
+
+// Func is one declared ecall or ocall.
+type Func struct {
+	Name string
+	Kind CallKind
+	// ID is the numeric identifier the runtime dispatches on; assigned in
+	// declaration order, as edger8r does.
+	ID int
+	// Public applies to ecalls: private ecalls may only be issued during
+	// an ocall (§3.6).
+	Public bool
+	Params []Param
+	// Allow applies to ocalls: the ecalls that may be issued while this
+	// ocall is in flight (§3.6).
+	Allow []string
+}
+
+// HasUserCheck reports whether any parameter is annotated user_check.
+func (f *Func) HasUserCheck() bool {
+	for _, p := range f.Params {
+		if p.Dir == DirUserCheck {
+			return true
+		}
+	}
+	return false
+}
+
+// Interface is a parsed, validated enclave interface.
+type Interface struct {
+	ecalls []*Func
+	ocalls []*Func
+	byName map[string]*Func
+}
+
+// NewInterface creates an empty interface for programmatic construction
+// (workload code builds large interfaces this way instead of writing
+// 200-entry EDL files by hand).
+func NewInterface() *Interface {
+	return &Interface{byName: make(map[string]*Func)}
+}
+
+// AddEcall declares an ecall; order of calls assigns IDs.
+func (i *Interface) AddEcall(name string, public bool, params ...Param) (*Func, error) {
+	if _, dup := i.byName[name]; dup {
+		return nil, fmt.Errorf("edl: duplicate function %q", name)
+	}
+	f := &Func{Name: name, Kind: Ecall, ID: len(i.ecalls), Public: public, Params: params}
+	i.ecalls = append(i.ecalls, f)
+	i.byName[name] = f
+	return f, nil
+}
+
+// AddOcall declares an ocall with its allow-list.
+func (i *Interface) AddOcall(name string, allow []string, params ...Param) (*Func, error) {
+	if _, dup := i.byName[name]; dup {
+		return nil, fmt.Errorf("edl: duplicate function %q", name)
+	}
+	f := &Func{Name: name, Kind: Ocall, ID: len(i.ocalls), Params: params, Allow: allow}
+	i.ocalls = append(i.ocalls, f)
+	i.byName[name] = f
+	return f, nil
+}
+
+// Ecalls returns the declared ecalls in ID order.
+func (i *Interface) Ecalls() []*Func { return i.ecalls }
+
+// Ocalls returns the declared ocalls in ID order.
+func (i *Interface) Ocalls() []*Func { return i.ocalls }
+
+// Lookup finds a function by name.
+func (i *Interface) Lookup(name string) (*Func, bool) {
+	f, ok := i.byName[name]
+	return f, ok
+}
+
+// EcallByID returns the ecall with the given numeric ID.
+func (i *Interface) EcallByID(id int) (*Func, bool) {
+	if id < 0 || id >= len(i.ecalls) {
+		return nil, false
+	}
+	return i.ecalls[id], true
+}
+
+// OcallByID returns the ocall with the given numeric ID.
+func (i *Interface) OcallByID(id int) (*Func, bool) {
+	if id < 0 || id >= len(i.ocalls) {
+		return nil, false
+	}
+	return i.ocalls[id], true
+}
+
+// Allowed reports whether the named ecall may be issued during the given
+// ocall.
+func (i *Interface) Allowed(ocall, ecall string) bool {
+	f, ok := i.byName[ocall]
+	if !ok || f.Kind != Ocall {
+		return false
+	}
+	for _, a := range f.Allow {
+		if a == ecall {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks interface consistency and returns (warnings, error).
+// Errors are hard violations (unknown allow target, allow naming an
+// ocall, size referencing a missing parameter); warnings flag risky but
+// legal declarations (user_check pointers §3.6, unreachable private
+// ecalls).
+func (i *Interface) Validate() ([]string, error) {
+	var warnings []string
+	allowedSomewhere := make(map[string]bool)
+	for _, o := range i.ocalls {
+		for _, a := range o.Allow {
+			target, ok := i.byName[a]
+			if !ok {
+				return warnings, fmt.Errorf("edl: ocall %q allows unknown function %q", o.Name, a)
+			}
+			if target.Kind != Ecall {
+				return warnings, fmt.Errorf("edl: ocall %q allows %q, which is not an ecall", o.Name, a)
+			}
+			allowedSomewhere[a] = true
+		}
+	}
+	check := func(f *Func) error {
+		names := make(map[string]bool, len(f.Params))
+		for _, p := range f.Params {
+			if names[p.Name] {
+				return fmt.Errorf("edl: %s %q: duplicate parameter %q", f.Kind, f.Name, p.Name)
+			}
+			names[p.Name] = true
+		}
+		for _, p := range f.Params {
+			if p.Size != "" && !names[p.Size] {
+				return fmt.Errorf("edl: %s %q: size=%s names no parameter", f.Kind, f.Name, p.Size)
+			}
+			if p.Dir == DirUserCheck {
+				warnings = append(warnings, fmt.Sprintf(
+					"%s %s: parameter %q is user_check; pointer handling is unvalidated (§3.6)",
+					f.Kind, f.Name, p.Name))
+			}
+		}
+		return nil
+	}
+	for _, f := range i.ecalls {
+		if err := check(f); err != nil {
+			return warnings, err
+		}
+		if !f.Public && !allowedSomewhere[f.Name] {
+			warnings = append(warnings, fmt.Sprintf(
+				"ecall %s is private but allowed by no ocall: unreachable", f.Name))
+		}
+	}
+	for _, f := range i.ocalls {
+		if err := check(f); err != nil {
+			return warnings, err
+		}
+	}
+	return warnings, nil
+}
+
+// Format renders the interface back to EDL text.
+func (i *Interface) Format() string {
+	var b strings.Builder
+	b.WriteString("enclave {\n    trusted {\n")
+	for _, f := range i.ecalls {
+		b.WriteString("        ")
+		if f.Public {
+			b.WriteString("public ")
+		}
+		writeSig(&b, f)
+		b.WriteString(";\n")
+	}
+	b.WriteString("    };\n    untrusted {\n")
+	for _, f := range i.ocalls {
+		b.WriteString("        ")
+		writeSig(&b, f)
+		if len(f.Allow) > 0 {
+			allow := make([]string, len(f.Allow))
+			copy(allow, f.Allow)
+			sort.Strings(allow)
+			b.WriteString(" allow(" + strings.Join(allow, ", ") + ")")
+		}
+		b.WriteString(";\n")
+	}
+	b.WriteString("    };\n};\n")
+	return b.String()
+}
+
+func writeSig(b *strings.Builder, f *Func) {
+	b.WriteString(f.Name)
+	b.WriteByte('(')
+	for pi, p := range f.Params {
+		if pi > 0 {
+			b.WriteString(", ")
+		}
+		var attrs []string
+		switch p.Dir {
+		case DirIn:
+			attrs = append(attrs, "in")
+		case DirOut:
+			attrs = append(attrs, "out")
+		case DirInOut:
+			attrs = append(attrs, "in", "out")
+		case DirUserCheck:
+			attrs = append(attrs, "user_check")
+		}
+		if p.IsString {
+			attrs = append(attrs, "string")
+		}
+		if p.Size != "" {
+			attrs = append(attrs, "size="+p.Size)
+		}
+		if len(attrs) > 0 {
+			b.WriteString("[" + strings.Join(attrs, ", ") + "] ")
+		}
+		b.WriteString(p.Name)
+	}
+	b.WriteByte(')')
+}

@@ -1,0 +1,232 @@
+package edl
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleEDL = `
+// The enclave interface for the quickstart example.
+enclave {
+    trusted {
+        public ecall_encrypt([in, size=len] buf, len);
+        public ecall_status();
+        ecall_callback([user_check] p); /* private */
+    };
+    untrusted {
+        ocall_print([in, string] msg) allow(ecall_callback);
+        ocall_read([out, size=n] buf, n);
+        ocall_nothing();
+    };
+};
+`
+
+func TestParseSample(t *testing.T) {
+	iface, warnings, err := Parse(sampleEDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iface.Ecalls()) != 3 || len(iface.Ocalls()) != 3 {
+		t.Fatalf("parsed %d ecalls, %d ocalls", len(iface.Ecalls()), len(iface.Ocalls()))
+	}
+	enc, ok := iface.Lookup("ecall_encrypt")
+	if !ok || enc.Kind != Ecall || !enc.Public || enc.ID != 0 {
+		t.Fatalf("ecall_encrypt = %+v", enc)
+	}
+	if enc.Params[0].Dir != DirIn || enc.Params[0].Size != "len" {
+		t.Fatalf("ecall_encrypt param 0 = %+v", enc.Params[0])
+	}
+	if enc.Params[1].Dir != DirValue {
+		t.Fatalf("ecall_encrypt param 1 = %+v", enc.Params[1])
+	}
+	cb, _ := iface.Lookup("ecall_callback")
+	if cb.Public {
+		t.Fatal("ecall_callback should be private")
+	}
+	if !cb.HasUserCheck() {
+		t.Fatal("ecall_callback should have a user_check param")
+	}
+	pr, _ := iface.Lookup("ocall_print")
+	if pr.Kind != Ocall || len(pr.Allow) != 1 || pr.Allow[0] != "ecall_callback" {
+		t.Fatalf("ocall_print = %+v", pr)
+	}
+	if !pr.Params[0].IsString {
+		t.Fatal("ocall_print msg should be a string param")
+	}
+	rd, _ := iface.Lookup("ocall_read")
+	if rd.Params[0].Dir != DirOut || rd.Params[0].Size != "n" {
+		t.Fatalf("ocall_read param 0 = %+v", rd.Params[0])
+	}
+	// user_check produces a warning.
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w, "user_check") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no user_check warning in %v", warnings)
+	}
+}
+
+func TestAllowedQuery(t *testing.T) {
+	iface, _, err := Parse(sampleEDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iface.Allowed("ocall_print", "ecall_callback") {
+		t.Fatal("allowed pair rejected")
+	}
+	if iface.Allowed("ocall_read", "ecall_callback") {
+		t.Fatal("disallowed pair accepted")
+	}
+	if iface.Allowed("ecall_status", "ecall_callback") {
+		t.Fatal("Allowed on an ecall name accepted")
+	}
+}
+
+func TestIDAssignmentOrder(t *testing.T) {
+	iface, _, err := Parse(sampleEDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want, f := range iface.Ecalls() {
+		if f.ID != want {
+			t.Fatalf("ecall %s ID = %d, want %d", f.Name, f.ID, want)
+		}
+		got, ok := iface.EcallByID(want)
+		if !ok || got != f {
+			t.Fatalf("EcallByID(%d) mismatch", want)
+		}
+	}
+	if _, ok := iface.EcallByID(99); ok {
+		t.Fatal("EcallByID out of range succeeded")
+	}
+	if _, ok := iface.OcallByID(-1); ok {
+		t.Fatal("OcallByID(-1) succeeded")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	iface, _, err := Parse(sampleEDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := iface.Format()
+	again, _, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse of Format output: %v\n%s", err, text)
+	}
+	if again.Format() != text {
+		t.Fatalf("Format not a fixed point:\n%s\nvs\n%s", text, again.Format())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"empty", "", "expected"},
+		{"not_enclave", "banana { };", `"enclave"`},
+		{"allow_on_ecall", "enclave { trusted { public e() allow(x); }; };", "allow applies to ocalls"},
+		{"public_ocall", "enclave { untrusted { public o(); }; };", "'public' only applies to ecalls"},
+		{"unknown_attr", "enclave { trusted { public e([banana] p); }; };", "unknown attribute"},
+		{"unknown_allow_target", "enclave { untrusted { o() allow(ghost); }; };", "unknown function"},
+		{"allow_names_ocall", "enclave { untrusted { o1(); o2() allow(o1); }; };", "not an ecall"},
+		{"dup_function", "enclave { trusted { public e(); public e(); }; };", "duplicate function"},
+		{"dup_param", "enclave { trusted { public e(a, a); }; };", "duplicate parameter"},
+		{"bad_size_ref", "enclave { trusted { public e([in, size=n] buf); }; };", "names no parameter"},
+		{"user_check_with_in", "enclave { trusted { public e([user_check, in] p); }; };", "user_check with in/out"},
+		{"unterminated_comment", "enclave { /* oops", "unterminated block comment"},
+		{"bad_char", "enclave { trusted { public e(); }; }; $", "unexpected character"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, _, err := Parse(tt.src)
+			if err == nil {
+				t.Fatalf("parse succeeded, want error containing %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q does not contain %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestValidateWarnsUnreachablePrivateEcall(t *testing.T) {
+	iface := NewInterface()
+	if _, err := iface.AddEcall("ecall_hidden", false); err != nil {
+		t.Fatal(err)
+	}
+	warnings, err := iface.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "unreachable") {
+		t.Fatalf("warnings = %v", warnings)
+	}
+}
+
+func TestBuilderDuplicate(t *testing.T) {
+	iface := NewInterface()
+	if _, err := iface.AddEcall("f", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.AddOcall("f", nil); err == nil {
+		t.Fatal("duplicate name across kinds accepted")
+	}
+}
+
+func TestParamDirections(t *testing.T) {
+	src := `enclave { trusted {
+        public e([in] a, [out] b, [in, out] c, [user_check] d, e);
+    }; }; `
+	iface, _, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := iface.Lookup("e")
+	want := []PtrDir{DirIn, DirOut, DirInOut, DirUserCheck, DirValue}
+	for i, p := range f.Params {
+		if p.Dir != want[i] {
+			t.Errorf("param %d dir = %v, want %v", i, p.Dir, want[i])
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, _, err := Parse("enclave {\n  trusted {\n    public e(; \n  };\n};")
+	if err == nil || !strings.Contains(err.Error(), "edl:3:") {
+		t.Fatalf("error without useful position: %v", err)
+	}
+}
+
+func TestLargeGeneratedInterface(t *testing.T) {
+	// The TaLoS workload declares 207 ecalls programmatically (§5.2.1);
+	// make sure large interfaces round-trip.
+	iface := NewInterface()
+	for i := 0; i < 207; i++ {
+		name := "sgx_ecall_gen_" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if _, err := iface.AddEcall(name, true, Param{Name: "x", Dir: DirValue}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 61; i++ {
+		name := "enclave_ocall_gen_" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if _, err := iface.AddOcall(name, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := iface.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	parsed, _, err := Parse(iface.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Ecalls()) != 207 || len(parsed.Ocalls()) != 61 {
+		t.Fatalf("round trip lost functions: %d/%d", len(parsed.Ecalls()), len(parsed.Ocalls()))
+	}
+}

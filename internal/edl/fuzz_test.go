@@ -1,0 +1,48 @@
+package edl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the EDL parser never panics and that anything it
+// accepts survives a Format→Parse round trip. Run the seeds with go test;
+// explore with go test -fuzz=FuzzParse ./internal/edl.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sampleEDL,
+		"enclave { };",
+		"enclave { trusted { }; untrusted { }; };",
+		"enclave { trusted { public e(); }; };",
+		"enclave { trusted { public e([in, out, size=n] p, n); }; };",
+		"enclave { untrusted { o([user_check] p) allow(); }; };",
+		"enclave { /* comment */ trusted { public e(); // tail\n }; };",
+		"enclave { trusted { public e(",
+		"enclave { trusted { public public(); }; };",
+		"banana",
+		"",
+		"enclave { trusted { public e([size=, in] p); }; };",
+		strings.Repeat("enclave {", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		iface, _, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted input: Format must be re-parseable and stable.
+		text := iface.Format()
+		again, _, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Format output unparsable: %v\ninput: %q\nformatted: %s", err, src, text)
+		}
+		if again.Format() != text {
+			t.Fatalf("Format not a fixed point for %q", src)
+		}
+		if len(again.Ecalls()) != len(iface.Ecalls()) || len(again.Ocalls()) != len(iface.Ocalls()) {
+			t.Fatalf("round trip changed function counts for %q", src)
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package edl
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemi
+	tokEq
+	tokEOF
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokEq:
+		return "'='"
+	case tokEOF:
+		return "end of input"
+	default:
+		return "unknown token"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexError reports a lexical error with position.
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("edl:%d:%d: %s", e.line, e.col, e.msg)
+}
+
+// lex tokenises EDL source. It supports //-line and /* */ block comments.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k && i < n; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			startLine, startCol := line, col
+			advance(2)
+			closed := false
+			for i < n {
+				if src[i] == '*' && i+1 < n && src[i+1] == '/' {
+					advance(2)
+					closed = true
+					break
+				}
+				advance(1)
+			}
+			if !closed {
+				return nil, &lexError{startLine, startCol, "unterminated block comment"}
+			}
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", line, col})
+			advance(1)
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", line, col})
+			advance(1)
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", line, col})
+			advance(1)
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", line, col})
+			advance(1)
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", line, col})
+			advance(1)
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", line, col})
+			advance(1)
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", line, col})
+			advance(1)
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", line, col})
+			advance(1)
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", line, col})
+			advance(1)
+		case isIdentStart(rune(c)):
+			startLine, startCol := line, col
+			start := i
+			for i < n && isIdentCont(rune(src[i])) {
+				advance(1)
+			}
+			toks = append(toks, token{tokIdent, src[start:i], startLine, startCol})
+		default:
+			return nil, &lexError{line, col, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,272 @@
+package edl
+
+import (
+	"fmt"
+)
+
+// Parse parses EDL source into a validated Interface. Validation warnings
+// are returned alongside; a non-nil error means the interface is unusable.
+func Parse(src string) (*Interface, []string, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &parser{toks: toks}
+	iface, err := p.parseEnclave()
+	if err != nil {
+		return nil, nil, err
+	}
+	warnings, err := iface.Validate()
+	if err != nil {
+		return nil, warnings, err
+	}
+	return iface, warnings, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("edl:%d:%d: expected %v, found %v %q", t.line, t.col, k, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if t.text != kw {
+		return fmt.Errorf("edl:%d:%d: expected %q, found %q", t.line, t.col, kw, t.text)
+	}
+	return nil
+}
+
+// parseEnclave: 'enclave' '{' section* '}' ';'?
+func (p *parser) parseEnclave() (*Interface, error) {
+	if err := p.expectKeyword("enclave"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	iface := NewInterface()
+	for p.cur().kind != tokRBrace {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch t.text {
+		case "trusted":
+			if err := p.parseSection(iface, true); err != nil {
+				return nil, err
+			}
+		case "untrusted":
+			if err := p.parseSection(iface, false); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("edl:%d:%d: expected 'trusted' or 'untrusted', found %q", t.line, t.col, t.text)
+		}
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokSemi {
+		p.next()
+	}
+	if _, err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	return iface, nil
+}
+
+// parseSection: '{' decl* '}' ';'?
+func (p *parser) parseSection(iface *Interface, trusted bool) error {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for p.cur().kind != tokRBrace {
+		if err := p.parseDecl(iface, trusted); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return err
+	}
+	if p.cur().kind == tokSemi {
+		p.next()
+	}
+	return nil
+}
+
+// parseDecl: ['public'] ident '(' params ')' ['allow' '(' idents ')'] ';'
+func (p *parser) parseDecl(iface *Interface, trusted bool) error {
+	public := false
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if t.text == "public" {
+		if !trusted {
+			return fmt.Errorf("edl:%d:%d: 'public' only applies to ecalls", t.line, t.col)
+		}
+		public = true
+		t, err = p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+	}
+	name := t.text
+	params, err := p.parseParams()
+	if err != nil {
+		return err
+	}
+	var allow []string
+	if p.cur().kind == tokIdent && p.cur().text == "allow" {
+		p.next()
+		allow, err = p.parseAllow()
+		if err != nil {
+			return err
+		}
+		if trusted {
+			return fmt.Errorf("edl: ecall %q carries an allow() list; allow applies to ocalls", name)
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	if trusted {
+		_, err = iface.AddEcall(name, public, params...)
+	} else {
+		_, err = iface.AddOcall(name, allow, params...)
+	}
+	return err
+}
+
+// parseParams: '(' [param {',' param}] ')'
+func (p *parser) parseParams() ([]Param, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var params []Param
+	if p.cur().kind == tokRParen {
+		p.next()
+		return params, nil
+	}
+	for {
+		prm, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, prm)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+// parseParam: ['[' attr {',' attr} ']'] ident
+func (p *parser) parseParam() (Param, error) {
+	var prm Param
+	prm.Dir = DirValue
+	if p.cur().kind == tokLBracket {
+		p.next()
+		in, out := false, false
+		for {
+			t, err := p.expect(tokIdent)
+			if err != nil {
+				return prm, err
+			}
+			switch t.text {
+			case "in":
+				in = true
+			case "out":
+				out = true
+			case "user_check":
+				prm.Dir = DirUserCheck
+			case "string":
+				prm.IsString = true
+			case "size":
+				if _, err := p.expect(tokEq); err != nil {
+					return prm, err
+				}
+				st, err := p.expect(tokIdent)
+				if err != nil {
+					return prm, err
+				}
+				prm.Size = st.text
+			default:
+				return prm, fmt.Errorf("edl:%d:%d: unknown attribute %q", t.line, t.col, t.text)
+			}
+			if p.cur().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return prm, err
+		}
+		if prm.Dir != DirUserCheck {
+			switch {
+			case in && out:
+				prm.Dir = DirInOut
+			case in:
+				prm.Dir = DirIn
+			case out:
+				prm.Dir = DirOut
+			}
+		} else if in || out {
+			return prm, fmt.Errorf("edl: parameter combines user_check with in/out")
+		}
+	}
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return prm, err
+	}
+	prm.Name = t.text
+	return prm, nil
+}
+
+// parseAllow: '(' [ident {',' ident}] ')'
+func (p *parser) parseAllow() ([]string, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var names []string
+	if p.cur().kind == tokRParen {
+		p.next()
+		return names, nil
+	}
+	for {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, t.text)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return names, nil
+}

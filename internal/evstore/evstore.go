@@ -1,0 +1,278 @@
+// Package evstore is a small embedded, typed, append-oriented event
+// database — the stand-in for the SQLite database sgx-perf serialises its
+// events to (§4). It offers named tables of record types, predicate
+// queries, ordering, simple aggregation, and binary (gob) serialisation so
+// traces can be written by the logger and analysed later by a different
+// process, just as the paper's toolchain does.
+package evstore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Table is a typed, append-only table. It is safe for concurrent use: the
+// logger inserts from many simulated threads.
+type Table[T any] struct {
+	name string
+
+	mu   sync.RWMutex
+	rows []T
+}
+
+// NewTable creates an empty table.
+func NewTable[T any](name string) *Table[T] {
+	return &Table[T]{name: name}
+}
+
+// Name returns the table's name.
+func (t *Table[T]) Name() string { return t.name }
+
+// Insert appends rows.
+func (t *Table[T]) Insert(rows ...T) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = append(t.rows, rows...)
+}
+
+// Len returns the number of rows.
+func (t *Table[T]) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// At returns row i.
+func (t *Table[T]) At(i int) T {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[i]
+}
+
+// Rows returns a copy of all rows.
+func (t *Table[T]) Rows() []T {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]T, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
+// Select returns all rows matching pred, in insertion order.
+func (t *Table[T]) Select(pred func(T) bool) []T {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []T
+	for _, r := range t.rows {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Count returns the number of rows matching pred (nil counts all).
+func (t *Table[T]) Count(pred func(T) bool) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if pred == nil {
+		return len(t.rows)
+	}
+	n := 0
+	for _, r := range t.rows {
+		if pred(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Scan iterates rows in insertion order until yield returns false.
+func (t *Table[T]) Scan(yield func(i int, row T) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i, r := range t.rows {
+		if !yield(i, r) {
+			return
+		}
+	}
+}
+
+// OrderedBy returns a copy of all rows sorted by less.
+func (t *Table[T]) OrderedBy(less func(a, b T) bool) []T {
+	out := t.Rows()
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// GroupBy partitions rows by key.
+func GroupBy[T any, K comparable](t *Table[T], key func(T) K) map[K][]T {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[K][]T)
+	for _, r := range t.rows {
+		k := key(r)
+		out[k] = append(out[k], r)
+	}
+	return out
+}
+
+// Reset drops all rows.
+func (t *Table[T]) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = nil
+}
+
+// table is the untyped view the DB uses for serialisation.
+type table interface {
+	Name() string
+	encodeRows(enc *gob.Encoder) error
+	decodeRows(dec *gob.Decoder) error
+}
+
+func (t *Table[T]) encodeRows(enc *gob.Encoder) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return enc.Encode(t.rows)
+}
+
+func (t *Table[T]) decodeRows(dec *gob.Decoder) error {
+	var rows []T
+	if err := dec.Decode(&rows); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = rows
+	return nil
+}
+
+// DB is a named collection of tables with a stable serialisation format.
+type DB struct {
+	mu     sync.Mutex
+	tables []table
+	byName map[string]table
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{byName: make(map[string]table)}
+}
+
+// Register attaches a table to the database. Registration order defines
+// the serialisation order, so writers and readers must register the same
+// tables in the same order (they share the schema definition in practice).
+func Register[T any](db *DB, t *Table[T]) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.byName[t.Name()]; dup {
+		return fmt.Errorf("evstore: duplicate table %q", t.Name())
+	}
+	db.tables = append(db.tables, t)
+	db.byName[t.Name()] = t
+	return nil
+}
+
+// TableNames lists registered tables in registration order.
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, len(db.tables))
+	for i, t := range db.tables {
+		out[i] = t.Name()
+	}
+	return out
+}
+
+// format header for serialised databases.
+const (
+	magic   = "sgxperf-evstore"
+	version = 1
+)
+
+type header struct {
+	Magic   string
+	Version int
+	Tables  []string
+}
+
+// Save serialises every registered table to w.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	enc := gob.NewEncoder(w)
+	h := header{Magic: magic, Version: version}
+	for _, t := range db.tables {
+		h.Tables = append(h.Tables, t.Name())
+	}
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("evstore: header: %w", err)
+	}
+	for _, t := range db.tables {
+		if err := t.encodeRows(enc); err != nil {
+			return fmt.Errorf("evstore: table %q: %w", t.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Load restores table contents from r. The registered schema must match
+// the one the file was written with.
+func (db *DB) Load(r io.Reader) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	dec := gob.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return fmt.Errorf("evstore: header: %w", err)
+	}
+	if h.Magic != magic {
+		return fmt.Errorf("evstore: not an evstore file (magic %q)", h.Magic)
+	}
+	if h.Version != version {
+		return fmt.Errorf("evstore: unsupported version %d", h.Version)
+	}
+	if len(h.Tables) != len(db.tables) {
+		return fmt.Errorf("evstore: file has %d tables, schema has %d", len(h.Tables), len(db.tables))
+	}
+	for i, t := range db.tables {
+		if h.Tables[i] != t.Name() {
+			return fmt.Errorf("evstore: table %d is %q in file, %q in schema", i, h.Tables[i], t.Name())
+		}
+		if err := t.decodeRows(dec); err != nil {
+			return fmt.Errorf("evstore: table %q: %w", t.Name(), err)
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the database to a file path.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("evstore: %w", err)
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("evstore: sync: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads the database from a file path.
+func (db *DB) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("evstore: %w", err)
+	}
+	defer f.Close()
+	return db.Load(f)
+}

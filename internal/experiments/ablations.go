@@ -1,0 +1,389 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/perf/workingset"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/workloads"
+	"sgxperf/internal/workloads/glamdring"
+)
+
+// --- Ablation 1: SDK mutex vs hybrid lock (§3.4) --------------------------
+
+// HybridLockRow is one locking strategy's result under contention.
+type HybridLockRow struct {
+	Strategy   string
+	SpinCount  int
+	Threads    int
+	OpsTotal   int
+	SyncOcalls int
+	// WallVirtual is the slowest thread's virtual time.
+	WallVirtual time.Duration
+}
+
+// RunHybridLockAblation contends a short critical section between threads
+// using the plain SDK mutex and the hybrid spin-then-sleep lock the paper
+// recommends for the SSC problem (§3.4).
+func RunHybridLockAblation(threads, opsPerThread int) ([]HybridLockRow, error) {
+	if threads <= 0 {
+		threads = 4
+	}
+	if opsPerThread <= 0 {
+		opsPerThread = 400
+	}
+	var rows []HybridLockRow
+	for _, cfg := range []struct {
+		name string
+		spin int
+	}{
+		{"sdk-mutex", 0},
+		{"hybrid-lock", 1 << 16},
+	} {
+		h, err := host.New()
+		if err != nil {
+			return nil, err
+		}
+		iface := edl.NewInterface()
+		if _, err := iface.AddEcall("ecall_critical", true); err != nil {
+			return nil, err
+		}
+		m := sdk.Mutex{SpinCount: cfg.spin}
+		impl := map[string]sdk.TrustedFn{
+			"ecall_critical": func(env *sdk.Env, args any) (any, error) {
+				if err := m.Lock(env); err != nil {
+					return nil, err
+				}
+				env.Compute(2 * time.Microsecond) // a short critical section
+				// Yield while holding the lock so competing simulated
+				// threads genuinely overlap (contention would otherwise
+				// depend on the Go scheduler's whims).
+				for y := 0; y < 3; y++ {
+					runtime.Gosched()
+				}
+				return nil, m.Unlock(env)
+			},
+		}
+		ctx := h.NewContext("main")
+		app, err := h.URTS.CreateEnclave(ctx, sgx.Config{Name: "lock", NumTCS: threads + 1}, iface, impl)
+		if err != nil {
+			return nil, err
+		}
+		otab, err := sdk.BuildOcallTable(iface, h.URTS, nil)
+		if err != nil {
+			return nil, err
+		}
+		var syncOcalls atomic.Int64
+		for i, fn := range otab.Funcs {
+			if sdk.IsSyncOcall(otab.Names[i]) {
+				orig := fn
+				otab.Funcs[i] = func(ctx *sgx.Context, args any) (any, error) {
+					syncOcalls.Add(1)
+					return orig(ctx, args)
+				}
+			}
+		}
+		proxies := sdk.Proxies(app, h.Proc, otab)
+		var maxClock time.Duration
+		errs := make(chan error, threads)
+		clocks := make(chan time.Duration, threads)
+		for t := 0; t < threads; t++ {
+			if err := h.Spawn("locker", func(ctx *sgx.Context) {
+				for i := 0; i < opsPerThread; i++ {
+					if _, err := proxies["ecall_critical"](ctx, nil); err != nil {
+						errs <- err
+						return
+					}
+				}
+				clocks <- ctx.Clock().Frequency().Duration(ctx.Now())
+			}); err != nil {
+				errs <- err
+			}
+		}
+		h.Wait()
+		close(clocks)
+		select {
+		case err := <-errs:
+			return nil, err
+		default:
+		}
+		for c := range clocks {
+			if c > maxClock {
+				maxClock = c
+			}
+		}
+		rows = append(rows, HybridLockRow{
+			Strategy:    cfg.name,
+			SpinCount:   cfg.spin,
+			Threads:     threads,
+			OpsTotal:    threads * opsPerThread,
+			SyncOcalls:  int(syncOcalls.Load()),
+			WallVirtual: maxClock,
+		})
+	}
+	return rows, nil
+}
+
+// RenderHybridLock formats the ablation.
+func RenderHybridLock(rows []HybridLockRow) string {
+	var b strings.Builder
+	b.WriteString("== Ablation: SDK mutex vs hybrid lock under contention (§3.4) ==\n")
+	fmt.Fprintf(&b, "%-12s %8s %8s %12s %14s\n", "strategy", "threads", "ops", "sync ocalls", "virtual time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8d %8d %12d %14s\n",
+			r.Strategy, r.Threads, r.OpsTotal, r.SyncOcalls, r.WallVirtual.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// --- Ablation 2: paging mitigation strategies (§3.5) ----------------------
+
+// PagingRow is one strategy's result when the working set exceeds the EPC.
+type PagingRow struct {
+	Strategy string
+	Virtual  time.Duration
+	PageIns  uint64
+	PageOuts uint64
+}
+
+// RunPagingAblation sweeps a data set larger than the (shrunken) EPC with
+// the three mitigation strategies from §3.5: (i) naive SGX paging,
+// (ii) pre-loading pages before the ecall, (iii) Eleos-style self-paging
+// (data stays encrypted in untrusted memory; the enclave copies chunks in
+// and decrypts them itself, never exceeding its resident buffer).
+func RunPagingAblation(dataPages, epcPages, sweeps int) ([]PagingRow, error) {
+	if dataPages <= 0 {
+		dataPages = 512
+	}
+	if epcPages <= 0 {
+		epcPages = 384
+	}
+	if sweeps <= 0 {
+		sweeps = 3
+	}
+	var rows []PagingRow
+	const chunk = 64 // pages processed per ecall
+
+	for _, strategy := range []string{"naive", "preload", "self-paging"} {
+		h, err := host.New(host.WithEPCCapacity(epcPages))
+		if err != nil {
+			return nil, err
+		}
+		iface := edl.NewInterface()
+		if _, err := iface.AddEcall("ecall_init", true); err != nil {
+			return nil, err
+		}
+		if _, err := iface.AddEcall("ecall_sweep_chunk", true); err != nil {
+			return nil, err
+		}
+		var base sgx.Vaddr
+		heapPages := dataPages
+		if strategy == "self-paging" {
+			heapPages = chunk + 8 // the enclave keeps only a small buffer
+		}
+		impl := map[string]sdk.TrustedFn{
+			"ecall_init": func(env *sdk.Env, args any) (any, error) {
+				n, _ := args.(int)
+				v, err := env.Alloc(n * sgx.PageSize)
+				if err != nil {
+					return nil, err
+				}
+				base = v
+				return nil, nil
+			},
+			"ecall_sweep_chunk": func(env *sdk.Env, args any) (any, error) {
+				idx, _ := args.(int)
+				if strategy == "self-paging" {
+					// Copy + decrypt the chunk into the resident buffer:
+					// no SGX paging, but per-byte crypto cost (§3.5 (iii)).
+					env.Compute(time.Duration(chunk) * 3 * time.Microsecond)
+					if err := env.Touch(base, chunk*sgx.PageSize, true); err != nil {
+						return nil, err
+					}
+				} else {
+					off := sgx.Vaddr(idx*chunk*sgx.PageSize) % sgx.Vaddr(dataPages*sgx.PageSize)
+					if err := env.Touch(base+off, chunk*sgx.PageSize, true); err != nil {
+						return nil, err
+					}
+				}
+				// The per-page computation on the chunk.
+				env.Compute(time.Duration(chunk) * 500 * time.Nanosecond)
+				return nil, nil
+			},
+		}
+		ctx := h.NewContext("main")
+		app, err := h.URTS.CreateEnclave(ctx, sgx.Config{
+			Name:      "paging-" + strategy,
+			HeapBytes: heapPages * sgx.PageSize,
+		}, iface, impl)
+		if err != nil {
+			return nil, err
+		}
+		otab, err := sdk.BuildOcallTable(iface, h.URTS, nil)
+		if err != nil {
+			return nil, err
+		}
+		proxies := sdk.Proxies(app, h.Proc, otab)
+		initPages := dataPages
+		if strategy == "self-paging" {
+			initPages = chunk + 4
+		}
+		if _, err := proxies["ecall_init"](ctx, initPages); err != nil {
+			return nil, err
+		}
+		insBefore, outsBefore := h.Kernel.Driver.Stats()
+		start := ctx.Now()
+		chunks := dataPages / chunk
+		for s := 0; s < sweeps; s++ {
+			for i := 0; i < chunks; i++ {
+				if strategy == "preload" {
+					// Load the chunk's pages into the EPC before entering
+					// the enclave: the faults (and their AEXs) happen on
+					// the cheap untrusted path (§3.5 (ii)).
+					enc := app.Enclave()
+					off := sgx.Vaddr(i * chunk * sgx.PageSize)
+					for p := 0; p < chunk; p++ {
+						page := enc.PageAt(base + off + sgx.Vaddr(p*sgx.PageSize))
+						if page == nil {
+							continue
+						}
+						if err := h.Kernel.Driver.PageIn(ctx, enc, page); err != nil {
+							return nil, err
+						}
+					}
+				}
+				if _, err := proxies["ecall_sweep_chunk"](ctx, i); err != nil {
+					return nil, err
+				}
+			}
+		}
+		ins, outs := h.Kernel.Driver.Stats()
+		rows = append(rows, PagingRow{
+			Strategy: strategy,
+			Virtual:  ctx.Clock().DurationSince(start),
+			PageIns:  ins - insBefore,
+			PageOuts: outs - outsBefore,
+		})
+	}
+	return rows, nil
+}
+
+// RenderPaging formats the ablation.
+func RenderPaging(rows []PagingRow) string {
+	var b strings.Builder
+	b.WriteString("== Ablation: paging mitigation strategies (§3.5) ==\n")
+	fmt.Fprintf(&b, "%-12s %14s %10s %10s\n", "strategy", "virtual time", "page-ins", "page-outs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %14s %10d %10d\n",
+			r.Strategy, r.Virtual.Round(time.Microsecond), r.PageIns, r.PageOuts)
+	}
+	return b.String()
+}
+
+// --- §5.2.3 working set ---------------------------------------------------
+
+// GlamdringWS is the Glamdring working-set measurement.
+type GlamdringWS struct {
+	StartupPages int // paper: 61
+	SteadyPages  int // paper: 32
+}
+
+// RunGlamdringWorkingSet measures the partitioned LibreSSL enclave's
+// working set after start-up and during the signing benchmark.
+func RunGlamdringWorkingSet() (*GlamdringWS, error) {
+	h, err := host.New(glamdring.RecommendedHostOptions(sgx.MitigationNone)...)
+	if err != nil {
+		return nil, err
+	}
+	w, err := glamdring.New(h, glamdring.VariantEnclave)
+	if err != nil {
+		return nil, err
+	}
+	est := workingset.New(h, w.Enclave())
+	if err := est.Start(); err != nil {
+		return nil, err
+	}
+	defer est.Stop()
+	ctx := h.NewContext("driver")
+	if err := w.Init(ctx); err != nil {
+		return nil, err
+	}
+	out := &GlamdringWS{StartupPages: est.Count()}
+	est.Mark()
+	if _, err := w.Run(ctx, workloads.Options{Ops: 1}); err != nil {
+		return nil, err
+	}
+	out.SteadyPages = est.Count()
+	return out, nil
+}
+
+// Render formats the working-set comparison.
+func (g *GlamdringWS) Render() string {
+	return fmt.Sprintf(
+		"== §5.2.3 Glamdring working set ==\nstart-up: %d pages (paper: 61)\nbenchmark: %d pages (paper: 32)\n",
+		g.StartupPages, g.SteadyPages)
+}
+
+// --- Ablation 3: switchless calls (§2.3/§6 related work) ------------------
+
+// SwitchlessRow is one Glamdring configuration's signing rate.
+type SwitchlessRow struct {
+	Variant     string
+	SignsPerSec float64
+	// SwitchlessServed/FellBack report queue statistics where applicable.
+	SwitchlessServed   uint64
+	SwitchlessFellBack uint64
+}
+
+// RunSwitchlessAblation compares the two ways of fixing the Glamdring
+// SISC problem: the paper's interface redesign (moving bn_mul_recursive
+// inside) versus the related work's switchless calls (SCONE, HotCalls,
+// Eleos — worker threads parked inside the enclave servicing a call
+// queue), against the broken baseline.
+func RunSwitchlessAblation(signs int) ([]SwitchlessRow, error) {
+	if signs <= 0 {
+		signs = 3
+	}
+	var rows []SwitchlessRow
+	for _, v := range []glamdring.Variant{
+		glamdring.VariantEnclave, glamdring.VariantSwitchless, glamdring.VariantOptimized,
+	} {
+		h, err := host.New(glamdring.RecommendedHostOptions(sgx.MitigationNone)...)
+		if err != nil {
+			return nil, err
+		}
+		w, err := glamdring.New(h, v)
+		if err != nil {
+			return nil, err
+		}
+		ctx := h.NewContext("driver")
+		res, err := w.Run(ctx, workloads.Options{Ops: signs})
+		if err != nil {
+			return nil, err
+		}
+		row := SwitchlessRow{Variant: string(v), SignsPerSec: res.Throughput()}
+		row.SwitchlessServed, row.SwitchlessFellBack = w.SwitchlessStats()
+		w.Close()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSwitchless formats the ablation.
+func RenderSwitchless(rows []SwitchlessRow) string {
+	var b strings.Builder
+	b.WriteString("== Ablation: interface redesign vs switchless calls (§2.3/§6) ==\n")
+	fmt.Fprintf(&b, "%-12s %12s %14s %10s\n", "variant", "signs/s", "queue served", "fallbacks")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12.1f %14d %10d\n",
+			r.Variant, r.SignsPerSec, r.SwitchlessServed, r.SwitchlessFellBack)
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sgxperf/internal/host"
+	"sgxperf/internal/perf/logger"
+)
+
+// Table2 reproduces the logger-overhead experiments of §5.1: (1) a single
+// no-op ecall, (2) an ecall performing one no-op ocall, each measured
+// natively and with the logger attached; and (3) a long-running ecall
+// measured with logging, AEX counting and AEX tracing.
+type Table2 struct {
+	// Experiment (1): per-call times.
+	NativeEcall time.Duration
+	LoggedEcall time.Duration
+	// Experiment (2).
+	NativeEcallOcall time.Duration
+	LoggedEcallOcall time.Duration
+	// Experiment (3): long-ecall execution times and AEX statistics.
+	LongLogged   time.Duration
+	LongAEXCount time.Duration
+	LongAEXTrace time.Duration
+	MeanAEXs     float64
+	// Derived overheads.
+	EcallOverhead   time.Duration
+	OcallOverhead   time.Duration
+	PerAEXCount     time.Duration
+	PerAEXTrace     time.Duration
+	PaperEcallOhNS  int64
+	PaperOcallOhNS  int64
+	PaperAEXCountNS int64
+	PaperAEXTraceNS int64
+}
+
+// Table2Options sizes the experiment.
+type Table2Options struct {
+	// Calls is the iteration count for experiments (1) and (2) (paper:
+	// 1e6; the simulation is deterministic, so fewer suffice).
+	Calls int
+	// LongCalls is the iteration count for experiment (3) (paper: 1000).
+	LongCalls int
+	// LongDuration is the long ecall's loop time (paper: ≈45.4ms).
+	LongDuration time.Duration
+}
+
+func (o *Table2Options) defaults() {
+	if o.Calls <= 0 {
+		o.Calls = 2000
+	}
+	if o.LongCalls <= 0 {
+		o.LongCalls = 20
+	}
+	if o.LongDuration <= 0 {
+		o.LongDuration = 45377 * time.Microsecond
+	}
+}
+
+// RunTable2 executes all three experiments.
+func RunTable2(opts Table2Options) (*Table2, error) {
+	opts.defaults()
+	out := &Table2{
+		PaperEcallOhNS:  1366,
+		PaperOcallOhNS:  1320,
+		PaperAEXCountNS: 1076,
+		PaperAEXTraceNS: 1118,
+	}
+
+	// Native cells.
+	h, err := host.New()
+	if err != nil {
+		return nil, err
+	}
+	be, err := newBenchEnclave(h)
+	if err != nil {
+		return nil, err
+	}
+	if out.NativeEcall, err = be.timePerCall("ecall_empty", nil, opts.Calls); err != nil {
+		return nil, err
+	}
+	if out.NativeEcallOcall, err = be.timePerCall("ecall_with_ocall", nil, opts.Calls); err != nil {
+		return nil, err
+	}
+
+	// Logged cells (fresh host so probe state is clean).
+	runLogged := func(aex logger.AEXMode) (ec, eco, long time.Duration, aexs float64, err error) {
+		h, err := host.New()
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		l, err := logger.Attach(h, logger.Options{Workload: "table2", AEX: aex})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		be, err := newBenchEnclave(h)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if ec, err = be.timePerCall("ecall_empty", nil, opts.Calls); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if eco, err = be.timePerCall("ecall_with_ocall", nil, opts.Calls); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if long, err = be.timePerCall("ecall_loop", opts.LongDuration, opts.LongCalls); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		total := 0
+		n := 0
+		for _, e := range l.Trace().Ecalls.Rows() {
+			if e.Name == "ecall_loop" {
+				total += e.AEXCount
+				n++
+			}
+		}
+		if n > 0 {
+			aexs = float64(total) / float64(n)
+		}
+		return ec, eco, long, aexs, nil
+	}
+
+	var err2 error
+	if out.LoggedEcall, out.LoggedEcallOcall, out.LongLogged, _, err2 = runLogged(logger.AEXOff); err2 != nil {
+		return nil, err2
+	}
+	var meanCount float64
+	if _, _, out.LongAEXCount, meanCount, err2 = runLogged(logger.AEXCount); err2 != nil {
+		return nil, err2
+	}
+	if _, _, out.LongAEXTrace, out.MeanAEXs, err2 = runLogged(logger.AEXTrace); err2 != nil {
+		return nil, err2
+	}
+	if out.MeanAEXs == 0 {
+		out.MeanAEXs = meanCount
+	}
+
+	out.EcallOverhead = out.LoggedEcall - out.NativeEcall
+	out.OcallOverhead = out.LoggedEcallOcall - out.NativeEcallOcall - out.EcallOverhead
+	if out.MeanAEXs > 0 {
+		out.PerAEXCount = time.Duration(float64(out.LongAEXCount-out.LongLogged) / out.MeanAEXs)
+		out.PerAEXTrace = time.Duration(float64(out.LongAEXTrace-out.LongLogged) / out.MeanAEXs)
+	}
+	return out, nil
+}
+
+// Render formats the table like Table 2.
+func (t *Table2) Render() string {
+	var b strings.Builder
+	b.WriteString("== Table 2: logger overhead ==\n")
+	fmt.Fprintf(&b, "%-22s %14s %16s\n", "", "(1) single ecall", "(2) ecall+ocall")
+	fmt.Fprintf(&b, "%-22s %16s %16s\n", "Native", t.NativeEcall, t.NativeEcallOcall)
+	fmt.Fprintf(&b, "%-22s %16s %16s\n", "with Logging", t.LoggedEcall, t.LoggedEcallOcall)
+	fmt.Fprintf(&b, "%-22s %16s %16s   (paper: %dns / %dns)\n", "Overhead",
+		t.EcallOverhead, t.OcallOverhead, t.PaperEcallOhNS, t.PaperOcallOhNS)
+	b.WriteString("\n(3) long ecall\n")
+	fmt.Fprintf(&b, "%-22s %16s\n", "with Logging", t.LongLogged)
+	fmt.Fprintf(&b, "%-22s %16s\n", "AEX counting", t.LongAEXCount)
+	fmt.Fprintf(&b, "%-22s %16s\n", "AEX tracing", t.LongAEXTrace)
+	fmt.Fprintf(&b, "%-22s %16.2f\n", "mean AEX count", t.MeanAEXs)
+	fmt.Fprintf(&b, "%-22s %16s   (paper: %dns)\n", "per-AEX (count)", t.PerAEXCount, t.PaperAEXCountNS)
+	fmt.Fprintf(&b, "%-22s %16s   (paper: %dns)\n", "per-AEX (trace)", t.PerAEXTrace, t.PaperAEXTraceNS)
+	return b.String()
+}

@@ -1,0 +1,150 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated substrate: the transition-cost
+// microbenchmark (§2.3.1), the logger-overhead table (Table 2), the
+// TaLoS call graph (Fig. 5), the normalised SQLite and LibreSSL bars
+// (Fig. 6), the SecureKeeper histogram and scatter plot (Figs. 7–8), the
+// working-set estimations, and two ablations (hybrid locking and paging
+// mitigation strategies). Each experiment returns a structured result
+// with a Render method; cmd/sgx-perf-bench and the top-level benchmarks
+// drive them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+)
+
+// TransitionRow is one §2.3.1 measurement.
+type TransitionRow struct {
+	Mitigation string
+	// Measured is the simulated warm-cache EENTER+EEXIT round trip,
+	// obtained by timing raw transitions (no URTS/TRTS dispatch).
+	Measured time.Duration
+	// PaperNS is the paper's reported value in nanoseconds.
+	PaperNS int64
+	// PaperCycles is the paper's reported cycle count.
+	PaperCycles int64
+}
+
+// Transitions measures raw enclave transition round trips under all three
+// mitigation levels, like §2.3.1 (the paper measured between EENTER and
+// EEXIT directly, excluding SDK dispatch).
+func Transitions() ([]TransitionRow, error) {
+	paper := map[sgx.MitigationLevel]struct{ ns, cycles int64 }{
+		sgx.MitigationNone:    {2130, 5850},
+		sgx.MitigationSpectre: {3850, 10170},
+		sgx.MitigationFull:    {4890, 13100},
+	}
+	var rows []TransitionRow
+	for _, m := range []sgx.MitigationLevel{sgx.MitigationNone, sgx.MitigationSpectre, sgx.MitigationFull} {
+		h, err := host.New(host.WithMitigation(m))
+		if err != nil {
+			return nil, err
+		}
+		ctx := h.NewContext("bench")
+		enc, err := h.Kernel.Driver.CreateEnclave(ctx, sgx.Config{Name: "transitions"})
+		if err != nil {
+			return nil, err
+		}
+		// Warm up (the TCS page faults in on first entry).
+		if err := ctx.EEnter(enc); err != nil {
+			return nil, err
+		}
+		if err := ctx.EExit(); err != nil {
+			return nil, err
+		}
+		const n = 1000
+		start := ctx.Now()
+		for i := 0; i < n; i++ {
+			if err := ctx.EEnter(enc); err != nil {
+				return nil, err
+			}
+			if err := ctx.EExit(); err != nil {
+				return nil, err
+			}
+		}
+		per := ctx.Clock().DurationSince(start) / n
+		rows = append(rows, TransitionRow{
+			Mitigation:  m.String(),
+			Measured:    per,
+			PaperNS:     paper[m].ns,
+			PaperCycles: paper[m].cycles,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTransitions formats the §2.3.1 comparison.
+func RenderTransitions(rows []TransitionRow) string {
+	var b strings.Builder
+	b.WriteString("== §2.3.1 enclave transition round trips (warm cache) ==\n")
+	fmt.Fprintf(&b, "%-14s %12s %12s %14s\n", "mitigation", "measured", "paper (ns)", "paper (cycles)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12s %12d %14d\n", r.Mitigation, r.Measured, r.PaperNS, r.PaperCycles)
+	}
+	return b.String()
+}
+
+// benchEnclave is the shared micro-benchmark enclave: a no-op ecall, an
+// ecall issuing one no-op ocall, and a looping ecall.
+type benchEnclave struct {
+	h       *host.Host
+	ctx     *sgx.Context
+	proxies map[string]sdk.Proxy
+}
+
+func newBenchEnclave(h *host.Host) (*benchEnclave, error) {
+	iface := edl.NewInterface()
+	for _, n := range []string{"ecall_empty", "ecall_with_ocall", "ecall_loop"} {
+		if _, err := iface.AddEcall(n, true); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := iface.AddOcall("ocall_empty", nil); err != nil {
+		return nil, err
+	}
+	impl := map[string]sdk.TrustedFn{
+		"ecall_empty": func(env *sdk.Env, args any) (any, error) { return nil, nil },
+		"ecall_with_ocall": func(env *sdk.Env, args any) (any, error) {
+			return env.Ocall("ocall_empty", nil)
+		},
+		"ecall_loop": func(env *sdk.Env, args any) (any, error) {
+			d, _ := args.(time.Duration)
+			env.Compute(d)
+			return nil, nil
+		},
+	}
+	ctx := h.NewContext("bench")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{Name: "micro"}, iface, impl)
+	if err != nil {
+		return nil, err
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, map[string]sdk.OcallFn{
+		"ocall_empty": func(ctx *sgx.Context, args any) (any, error) { return nil, nil },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &benchEnclave{h: h, ctx: ctx, proxies: sdk.Proxies(app, h.Proc, otab)}, nil
+}
+
+// timePerCall measures the mean per-call virtual duration of n calls.
+func (b *benchEnclave) timePerCall(name string, args any, n int) (time.Duration, error) {
+	// Warm-up, as the paper does.
+	if _, err := b.proxies[name](b.ctx, args); err != nil {
+		return 0, err
+	}
+	start := b.ctx.Now()
+	for i := 0; i < n; i++ {
+		if _, err := b.proxies[name](b.ctx, args); err != nil {
+			return 0, err
+		}
+	}
+	return b.ctx.Clock().DurationSince(start) / time.Duration(n), nil
+}

@@ -1,0 +1,116 @@
+package host_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sgxperf/internal/host"
+	"sgxperf/internal/kernel"
+	"sgxperf/internal/loader"
+	"sgxperf/internal/sgx"
+)
+
+func TestNewWiresEverything(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Machine == nil || h.Kernel == nil || h.Proc == nil || h.URTS == nil {
+		t.Fatal("host components missing")
+	}
+	// The process image has the URTS and libc loaded with their symbols.
+	for _, sym := range []string{
+		loader.SymSGXEcall, loader.SymPthreadCreate, loader.SymSignal, loader.SymSigaction,
+	} {
+		if _, ok := h.Proc.Dlsym(sym); !ok {
+			t.Errorf("symbol %q unresolved", sym)
+		}
+	}
+	// Default EPC is the architectural size.
+	if h.Machine.EPC().Capacity() != sgx.EPCUsablePages {
+		t.Errorf("EPC capacity = %d", h.Machine.EPC().Capacity())
+	}
+}
+
+func TestHostOptions(t *testing.T) {
+	h, err := host.New(
+		host.WithMitigation(sgx.MitigationSpectre),
+		host.WithEPCCapacity(128),
+		host.WithEnclaveComputeFactor(2.0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := h.Machine.Cost().Frequency.Duration(h.Machine.Cost().RoundTrip())
+	if rt < 3800*time.Nanosecond || rt > 3900*time.Nanosecond {
+		t.Errorf("round trip %v, want ≈3850ns (spectre)", rt)
+	}
+	if h.Machine.EPC().Capacity() != 128 {
+		t.Errorf("EPC capacity = %d", h.Machine.EPC().Capacity())
+	}
+	if f := h.Machine.Cost().EnclaveComputeFactor; f != 2.0 {
+		t.Errorf("compute factor = %v", f)
+	}
+}
+
+func TestSpawnRoutesThroughPthreadCreate(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shadow pthread_create the way the logger does and verify Spawn goes
+	// through the shadow.
+	var mu sync.Mutex
+	var seen []string
+	next, err := loader.Lookup[host.PthreadCreateFn](h.Proc, loader.SymPthreadCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := loader.NewLibrary("libshadow").Define(loader.SymPthreadCreate,
+		host.PthreadCreateFn(func(name string, fn func(ctx *sgx.Context)) {
+			mu.Lock()
+			seen = append(seen, name)
+			mu.Unlock()
+			next(name, fn)
+		}))
+	h.Proc.Preload(shadow)
+
+	ran := false
+	if err := h.Spawn("worker", func(ctx *sgx.Context) { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	h.Wait()
+	if !ran {
+		t.Fatal("spawned function did not run")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 || seen[0] != "worker" {
+		t.Fatalf("shadow saw %v", seen)
+	}
+}
+
+func TestSigactionRoutesThroughSymbol(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	old, err := h.Sigaction(kernel.SIGUSR1, func(ctx *sgx.Context, sig kernel.Signal, info *kernel.SigInfo) bool {
+		called = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != nil {
+		t.Fatal("fresh signal table returned a previous handler")
+	}
+	if !h.Kernel.Signals.Deliver(nil, kernel.SIGUSR1, nil) {
+		t.Fatal("delivery failed")
+	}
+	if !called {
+		t.Fatal("handler not invoked")
+	}
+}

@@ -1,0 +1,192 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"sgxperf/internal/sgx"
+)
+
+// Driver is the simulated SGX kernel driver. Enclave creation is a
+// kernel-space operation (§2.1): the driver builds the enclave layout,
+// loads (EADDs) its pages into the EPC, and later resolves EPC-residency
+// faults by paging with EWB/ELDU — re-encrypting pages through the MEE on
+// every eviction, which is what makes SGX paging so expensive (§2.3.3).
+type Driver struct {
+	m  *sgx.Machine
+	kp *Kprobes
+
+	// pagingMu serialises all EPC residency changes: concurrent faults on
+	// the same page must not race on its sealed image, just as the real
+	// driver serialises EWB/ELDU per enclave.
+	pagingMu sync.Mutex
+
+	mu       sync.Mutex
+	pageIns  uint64
+	pageOuts uint64
+}
+
+// NewDriver wires a driver to the machine: it installs itself as the
+// machine's page-fault resolver and exposes kprobe hooks on its paging
+// functions.
+func NewDriver(m *sgx.Machine, kp *Kprobes) *Driver {
+	d := &Driver{m: m, kp: kp}
+	m.SetPageFaultResolver(d)
+	return d
+}
+
+var _ sgx.PageFaultResolver = (*Driver)(nil)
+
+// CreateEnclave performs ECREATE/EADD/EINIT: builds the layout and loads
+// every measured page into the EPC, evicting victims if the enclave is
+// larger than the free EPC. Creation time is charged to the calling
+// thread.
+func (d *Driver) CreateEnclave(ctx *sgx.Context, cfg sgx.Config) (*sgx.Enclave, error) {
+	if ctx.InEnclave() {
+		// Privileged code cannot run inside enclaves and unprivileged code
+		// cannot create them (§2.1): creation must come from untrusted
+		// user space via the driver.
+		return nil, fmt.Errorf("kernel: enclave creation from inside an enclave")
+	}
+	enc := d.m.NewEnclaveLayout(cfg)
+	cost := d.m.Cost()
+	d.pagingMu.Lock()
+	defer d.pagingMu.Unlock()
+	for _, p := range enc.Pages() {
+		ctx.ComputeCycles(cost.EAdd)
+		if err := d.loadPage(ctx, enc, p); err != nil {
+			d.m.RemoveEnclave(enc.ID)
+			return nil, fmt.Errorf("kernel: eadd %#x: %w", uint64(p.Vaddr), err)
+		}
+	}
+	return enc, nil
+}
+
+// DestroyEnclave removes the enclave and frees its EPC slots.
+func (d *Driver) DestroyEnclave(enc *sgx.Enclave) {
+	d.pagingMu.Lock()
+	defer d.pagingMu.Unlock()
+	for _, p := range enc.Pages() {
+		d.m.EPC().Remove(p)
+	}
+	d.m.RemoveEnclave(enc.ID)
+}
+
+// ResolveEPCFault implements sgx.PageFaultResolver: it pages the faulting
+// page back in, evicting a victim first if needed.
+func (d *Driver) ResolveEPCFault(ctx *sgx.Context, enc *sgx.Enclave, page *sgx.Page, _ bool) error {
+	d.pagingMu.Lock()
+	defer d.pagingMu.Unlock()
+	return d.pageInLocked(ctx, enc, page)
+}
+
+// PageIn loads one page into the EPC (ELDU): decrypt + integrity-check the
+// sealed image through the MEE and occupy a slot.
+func (d *Driver) PageIn(ctx *sgx.Context, enc *sgx.Enclave, page *sgx.Page) error {
+	d.pagingMu.Lock()
+	defer d.pagingMu.Unlock()
+	return d.pageInLocked(ctx, enc, page)
+}
+
+func (d *Driver) pageInLocked(ctx *sgx.Context, enc *sgx.Enclave, page *sgx.Page) error {
+	if page.Resident() {
+		return nil
+	}
+	if err := d.makeRoom(ctx, enc, page); err != nil {
+		return err
+	}
+	cost := d.m.Cost()
+	ctx.ComputeCycles(cost.PageDriver)
+	restored, err := page.Unseal(d.m.MEE())
+	if err != nil {
+		return fmt.Errorf("kernel: eldu: %w", err)
+	}
+	if restored {
+		ctx.ComputeCycles(cost.PageCrypto)
+	}
+	if err := d.m.EPC().Insert(page); err != nil {
+		return fmt.Errorf("kernel: eldu: %w", err)
+	}
+	d.mu.Lock()
+	d.pageIns++
+	d.mu.Unlock()
+	d.kp.Fire(KprobeEvent{
+		Symbol:  SymbolELDU,
+		Enclave: enc.ID,
+		Vaddr:   page.Vaddr,
+		Kind:    page.Kind,
+		Time:    ctx.Now(),
+		Thread:  ctx.ID(),
+	})
+	return nil
+}
+
+// PageOut evicts one page from the EPC (EWB): encrypt it through the MEE
+// into untrusted memory and free the slot.
+func (d *Driver) PageOut(ctx *sgx.Context, page *sgx.Page) error {
+	d.pagingMu.Lock()
+	defer d.pagingMu.Unlock()
+	return d.pageOutLocked(ctx, page)
+}
+
+func (d *Driver) pageOutLocked(ctx *sgx.Context, page *sgx.Page) error {
+	if !page.Resident() {
+		return nil
+	}
+	cost := d.m.Cost()
+	ctx.ComputeCycles(cost.PageDriver + cost.PageCrypto)
+	page.SealFor(d.m.MEE())
+	d.m.EPC().Remove(page)
+	d.mu.Lock()
+	d.pageOuts++
+	d.mu.Unlock()
+	owner, _ := d.m.LookupAddr(page.Vaddr)
+	var eid sgx.EnclaveID
+	if owner != nil {
+		eid = owner.ID
+	}
+	d.kp.Fire(KprobeEvent{
+		Symbol:  SymbolEWB,
+		Enclave: eid,
+		Vaddr:   page.Vaddr,
+		Kind:    page.Kind,
+		Time:    ctx.Now(),
+		Thread:  ctx.ID(),
+	})
+	return nil
+}
+
+// makeRoom evicts LRU victims until a slot is free. SECS and TCS pages are
+// kept resident (evicting them requires quiescing the enclave; real
+// drivers avoid it while the enclave runs).
+func (d *Driver) makeRoom(ctx *sgx.Context, _ *sgx.Enclave, faulting *sgx.Page) error {
+	epc := d.m.EPC()
+	for epc.Free() == 0 {
+		victim := epc.Victim(func(p *sgx.Page) bool {
+			return p == faulting || p.Kind == sgx.PageSECS || p.Kind == sgx.PageTCS
+		})
+		if victim == nil {
+			return fmt.Errorf("kernel: epc full and no evictable victim")
+		}
+		if err := d.pageOutLocked(ctx, victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadPage is the EADD path: insert a fresh page, evicting if needed. No
+// MEE work is required because the page has no prior sealed image.
+func (d *Driver) loadPage(ctx *sgx.Context, enc *sgx.Enclave, p *sgx.Page) error {
+	if err := d.makeRoom(ctx, enc, p); err != nil {
+		return err
+	}
+	return d.m.EPC().Insert(p)
+}
+
+// Stats returns lifetime paging counters.
+func (d *Driver) Stats() (pageIns, pageOuts uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pageIns, d.pageOuts
+}

@@ -1,0 +1,246 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"sgxperf/internal/sgx"
+)
+
+// FSCost prices the simulated filesystem syscalls. Defaults approximate an
+// SSD-backed ext4 with the page cache absorbing writes and fsync hitting
+// the device, shaped to reproduce the paper's SQLite observations (§5.2.2:
+// lseek ocalls ≈4µs including the transition, write ocalls ≈17µs).
+type FSCost struct {
+	Open        time.Duration
+	Seek        time.Duration
+	ReadBase    time.Duration
+	ReadPerKiB  time.Duration
+	WriteBase   time.Duration
+	WritePerKiB time.Duration
+	Fsync       time.Duration
+	Truncate    time.Duration
+}
+
+// DefaultFSCost returns the calibrated cost table.
+func DefaultFSCost() FSCost {
+	return FSCost{
+		Open:        3 * time.Microsecond,
+		Seek:        600 * time.Nanosecond,
+		ReadBase:    1500 * time.Nanosecond,
+		ReadPerKiB:  300 * time.Nanosecond,
+		WriteBase:   2 * time.Microsecond,
+		WritePerKiB: 3 * time.Microsecond,
+		Fsync:       9 * time.Microsecond,
+		Truncate:    2 * time.Microsecond,
+	}
+}
+
+// Whence values for Lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Errors returned by the filesystem.
+var (
+	ErrBadFD       = errors.New("kernel: bad file descriptor")
+	ErrNoSuchFile  = errors.New("kernel: no such file")
+	ErrInvalidSeek = errors.New("kernel: invalid seek")
+)
+
+type file struct {
+	name string
+	data []byte
+	// synced marks the length of data known durable (fsync bookkeeping,
+	// used by tests to validate journal ordering).
+	synced int
+}
+
+type openFile struct {
+	f      *file
+	offset int64
+}
+
+// FS is a tiny in-memory filesystem with per-operation virtual-time costs.
+// The minidb workload issues lseek/write/fsync against it through ocalls.
+type FS struct {
+	cost FSCost
+
+	mu     sync.Mutex
+	files  map[string]*file
+	fds    map[int]*openFile
+	nextFD int
+}
+
+// NewFS creates an empty filesystem with the given costs (zero value
+// selects DefaultFSCost).
+func NewFS(cost FSCost) *FS {
+	if cost == (FSCost{}) {
+		cost = DefaultFSCost()
+	}
+	return &FS{
+		cost:   cost,
+		files:  make(map[string]*file),
+		fds:    make(map[int]*openFile),
+		nextFD: 3, // 0-2 reserved, as tradition demands
+	}
+}
+
+// Open opens (creating if needed) a file and returns a descriptor.
+func (fs *FS) Open(ctx *sgx.Context, name string) (int, error) {
+	ctx.Compute(fs.cost.Open)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		f = &file{name: name}
+		fs.files[name] = f
+	}
+	fd := fs.nextFD
+	fs.nextFD++
+	fs.fds[fd] = &openFile{f: f}
+	return fd, nil
+}
+
+// Close releases a descriptor.
+func (fs *FS) Close(fd int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.fds[fd]; !ok {
+		return ErrBadFD
+	}
+	delete(fs.fds, fd)
+	return nil
+}
+
+// Lseek repositions the file offset.
+func (fs *FS) Lseek(ctx *sgx.Context, fd int, offset int64, whence int) (int64, error) {
+	ctx.Compute(fs.cost.Seek)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	of, ok := fs.fds[fd]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = of.offset
+	case SeekEnd:
+		base = int64(len(of.f.data))
+	default:
+		return 0, ErrInvalidSeek
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, ErrInvalidSeek
+	}
+	of.offset = pos
+	return pos, nil
+}
+
+// Write writes b at the current offset, extending the file as needed.
+func (fs *FS) Write(ctx *sgx.Context, fd int, b []byte) (int, error) {
+	ctx.Compute(fs.cost.WriteBase + fs.cost.WritePerKiB*time.Duration((len(b)+1023)/1024))
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	of, ok := fs.fds[fd]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	end := of.offset + int64(len(b))
+	if end > int64(len(of.f.data)) {
+		grown := make([]byte, end)
+		copy(grown, of.f.data)
+		of.f.data = grown
+	}
+	copy(of.f.data[of.offset:end], b)
+	of.offset = end
+	return len(b), nil
+}
+
+// Read reads into b from the current offset.
+func (fs *FS) Read(ctx *sgx.Context, fd int, b []byte) (int, error) {
+	ctx.Compute(fs.cost.ReadBase + fs.cost.ReadPerKiB*time.Duration((len(b)+1023)/1024))
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	of, ok := fs.fds[fd]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	if of.offset >= int64(len(of.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(b, of.f.data[of.offset:])
+	of.offset += int64(n)
+	return n, nil
+}
+
+// Fsync makes the file durable.
+func (fs *FS) Fsync(ctx *sgx.Context, fd int) error {
+	ctx.Compute(fs.cost.Fsync)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	of, ok := fs.fds[fd]
+	if !ok {
+		return ErrBadFD
+	}
+	of.f.synced = len(of.f.data)
+	return nil
+}
+
+// Truncate cuts the file to size.
+func (fs *FS) Truncate(ctx *sgx.Context, fd int, size int64) error {
+	ctx.Compute(fs.cost.Truncate)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	of, ok := fs.fds[fd]
+	if !ok {
+		return ErrBadFD
+	}
+	if size < 0 {
+		return fmt.Errorf("kernel: truncate to negative size %d", size)
+	}
+	if size <= int64(len(of.f.data)) {
+		of.f.data = of.f.data[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, of.f.data)
+		of.f.data = grown
+	}
+	if of.f.synced > len(of.f.data) {
+		of.f.synced = len(of.f.data)
+	}
+	return nil
+}
+
+// Size returns a file's current length.
+func (fs *FS) Size(name string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, ErrNoSuchFile
+	}
+	return int64(len(f.data)), nil
+}
+
+// Snapshot returns a copy of a file's content (test helper).
+func (fs *FS) Snapshot(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, ErrNoSuchFile
+	}
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package kernel
+
+import (
+	"sync"
+
+	"sgxperf/internal/sgx"
+)
+
+// Kernel composes the OS services: SGX driver, kprobes, signals, and a
+// filesystem. It wires the machine's MMU-fault path into POSIX signal
+// dispatch so user-space handlers (the working-set estimator) can repair
+// faults.
+type Kernel struct {
+	Machine *sgx.Machine
+	Driver  *Driver
+	Kprobes *Kprobes
+	Signals *Signals
+	FS      *FS
+
+	wg sync.WaitGroup
+}
+
+// New builds and wires a kernel for the machine.
+func New(m *sgx.Machine) *Kernel {
+	kp := NewKprobes()
+	k := &Kernel{
+		Machine: m,
+		Kprobes: kp,
+		Driver:  NewDriver(m, kp),
+		Signals: NewSignals(),
+		FS:      NewFS(FSCost{}),
+	}
+	m.SetSegvHandler(func(ctx *sgx.Context, enc *sgx.Enclave, page *sgx.Page, write bool) bool {
+		return k.Signals.Deliver(ctx, SIGSEGV, &SigInfo{
+			Addr:    page.Vaddr,
+			Write:   write,
+			Enclave: enc,
+			Page:    page,
+		})
+	})
+	return k
+}
+
+// Spawn runs fn as a simulated OS thread with a fresh context. Use Wait to
+// join all spawned threads.
+func (k *Kernel) Spawn(name string, fn func(ctx *sgx.Context)) {
+	ctx := k.Machine.NewContext(name)
+	k.wg.Add(1)
+	go func() {
+		defer k.wg.Done()
+		fn(ctx)
+	}()
+}
+
+// Wait blocks until every thread started with Spawn has returned.
+func (k *Kernel) Wait() { k.wg.Wait() }

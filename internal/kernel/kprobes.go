@@ -1,0 +1,91 @@
+// Package kernel models the untrusted operating-system layer the paper's
+// tooling interacts with: the SGX kernel driver (enclave creation, EPC
+// paging with EWB/ELDU), kprobe-style tracing hooks on driver functions
+// (§4.1.5), POSIX-shaped signal dispatch (used by the working-set
+// estimator, §4.2), a small filesystem and a message-passing network for
+// the workloads.
+package kernel
+
+import (
+	"sync"
+
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/vtime"
+)
+
+// Kprobe symbol names mirror the functions of the Linux SGX driver that
+// sgx-perf traces (§4.1.5).
+const (
+	// SymbolELDU is fired when a page is loaded back into the EPC.
+	SymbolELDU = "sgx_encl_eldu"
+	// SymbolEWB is fired when a page is written back (evicted) from the EPC.
+	SymbolEWB = "sgx_encl_ewb"
+)
+
+// KprobeEvent describes one driver-function hit.
+type KprobeEvent struct {
+	Symbol  string
+	Enclave sgx.EnclaveID
+	Vaddr   sgx.Vaddr
+	Kind    sgx.PageKind
+	Time    vtime.Cycles
+	Thread  sgx.ThreadID
+}
+
+// KprobeFn is invoked synchronously on the thread that triggered the probe.
+type KprobeFn func(ev KprobeEvent)
+
+// Kprobes is a registry of tracing hooks on kernel symbols.
+type Kprobes struct {
+	mu       sync.RWMutex
+	handlers map[string][]KprobeFn
+}
+
+// NewKprobes creates an empty registry.
+func NewKprobes() *Kprobes {
+	return &Kprobes{handlers: make(map[string][]KprobeFn)}
+}
+
+// Register attaches fn to the symbol and returns a detach function.
+func (k *Kprobes) Register(symbol string, fn KprobeFn) (detach func()) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.handlers[symbol] = append(k.handlers[symbol], fn)
+	idx := len(k.handlers[symbol]) - 1
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			k.mu.Lock()
+			defer k.mu.Unlock()
+			hs := k.handlers[symbol]
+			if idx < len(hs) {
+				hs[idx] = nil
+			}
+		})
+	}
+}
+
+// Fire invokes all handlers registered on the symbol.
+func (k *Kprobes) Fire(ev KprobeEvent) {
+	k.mu.RLock()
+	hs := k.handlers[ev.Symbol]
+	k.mu.RUnlock()
+	for _, h := range hs {
+		if h != nil {
+			h(ev)
+		}
+	}
+}
+
+// Registered returns the number of live handlers on a symbol.
+func (k *Kprobes) Registered(symbol string) int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	n := 0
+	for _, h := range k.handlers[symbol] {
+		if h != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,148 @@
+package kernel
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/vtime"
+)
+
+// NetCost prices the simulated network, shaped like the paper's 10 Gbit/s
+// link between identical machines (§5).
+type NetCost struct {
+	// Latency is the one-way propagation + stack latency.
+	Latency time.Duration
+	// PerKiB is the serialisation cost per KiB of payload.
+	PerKiB time.Duration
+	// Syscall is the per-send/per-recv kernel overhead.
+	Syscall time.Duration
+}
+
+// DefaultNetCost returns a 10GbE-shaped cost table.
+func DefaultNetCost() NetCost {
+	return NetCost{
+		Latency: 20 * time.Microsecond,
+		PerKiB:  800 * time.Nanosecond,
+		Syscall: 1500 * time.Nanosecond,
+	}
+}
+
+// ErrConnClosed is returned on send/recv after Close.
+var ErrConnClosed = errors.New("kernel: connection closed")
+
+// message carries a payload plus the virtual time at which it becomes
+// visible to the receiver.
+type message struct {
+	data    []byte
+	arrival vtime.Cycles
+}
+
+// pipe is one direction of a connection.
+type pipe struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []message
+	closed bool
+}
+
+func newPipe() *pipe {
+	p := &pipe{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pipe) send(m message) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrConnClosed
+	}
+	p.queue = append(p.queue, m)
+	p.cond.Signal()
+	return nil
+}
+
+func (p *pipe) recv() (message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if len(p.queue) == 0 {
+		return message{}, ErrConnClosed
+	}
+	m := p.queue[0]
+	p.queue = p.queue[1:]
+	return m, nil
+}
+
+func (p *pipe) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	p.cond.Broadcast()
+}
+
+// Conn is one endpoint of a simulated duplex connection. Send and Recv
+// charge virtual time and merge clocks so causality holds across threads:
+// a receiver never observes a message "before" it was sent.
+type Conn struct {
+	cost NetCost
+	out  *pipe
+	in   *pipe
+}
+
+// NewConnPair creates two connected endpoints.
+func NewConnPair(cost NetCost) (*Conn, *Conn) {
+	if cost == (NetCost{}) {
+		cost = DefaultNetCost()
+	}
+	ab, ba := newPipe(), newPipe()
+	return &Conn{cost: cost, out: ab, in: ba},
+		&Conn{cost: cost, out: ba, in: ab}
+}
+
+// Send transmits a copy of b to the peer.
+func (c *Conn) Send(ctx *sgx.Context, b []byte) error {
+	cost := c.cost.Syscall + c.cost.PerKiB*time.Duration((len(b)+1023)/1024)
+	ctx.Compute(cost)
+	data := make([]byte, len(b))
+	copy(data, b)
+	arrival := ctx.Now() + ctx.Clock().Frequency().Cycles(c.cost.Latency)
+	return c.out.send(message{data: data, arrival: arrival})
+}
+
+// Recv blocks until a message is available and returns it, advancing the
+// receiver's clock to at least the message's arrival time.
+func (c *Conn) Recv(ctx *sgx.Context) ([]byte, error) {
+	m, err := c.in.recv()
+	if err != nil {
+		return nil, err
+	}
+	ctx.Clock().MergeAtLeast(m.arrival)
+	ctx.Compute(c.cost.Syscall)
+	return m.data, nil
+}
+
+// TryRecv returns a pending message without blocking, or (nil, false).
+func (c *Conn) TryRecv(ctx *sgx.Context) ([]byte, bool) {
+	c.in.mu.Lock()
+	if len(c.in.queue) == 0 {
+		c.in.mu.Unlock()
+		return nil, false
+	}
+	m := c.in.queue[0]
+	c.in.queue = c.in.queue[1:]
+	c.in.mu.Unlock()
+	ctx.Clock().MergeAtLeast(m.arrival)
+	ctx.Compute(c.cost.Syscall)
+	return m.data, true
+}
+
+// Close shuts down both directions.
+func (c *Conn) Close() {
+	c.out.close()
+	c.in.close()
+}

@@ -1,0 +1,78 @@
+package kernel
+
+import (
+	"sync"
+
+	"sgxperf/internal/sgx"
+)
+
+// Signal is a POSIX-shaped signal number.
+type Signal int
+
+// Signals used by the model.
+const (
+	// SIGSEGV is delivered on MMU permission faults.
+	SIGSEGV Signal = 11
+	// SIGUSR1/SIGUSR2 are available to applications (OpenJDK-style
+	// inter-thread communication uses these, §4).
+	SIGUSR1 Signal = 10
+	SIGUSR2 Signal = 12
+)
+
+// SigInfo carries fault details to a handler.
+type SigInfo struct {
+	Addr    sgx.Vaddr
+	Write   bool
+	Enclave *sgx.Enclave
+	Page    *sgx.Page
+}
+
+// SigHandler handles a signal on the receiving thread. For SIGSEGV it
+// returns true if the fault was repaired and the access may be retried;
+// returning false propagates the fault (process crash semantics).
+type SigHandler func(ctx *sgx.Context, sig Signal, info *SigInfo) bool
+
+// Signals is the kernel's per-process signal disposition table. As in
+// POSIX, there is exactly one handler per signal; user-space chaining (the
+// logger's overloaded signal/sigaction, §4) is done by saving the previous
+// handler, which Sigaction returns.
+type Signals struct {
+	mu       sync.Mutex
+	handlers map[Signal]SigHandler
+}
+
+// NewSignals creates an empty disposition table.
+func NewSignals() *Signals {
+	return &Signals{handlers: make(map[Signal]SigHandler)}
+}
+
+// Sigaction installs a handler and returns the previously installed one
+// (nil if none), mirroring struct sigaction's oldact.
+func (s *Signals) Sigaction(sig Signal, h SigHandler) (old SigHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old = s.handlers[sig]
+	if h == nil {
+		delete(s.handlers, sig)
+	} else {
+		s.handlers[sig] = h
+	}
+	return old
+}
+
+// Handler returns the current disposition for a signal.
+func (s *Signals) Handler(sig Signal) SigHandler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handlers[sig]
+}
+
+// Deliver runs the handler for sig on the given thread. It returns false
+// when no handler exists or the handler declined the signal.
+func (s *Signals) Deliver(ctx *sgx.Context, sig Signal, info *SigInfo) bool {
+	h := s.Handler(sig)
+	if h == nil {
+		return false
+	}
+	return h(ctx, sig, info)
+}

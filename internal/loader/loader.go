@@ -1,0 +1,161 @@
+// Package loader models the dynamic linker behaviour sgx-perf relies on:
+// the event logger is a shared library injected with LD_PRELOAD so that its
+// symbols (sgx_ecall, pthread_create, signal, sigaction) shadow those of
+// the URTS and libc without recompiling the application (§4). Shadowing
+// libraries resolve the original implementation with RTLD_NEXT semantics
+// and chain to it.
+//
+// Symbols are Go function values stored under their C-style names; the
+// typed Lookup helper recovers them.
+package loader
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Well-known symbol names used across the repository.
+const (
+	// SymSGXEcall is the URTS entry point every generated ecall wrapper
+	// calls; shadowing it is how the logger traces ecalls (Fig. 2).
+	SymSGXEcall = "sgx_ecall"
+	// SymPthreadCreate is shadowed to track application threads.
+	SymPthreadCreate = "pthread_create"
+	// SymSignal and SymSigaction are shadowed so the logger can observe
+	// signals before other handlers (§4).
+	SymSignal    = "signal"
+	SymSigaction = "sigaction"
+)
+
+// Library is a shared object: a named bag of symbols.
+type Library struct {
+	name string
+
+	mu      sync.RWMutex
+	symbols map[string]any
+}
+
+// NewLibrary creates an empty library.
+func NewLibrary(name string) *Library {
+	return &Library{name: name, symbols: make(map[string]any)}
+}
+
+// Name returns the library's name.
+func (l *Library) Name() string { return l.name }
+
+// Define exports a symbol (typically a function value) under name.
+func (l *Library) Define(name string, value any) *Library {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.symbols[name] = value
+	return l
+}
+
+// Symbol returns the library's own definition of name.
+func (l *Library) Symbol(name string) (any, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	v, ok := l.symbols[name]
+	return v, ok
+}
+
+// Process is a process image: an ordered list of loaded libraries. Symbol
+// resolution walks the list front to back, so preloaded libraries shadow
+// later ones — exactly LD_PRELOAD.
+type Process struct {
+	mu   sync.RWMutex
+	libs []*Library
+}
+
+// NewProcess creates a process with the given libraries in load order.
+func NewProcess(libs ...*Library) *Process {
+	p := &Process{}
+	p.libs = append(p.libs, libs...)
+	return p
+}
+
+// Load appends a library (normal linking order).
+func (p *Process) Load(lib *Library) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.libs = append(p.libs, lib)
+}
+
+// Preload prepends a library so its symbols shadow everything loaded later
+// (the LD_PRELOAD environment variable, §4).
+func (p *Process) Preload(lib *Library) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.libs = append([]*Library{lib}, p.libs...)
+}
+
+// Libraries returns the current load order.
+func (p *Process) Libraries() []*Library {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*Library, len(p.libs))
+	copy(out, p.libs)
+	return out
+}
+
+// Dlsym resolves a symbol in load order (RTLD_DEFAULT).
+func (p *Process) Dlsym(name string) (any, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, l := range p.libs {
+		if v, ok := l.Symbol(name); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// DlsymNext resolves a symbol starting after the given library
+// (RTLD_NEXT): a shadowing library uses this to find the implementation it
+// shadows.
+func (p *Process) DlsymNext(after *Library, name string) (any, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	seen := false
+	for _, l := range p.libs {
+		if l == after {
+			seen = true
+			continue
+		}
+		if !seen {
+			continue
+		}
+		if v, ok := l.Symbol(name); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Lookup resolves name and asserts it to T.
+func Lookup[T any](p *Process, name string) (T, error) {
+	var zero T
+	v, ok := p.Dlsym(name)
+	if !ok {
+		return zero, fmt.Errorf("loader: undefined symbol %q", name)
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("loader: symbol %q has type %T, not %T", name, v, zero)
+	}
+	return t, nil
+}
+
+// LookupNext resolves name with RTLD_NEXT semantics and asserts it to T.
+func LookupNext[T any](p *Process, after *Library, name string) (T, error) {
+	var zero T
+	v, ok := p.DlsymNext(after, name)
+	if !ok {
+		return zero, fmt.Errorf("loader: undefined next symbol %q after %q", name, after.Name())
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("loader: symbol %q has type %T, not %T", name, v, zero)
+	}
+	return t, nil
+}

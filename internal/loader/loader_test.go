@@ -1,0 +1,99 @@
+package loader
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDlsymLoadOrder(t *testing.T) {
+	libc := NewLibrary("libc").Define("write", "libc-write")
+	urts := NewLibrary("liburts").Define(SymSGXEcall, "urts-ecall")
+	p := NewProcess(urts, libc)
+
+	if v, ok := p.Dlsym(SymSGXEcall); !ok || v != "urts-ecall" {
+		t.Fatalf("Dlsym(sgx_ecall) = %v, %v", v, ok)
+	}
+	if _, ok := p.Dlsym("missing"); ok {
+		t.Fatal("resolved a missing symbol")
+	}
+}
+
+func TestPreloadShadows(t *testing.T) {
+	urts := NewLibrary("liburts").Define(SymSGXEcall, "urts-ecall")
+	p := NewProcess(urts)
+	logger := NewLibrary("liblogger").Define(SymSGXEcall, "logger-ecall")
+	p.Preload(logger)
+
+	if v, _ := p.Dlsym(SymSGXEcall); v != "logger-ecall" {
+		t.Fatalf("preload did not shadow: got %v", v)
+	}
+	// RTLD_NEXT from the preloaded library finds the original.
+	if v, ok := p.DlsymNext(logger, SymSGXEcall); !ok || v != "urts-ecall" {
+		t.Fatalf("DlsymNext = %v, %v", v, ok)
+	}
+	// RTLD_NEXT past the last definition fails.
+	if _, ok := p.DlsymNext(urts, SymSGXEcall); ok {
+		t.Fatal("DlsymNext past the end resolved")
+	}
+}
+
+func TestDlsymNextSkipsEarlierLibraries(t *testing.T) {
+	a := NewLibrary("a").Define("f", "a-f")
+	b := NewLibrary("b").Define("f", "b-f")
+	c := NewLibrary("c").Define("f", "c-f")
+	p := NewProcess(a, b, c)
+	if v, _ := p.DlsymNext(b, "f"); v != "c-f" {
+		t.Fatalf("DlsymNext(b) = %v, want c-f", v)
+	}
+}
+
+func TestTypedLookup(t *testing.T) {
+	lib := NewLibrary("l").Define("add", func(a, b int) int { return a + b })
+	p := NewProcess(lib)
+
+	add, err := Lookup[func(int, int) int](p, "add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if add(2, 3) != 5 {
+		t.Fatal("resolved function misbehaves")
+	}
+	if _, err := Lookup[func()](p, "add"); err == nil || !strings.Contains(err.Error(), "type") {
+		t.Fatalf("wrong-type lookup: %v", err)
+	}
+	if _, err := Lookup[func()](p, "nope"); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Fatalf("missing lookup: %v", err)
+	}
+}
+
+func TestLookupNextTyped(t *testing.T) {
+	orig := func() string { return "orig" }
+	base := NewLibrary("base").Define("f", orig)
+	shadow := NewLibrary("shadow").Define("f", func() string { return "shadow" })
+	p := NewProcess(base)
+	p.Preload(shadow)
+
+	f, err := LookupNext[func() string](p, shadow, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f() != "orig" {
+		t.Fatal("LookupNext resolved the shadow, not the original")
+	}
+	if _, err := LookupNext[func() string](p, base, "f"); err == nil {
+		t.Fatal("LookupNext past end succeeded")
+	}
+}
+
+func TestLibrariesSnapshot(t *testing.T) {
+	a, b := NewLibrary("a"), NewLibrary("b")
+	p := NewProcess(a)
+	libs := p.Libraries()
+	p.Load(b)
+	if len(libs) != 1 {
+		t.Fatal("snapshot mutated by later Load")
+	}
+	if got := p.Libraries(); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("load order wrong: %v", got)
+	}
+}

@@ -1,0 +1,304 @@
+// Package analyzer implements the sgx-perf analyser (§4.3): general
+// statistics, histograms and scatter series, call graphs with direct and
+// indirect parents (Fig. 4), detectors for the five SGX performance
+// anti-patterns of Table 1 (SISC, SDSC, SNC, SSC, paging) using the
+// paper's weighted-ratio rules (Equations 1–3), and enclave-interface
+// security hints (§3.6, §4.3.2).
+package analyzer
+
+import (
+	"sort"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/vtime"
+)
+
+// Weights holds every configurable threshold of the detectors, with the
+// paper's published defaults.
+type Weights struct {
+	// Moving/duplication (Equation 1): flag a call when ≥Move1 of its
+	// executions are shorter than 1µs, or ≥Move5 shorter than 5µs, or
+	// ≥Move10 shorter than 10µs.
+	Move1, Move5, Move10 float64
+
+	// Reordering (Equation 2): weighted share of calls issued in the
+	// first/last 10µs (weight ReorderW10) and 10–20µs band (ReorderW20)
+	// of their direct parent must reach ReorderThreshold.
+	ReorderW10, ReorderW20, ReorderThreshold float64
+
+	// Merging/batching (Equation 3): a pair is considered when the parent
+	// is the call's indirect parent in at least MergeMinPairFrac of its
+	// executions (λ); gap-band weights (α, β, γ, δ) and the threshold ε.
+	MergeMinPairFrac                     float64
+	MergeW1, MergeW5, MergeW10, MergeW20 float64
+	MergeThreshold                       float64
+
+	// SSC: minimum number of sync ocalls before the detector fires, and
+	// the duration below which a wake ocall counts as short.
+	SyncMinOcalls  int
+	SyncShortLimit time.Duration
+
+	// Paging: minimum number of paging events before the detector fires.
+	PagingMinEvents int
+}
+
+// DefaultWeights returns the defaults from §4.3.2 (obtained by the authors
+// through experimentation).
+func DefaultWeights() Weights {
+	return Weights{
+		Move1:  0.35,
+		Move5:  0.50,
+		Move10: 0.65,
+
+		ReorderW10:       1.00,
+		ReorderW20:       0.75,
+		ReorderThreshold: 0.50,
+
+		MergeMinPairFrac: 0.35,
+		MergeW1:          1.00,
+		MergeW5:          0.75,
+		MergeW10:         0.50,
+		MergeW20:         0.35,
+		MergeThreshold:   0.35,
+
+		SyncMinOcalls:  10,
+		SyncShortLimit: 10 * time.Microsecond,
+
+		PagingMinEvents: 1,
+	}
+}
+
+// Options configures an analysis run.
+type Options struct {
+	Weights Weights
+	// Interface supplies the enclave's EDL explicitly. When nil, the
+	// analyser parses the EDL embedded in the trace, if any; with no EDL
+	// at all it reports the smallest observed allow-sets (§4.3.2).
+	Interface *edl.Interface
+	// Enclave restricts the analysis to one enclave's events (0 = all).
+	// Traces from multi-enclave applications — SecureKeeper spawns one
+	// enclave per client (§5.2.4) — can be dissected per enclave.
+	Enclave sgx.EnclaveID
+}
+
+// Analyzer computes a Report from a trace.
+type Analyzer struct {
+	trace *events.Trace
+	opts  Options
+
+	freq       vtime.Frequency
+	transition vtime.Cycles
+
+	// prepared data
+	all      []call
+	byName   map[string][]int // indexes into all
+	perNames []string         // sorted names
+	iface    *edl.Interface
+}
+
+// call is one prepared call event with derived fields.
+type call struct {
+	ev events.CallEvent
+	// adjusted is the execution duration: for ecalls the transition
+	// round-trip is subtracted (§4.1.2); ocall timestamps already exclude
+	// transitions.
+	adjusted time.Duration
+	// indirect is the index (into Analyzer.all) of the indirect parent,
+	// or -1.
+	indirect int
+	// gap is the time between the indirect parent's end and this call's
+	// start.
+	gap time.Duration
+	// offsetStart/offsetEnd are distances from the direct parent's
+	// start/end, when a direct parent exists.
+	offsetStart, offsetEnd time.Duration
+	hasDirect              bool
+}
+
+// New prepares an analyser over the trace.
+func New(trace *events.Trace, opts Options) (*Analyzer, error) {
+	if opts.Weights == (Weights{}) {
+		opts.Weights = DefaultWeights()
+	}
+	a := &Analyzer{
+		trace:      trace,
+		opts:       opts,
+		freq:       trace.Frequency(),
+		transition: trace.TransitionCycles(),
+		byName:     make(map[string][]int),
+	}
+	a.iface = opts.Interface
+	if a.iface == nil {
+		if parsed := interfaceFromTrace(trace); parsed != nil {
+			a.iface = parsed
+		}
+	}
+	a.prepare()
+	return a, nil
+}
+
+// interfaceFromTrace recovers the EDL the logger embedded, if any.
+func interfaceFromTrace(trace *events.Trace) *edl.Interface {
+	for _, meta := range trace.Enclaves.Rows() {
+		if meta.EDL == "" {
+			continue
+		}
+		iface, _, err := edl.Parse(meta.EDL)
+		if err == nil {
+			return iface
+		}
+	}
+	return nil
+}
+
+// prepare merges both call tables, sorts by start time, computes adjusted
+// durations, direct-parent offsets and indirect parents (Fig. 4).
+func (a *Analyzer) prepare() {
+	ecalls := a.trace.Ecalls.Rows()
+	ocalls := a.trace.Ocalls.Rows()
+	a.all = make([]call, 0, len(ecalls)+len(ocalls))
+	for _, e := range ecalls {
+		if a.opts.Enclave != 0 && e.Enclave != a.opts.Enclave {
+			continue
+		}
+		adj := a.freq.Duration(e.Duration() - a.transition)
+		if adj < 0 {
+			adj = 0
+		}
+		a.all = append(a.all, call{ev: e, adjusted: adj, indirect: -1})
+	}
+	for _, o := range ocalls {
+		if a.opts.Enclave != 0 && o.Enclave != a.opts.Enclave {
+			continue
+		}
+		a.all = append(a.all, call{ev: o, adjusted: a.freq.Duration(o.Duration()), indirect: -1})
+	}
+	sort.SliceStable(a.all, func(i, j int) bool {
+		if a.all[i].ev.Start != a.all[j].ev.Start {
+			return a.all[i].ev.Start < a.all[j].ev.Start
+		}
+		return a.all[i].ev.ID < a.all[j].ev.ID
+	})
+
+	byID := make(map[events.EventID]int, len(a.all))
+	for i := range a.all {
+		byID[a.all[i].ev.ID] = i
+	}
+	for i := range a.all {
+		c := &a.all[i]
+		a.byName[c.ev.Name] = append(a.byName[c.ev.Name], i)
+		if c.ev.Parent != events.NoEvent {
+			if pi, ok := byID[c.ev.Parent]; ok {
+				c.hasDirect = true
+				p := a.all[pi].ev
+				c.offsetStart = a.freq.Duration(c.ev.Start - p.Start)
+				c.offsetEnd = a.freq.Duration(p.End - c.ev.End)
+			}
+		}
+	}
+	a.perNames = make([]string, 0, len(a.byName))
+	for n := range a.byName {
+		a.perNames = append(a.perNames, n)
+	}
+	sort.Strings(a.perNames)
+
+	// Indirect parents: within each (thread, kind, direct parent) group,
+	// in start order, the indirect parent is simply the previous call —
+	// calls on one thread do not overlap (Fig. 4).
+	type groupKey struct {
+		thread int64
+		kind   events.CallKind
+		parent events.EventID
+	}
+	last := make(map[groupKey]int)
+	for i := range a.all {
+		c := &a.all[i]
+		k := groupKey{int64(c.ev.Thread), c.ev.Kind, c.ev.Parent}
+		if pi, ok := last[k]; ok {
+			c.indirect = pi
+			c.gap = a.freq.Duration(c.ev.Start - a.all[pi].ev.End)
+			if c.gap < 0 {
+				c.gap = 0
+			}
+		}
+		last[k] = i
+	}
+}
+
+// IndirectParentOf returns the event ID of a call's indirect parent
+// (Fig. 4), or (NoEvent, false) when it has none.
+func (a *Analyzer) IndirectParentOf(id events.EventID) (events.EventID, bool) {
+	for i := range a.all {
+		if a.all[i].ev.ID != id {
+			continue
+		}
+		if a.all[i].indirect < 0 {
+			return events.NoEvent, false
+		}
+		return a.all[a.all[i].indirect].ev.ID, true
+	}
+	return events.NoEvent, false
+}
+
+// CallNames returns every distinct call name in the trace, sorted.
+func (a *Analyzer) CallNames() []string {
+	out := make([]string, len(a.perNames))
+	copy(out, a.perNames)
+	return out
+}
+
+// Interface returns the EDL interface in use (explicit or recovered), or
+// nil.
+func (a *Analyzer) Interface() *edl.Interface { return a.iface }
+
+// callsNamed returns the prepared calls with the given name.
+func (a *Analyzer) callsNamed(name string) []*call {
+	idx := a.byName[name]
+	out := make([]*call, len(idx))
+	for i, j := range idx {
+		out[i] = &a.all[j]
+	}
+	return out
+}
+
+// kindOf returns the kind of the named call (all events of one name share
+// a kind).
+func (a *Analyzer) kindOf(name string) events.CallKind {
+	idx := a.byName[name]
+	if len(idx) == 0 {
+		return 0
+	}
+	return a.all[idx[0]].ev.Kind
+}
+
+// Analyze produces the full report.
+func (a *Analyzer) Analyze() *Report {
+	r := &Report{
+		Workload:  a.workload(),
+		Stats:     a.AllStats(),
+		Graph:     a.CallGraph(),
+		Paging:    a.PagingSummary(),
+		WakeGraph: a.WakeGraph(),
+	}
+	r.Findings = append(r.Findings, a.DetectMoving()...)
+	r.Findings = append(r.Findings, a.DetectReordering()...)
+	r.Findings = append(r.Findings, a.DetectMerging()...)
+	r.Findings = append(r.Findings, a.DetectSSC()...)
+	r.Findings = append(r.Findings, a.DetectPaging()...)
+	sortFindings(r.Findings)
+	r.Security = a.SecurityHints()
+	return r
+}
+
+func (a *Analyzer) workload() string {
+	if a.trace.Meta.Len() > 0 {
+		return a.trace.Meta.At(0).Workload
+	}
+	return ""
+}
+
+// micros is a readability helper.
+func micros(n int) time.Duration { return time.Duration(n) * time.Microsecond }

@@ -1,0 +1,476 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sgxperf/internal/perf/events"
+)
+
+// Problem is one of the five SGX performance anti-patterns of Table 1.
+type Problem int
+
+const (
+	// ProblemSISC is Short Identical Successive Calls (§3.1).
+	ProblemSISC Problem = iota + 1
+	// ProblemSDSC is Short Different Successive Calls (§3.2).
+	ProblemSDSC
+	// ProblemSNC is Short Nested Calls (§3.3).
+	ProblemSNC
+	// ProblemSSC is Short Synchronisation Calls (§3.4).
+	ProblemSSC
+	// ProblemPaging is EPC paging (§3.5).
+	ProblemPaging
+	// ProblemPermissiveInterface is the security row of Table 1 (§3.6):
+	// an enclave interface that is wider or looser than the workload
+	// needs. The analyser reports it through SecurityHints rather than
+	// Findings, but it is part of the problem catalogue.
+	ProblemPermissiveInterface
+)
+
+// String names the problem as in the paper.
+func (p Problem) String() string {
+	switch p {
+	case ProblemSISC:
+		return "Short Identical Successive Calls"
+	case ProblemSDSC:
+		return "Short Different Successive Calls"
+	case ProblemSNC:
+		return "Short Nested Calls"
+	case ProblemSSC:
+		return "Short Synchronisation Calls"
+	case ProblemPaging:
+		return "Paging"
+	case ProblemPermissiveInterface:
+		return "Permissive Enclave Interface"
+	default:
+		return "Unknown"
+	}
+}
+
+// Solution is one mitigation strategy from Table 1.
+type Solution int
+
+const (
+	// SolutionBatch batches repeated identical calls into one.
+	SolutionBatch Solution = iota + 1
+	// SolutionMerge merges different successive calls into one.
+	SolutionMerge
+	// SolutionMoveCaller moves the calling function across the boundary.
+	SolutionMoveCaller
+	// SolutionReorder moves a nested call before/after its parent.
+	SolutionReorder
+	// SolutionDuplicate duplicates ocall functionality inside the enclave.
+	SolutionDuplicate
+	// SolutionLockFree uses non-blocking data structures.
+	SolutionLockFree
+	// SolutionHybridLock spins in-enclave before sleeping outside.
+	SolutionHybridLock
+	// SolutionReduceMemory shrinks the enclave's working set.
+	SolutionReduceMemory
+	// SolutionPreloadPages loads pages into the EPC before the ecall.
+	SolutionPreloadPages
+	// SolutionSelfPaging manages memory inside the enclave instead of SGX
+	// paging (Eleos/STANlite style).
+	SolutionSelfPaging
+	// SolutionLimitPublicEcalls declares ecalls private where possible.
+	SolutionLimitPublicEcalls
+	// SolutionLimitEcallsFromOcalls trims per-ocall allow lists.
+	SolutionLimitEcallsFromOcalls
+	// SolutionCheckPointers verifies user_check pointer handling.
+	SolutionCheckPointers
+)
+
+// String names the solution.
+func (s Solution) String() string {
+	switch s {
+	case SolutionBatch:
+		return "batch calls"
+	case SolutionMerge:
+		return "merge calls"
+	case SolutionMoveCaller:
+		return "move caller in/out of enclave"
+	case SolutionReorder:
+		return "reorder calls"
+	case SolutionDuplicate:
+		return "duplicate ocalls inside enclave"
+	case SolutionLockFree:
+		return "use lock-free data structures"
+	case SolutionHybridLock:
+		return "use hybrid synchronisation primitives"
+	case SolutionReduceMemory:
+		return "reduce memory usage"
+	case SolutionPreloadPages:
+		return "load pages before ecall"
+	case SolutionSelfPaging:
+		return "do not use SGX paging"
+	case SolutionLimitPublicEcalls:
+		return "limit public ecalls"
+	case SolutionLimitEcallsFromOcalls:
+		return "limit ecalls from ocalls"
+	case SolutionCheckPointers:
+		return "check data and pointers"
+	default:
+		return "unknown"
+	}
+}
+
+// Catalogue maps each problem to its Table 1 solutions.
+func Catalogue() map[Problem][]Solution {
+	return map[Problem][]Solution{
+		ProblemSISC:   {SolutionBatch, SolutionMoveCaller},
+		ProblemSDSC:   {SolutionMerge, SolutionMoveCaller},
+		ProblemSNC:    {SolutionReorder, SolutionDuplicate},
+		ProblemSSC:    {SolutionLockFree, SolutionHybridLock},
+		ProblemPaging: {SolutionReduceMemory, SolutionPreloadPages, SolutionSelfPaging},
+		ProblemPermissiveInterface: {
+			SolutionLimitPublicEcalls, SolutionLimitEcallsFromOcalls, SolutionCheckPointers,
+		},
+	}
+}
+
+// Finding is one detected problem with evidence and ranked solutions
+// (§4.3.2: reordering first, then the TCB-increasing options; moving code
+// out of the enclave requires a security evaluation).
+type Finding struct {
+	Problem  Problem
+	Call     string
+	Kind     events.CallKind
+	Partner  string // merge partner / indirect parent, when applicable
+	Evidence string
+	// Solutions are ordered by recommendation priority.
+	Solutions []Solution
+	// SecurityNote flags solutions that change the TCB or move sensitive
+	// code out of the enclave.
+	SecurityNote string
+	// Score orders findings within a problem class (higher = stronger).
+	Score float64
+}
+
+// sortFindings orders findings for the report: by problem, then score.
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Problem != fs[j].Problem {
+			return fs[i].Problem < fs[j].Problem
+		}
+		return fs[i].Score > fs[j].Score
+	})
+}
+
+// DetectMoving applies Equation 1: calls dominated by executions shorter
+// than the transition cost should be moved across the enclave boundary
+// (or, for ocalls during ecalls, duplicated inside — the SNC solution).
+func (a *Analyzer) DetectMoving() []Finding {
+	w := a.opts.Weights
+	var out []Finding
+	for _, name := range a.perNames {
+		if a.kindOf(name) == events.KindOcall && isSyncName(name) {
+			continue // sync ocalls are handled by the SSC detector
+		}
+		s, ok := a.Stats(name)
+		if !ok || s.Count == 0 {
+			continue
+		}
+		if !(s.FracBelow1us >= w.Move1 || s.FracBelow5us >= w.Move5 || s.FracBelow10us >= w.Move10) {
+			continue
+		}
+		f := Finding{
+			Call: name,
+			Kind: s.Kind,
+			Evidence: fmt.Sprintf(
+				"%d executions; %.0f%% <1µs, %.0f%% <5µs, %.0f%% <10µs (mean %v)",
+				s.Count, s.FracBelow1us*100, s.FracBelow5us*100, s.FracBelow10us*100, s.Mean),
+			Score: s.FracBelow10us * float64(s.Count),
+		}
+		if s.Kind == events.KindEcall {
+			f.Problem = ProblemSISC
+			f.Solutions = []Solution{SolutionBatch, SolutionMoveCaller}
+			f.SecurityNote = "moving an ecall's code outside the enclave may expose sensitive data; perform a security evaluation first (§3.1)"
+		} else {
+			f.Problem = ProblemSNC
+			f.Solutions = []Solution{SolutionReorder, SolutionMoveCaller, SolutionDuplicate}
+			f.SecurityNote = "duplicating ocall functionality inside the enclave increases the TCB (§3.3)"
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// DetectReordering applies Equation 2: nested calls issued in the first
+// (or last) 10/20µs of their direct parent can often execute before (or
+// after) the parent instead, saving transitions without TCB changes.
+func (a *Analyzer) DetectReordering() []Finding {
+	w := a.opts.Weights
+	var out []Finding
+	for _, name := range a.perNames {
+		calls := a.callsNamed(name)
+		var total, s10, s20, e10, e20 int
+		for _, c := range calls {
+			if !c.hasDirect {
+				continue
+			}
+			total++
+			switch {
+			case c.offsetStart < micros(10):
+				s10++
+			case c.offsetStart < micros(20):
+				s20++
+			}
+			switch {
+			case c.offsetEnd >= 0 && c.offsetEnd < micros(10):
+				e10++
+			case c.offsetEnd >= 0 && c.offsetEnd < micros(20):
+				e20++
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		n := float64(total)
+		startScore := float64(s10)/n*w.ReorderW10 + float64(s20)/n*w.ReorderW20
+		endScore := float64(e10)/n*w.ReorderW10 + float64(e20)/n*w.ReorderW20
+		report := func(where string, score float64, c10, c20 int) {
+			out = append(out, Finding{
+				Problem: ProblemSNC,
+				Call:    name,
+				Kind:    a.kindOf(name),
+				Evidence: fmt.Sprintf(
+					"%d/%d nested executions within %s 10µs (+%d within 20µs) of the parent (weighted score %.2f ≥ %.2f)",
+					c10, total, where, c20, score, w.ReorderThreshold),
+				Solutions:    []Solution{SolutionReorder},
+				SecurityNote: "",
+				Score:        score,
+			})
+		}
+		if startScore >= w.ReorderThreshold {
+			report("the first", startScore, s10, s20)
+		}
+		if endScore >= w.ReorderThreshold {
+			report("the last", endScore, e10, e20)
+		}
+	}
+	return out
+}
+
+// DetectMerging applies Equation 3: calls whose indirect parent ends just
+// before they start can be merged into one call (batched, when a call is
+// its own indirect parent — the SISC case).
+func (a *Analyzer) DetectMerging() []Finding {
+	w := a.opts.Weights
+	type pairKey struct{ parent, child string }
+	type pairAgg struct {
+		count            int
+		g1, g5, g10, g20 int
+	}
+	pairs := make(map[pairKey]*pairAgg)
+	for i := range a.all {
+		c := &a.all[i]
+		if c.indirect < 0 {
+			continue
+		}
+		p := &a.all[c.indirect]
+		k := pairKey{p.ev.Name, c.ev.Name}
+		agg := pairs[k]
+		if agg == nil {
+			agg = &pairAgg{}
+			pairs[k] = agg
+		}
+		agg.count++
+		switch {
+		case c.gap < micros(1):
+			agg.g1++
+		case c.gap < micros(5):
+			agg.g5++
+		case c.gap < micros(10):
+			agg.g10++
+		case c.gap < micros(20):
+			agg.g20++
+		}
+	}
+	var out []Finding
+	for k, agg := range pairs {
+		if isSyncName(k.child) || isSyncName(k.parent) {
+			continue
+		}
+		childTotal := len(a.byName[k.child])
+		parentTotal := len(a.byName[k.parent])
+		if childTotal == 0 || parentTotal == 0 {
+			continue
+		}
+		// λ: the parent must be the indirect parent of the call most of
+		// the time.
+		if float64(agg.count)/float64(childTotal) < w.MergeMinPairFrac {
+			continue
+		}
+		pn := float64(parentTotal)
+		score := float64(agg.g1)/pn*w.MergeW1 +
+			float64(agg.g5)/pn*w.MergeW5 +
+			float64(agg.g10)/pn*w.MergeW10 +
+			float64(agg.g20)/pn*w.MergeW20
+		if score < w.MergeThreshold {
+			continue
+		}
+		f := Finding{
+			Call:    k.child,
+			Kind:    a.kindOf(k.child),
+			Partner: k.parent,
+			Evidence: fmt.Sprintf(
+				"%d executions follow %s closely (gaps: %d<1µs, %d<5µs, %d<10µs, %d<20µs; weighted score %.2f ≥ %.2f)",
+				agg.count, k.parent, agg.g1, agg.g5, agg.g10, agg.g20, score, w.MergeThreshold),
+			Score: score,
+		}
+		if k.parent == k.child {
+			// Batching is the special case of merging with the call being
+			// its own indirect parent (§4.3.2).
+			f.Problem = ProblemSISC
+			f.Solutions = []Solution{SolutionBatch, SolutionMoveCaller}
+		} else {
+			f.Problem = ProblemSDSC
+			f.Solutions = []Solution{SolutionMerge, SolutionMoveCaller}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// DetectSSC analyses the sleep/wake events of the SDK synchronisation
+// ocalls (§3.4, §4.1.3): frequent short wake-ups indicate short critical
+// sections where leaving the enclave to sleep is wasteful.
+func (a *Analyzer) DetectSSC() []Finding {
+	w := a.opts.Weights
+	syncs := a.trace.Syncs.Rows()
+	if len(syncs) < w.SyncMinOcalls {
+		return nil
+	}
+	var wakes, shortWakes, sleeps int
+	byCall := make(map[events.EventID]time.Duration)
+	for i := range a.all {
+		byCall[a.all[i].ev.ID] = a.all[i].adjusted
+	}
+	for _, s := range syncs {
+		switch s.Kind {
+		case events.SyncWake:
+			wakes++
+			if d, ok := byCall[s.Call]; ok && d < w.SyncShortLimit {
+				shortWakes++
+			}
+		case events.SyncSleep:
+			sleeps++
+		}
+	}
+	if wakes == 0 && sleeps == 0 {
+		return nil
+	}
+	return []Finding{{
+		Problem: ProblemSSC,
+		Call:    "sdk synchronisation",
+		Kind:    events.KindOcall,
+		Evidence: fmt.Sprintf(
+			"%d sync ocall events: %d sleeps, %d wake-ups (%d wake-ups <%v)",
+			len(syncs), sleeps, wakes, shortWakes, w.SyncShortLimit),
+		Solutions:    []Solution{SolutionHybridLock, SolutionLockFree},
+		SecurityNote: "",
+		Score:        float64(len(syncs)),
+	}}
+}
+
+// DetectPaging flags EPC paging activity (§3.5): every page-out requires
+// re-encryption and every fault an AEX, so enclaves should rarely page.
+func (a *Analyzer) DetectPaging() []Finding {
+	p := a.PagingSummary()
+	if p.PageIns+p.PageOuts < a.opts.Weights.PagingMinEvents {
+		return nil
+	}
+	return []Finding{{
+		Problem: ProblemPaging,
+		Call:    "enclave memory",
+		Evidence: fmt.Sprintf(
+			"%d page-ins, %d page-outs (%d during calls)",
+			p.PageIns, p.PageOuts, p.DuringCalls),
+		Solutions: []Solution{SolutionReduceMemory, SolutionPreloadPages, SolutionSelfPaging},
+		Score:     float64(p.PageIns + p.PageOuts),
+	}}
+}
+
+// PagingStats summarises EPC paging activity.
+type PagingStats struct {
+	PageIns  int
+	PageOuts int
+	// DuringCalls counts paging events that fell inside a recorded call
+	// window on the same thread.
+	DuringCalls int
+	// ByRegion counts events per enclave page kind (heap, stack, code…).
+	ByRegion map[string]int
+}
+
+// PagingSummary aggregates the paging events (§4.1.5).
+func (a *Analyzer) PagingSummary() PagingStats {
+	out := PagingStats{ByRegion: make(map[string]int)}
+	pages := a.trace.Paging.Rows()
+	for _, p := range pages {
+		if p.Kind == events.PageIn {
+			out.PageIns++
+		} else {
+			out.PageOuts++
+		}
+		out.ByRegion[p.PageKind]++
+		for i := range a.all {
+			c := &a.all[i]
+			if c.ev.Thread == p.Thread && c.ev.Start <= p.Time && p.Time <= c.ev.End {
+				out.DuringCalls++
+				break
+			}
+		}
+	}
+	return out
+}
+
+// WakeEdge says thread From woke thread To n times (§4.1.3 dependency
+// tracking).
+type WakeEdge struct {
+	From  int64
+	To    int64
+	Count int
+}
+
+// WakeGraph aggregates which thread wakes which, exposing the
+// high-contention pairs the paper uses to diagnose SecureKeeper's connect
+// phase (§5.2.4).
+func (a *Analyzer) WakeGraph() []WakeEdge {
+	agg := make(map[[2]int64]int)
+	for _, s := range a.trace.Syncs.Rows() {
+		if s.Kind != events.SyncWake {
+			continue
+		}
+		for _, t := range s.Targets {
+			agg[[2]int64{int64(s.Thread), int64(t)}]++
+		}
+	}
+	out := make([]WakeEdge, 0, len(agg))
+	for k, n := range agg {
+		out = append(out, WakeEdge{From: k[0], To: k[1], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// isSyncName reports whether the call is one of the SDK sync ocalls.
+func isSyncName(name string) bool {
+	switch name {
+	case "sgx_thread_wait_untrusted_event_ocall",
+		"sgx_thread_set_untrusted_event_ocall",
+		"sgx_thread_set_multiple_untrusted_events_ocall",
+		"sgx_thread_setwait_untrusted_events_ocall":
+		return true
+	}
+	return false
+}

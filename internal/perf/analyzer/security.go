@@ -1,0 +1,231 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/perf/events"
+)
+
+// SecurityHintKind classifies the three interface hardenings of §3.6.
+type SecurityHintKind int
+
+const (
+	// HintMakePrivate suggests declaring an ecall private because it was
+	// only ever issued during ocalls.
+	HintMakePrivate SecurityHintKind = iota + 1
+	// HintShrinkAllow lists allow-list entries never exercised.
+	HintShrinkAllow
+	// HintUserCheck flags user_check pointer parameters.
+	HintUserCheck
+	// HintMinimalAllow states the smallest observed allow set when no EDL
+	// is available.
+	HintMinimalAllow
+)
+
+// String names the hint kind.
+func (k SecurityHintKind) String() string {
+	switch k {
+	case HintMakePrivate:
+		return "make-private"
+	case HintShrinkAllow:
+		return "shrink-allow"
+	case HintUserCheck:
+		return "user-check"
+	case HintMinimalAllow:
+		return "minimal-allow"
+	default:
+		return "unknown"
+	}
+}
+
+// SecurityHint is one enclave-interface recommendation (§4.3.2). Hints
+// derived from observed calls are workload-dependent, as the paper notes.
+type SecurityHint struct {
+	Kind SecurityHintKind
+	// Call is the ecall (make-private, user-check) or ocall (allow hints)
+	// concerned.
+	Call string
+	// Names carries the related call names: the ocalls that must be
+	// allowed to call a newly private ecall, the removable allow entries,
+	// or the minimal allow set.
+	Names []string
+	Text  string
+}
+
+// SecurityHints computes all interface hints from the trace (and the EDL,
+// when available).
+func (a *Analyzer) SecurityHints() []SecurityHint {
+	var out []SecurityHint
+	out = append(out, a.privateCandidates()...)
+	out = append(out, a.allowHints()...)
+	out = append(out, a.userCheckHints()...)
+	return out
+}
+
+// privateCandidates finds ecalls whose every instance has a direct parent
+// (i.e. was issued during an ocall): those can be declared private,
+// limiting the paths into the enclave (§4.3.2).
+func (a *Analyzer) privateCandidates() []SecurityHint {
+	byID := make(map[events.EventID]string)
+	for i := range a.all {
+		byID[a.all[i].ev.ID] = a.all[i].ev.Name
+	}
+	var out []SecurityHint
+	for _, name := range a.perNames {
+		if a.kindOf(name) != events.KindEcall {
+			continue
+		}
+		if a.iface != nil {
+			if f, ok := a.iface.Lookup(name); ok && !f.Public {
+				continue // already private
+			}
+		}
+		calls := a.callsNamed(name)
+		parentOcalls := make(map[string]bool)
+		allNested := true
+		for _, c := range calls {
+			if c.ev.Parent == events.NoEvent {
+				allNested = false
+				break
+			}
+			if pn, ok := byID[c.ev.Parent]; ok {
+				parentOcalls[pn] = true
+			}
+		}
+		if !allNested || len(calls) == 0 {
+			continue
+		}
+		names := sortedKeys(parentOcalls)
+		out = append(out, SecurityHint{
+			Kind:  HintMakePrivate,
+			Call:  name,
+			Names: names,
+			Text: fmt.Sprintf(
+				"ecall %s was only issued during ocalls; declare it private and allow it from: %v (workload-dependent)",
+				name, names),
+		})
+	}
+	return out
+}
+
+// allowHints compares declared allow lists with the ecalls actually issued
+// during each ocall. With an EDL it reports removable entries; without,
+// it states the smallest observed set (§4.3.2).
+func (a *Analyzer) allowHints() []SecurityHint {
+	byID := make(map[events.EventID]string)
+	for i := range a.all {
+		byID[a.all[i].ev.ID] = a.all[i].ev.Name
+	}
+	// observed[ocall] = set of nested ecall names
+	observed := make(map[string]map[string]bool)
+	for i := range a.all {
+		c := &a.all[i]
+		if c.ev.Kind != events.KindEcall || c.ev.Parent == events.NoEvent {
+			continue
+		}
+		pn, ok := byID[c.ev.Parent]
+		if !ok {
+			continue
+		}
+		if observed[pn] == nil {
+			observed[pn] = make(map[string]bool)
+		}
+		observed[pn][c.ev.Name] = true
+	}
+	var out []SecurityHint
+	if a.iface == nil {
+		for _, ocall := range sortedKeys2(observed) {
+			set := sortedKeys(observed[ocall])
+			out = append(out, SecurityHint{
+				Kind:  HintMinimalAllow,
+				Call:  ocall,
+				Names: set,
+				Text:  fmt.Sprintf("no EDL provided; smallest allow set observed for ocall %s: %v", ocall, set),
+			})
+		}
+		return out
+	}
+	for _, o := range a.iface.Ocalls() {
+		if len(o.Allow) == 0 {
+			continue
+		}
+		// Only judge ocalls the workload exercised.
+		if len(a.byName[o.Name]) == 0 {
+			continue
+		}
+		var removable []string
+		for _, allowed := range o.Allow {
+			if !observed[o.Name][allowed] {
+				removable = append(removable, allowed)
+			}
+		}
+		if len(removable) == 0 {
+			continue
+		}
+		sort.Strings(removable)
+		out = append(out, SecurityHint{
+			Kind:  HintShrinkAllow,
+			Call:  o.Name,
+			Names: removable,
+			Text: fmt.Sprintf(
+				"ocall %s allows ecalls never observed during it; consider removing: %v",
+				o.Name, removable),
+		})
+	}
+	return out
+}
+
+// userCheckHints highlights calls with user_check pointers so developers
+// re-verify their pointer handling (§3.6).
+func (a *Analyzer) userCheckHints() []SecurityHint {
+	if a.iface == nil {
+		return nil
+	}
+	var out []SecurityHint
+	flag := func(f *edl.Func) {
+		var params []string
+		for _, p := range f.Params {
+			if p.Dir == edl.DirUserCheck {
+				params = append(params, p.Name)
+			}
+		}
+		if len(params) == 0 {
+			return
+		}
+		out = append(out, SecurityHint{
+			Kind:  HintUserCheck,
+			Call:  f.Name,
+			Names: params,
+			Text: fmt.Sprintf(
+				"%s %s passes user_check pointers %v: verify bounds, TOCTTOU and enclave-address checks (§3.6)",
+				f.Kind, f.Name, params),
+		})
+	}
+	for _, f := range a.iface.Ecalls() {
+		flag(f)
+	}
+	for _, f := range a.iface.Ocalls() {
+		flag(f)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys2(m map[string]map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,181 @@
+package analyzer
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/vtime"
+)
+
+// CallStats are the general statistics of §4.3.1 for one call, computed
+// over execution durations (ecalls: transition-adjusted, §4.1.2).
+type CallStats struct {
+	Name  string
+	Kind  events.CallKind
+	Count int
+
+	Mean   time.Duration
+	Median time.Duration
+	Std    time.Duration
+	P90    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	Min    time.Duration
+	Max    time.Duration
+
+	// Short-call fractions feeding Equation 1.
+	FracBelow1us  float64
+	FracBelow5us  float64
+	FracBelow10us float64
+
+	// TotalAEX sums AEXs over all executions (ecalls only).
+	TotalAEX int
+}
+
+// Stats computes statistics for one call name, or ok=false if unseen.
+func (a *Analyzer) Stats(name string) (CallStats, bool) {
+	calls := a.callsNamed(name)
+	if len(calls) == 0 {
+		return CallStats{}, false
+	}
+	durs := make([]time.Duration, len(calls))
+	s := CallStats{Name: name, Kind: calls[0].ev.Kind, Count: len(calls)}
+	var sum float64
+	for i, c := range calls {
+		durs[i] = c.adjusted
+		sum += float64(c.adjusted)
+		s.TotalAEX += c.ev.AEXCount
+		switch {
+		case c.adjusted < time.Microsecond:
+			s.FracBelow1us++
+			fallthrough
+		case c.adjusted < 5*time.Microsecond:
+			s.FracBelow5us++
+			fallthrough
+		case c.adjusted < 10*time.Microsecond:
+			s.FracBelow10us++
+		}
+	}
+	n := float64(len(calls))
+	s.FracBelow1us /= n
+	s.FracBelow5us /= n
+	s.FracBelow10us /= n
+
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	s.Min, s.Max = durs[0], durs[len(durs)-1]
+	s.Mean = time.Duration(sum / n)
+	s.Median = percentile(durs, 0.50)
+	s.P90 = percentile(durs, 0.90)
+	s.P95 = percentile(durs, 0.95)
+	s.P99 = percentile(durs, 0.99)
+
+	var varSum float64
+	for _, d := range durs {
+		diff := float64(d) - float64(s.Mean)
+		varSum += diff * diff
+	}
+	s.Std = time.Duration(math.Sqrt(varSum / n))
+	return s, true
+}
+
+// AllStats computes statistics for every call name, ordered by descending
+// count (the overview of §4.3.1).
+func (a *Analyzer) AllStats() []CallStats {
+	out := make([]CallStats, 0, len(a.perNames))
+	for _, n := range a.perNames {
+		if s, ok := a.Stats(n); ok {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// percentile returns the p-quantile (0..1) of sorted durations using the
+// nearest-rank method.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// HistogramBin is one bucket of call execution times (Fig. 7).
+type HistogramBin struct {
+	Lo, Hi time.Duration
+	Count  int
+}
+
+// Histogram buckets the call's execution times into bins equal-width bins
+// (the paper groups into 100, Fig. 7).
+func (a *Analyzer) Histogram(name string, bins int) []HistogramBin {
+	calls := a.callsNamed(name)
+	if len(calls) == 0 || bins <= 0 {
+		return nil
+	}
+	lo, hi := calls[0].adjusted, calls[0].adjusted
+	for _, c := range calls {
+		if c.adjusted < lo {
+			lo = c.adjusted
+		}
+		if c.adjusted > hi {
+			hi = c.adjusted
+		}
+	}
+	width := (hi - lo) / time.Duration(bins)
+	if width <= 0 {
+		width = 1
+	}
+	out := make([]HistogramBin, bins)
+	for i := range out {
+		out[i].Lo = lo + time.Duration(i)*width
+		out[i].Hi = out[i].Lo + width
+	}
+	for _, c := range calls {
+		idx := int((c.adjusted - lo) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		out[idx].Count++
+	}
+	return out
+}
+
+// ScatterPoint is one call execution plotted over application time
+// (Fig. 8).
+type ScatterPoint struct {
+	// T is the call's start relative to the first event in the trace.
+	T time.Duration
+	// Dur is the call's execution time.
+	Dur time.Duration
+}
+
+// Scatter returns the call's execution times over the course of the run.
+func (a *Analyzer) Scatter(name string) []ScatterPoint {
+	calls := a.callsNamed(name)
+	if len(calls) == 0 {
+		return nil
+	}
+	var t0 vtime.Cycles
+	if len(a.all) > 0 {
+		t0 = a.all[0].ev.Start
+	}
+	out := make([]ScatterPoint, len(calls))
+	for i, c := range calls {
+		out[i] = ScatterPoint{
+			T:   a.freq.Duration(c.ev.Start - t0),
+			Dur: c.adjusted,
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}

@@ -1,0 +1,468 @@
+// Package logger implements the sgx-perf event logger (§4): a shared
+// library preloaded into the application that shadows sgx_ecall to trace
+// ecalls (Fig. 2), rewrites ocall tables with generated call stubs to
+// trace ocalls (Fig. 3), overloads the SDK's four synchronisation ocalls
+// into sleep/wake events (§4.1.3), patches the AEP to count or trace
+// asynchronous exits (§4.1.4), and registers kprobes on the SGX driver's
+// paging functions (§4.1.5). All events are serialised to an embedded
+// event database.
+//
+// The logger needs no changes to the application, the enclave, or the
+// SDK — only preloading, exactly as in the paper.
+package logger
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sgxperf/internal/host"
+	"sgxperf/internal/kernel"
+	"sgxperf/internal/loader"
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/vtime"
+)
+
+// Probe costs, matching Table 2: the logger adds ≈1,366 ns per ecall,
+// ≈1,320 ns per ocall, ≈1,076 ns per counted AEX and ≈1,118 ns per traced
+// AEX.
+const (
+	CostEcallProbe = 1366 * time.Nanosecond
+	CostOcallProbe = 1320 * time.Nanosecond
+	CostAEXCount   = 1076 * time.Nanosecond
+	CostAEXTrace   = 1118 * time.Nanosecond
+)
+
+// AEXMode selects how the logger observes asynchronous exits (§4.1.4).
+type AEXMode int
+
+const (
+	// AEXOff leaves the AEP untouched.
+	AEXOff AEXMode = iota + 1
+	// AEXCount patches the AEP to count AEXs per ecall.
+	AEXCount
+	// AEXTrace additionally records the time of every AEX.
+	AEXTrace
+)
+
+// Options configures the logger.
+type Options struct {
+	// Workload labels the trace.
+	Workload string
+	// AEX selects AEX observation (default AEXOff).
+	AEX AEXMode
+	// TracePaging registers kprobes on the driver's paging functions
+	// (default true — set SkipPaging to disable).
+	SkipPaging bool
+}
+
+type stackEntry struct {
+	kind events.CallKind
+	id   events.EventID
+	aex  int
+}
+
+// Logger is an attached sgx-perf event logger.
+type Logger struct {
+	h     *host.Host
+	trace *events.Trace
+	opts  Options
+	lib   *loader.Library
+	next  sdk.EcallFn
+
+	enabled atomic.Bool
+
+	mu           sync.Mutex
+	stacks       map[sgx.ThreadID][]*stackEntry
+	stubCache    map[*sdk.OcallTable]*sdk.OcallTable
+	seenEnclaves map[sgx.EnclaveID]bool
+	signalHits   map[kernel.Signal]int
+
+	detachKprobes []func()
+	prevAEP       sgx.AEPFunc
+	aepPatched    bool
+}
+
+// Attach preloads the logger into the host process and starts recording.
+func Attach(h *host.Host, opts Options) (*Logger, error) {
+	if opts.AEX == 0 {
+		opts.AEX = AEXOff
+	}
+	trace, err := events.NewTrace()
+	if err != nil {
+		return nil, err
+	}
+	cost := h.Machine.Cost()
+	trace.Meta.Insert(events.TraceMeta{
+		Workload:         opts.Workload,
+		FrequencyHz:      float64(cost.Frequency),
+		Mitigation:       mitigationName(cost),
+		TransitionCycles: int64(cost.RoundTrip()),
+	})
+
+	l := &Logger{
+		h:            h,
+		trace:        trace,
+		opts:         opts,
+		stacks:       make(map[sgx.ThreadID][]*stackEntry),
+		stubCache:    make(map[*sdk.OcallTable]*sdk.OcallTable),
+		seenEnclaves: make(map[sgx.EnclaveID]bool),
+		signalHits:   make(map[kernel.Signal]int),
+	}
+
+	// Build liblogger and preload it (LD_PRELOAD, §4). Its sgx_ecall,
+	// pthread_create and sigaction shadow the URTS and libc.
+	l.lib = loader.NewLibrary("liblogger")
+	l.lib.Define(loader.SymSGXEcall, sdk.EcallFn(l.sgxEcall))
+	if createNext, err := loader.Lookup[host.PthreadCreateFn](h.Proc, loader.SymPthreadCreate); err == nil {
+		l.lib.Define(loader.SymPthreadCreate, host.PthreadCreateFn(func(name string, fn func(ctx *sgx.Context)) {
+			createNext(name, func(ctx *sgx.Context) {
+				l.trace.Threads.Insert(events.ThreadEvent{Thread: ctx.ID(), Name: name, Time: ctx.Now()})
+				fn(ctx)
+			})
+		}))
+	}
+	if saNext, err := loader.Lookup[host.SigactionFn](h.Proc, loader.SymSigaction); err == nil {
+		shadow := host.SigactionFn(func(sig kernel.Signal, handler kernel.SigHandler) kernel.SigHandler {
+			// Register a wrapper so the logger processes the signal first
+			// and then calls the saved handler (§4).
+			wrapped := handler
+			if handler != nil {
+				wrapped = func(ctx *sgx.Context, s kernel.Signal, info *kernel.SigInfo) bool {
+					l.mu.Lock()
+					l.signalHits[s]++
+					l.mu.Unlock()
+					return handler(ctx, s, info)
+				}
+			}
+			return saNext(sig, wrapped)
+		})
+		l.lib.Define(loader.SymSigaction, shadow)
+		l.lib.Define(loader.SymSignal, shadow)
+	}
+	h.Proc.Preload(l.lib)
+
+	// Resolve the real sgx_ecall with RTLD_NEXT semantics.
+	next, err := loader.LookupNext[sdk.EcallFn](h.Proc, l.lib, loader.SymSGXEcall)
+	if err != nil {
+		return nil, fmt.Errorf("logger: resolve real sgx_ecall: %w", err)
+	}
+	l.next = next
+
+	if !opts.SkipPaging {
+		for _, sym := range []string{kernel.SymbolELDU, kernel.SymbolEWB} {
+			sym := sym
+			detach := h.Kernel.Kprobes.Register(sym, func(ev kernel.KprobeEvent) {
+				l.onPaging(sym, ev)
+			})
+			l.detachKprobes = append(l.detachKprobes, detach)
+		}
+	}
+	if opts.AEX != AEXOff {
+		l.prevAEP = h.Machine.PatchAEP(l.aep)
+		l.aepPatched = true
+	}
+
+	l.enabled.Store(true)
+	return l, nil
+}
+
+func mitigationName(c sgx.CostModel) string {
+	rt := c.Frequency.Duration(c.RoundTrip())
+	for _, m := range []sgx.MitigationLevel{sgx.MitigationNone, sgx.MitigationSpectre, sgx.MitigationFull} {
+		d := m.RoundTripDuration()
+		if rt > d-50*time.Nanosecond && rt < d+50*time.Nanosecond {
+			return m.String()
+		}
+	}
+	return "custom"
+}
+
+// Trace returns the recorded trace.
+func (l *Logger) Trace() *events.Trace { return l.trace }
+
+// SignalHits reports how many signals of each number the logger has
+// observed through its shadowed handlers.
+func (l *Logger) SignalHits() map[kernel.Signal]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[kernel.Signal]int, len(l.signalHits))
+	for k, v := range l.signalHits {
+		out[k] = v
+	}
+	return out
+}
+
+// Detach stops recording: the AEP is restored and kprobes unregistered.
+// The preloaded library stays in the process image (as with LD_PRELOAD)
+// but becomes a transparent pass-through.
+func (l *Logger) Detach() {
+	l.enabled.Store(false)
+	for _, d := range l.detachKprobes {
+		d()
+	}
+	l.detachKprobes = nil
+	if l.aepPatched {
+		l.h.Machine.PatchAEP(l.prevAEP)
+		l.aepPatched = false
+	}
+}
+
+// sgxEcall is the logger's shadow of the URTS sgx_ecall (Fig. 2): record
+// start time, thread and identifiers, swap in the stub ocall table, call
+// the real implementation, record the end time.
+func (l *Logger) sgxEcall(ctx *sgx.Context, eid sgx.EnclaveID, callID int, otab *sdk.OcallTable, args any) (any, error) {
+	if !l.enabled.Load() {
+		return l.next(ctx, eid, callID, otab, args)
+	}
+	ctx.Compute(CostEcallProbe / 2)
+	l.noteEnclave(eid)
+	stub := l.stubTable(otab)
+
+	id := l.trace.NextID()
+	entry := &stackEntry{kind: events.KindEcall, id: id}
+	parent := l.push(ctx.ID(), entry)
+
+	name := l.ecallName(eid, callID)
+	start := ctx.Now()
+	res, err := l.next(ctx, eid, callID, stub, args)
+	end := ctx.Now()
+
+	l.pop(ctx.ID())
+	l.trace.Ecalls.Insert(events.CallEvent{
+		ID:       id,
+		Kind:     events.KindEcall,
+		Enclave:  eid,
+		Thread:   ctx.ID(),
+		CallID:   callID,
+		Name:     name,
+		Start:    start,
+		End:      end,
+		Parent:   parent,
+		AEXCount: entry.aex,
+		Err:      err != nil,
+	})
+	ctx.Compute(CostEcallProbe - CostEcallProbe/2)
+	return res, err
+}
+
+func (l *Logger) ecallName(eid sgx.EnclaveID, callID int) string {
+	if app, ok := l.h.URTS.AppEnclaveFor(eid); ok {
+		if f, ok := app.Interface().EcallByID(callID); ok {
+			return f.Name
+		}
+	}
+	return fmt.Sprintf("ecall_%d", callID)
+}
+
+// noteEnclave records enclave metadata on first sight, including its EDL
+// interface so the analyser can run its security checks without being
+// handed the file separately.
+func (l *Logger) noteEnclave(eid sgx.EnclaveID) {
+	l.mu.Lock()
+	seen := l.seenEnclaves[eid]
+	l.seenEnclaves[eid] = true
+	l.mu.Unlock()
+	if seen {
+		return
+	}
+	meta := events.EnclaveMeta{Enclave: eid}
+	if app, ok := l.h.URTS.AppEnclaveFor(eid); ok {
+		meta.Name = app.Enclave().Config.Name
+		meta.NumPages = app.Enclave().NumPages()
+		meta.EDL = app.Interface().Format()
+	}
+	l.trace.Enclaves.Insert(meta)
+}
+
+// stubTable returns (building once per table, §4.1.2) the logger's ocall
+// table oT_logger: one generated call stub per original entry, each
+// logging events and then calling the original function pointer (Fig. 3).
+func (l *Logger) stubTable(orig *sdk.OcallTable) *sdk.OcallTable {
+	if orig == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if stub, ok := l.stubCache[orig]; ok {
+		return stub
+	}
+	stub := &sdk.OcallTable{
+		Funcs: make([]sdk.OcallFn, len(orig.Funcs)),
+		Names: make([]string, len(orig.Names)),
+	}
+	copy(stub.Names, orig.Names)
+	for i := range orig.Funcs {
+		ocallID := i
+		fn := orig.Funcs[i]
+		name := ""
+		if i < len(orig.Names) {
+			name = orig.Names[i]
+		}
+		if fn == nil {
+			continue
+		}
+		stub.Funcs[i] = l.makeStub(ocallID, name, fn)
+	}
+	l.stubCache[orig] = stub
+	return stub
+}
+
+// makeStub generates one call stub, given the ocall's identifier, name and
+// original function pointer.
+func (l *Logger) makeStub(ocallID int, name string, orig sdk.OcallFn) sdk.OcallFn {
+	return func(ctx *sgx.Context, args any) (any, error) {
+		if !l.enabled.Load() {
+			return orig(ctx, args)
+		}
+		ctx.Compute(CostOcallProbe / 2)
+		id := l.trace.NextID()
+		entry := &stackEntry{kind: events.KindOcall, id: id}
+		parent := l.push(ctx.ID(), entry)
+
+		var enclave sgx.EnclaveID
+		if enc := ctx.CurrentEnclave(); enc != nil {
+			enclave = enc.ID
+		}
+		start := ctx.Now()
+		if sdk.IsSyncOcall(name) {
+			l.recordSync(ctx, name, args, id, start)
+		}
+		res, err := orig(ctx, args)
+		end := ctx.Now()
+
+		l.pop(ctx.ID())
+		l.trace.Ocalls.Insert(events.CallEvent{
+			ID:      id,
+			Kind:    events.KindOcall,
+			Enclave: enclave,
+			Thread:  ctx.ID(),
+			CallID:  ocallID,
+			Name:    name,
+			Start:   start,
+			End:     end,
+			Parent:  parent,
+			Err:     err != nil,
+		})
+		ctx.Compute(CostOcallProbe - CostOcallProbe/2)
+		return res, err
+	}
+}
+
+// recordSync reduces the four SDK sync ocalls to sleep and wake events
+// (§4.1.3), tracking which thread wakes which.
+func (l *Logger) recordSync(ctx *sgx.Context, name string, args any, call events.EventID, now vtime.Cycles) {
+	switch name {
+	case sdk.OcallThreadWait:
+		l.trace.Syncs.Insert(events.SyncEvent{
+			ID: l.trace.NextID(), Kind: events.SyncSleep,
+			Thread: ctx.ID(), Time: now, Call: call,
+		})
+	case sdk.OcallThreadSet:
+		if a, ok := args.(sdk.SetEventArgs); ok {
+			l.trace.Syncs.Insert(events.SyncEvent{
+				ID: l.trace.NextID(), Kind: events.SyncWake,
+				Thread: ctx.ID(), Targets: []sgx.ThreadID{a.Target}, Time: now, Call: call,
+			})
+		}
+	case sdk.OcallThreadSetMultiple:
+		if a, ok := args.(sdk.SetMultipleEventArgs); ok {
+			targets := make([]sgx.ThreadID, len(a.Targets))
+			copy(targets, a.Targets)
+			l.trace.Syncs.Insert(events.SyncEvent{
+				ID: l.trace.NextID(), Kind: events.SyncWake,
+				Thread: ctx.ID(), Targets: targets, Time: now, Call: call,
+			})
+		}
+	case sdk.OcallThreadSetWait:
+		if a, ok := args.(sdk.SetWaitEventArgs); ok {
+			l.trace.Syncs.Insert(events.SyncEvent{
+				ID: l.trace.NextID(), Kind: events.SyncWake,
+				Thread: ctx.ID(), Targets: []sgx.ThreadID{a.Target}, Time: now, Call: call,
+			})
+			l.trace.Syncs.Insert(events.SyncEvent{
+				ID: l.trace.NextID(), Kind: events.SyncSleep,
+				Thread: ctx.ID(), Time: now, Call: call,
+			})
+		}
+	}
+}
+
+// aep is the logger's patched Asynchronous Exit Pointer handler (§4.1.4):
+// count (and optionally timestamp) the AEX, then chain to the previous
+// handler, which resumes the enclave.
+func (l *Logger) aep(ctx *sgx.Context, info sgx.AEXInfo) {
+	if l.enabled.Load() {
+		if l.opts.AEX == AEXTrace {
+			ctx.Compute(CostAEXTrace)
+		} else {
+			ctx.Compute(CostAEXCount)
+		}
+		during := events.NoEvent
+		l.mu.Lock()
+		if s := l.stacks[ctx.ID()]; len(s) > 0 {
+			top := s[len(s)-1]
+			top.aex++
+			during = top.id
+		}
+		l.mu.Unlock()
+		if l.opts.AEX == AEXTrace {
+			l.trace.AEXs.Insert(events.AEXEvent{
+				ID:      l.trace.NextID(),
+				Enclave: info.Enclave,
+				Thread:  info.Thread,
+				Time:    info.Time,
+				During:  during,
+			})
+		}
+	}
+	l.prevAEP(ctx, info)
+}
+
+// onPaging converts a driver kprobe hit into a paging event (§4.1.5).
+func (l *Logger) onPaging(sym string, ev kernel.KprobeEvent) {
+	if !l.enabled.Load() {
+		return
+	}
+	kind := events.PageIn
+	if sym == kernel.SymbolEWB {
+		kind = events.PageOut
+	}
+	l.trace.Paging.Insert(events.PagingEvent{
+		ID:       l.trace.NextID(),
+		Kind:     kind,
+		Enclave:  ev.Enclave,
+		Thread:   ev.Thread,
+		Vaddr:    uint64(ev.Vaddr),
+		PageKind: ev.Kind.String(),
+		Time:     ev.Time,
+	})
+}
+
+// push adds a stack entry for the thread and returns the direct parent's
+// event ID (an in-flight call of the opposite kind), or NoEvent.
+func (l *Logger) push(tid sgx.ThreadID, e *stackEntry) events.EventID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	parent := events.NoEvent
+	if s := l.stacks[tid]; len(s) > 0 {
+		top := s[len(s)-1]
+		if top.kind != e.kind {
+			parent = top.id
+		}
+	}
+	l.stacks[tid] = append(l.stacks[tid], e)
+	return parent
+}
+
+func (l *Logger) pop(tid sgx.ThreadID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.stacks[tid]
+	if len(s) > 0 {
+		l.stacks[tid] = s[:len(s)-1]
+	}
+}

@@ -1,0 +1,188 @@
+package logger_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/perf/logger"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+)
+
+// TestStressWholeStack exercises the full stack concurrently: two
+// enclaves, eight threads, mixed ecalls/ocalls, in-enclave locking (sync
+// ocalls), heap traffic under EPC pressure (paging events), and timer
+// AEXs — all while the logger records. It asserts global invariants
+// rather than exact numbers, and is most valuable under -race.
+func TestStressWholeStack(t *testing.T) {
+	h, err := host.New(host.WithEPCCapacity(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := logger.Attach(h, logger.Options{Workload: "stress", AEX: logger.AEXTrace})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type enclaveUnderTest struct {
+		proxies map[string]sdk.Proxy
+		id      sgx.EnclaveID
+	}
+	var encs []enclaveUnderTest
+	for e := 0; e < 2; e++ {
+		iface := edl.NewInterface()
+		for _, n := range []string{"ecall_mix", "ecall_touch"} {
+			if _, err := iface.AddEcall(n, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := iface.AddOcall("ocall_noop", nil); err != nil {
+			t.Fatal(err)
+		}
+		var m sdk.Mutex
+		var heapOnce sync.Once
+		var heap sgx.Vaddr
+		impl := map[string]sdk.TrustedFn{
+			"ecall_mix": func(env *sdk.Env, args any) (any, error) {
+				if err := m.Lock(env); err != nil {
+					return nil, err
+				}
+				env.Compute(time.Duration(20+args.(int)%80) * time.Microsecond)
+				if err := m.Unlock(env); err != nil {
+					return nil, err
+				}
+				if args.(int)%3 == 0 {
+					return env.Ocall("ocall_noop", nil)
+				}
+				return nil, nil
+			},
+			"ecall_touch": func(env *sdk.Env, args any) (any, error) {
+				var initErr error
+				heapOnce.Do(func() {
+					heap, initErr = env.Alloc(120 * sgx.PageSize)
+				})
+				if initErr != nil {
+					return nil, initErr
+				}
+				off := sgx.Vaddr(args.(int) % 100 * sgx.PageSize)
+				return nil, env.Touch(heap+off, 2*sgx.PageSize, true)
+			},
+		}
+		ctx := h.NewContext(fmt.Sprintf("builder-%d", e))
+		app, err := h.URTS.CreateEnclave(ctx, sgx.Config{
+			Name:      fmt.Sprintf("stress-%d", e),
+			HeapBytes: 128 * sgx.PageSize,
+			NumTCS:    10,
+		}, iface, impl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		otab, err := sdk.BuildOcallTable(iface, h.URTS, map[string]sdk.OcallFn{
+			"ocall_noop": func(ctx *sgx.Context, args any) (any, error) { return nil, nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs = append(encs, enclaveUnderTest{
+			proxies: sdk.Proxies(app, h.Proc, otab),
+			id:      app.ID(),
+		})
+	}
+
+	const threads = 8
+	const opsPerThread = 120
+	errs := make(chan error, threads)
+	for w := 0; w < threads; w++ {
+		w := w
+		if err := h.Spawn(fmt.Sprintf("stress-%d", w), func(ctx *sgx.Context) {
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < opsPerThread; i++ {
+				enc := encs[rng.Intn(len(encs))]
+				var err error
+				if rng.Intn(2) == 0 {
+					_, err = enc.proxies["ecall_mix"](ctx, i)
+				} else {
+					_, err = enc.proxies["ecall_touch"](ctx, i)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("thread %d op %d: %w", w, i, err)
+					return
+				}
+			}
+			errs <- nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	trace := l.Trace()
+	wantCalls := threads * opsPerThread
+	if got := trace.Ecalls.Len(); got != wantCalls {
+		t.Fatalf("ecall events = %d, want %d", got, wantCalls)
+	}
+	// Invariants over every recorded event.
+	ids := map[events.EventID]bool{}
+	byID := map[events.EventID]events.CallEvent{}
+	checkCall := func(e events.CallEvent) {
+		if ids[e.ID] {
+			t.Fatalf("duplicate event id %d", e.ID)
+		}
+		ids[e.ID] = true
+		byID[e.ID] = e
+		if e.End < e.Start {
+			t.Fatalf("event %d ends before it starts", e.ID)
+		}
+		if e.Enclave != encs[0].id && e.Enclave != encs[1].id {
+			t.Fatalf("event %d attributed to unknown enclave %d", e.ID, e.Enclave)
+		}
+	}
+	for _, e := range trace.Ecalls.Rows() {
+		checkCall(e)
+	}
+	for _, o := range trace.Ocalls.Rows() {
+		checkCall(o)
+	}
+	// Every ocall's parent is a recorded ecall that encloses it in time
+	// on the same thread.
+	for _, o := range trace.Ocalls.Rows() {
+		p, ok := byID[o.Parent]
+		if !ok {
+			t.Fatalf("ocall %d has unknown parent %d", o.ID, o.Parent)
+		}
+		if p.Kind != events.KindEcall || p.Thread != o.Thread {
+			t.Fatalf("ocall %d parent mismatch: %+v", o.ID, p)
+		}
+		if o.Start < p.Start || o.End > p.End {
+			t.Fatalf("ocall %d window outside its parent", o.ID)
+		}
+	}
+	// AEX events reference live calls.
+	for _, x := range trace.AEXs.Rows() {
+		if x.During != events.NoEvent {
+			if _, ok := byID[x.During]; !ok {
+				t.Fatalf("AEX references unknown call %d", x.During)
+			}
+		}
+	}
+	// The heap pressure must have produced paging traffic, and the
+	// contended mutex sync events (scheduling permitting, usually both).
+	if trace.Paging.Len() == 0 {
+		t.Log("note: no paging events this run (EPC pressure not reached)")
+	}
+	t.Logf("stress: %d ecalls, %d ocalls, %d aex, %d paging, %d sync",
+		trace.Ecalls.Len(), trace.Ocalls.Len(), trace.AEXs.Len(),
+		trace.Paging.Len(), trace.Syncs.Len())
+}

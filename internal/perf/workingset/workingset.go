@@ -1,0 +1,158 @@
+// Package workingset implements the sgx-perf enclave working-set
+// estimator (§4.2): it strips all MMU page permissions from enclave pages,
+// catches the resulting access faults through a SIGSEGV handler, restores
+// permissions on access, and reports the set of pages accessed between two
+// configurable points in time. SGX permissions are untouched — the trick
+// works because the MMU permissions are checked before the SGX ones.
+//
+// The estimator heavily interferes with enclave execution, which is why it
+// is a separate tool from the event logger.
+package workingset
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sgxperf/internal/host"
+	"sgxperf/internal/kernel"
+	"sgxperf/internal/sgx"
+)
+
+// Estimator tracks page accesses of one enclave.
+type Estimator struct {
+	h   *host.Host
+	enc *sgx.Enclave
+
+	mu       sync.Mutex
+	active   bool
+	accessed map[*sgx.Page]struct{}
+	prev     kernel.SigHandler
+}
+
+// New creates an estimator for the enclave.
+func New(h *host.Host, enc *sgx.Enclave) *Estimator {
+	return &Estimator{
+		h:        h,
+		enc:      enc,
+		accessed: make(map[*sgx.Page]struct{}),
+	}
+}
+
+// Start installs the fault handler (through the sigaction symbol, so a
+// preloaded logger can still observe the signals) and strips permissions.
+func (e *Estimator) Start() error {
+	e.mu.Lock()
+	if e.active {
+		e.mu.Unlock()
+		return fmt.Errorf("workingset: already started")
+	}
+	e.active = true
+	e.mu.Unlock()
+
+	prev, err := e.h.Sigaction(kernel.SIGSEGV, e.onFault)
+	if err != nil {
+		e.mu.Lock()
+		e.active = false
+		e.mu.Unlock()
+		return fmt.Errorf("workingset: %w", err)
+	}
+	e.mu.Lock()
+	e.prev = prev
+	e.mu.Unlock()
+	e.stripAll()
+	return nil
+}
+
+// Mark begins a new observation window: the accessed set is cleared and
+// all permissions stripped again, so the next Count reports only pages
+// touched after this point (the paper's "two configurable points in
+// time").
+func (e *Estimator) Mark() {
+	e.mu.Lock()
+	e.accessed = make(map[*sgx.Page]struct{})
+	e.mu.Unlock()
+	e.stripAll()
+}
+
+// Count returns the number of distinct pages accessed since Start/Mark.
+func (e *Estimator) Count() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.accessed)
+}
+
+// Bytes returns the working-set size in bytes.
+func (e *Estimator) Bytes() int { return e.Count() * sgx.PageSize }
+
+// PagesByKind breaks the working set down by page kind — useful to see
+// which enclave parts were never used (§4.1.5).
+func (e *Estimator) PagesByKind() map[string]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]int)
+	for p := range e.accessed {
+		out[p.Kind.String()]++
+	}
+	return out
+}
+
+// Accessed returns the accessed pages sorted by address.
+func (e *Estimator) Accessed() []*sgx.Page {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*sgx.Page, 0, len(e.accessed))
+	for p := range e.accessed {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Vaddr < out[j].Vaddr })
+	return out
+}
+
+// Stop restores all permissions and reinstalls the previous handler.
+func (e *Estimator) Stop() {
+	e.mu.Lock()
+	if !e.active {
+		e.mu.Unlock()
+		return
+	}
+	e.active = false
+	prev := e.prev
+	e.mu.Unlock()
+
+	for _, p := range e.enc.Pages() {
+		e.h.Machine.SetMMUPerm(p, p.SGXPerm)
+	}
+	_, _ = e.h.Sigaction(kernel.SIGSEGV, prev)
+}
+
+// stripAll removes MMU permissions from every page of the enclave. Guard
+// pages already have none; SGX permissions stay intact.
+func (e *Estimator) stripAll() {
+	for _, p := range e.enc.Pages() {
+		if p.Kind == sgx.PageGuard {
+			continue
+		}
+		e.h.Machine.SetMMUPerm(p, 0)
+	}
+}
+
+// onFault repairs a stripped page and records the access; faults for other
+// enclaves (or real bugs) chain to the previous handler.
+func (e *Estimator) onFault(ctx *sgx.Context, sig kernel.Signal, info *kernel.SigInfo) bool {
+	e.mu.Lock()
+	active := e.active
+	prev := e.prev
+	e.mu.Unlock()
+	if !active || info == nil || info.Enclave != e.enc || info.Page == nil {
+		if prev != nil {
+			return prev(ctx, sig, info)
+		}
+		return false
+	}
+	e.mu.Lock()
+	e.accessed[info.Page] = struct{}{}
+	e.mu.Unlock()
+	e.h.Machine.SetMMUPerm(info.Page, info.Page.SGXPerm)
+	return true
+}

@@ -1,0 +1,234 @@
+package workingset_test
+
+import (
+	"testing"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/kernel"
+	"sgxperf/internal/perf/workingset"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+)
+
+// wsApp builds a host + enclave whose single ecall touches a requested
+// number of heap pages.
+type wsApp struct {
+	h     *host.Host
+	ctx   *sgx.Context
+	enc   *sgx.Enclave
+	touch sdk.Proxy
+}
+
+func newWSApp(t *testing.T, heapPages int) *wsApp {
+	t.Helper()
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("ecall_touch", true); err != nil {
+		t.Fatal(err)
+	}
+	impl := map[string]sdk.TrustedFn{
+		"ecall_touch": func(env *sdk.Env, args any) (any, error) {
+			pages, _ := args.(int)
+			if err := env.Context().HeapReset(); err != nil {
+				return nil, err
+			}
+			v, err := env.Alloc(pages * sgx.PageSize)
+			if err != nil {
+				return nil, err
+			}
+			return nil, env.Touch(v, pages*sgx.PageSize, true)
+		},
+	}
+	ctx := h.NewContext("main")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{
+		Name:      "ws",
+		HeapBytes: heapPages * sgx.PageSize,
+	}, iface, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies := sdk.Proxies(app, h.Proc, otab)
+	return &wsApp{h: h, ctx: ctx, enc: app.Enclave(), touch: proxies["ecall_touch"]}
+}
+
+func TestWorkingSetCountsTouchedPages(t *testing.T) {
+	a := newWSApp(t, 32)
+	est := workingset.New(a.h, a.enc)
+	if err := est.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer est.Stop()
+
+	if _, err := a.touch(a.ctx, 8); err != nil {
+		t.Fatal(err)
+	}
+	// 8 heap pages + 1 TCS page; allow small extras but not the whole
+	// heap.
+	got := est.Count()
+	if got < 9 || got > 12 {
+		t.Fatalf("working set = %d pages, want ≈9", got)
+	}
+	byKind := est.PagesByKind()
+	if byKind["heap"] != 8 {
+		t.Fatalf("heap pages = %d, want 8 (%v)", byKind["heap"], byKind)
+	}
+	if byKind["tcs"] != 1 {
+		t.Fatalf("tcs pages = %d, want 1 (%v)", byKind["tcs"], byKind)
+	}
+	if byKind["padding"] != 0 || byKind["guard"] != 0 {
+		t.Fatalf("padding/guard pages accessed: %v", byKind)
+	}
+	if est.Bytes() != got*sgx.PageSize {
+		t.Fatal("Bytes inconsistent with Count")
+	}
+}
+
+func TestWorkingSetMarkResetsWindow(t *testing.T) {
+	// The paper's usage (§5.2.3–5.2.4): measure start-up pages, Mark,
+	// then measure only the pages used during the benchmark phase.
+	a := newWSApp(t, 32)
+	est := workingset.New(a.h, a.enc)
+	if err := est.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer est.Stop()
+
+	if _, err := a.touch(a.ctx, 24); err != nil { // "start-up"
+		t.Fatal(err)
+	}
+	startup := est.Count()
+	est.Mark()
+	if est.Count() != 0 {
+		t.Fatal("Mark did not clear the set")
+	}
+	if _, err := a.touch(a.ctx, 4); err != nil { // "benchmark"
+		t.Fatal(err)
+	}
+	during := est.Count()
+	if during >= startup {
+		t.Fatalf("benchmark window (%d) not smaller than start-up (%d)", during, startup)
+	}
+	if byKind := est.PagesByKind(); byKind["heap"] != 4 {
+		t.Fatalf("benchmark-phase heap pages = %d, want 4", byKind["heap"])
+	}
+}
+
+func TestWorkingSetAccessedSortedAndRepairs(t *testing.T) {
+	a := newWSApp(t, 8)
+	est := workingset.New(a.h, a.enc)
+	if err := est.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.touch(a.ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	pages := est.Accessed()
+	for i := 1; i < len(pages); i++ {
+		if pages[i-1].Vaddr >= pages[i].Vaddr {
+			t.Fatal("Accessed not sorted by address")
+		}
+	}
+	// Permissions were repaired on access.
+	for _, p := range pages {
+		if !p.MMUPerm().Has(sgx.PermRead) {
+			t.Fatalf("page %v still stripped after access", p)
+		}
+	}
+	est.Stop()
+	// After Stop, everything is restored.
+	for _, p := range a.enc.Pages() {
+		if p.MMUPerm() != p.SGXPerm {
+			t.Fatalf("page %v not restored after Stop", p)
+		}
+	}
+	// Calls still work after Stop.
+	if _, err := a.touch(a.ctx, 3); err != nil {
+		t.Fatalf("call after Stop: %v", err)
+	}
+}
+
+func TestWorkingSetDoubleStartFails(t *testing.T) {
+	a := newWSApp(t, 8)
+	est := workingset.New(a.h, a.enc)
+	if err := est.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer est.Stop()
+	if err := est.Start(); err == nil {
+		t.Fatal("double Start succeeded")
+	}
+}
+
+func TestWorkingSetChainsForeignFaults(t *testing.T) {
+	// Faults on pages of a different enclave must chain to the previously
+	// registered handler instead of being swallowed by the estimator.
+	a := newWSApp(t, 8)
+
+	// A second enclave whose ecall touches its own heap.
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("ecall_touch", true); err != nil {
+		t.Fatal(err)
+	}
+	otherApp, err := a.h.URTS.CreateEnclave(a.h.NewContext("aux"), sgx.Config{Name: "other", HeapBytes: 8 * sgx.PageSize}, iface,
+		map[string]sdk.TrustedFn{"ecall_touch": func(env *sdk.Env, args any) (any, error) {
+			v, err := env.Alloc(sgx.PageSize)
+			if err != nil {
+				return nil, err
+			}
+			return nil, env.Touch(v, sgx.PageSize, true)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otab, err := sdk.BuildOcallTable(iface, a.h.URTS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherTouch := sdk.Proxies(otherApp, a.h.Proc, otab)["ecall_touch"]
+
+	// Previous handler: repair faults on the other enclave.
+	foreign := 0
+	if _, err := a.h.Sigaction(kernel.SIGSEGV, func(ctx *sgx.Context, sig kernel.Signal, info *kernel.SigInfo) bool {
+		if info == nil || info.Enclave != otherApp.Enclave() {
+			return false
+		}
+		foreign++
+		a.h.Machine.SetMMUPerm(info.Page, info.Page.SGXPerm)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	est := workingset.New(a.h, a.enc)
+	if err := est.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer est.Stop()
+
+	// Strip one heap page of the other enclave and trigger the fault.
+	var heapPage *sgx.Page
+	for _, p := range otherApp.Enclave().Pages() {
+		if p.Kind == sgx.PageHeap {
+			heapPage = p
+			break
+		}
+	}
+	a.h.Machine.SetMMUPerm(heapPage, 0)
+	if _, err := otherTouch(a.h.NewContext("caller"), nil); err != nil {
+		t.Fatalf("foreign fault not repaired through chain: %v", err)
+	}
+	if foreign == 0 {
+		t.Fatal("previous handler never ran: estimator swallowed the fault")
+	}
+	if byKind := est.PagesByKind(); byKind["heap"] != 0 {
+		t.Fatalf("foreign pages leaked into the estimator's set: %v", byKind)
+	}
+}

@@ -1,0 +1,86 @@
+package sdk
+
+import (
+	"fmt"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/sgx"
+)
+
+// Env is the trusted-side view a TrustedFn receives: simulated in-enclave
+// computation, enclave memory, and the ability to issue ocalls through the
+// TRTS.
+type Env struct {
+	ctx  *sgx.Context
+	app  *AppEnclave
+	urts *URTS
+}
+
+// Context returns the executing thread.
+func (e *Env) Context() *sgx.Context { return e.ctx }
+
+// EnclaveID returns the current enclave's ID.
+func (e *Env) EnclaveID() sgx.EnclaveID { return e.app.enc.ID }
+
+// Interface returns the enclave's declared interface.
+func (e *Env) Interface() *edl.Interface { return e.app.iface }
+
+// Compute burns d of in-enclave CPU time (subject to timer AEXs).
+func (e *Env) Compute(d time.Duration) { e.ctx.Compute(d) }
+
+// Alloc allocates enclave heap memory.
+func (e *Env) Alloc(n int) (sgx.Vaddr, error) { return e.ctx.HeapAlloc(n) }
+
+// Write copies b into enclave memory.
+func (e *Env) Write(v sgx.Vaddr, b []byte) error { return e.ctx.WriteBytes(v, b) }
+
+// Read copies enclave memory into b.
+func (e *Env) Read(v sgx.Vaddr, b []byte) error { return e.ctx.ReadBytes(v, b) }
+
+// Touch accesses [v, v+n) without transferring data.
+func (e *Env) Touch(v sgx.Vaddr, n int, write bool) error {
+	return e.ctx.TouchRange(v, n, write)
+}
+
+// Ocall issues the named ocall: the TRTS marshals the call, EEXITs, looks
+// up the function pointer in the ocall table the URTS saved at ecall time
+// (Fig. 3), runs it untrusted, and re-enters.
+func (e *Env) Ocall(name string, args any) (any, error) {
+	decl, ok := e.app.iface.Lookup(name)
+	if !ok || decl.Kind != edl.Ocall {
+		return nil, fmt.Errorf("%w: %s", ErrInvalidOcall, name)
+	}
+	return e.ocall(decl, args)
+}
+
+// OcallByID issues an ocall by numeric identifier.
+func (e *Env) OcallByID(id int, args any) (any, error) {
+	decl, ok := e.app.iface.OcallByID(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrInvalidOcall, id)
+	}
+	return e.ocall(decl, args)
+}
+
+func (e *Env) ocall(decl *edl.Func, args any) (any, error) {
+	tab := e.app.table()
+	if tab == nil || decl.ID >= len(tab.Funcs) || tab.Funcs[decl.ID] == nil {
+		return nil, fmt.Errorf("%w: %s has no table entry", ErrInvalidOcall, decl.Name)
+	}
+	fn := tab.Funcs[decl.ID]
+
+	e.ctx.Compute(CostOcallDispatch)
+	chargeCopy(e.ctx, args, true) // [out]-to-untrusted copy before leaving
+	if err := e.ctx.OcallExit(); err != nil {
+		return nil, fmt.Errorf("sdk: ocall exit: %w", err)
+	}
+	e.urts.pushOcall(e.ctx.ID(), decl.Name)
+	res, err := fn(e.ctx, args)
+	e.urts.popOcall(e.ctx.ID())
+	if retErr := e.ctx.OcallReturn(); retErr != nil && err == nil {
+		err = fmt.Errorf("sdk: ocall return: %w", retErr)
+	}
+	chargeCopy(e.ctx, args, false)
+	return res, err
+}

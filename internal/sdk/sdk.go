@@ -1,0 +1,351 @@
+package sdk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/kernel"
+	"sgxperf/internal/loader"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/vtime"
+)
+
+// Errors mirroring SDK status codes.
+var (
+	// ErrInvalidEnclave is returned for unknown enclave IDs.
+	ErrInvalidEnclave = errors.New("sdk: invalid enclave id")
+	// ErrInvalidEcall is returned for out-of-range ecall IDs.
+	ErrInvalidEcall = errors.New("sdk: invalid ecall id")
+	// ErrEcallNotAllowed mirrors SGX_ERROR_ECALL_NOT_ALLOWED: a private
+	// ecall issued outside an ocall, or an ecall not in the in-flight
+	// ocall's allow list (§3.6).
+	ErrEcallNotAllowed = errors.New("sdk: ecall not allowed")
+	// ErrInvalidOcall is returned for undeclared ocalls.
+	ErrInvalidOcall = errors.New("sdk: invalid ocall")
+	// ErrNoImplementation is returned when the enclave image lacks the
+	// requested ecall.
+	ErrNoImplementation = errors.New("sdk: ecall has no implementation")
+)
+
+// TrustedFn is one in-enclave ecall implementation.
+type TrustedFn func(env *Env, args any) (any, error)
+
+// EcallFn is the signature of the sgx_ecall symbol: the single URTS entry
+// point all generated ecall wrappers call (Fig. 1). Tools shadow exactly
+// this symbol to trace ecalls (Fig. 2).
+type EcallFn func(ctx *sgx.Context, eid sgx.EnclaveID, callID int, otab *OcallTable, args any) (any, error)
+
+// Copied lets call arguments declare how many bytes the TRTS copies across
+// the enclave boundary for [in]/[out] parameters, so marshalling cost is
+// charged faithfully.
+type Copied interface {
+	CopyInBytes() int
+	CopyOutBytes() int
+}
+
+// AppEnclave is the URTS-side state of one created enclave: the hardware
+// enclave, its declared interface, the trusted code image, and the saved
+// ocall-table pointer.
+type AppEnclave struct {
+	enc   *sgx.Enclave
+	iface *edl.Interface
+	urts  *URTS
+
+	mu      sync.Mutex
+	trusted []TrustedFn
+	// savedTable is the last ocall table passed to sgx_ecall — the
+	// injection point for the logger's stub table (Fig. 3).
+	savedTable *OcallTable
+}
+
+// Enclave returns the underlying hardware enclave.
+func (a *AppEnclave) Enclave() *sgx.Enclave { return a.enc }
+
+// ID returns the enclave ID.
+func (a *AppEnclave) ID() sgx.EnclaveID { return a.enc.ID }
+
+// Interface returns the enclave's declared EDL interface.
+func (a *AppEnclave) Interface() *edl.Interface { return a.iface }
+
+func (a *AppEnclave) saveTable(t *OcallTable) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.savedTable = t
+}
+
+func (a *AppEnclave) table() *OcallTable {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.savedTable
+}
+
+func (a *AppEnclave) trustedFn(id int) (TrustedFn, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if id < 0 || id >= len(a.trusted) {
+		return nil, false
+	}
+	return a.trusted[id], a.trusted[id] != nil
+}
+
+// uevent is the untrusted per-thread event object the sync ocalls block
+// on: a binary semaphore plus a clock sync point for causality.
+type uevent struct {
+	ch    chan struct{}
+	point vtime.SyncPoint
+}
+
+func newUevent() *uevent {
+	return &uevent{ch: make(chan struct{}, 1)}
+}
+
+func (e *uevent) set(now vtime.Cycles) {
+	e.point.Publish(now)
+	select {
+	case e.ch <- struct{}{}:
+	default: // already set; events are binary
+	}
+}
+
+func (e *uevent) wait(ctx *sgx.Context) {
+	<-e.ch
+	e.point.Observe(ctx.Clock())
+}
+
+// URTS is the untrusted runtime system: the enclave registry and the real
+// implementation of sgx_ecall.
+type URTS struct {
+	machine *sgx.Machine
+	driver  *kernel.Driver
+
+	mu       sync.Mutex
+	enclaves map[sgx.EnclaveID]*AppEnclave
+	events   map[sgx.ThreadID]*uevent
+	// inflight tracks, per thread, the stack of ocall names currently
+	// executing; the TRTS consults it to enforce allow lists.
+	inflight map[sgx.ThreadID][]string
+}
+
+// NewURTS creates the runtime for a machine+driver pair.
+func NewURTS(m *sgx.Machine, d *kernel.Driver) *URTS {
+	return &URTS{
+		machine:  m,
+		driver:   d,
+		enclaves: make(map[sgx.EnclaveID]*AppEnclave),
+		events:   make(map[sgx.ThreadID]*uevent),
+		inflight: make(map[sgx.ThreadID][]string),
+	}
+}
+
+// Library exposes the URTS as a shared library defining the sgx_ecall
+// symbol, so applications resolve it through the loader and preloaded
+// tools can shadow it.
+func (u *URTS) Library() *loader.Library {
+	return loader.NewLibrary("libsgx_urts").Define(loader.SymSGXEcall, EcallFn(u.Ecall))
+}
+
+// CreateEnclave builds the enclave through the kernel driver and registers
+// its trusted image. The interface is extended with the SDK sync ocalls
+// (as linking sgx_tstdc does) and validated.
+func (u *URTS) CreateEnclave(ctx *sgx.Context, cfg sgx.Config, iface *edl.Interface, impl map[string]TrustedFn) (*AppEnclave, error) {
+	if _, err := WithSyncOcalls(iface); err != nil {
+		return nil, err
+	}
+	if _, err := iface.Validate(); err != nil {
+		return nil, fmt.Errorf("sdk: interface: %w", err)
+	}
+	for name := range impl {
+		f, ok := iface.Lookup(name)
+		if !ok || f.Kind != edl.Ecall {
+			return nil, fmt.Errorf("sdk: implementation for undeclared ecall %q", name)
+		}
+	}
+	enc, err := u.driver.CreateEnclave(ctx, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sdk: create enclave: %w", err)
+	}
+	app := &AppEnclave{
+		enc:     enc,
+		iface:   iface,
+		urts:    u,
+		trusted: make([]TrustedFn, len(iface.Ecalls())),
+	}
+	for name, fn := range impl {
+		f, _ := iface.Lookup(name)
+		app.trusted[f.ID] = fn
+	}
+	u.mu.Lock()
+	u.enclaves[enc.ID] = app
+	u.mu.Unlock()
+	return app, nil
+}
+
+// DestroyEnclave tears the enclave down.
+func (u *URTS) DestroyEnclave(app *AppEnclave) {
+	u.mu.Lock()
+	delete(u.enclaves, app.enc.ID)
+	u.mu.Unlock()
+	u.driver.DestroyEnclave(app.enc)
+}
+
+// AppEnclaveFor returns the registered enclave state for an ID.
+func (u *URTS) AppEnclaveFor(eid sgx.EnclaveID) (*AppEnclave, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	a, ok := u.enclaves[eid]
+	return a, ok
+}
+
+// Machine returns the machine this runtime drives.
+func (u *URTS) Machine() *sgx.Machine { return u.machine }
+
+func (u *URTS) eventFor(tid sgx.ThreadID) *uevent {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	ev, ok := u.events[tid]
+	if !ok {
+		ev = newUevent()
+		u.events[tid] = ev
+	}
+	return ev
+}
+
+func (u *URTS) pushOcall(tid sgx.ThreadID, name string) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.inflight[tid] = append(u.inflight[tid], name)
+}
+
+func (u *URTS) popOcall(tid sgx.ThreadID) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	s := u.inflight[tid]
+	if len(s) > 0 {
+		u.inflight[tid] = s[:len(s)-1]
+	}
+}
+
+// currentOcall returns the innermost in-flight ocall on the thread, if
+// any.
+func (u *URTS) currentOcall(tid sgx.ThreadID) (string, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	s := u.inflight[tid]
+	if len(s) == 0 {
+		return "", false
+	}
+	return s[len(s)-1], true
+}
+
+// Ecall is the real sgx_ecall: the single entry point for all ecalls. It
+// saves the ocall table, charges URTS dispatch, enters the enclave, and
+// runs the TRTS trampoline which dispatches to the trusted function.
+func (u *URTS) Ecall(ctx *sgx.Context, eid sgx.EnclaveID, callID int, otab *OcallTable, args any) (any, error) {
+	app, ok := u.AppEnclaveFor(eid)
+	if !ok {
+		return nil, ErrInvalidEnclave
+	}
+	decl, ok := app.iface.EcallByID(callID)
+	if !ok {
+		return nil, ErrInvalidEcall
+	}
+	ctx.Compute(CostURTSDispatch)
+	if otab != nil {
+		app.saveTable(otab)
+	}
+
+	// Interface enforcement (§3.6): outside any ocall only public ecalls
+	// may run; during an ocall the ecall must be in that ocall's allow
+	// list (the SDK triggers an error for forgotten combinations).
+	if cur, in := u.currentOcall(ctx.ID()); in {
+		if !app.iface.Allowed(cur, decl.Name) {
+			return nil, fmt.Errorf("%w: %s during ocall %s", ErrEcallNotAllowed, decl.Name, cur)
+		}
+	} else if !decl.Public {
+		return nil, fmt.Errorf("%w: private ecall %s outside an ocall", ErrEcallNotAllowed, decl.Name)
+	}
+
+	fn, ok := app.trustedFn(callID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoImplementation, decl.Name)
+	}
+	if err := ctx.EEnter(app.enc); err != nil {
+		return nil, fmt.Errorf("sdk: eenter: %w", err)
+	}
+	// TRTS trampoline: resolve the ID, charge dispatch, copy [in] buffers.
+	ctx.Compute(CostTRTSDispatch)
+	chargeCopy(ctx, args, true)
+	env := &Env{ctx: ctx, app: app, urts: u}
+	res, err := fn(env, args)
+	chargeCopy(ctx, args, false)
+	if exitErr := ctx.EExit(); exitErr != nil && err == nil {
+		err = fmt.Errorf("sdk: eexit: %w", exitErr)
+	}
+	return res, err
+}
+
+// chargeCopy prices boundary copies for arguments implementing Copied.
+func chargeCopy(ctx *sgx.Context, args any, in bool) {
+	c, ok := args.(Copied)
+	if !ok {
+		return
+	}
+	n := c.CopyOutBytes()
+	if in {
+		n = c.CopyInBytes()
+	}
+	if n <= 0 {
+		return
+	}
+	ctx.Compute(CostCopyPerKiB * time.Duration((n+1023)/1024))
+}
+
+// syncOcallImpl returns the URTS-provided implementation of an SDK sync
+// ocall, or nil for other names.
+func (u *URTS) syncOcallImpl(name string) OcallFn {
+	switch name {
+	case OcallThreadWait:
+		return func(ctx *sgx.Context, args any) (any, error) {
+			a, ok := args.(WaitEventArgs)
+			if !ok {
+				return nil, fmt.Errorf("sdk: %s: bad args %T", OcallThreadWait, args)
+			}
+			u.eventFor(a.Self).wait(ctx)
+			return nil, nil
+		}
+	case OcallThreadSet:
+		return func(ctx *sgx.Context, args any) (any, error) {
+			a, ok := args.(SetEventArgs)
+			if !ok {
+				return nil, fmt.Errorf("sdk: %s: bad args %T", OcallThreadSet, args)
+			}
+			u.eventFor(a.Target).set(ctx.Now())
+			return nil, nil
+		}
+	case OcallThreadSetMultiple:
+		return func(ctx *sgx.Context, args any) (any, error) {
+			a, ok := args.(SetMultipleEventArgs)
+			if !ok {
+				return nil, fmt.Errorf("sdk: %s: bad args %T", OcallThreadSetMultiple, args)
+			}
+			for _, t := range a.Targets {
+				u.eventFor(t).set(ctx.Now())
+			}
+			return nil, nil
+		}
+	case OcallThreadSetWait:
+		return func(ctx *sgx.Context, args any) (any, error) {
+			a, ok := args.(SetWaitEventArgs)
+			if !ok {
+				return nil, fmt.Errorf("sdk: %s: bad args %T", OcallThreadSetWait, args)
+			}
+			u.eventFor(a.Target).set(ctx.Now())
+			u.eventFor(a.Self).wait(ctx)
+			return nil, nil
+		}
+	}
+	return nil
+}

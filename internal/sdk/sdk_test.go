@@ -1,0 +1,694 @@
+package sdk_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/loader"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+)
+
+// fixture builds a host with one enclave exposing a small interface:
+//
+//	public ecall_noop();
+//	public ecall_work(µs);            // computes for the given time
+//	public ecall_with_ocall();        // issues ocall_noop
+//	ecall_private();                  // allowed only from ocall_gate
+//	ocall_noop() allow();
+//	ocall_gate() allow(ecall_private);
+type fixture struct {
+	h       *host.Host
+	app     *sdk.AppEnclave
+	otab    *sdk.OcallTable
+	proxies map[string]sdk.Proxy
+	ctx     *sgx.Context
+
+	mu        sync.Mutex
+	ocallHits map[string]int
+}
+
+type workArgs struct{ D time.Duration }
+
+func newFixture(t *testing.T, opts ...host.Option) *fixture {
+	t.Helper()
+	h, err := host.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{h: h, ocallHits: make(map[string]int)}
+
+	iface := edl.NewInterface()
+	mustAddE := func(name string, public bool) {
+		t.Helper()
+		if _, err := iface.AddEcall(name, public); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAddE("ecall_noop", true)
+	mustAddE("ecall_work", true)
+	mustAddE("ecall_with_ocall", true)
+	mustAddE("ecall_private", false)
+	if _, err := iface.AddOcall("ocall_noop", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.AddOcall("ocall_gate", []string{"ecall_private"}); err != nil {
+		t.Fatal(err)
+	}
+
+	impl := map[string]sdk.TrustedFn{
+		"ecall_noop": func(env *sdk.Env, args any) (any, error) { return "ok", nil },
+		"ecall_work": func(env *sdk.Env, args any) (any, error) {
+			a, _ := args.(workArgs)
+			env.Compute(a.D)
+			return nil, nil
+		},
+		"ecall_with_ocall": func(env *sdk.Env, args any) (any, error) {
+			return env.Ocall("ocall_noop", nil)
+		},
+		"ecall_private": func(env *sdk.Env, args any) (any, error) { return "private-ok", nil },
+	}
+
+	ctx := h.NewContext("main")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{Name: "test"}, iface, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocalls := map[string]sdk.OcallFn{
+		"ocall_noop": func(ctx *sgx.Context, args any) (any, error) {
+			f.count("ocall_noop")
+			return nil, nil
+		},
+		"ocall_gate": func(ctx *sgx.Context, args any) (any, error) {
+			f.count("ocall_gate")
+			return nil, nil
+		},
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, ocalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.app, f.otab, f.ctx = app, otab, ctx
+	f.proxies = sdk.Proxies(app, h.Proc, otab)
+	return f
+}
+
+func (f *fixture) count(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ocallHits[name]++
+}
+
+func (f *fixture) hits(name string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ocallHits[name]
+}
+
+func (f *fixture) call(t *testing.T, name string, args any) any {
+	t.Helper()
+	res, err := f.proxies[name](f.ctx, args)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res
+}
+
+func TestEcallRoundTripResult(t *testing.T) {
+	f := newFixture(t)
+	if got := f.call(t, "ecall_noop", nil); got != "ok" {
+		t.Fatalf("ecall_noop = %v", got)
+	}
+}
+
+func TestNativeEcallCostMatchesTable2(t *testing.T) {
+	// Table 2, "Native, single ecall": ≈4,205 ns per call on the vanilla
+	// machine.
+	f := newFixture(t)
+	f.call(t, "ecall_noop", nil) // warm: fault in TCS page etc.
+	start := f.ctx.Now()
+	const n = 100
+	for i := 0; i < n; i++ {
+		f.call(t, "ecall_noop", nil)
+	}
+	per := f.ctx.Clock().DurationSince(start) / n
+	if per < 4100*time.Nanosecond || per > 4350*time.Nanosecond {
+		t.Fatalf("native ecall = %v, want ≈4205ns", per)
+	}
+}
+
+func TestNativeEcallOcallCostMatchesTable2(t *testing.T) {
+	// Table 2, "Native, ecall + ocall": ≈8,013 ns per call.
+	f := newFixture(t)
+	f.call(t, "ecall_with_ocall", nil)
+	start := f.ctx.Now()
+	const n = 100
+	for i := 0; i < n; i++ {
+		f.call(t, "ecall_with_ocall", nil)
+	}
+	per := f.ctx.Clock().DurationSince(start) / n
+	if per < 7900*time.Nanosecond || per > 8250*time.Nanosecond {
+		t.Fatalf("native ecall+ocall = %v, want ≈8013ns", per)
+	}
+	if f.hits("ocall_noop") != n+1 {
+		t.Fatalf("ocall ran %d times, want %d", f.hits("ocall_noop"), n+1)
+	}
+}
+
+func TestEcallWorkIsCharged(t *testing.T) {
+	f := newFixture(t)
+	start := f.ctx.Now()
+	f.call(t, "ecall_work", workArgs{D: 500 * time.Microsecond})
+	got := f.ctx.Clock().DurationSince(start)
+	if got < 500*time.Microsecond {
+		t.Fatalf("work ecall took %v, want ≥500µs", got)
+	}
+}
+
+func TestPrivateEcallRejectedAtTopLevel(t *testing.T) {
+	f := newFixture(t)
+	_, err := f.proxies["ecall_private"](f.ctx, nil)
+	if !errors.Is(err, sdk.ErrEcallNotAllowed) {
+		t.Fatalf("private ecall at top level: %v", err)
+	}
+}
+
+// TestNestedEcallDuringOcall builds its own enclave whose public ecall
+// issues ocall_gate, whose untrusted implementation re-enters via the
+// private ecall — the ecall-during-ocall path with allow-list checks.
+func TestNestedEcallDuringOcall(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("ecall_entry", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.AddEcall("ecall_private", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.AddEcall("ecall_forbidden", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.AddOcall("ocall_gate", []string{"ecall_private"}); err != nil {
+		t.Fatal(err)
+	}
+	impl := map[string]sdk.TrustedFn{
+		"ecall_entry": func(env *sdk.Env, args any) (any, error) {
+			return env.Ocall("ocall_gate", nil)
+		},
+		"ecall_private":   func(env *sdk.Env, args any) (any, error) { return "nested-ok", nil },
+		"ecall_forbidden": func(env *sdk.Env, args any) (any, error) { return nil, nil },
+	}
+	ctx := h.NewContext("main")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{}, iface, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var proxies map[string]sdk.Proxy
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, map[string]sdk.OcallFn{
+		"ocall_gate": func(ctx *sgx.Context, args any) (any, error) {
+			// Allowed nested ecall succeeds…
+			res, err := proxies["ecall_private"](ctx, nil)
+			if err != nil {
+				return nil, err
+			}
+			// …and a not-allowed one is rejected by the runtime.
+			if _, err := proxies["ecall_forbidden"](ctx, nil); !errors.Is(err, sdk.ErrEcallNotAllowed) {
+				return nil, errors.New("forbidden nested ecall was not rejected")
+			}
+			return res, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies = sdk.Proxies(app, h.Proc, otab)
+	res, err := proxies["ecall_entry"](ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "nested-ok" {
+		t.Fatalf("nested result = %v", res)
+	}
+}
+
+func TestInvalidIDs(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.h.URTS.Ecall(f.ctx, 9999, 0, f.otab, nil); !errors.Is(err, sdk.ErrInvalidEnclave) {
+		t.Fatalf("bad enclave: %v", err)
+	}
+	if _, err := f.h.URTS.Ecall(f.ctx, f.app.ID(), 9999, f.otab, nil); !errors.Is(err, sdk.ErrInvalidEcall) {
+		t.Fatalf("bad ecall id: %v", err)
+	}
+}
+
+func TestUndeclaredOcallRejected(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("e", true); err != nil {
+		t.Fatal(err)
+	}
+	ctx := h.NewContext("main")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{}, iface, map[string]sdk.TrustedFn{
+		"e": func(env *sdk.Env, args any) (any, error) {
+			return env.Ocall("ocall_ghost", nil)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies := sdk.Proxies(app, h.Proc, otab)
+	if _, err := proxies["e"](ctx, nil); !errors.Is(err, sdk.ErrInvalidOcall) {
+		t.Fatalf("undeclared ocall: %v", err)
+	}
+}
+
+func TestImplementationForUndeclaredEcallRejected(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := edl.NewInterface()
+	ctx := h.NewContext("main")
+	_, err = h.URTS.CreateEnclave(ctx, sgx.Config{}, iface, map[string]sdk.TrustedFn{
+		"ghost": func(env *sdk.Env, args any) (any, error) { return nil, nil },
+	})
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Fatalf("undeclared impl: %v", err)
+	}
+}
+
+func TestMissingOcallImplementationRejected(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := edl.NewInterface()
+	if _, err := iface.AddOcall("ocall_unimplemented", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdk.WithSyncOcalls(iface); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdk.BuildOcallTable(iface, h.URTS, nil); err == nil {
+		t.Fatal("missing ocall impl accepted")
+	}
+}
+
+func TestWithSyncOcallsIdempotent(t *testing.T) {
+	iface := edl.NewInterface()
+	if _, err := sdk.WithSyncOcalls(iface); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdk.WithSyncOcalls(iface); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(iface.Ocalls()); got != 4 {
+		t.Fatalf("sync ocalls declared %d times", got)
+	}
+	for _, n := range sdk.SyncOcallNames() {
+		if !sdk.IsSyncOcall(n) {
+			t.Fatalf("IsSyncOcall(%q) = false", n)
+		}
+	}
+	if sdk.IsSyncOcall("ocall_noop") {
+		t.Fatal("IsSyncOcall misclassified a regular ocall")
+	}
+}
+
+type copiedArgs struct{ in, out int }
+
+func (c copiedArgs) CopyInBytes() int  { return c.in }
+func (c copiedArgs) CopyOutBytes() int { return c.out }
+
+func TestBoundaryCopyCharged(t *testing.T) {
+	f := newFixture(t)
+	f.call(t, "ecall_noop", nil)
+	base := f.ctx.Now()
+	f.call(t, "ecall_noop", nil)
+	plain := f.ctx.Now() - base
+
+	base = f.ctx.Now()
+	f.call(t, "ecall_noop", copiedArgs{in: 64 * 1024, out: 64 * 1024})
+	copied := f.ctx.Now() - base
+	wantExtra := f.ctx.Clock().Frequency().Cycles(2 * 64 * sdk.CostCopyPerKiB)
+	extra := copied - plain
+	if extra < wantExtra*9/10 || extra > wantExtra*11/10 {
+		t.Fatalf("copy charge = %d cycles, want ≈%d", extra, wantExtra)
+	}
+}
+
+func TestOcallTableSwapInterceptsOcalls(t *testing.T) {
+	// The Fig. 3 mechanism: pass a different table on the next ecall and
+	// the TRTS dispatches ocalls through it.
+	f := newFixture(t)
+	intercepted := 0
+	stubTable := &sdk.OcallTable{
+		Funcs: make([]sdk.OcallFn, len(f.otab.Funcs)),
+		Names: f.otab.Names,
+	}
+	for i, orig := range f.otab.Funcs {
+		orig := orig
+		stubTable.Funcs[i] = func(ctx *sgx.Context, args any) (any, error) {
+			intercepted++
+			return orig(ctx, args)
+		}
+	}
+	if _, err := f.h.URTS.Ecall(f.ctx, f.app.ID(), 2 /* ecall_with_ocall */, stubTable, nil); err != nil {
+		t.Fatal(err)
+	}
+	if intercepted != 1 {
+		t.Fatalf("stub table intercepted %d ocalls, want 1", intercepted)
+	}
+	if f.hits("ocall_noop") != 1 {
+		t.Fatal("original ocall did not run through the stub")
+	}
+}
+
+func TestSgxEcallShadowing(t *testing.T) {
+	// Preload a library shadowing sgx_ecall; proxies must route through
+	// it (the logger's mechanism, Fig. 2).
+	f := newFixture(t)
+	var seen []int
+	shadow := loader.NewLibrary("libshadow")
+	var next sdk.EcallFn
+	shadow.Define(loader.SymSGXEcall, sdk.EcallFn(
+		func(ctx *sgx.Context, eid sgx.EnclaveID, callID int, otab *sdk.OcallTable, args any) (any, error) {
+			seen = append(seen, callID)
+			return next(ctx, eid, callID, otab, args)
+		}))
+	f.h.Proc.Preload(shadow)
+	var err error
+	next, err = loader.LookupNext[sdk.EcallFn](f.h.Proc, shadow, loader.SymSGXEcall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.call(t, "ecall_noop", nil); got != "ok" {
+		t.Fatalf("shadowed call result = %v", got)
+	}
+	if len(seen) != 1 || seen[0] != 0 {
+		t.Fatalf("shadow saw %v, want [0]", seen)
+	}
+}
+
+func TestMutexUncontendedNoOcalls(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("e", true); err != nil {
+		t.Fatal(err)
+	}
+	var m sdk.Mutex
+	syncOcalls := 0
+	impl := map[string]sdk.TrustedFn{
+		"e": func(env *sdk.Env, args any) (any, error) {
+			for i := 0; i < 10; i++ {
+				if err := m.Lock(env); err != nil {
+					return nil, err
+				}
+				if err := m.Unlock(env); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		},
+	}
+	ctx := h.NewContext("main")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{}, iface, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count sync ocalls by wrapping the table.
+	for i, fn := range otab.Funcs {
+		if sdk.IsSyncOcall(otab.Names[i]) {
+			orig := fn
+			otab.Funcs[i] = func(ctx *sgx.Context, args any) (any, error) {
+				syncOcalls++
+				return orig(ctx, args)
+			}
+		}
+	}
+	proxies := sdk.Proxies(app, h.Proc, otab)
+	if _, err := proxies["e"](ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if syncOcalls != 0 {
+		t.Fatalf("uncontended mutex issued %d sync ocalls (§2.3.2 says none)", syncOcalls)
+	}
+	if c, s := m.Stats(); c != 0 || s != 0 {
+		t.Fatalf("stats contended=%d sleeps=%d, want 0,0", c, s)
+	}
+}
+
+func TestMutexContendedSleepsAndWakes(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("hold", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.AddEcall("take", true); err != nil {
+		t.Fatal(err)
+	}
+	var m sdk.Mutex
+	held := make(chan struct{})
+	release := make(chan struct{})
+	impl := map[string]sdk.TrustedFn{
+		"hold": func(env *sdk.Env, args any) (any, error) {
+			if err := m.Lock(env); err != nil {
+				return nil, err
+			}
+			close(held)
+			<-release
+			return nil, m.Unlock(env)
+		},
+		"take": func(env *sdk.Env, args any) (any, error) {
+			if err := m.Lock(env); err != nil {
+				return nil, err
+			}
+			return nil, m.Unlock(env)
+		},
+	}
+	ctx := h.NewContext("main")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{NumTCS: 4}, iface, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies := sdk.Proxies(app, h.Proc, otab)
+
+	if err := h.Spawn("holder", func(c *sgx.Context) {
+		if _, err := proxies["hold"](c, nil); err != nil {
+			t.Errorf("hold: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-held
+	done := make(chan struct{})
+	if err := h.Spawn("taker", func(c *sgx.Context) {
+		defer close(done)
+		if _, err := proxies["take"](c, nil); err != nil {
+			t.Errorf("take: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the taker time to block, then release.
+	waitUntil(t, func() bool { _, s := m.Stats(); return s >= 1 })
+	close(release)
+	<-done
+	h.Wait()
+	if c, s := m.Stats(); c == 0 || s == 0 {
+		t.Fatalf("contended lock recorded contended=%d sleeps=%d", c, s)
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCondSignalAndBroadcast(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("waiter", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.AddEcall("wakeall", true); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		m     sdk.Mutex
+		c     sdk.Cond
+		woken sync.WaitGroup
+	)
+	ready := make(chan struct{}, 3)
+	impl := map[string]sdk.TrustedFn{
+		"waiter": func(env *sdk.Env, args any) (any, error) {
+			if err := m.Lock(env); err != nil {
+				return nil, err
+			}
+			ready <- struct{}{}
+			if err := c.Wait(env, &m); err != nil {
+				return nil, err
+			}
+			woken.Done()
+			return nil, m.Unlock(env)
+		},
+		"wakeall": func(env *sdk.Env, args any) (any, error) {
+			return nil, c.Broadcast(env)
+		},
+	}
+	ctx := h.NewContext("main")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{NumTCS: 8}, iface, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies := sdk.Proxies(app, h.Proc, otab)
+	const waiters = 3
+	woken.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		if err := h.Spawn("waiter", func(c *sgx.Context) {
+			if _, err := proxies["waiter"](c, nil); err != nil {
+				t.Errorf("waiter: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < waiters; i++ {
+		<-ready
+	}
+	// Broadcast only once every waiter is registered on the condvar.
+	waitUntil(t, func() bool { return c.Waiters() == waiters })
+	if _, err := proxies["wakeall"](ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	donech := make(chan struct{})
+	go func() { woken.Wait(); close(donech) }()
+	select {
+	case <-donech:
+	case <-time.After(5 * time.Second):
+		t.Fatal("broadcast did not wake all waiters")
+	}
+	h.Wait()
+}
+
+func TestHybridMutexSpinsBeforeSleeping(t *testing.T) {
+	// A hybrid lock with a generous spin budget should avoid sleep ocalls
+	// when the critical section is very short (§3.4).
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("spin", true); err != nil {
+		t.Fatal(err)
+	}
+	m := sdk.Mutex{SpinCount: 1 << 20}
+	impl := map[string]sdk.TrustedFn{
+		"spin": func(env *sdk.Env, args any) (any, error) {
+			for i := 0; i < 50; i++ {
+				if err := m.Lock(env); err != nil {
+					return nil, err
+				}
+				if err := m.Unlock(env); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		},
+	}
+	ctx := h.NewContext("main")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{NumTCS: 4}, iface, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies := sdk.Proxies(app, h.Proc, otab)
+	for i := 0; i < 2; i++ {
+		if err := h.Spawn("w", func(c *sgx.Context) {
+			if _, err := proxies["spin"](c, nil); err != nil {
+				t.Errorf("spin: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Wait()
+	if _, sleeps := m.Stats(); sleeps != 0 {
+		t.Fatalf("hybrid lock slept %d times despite huge spin budget", sleeps)
+	}
+}
+
+func TestUnlockByNonOwnerFails(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("bad", true); err != nil {
+		t.Fatal(err)
+	}
+	var m sdk.Mutex
+	impl := map[string]sdk.TrustedFn{
+		"bad": func(env *sdk.Env, args any) (any, error) {
+			return nil, m.Unlock(env)
+		},
+	}
+	ctx := h.NewContext("main")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{}, iface, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies := sdk.Proxies(app, h.Proc, otab)
+	if _, err := proxies["bad"](ctx, nil); err == nil {
+		t.Fatal("unlock of unheld mutex succeeded")
+	}
+}

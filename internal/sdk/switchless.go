@@ -1,0 +1,224 @@
+package sdk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/vtime"
+)
+
+// Switchless calls are the transition-elimination technique of SCONE,
+// HotCalls and Eleos that the paper discusses as the alternative to a
+// better interface (§2.3, §6) and that Intel later shipped as
+// "switchless calls": worker threads parked *inside* the enclave service
+// ecall requests from a shared queue, so a short call costs a queue
+// round-trip (~hundreds of ns) instead of an EENTER/EEXIT round trip
+// (~2–5 µs).
+//
+// This implementation mirrors Intel's semantics: only public ecalls may
+// run switchless, requests fall back to the regular sgx_ecall path when
+// no worker is available, and the workers hold a TCS each for their whole
+// lifetime.
+//
+// Observability note: switchless calls do NOT pass through sgx_ecall, so
+// an attached sgx-perf logger records neither them nor their durations —
+// only their fallback calls and any ocalls the trusted code issues. This
+// blind spot is inherent to interposition-based tooling and is one more
+// reason the paper's authors prefer fixing the interface over hiding the
+// transitions.
+
+// Switchless queue costs.
+const (
+	// CostSwitchlessSubmit is the caller-side enqueue + signal cost.
+	CostSwitchlessSubmit = 150 * time.Nanosecond
+	// CostSwitchlessWake is the worker-side dequeue cost per request.
+	CostSwitchlessWake = 200 * time.Nanosecond
+)
+
+// ErrSwitchlessStopped is returned by Call after Stop.
+var ErrSwitchlessStopped = errors.New("sdk: switchless workers stopped")
+
+// slRequest is one queued switchless ecall.
+type slRequest struct {
+	callID int
+	args   any
+	// submitted is the caller's virtual time at enqueue.
+	submitted vtime.Cycles
+	done      chan slResult
+}
+
+type slResult struct {
+	res any
+	err error
+	// completed is the worker's virtual time when the call finished.
+	completed vtime.Cycles
+}
+
+// Switchless manages in-enclave worker threads servicing an ecall queue.
+type Switchless struct {
+	app   *AppEnclave
+	urts  *URTS
+	queue chan *slRequest
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	stopped  bool
+	served   uint64
+	fellBack uint64
+}
+
+// StartSwitchless parks `workers` trusted worker threads inside the
+// enclave (each binds one TCS for its lifetime, like sgx_uswitchless) and
+// returns the dispatcher. queueDepth bounds in-flight requests; a full
+// queue makes Call fall back to the regular transition path.
+func (u *URTS) StartSwitchless(app *AppEnclave, workers, queueDepth int) (*Switchless, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth <= 0 {
+		queueDepth = workers * 4
+	}
+	if app.Enclave().FreeTCS() < workers {
+		return nil, fmt.Errorf("sdk: switchless needs %d free TCS, have %d",
+			workers, app.Enclave().FreeTCS())
+	}
+	s := &Switchless{
+		app:   app,
+		urts:  u,
+		queue: make(chan *slRequest, queueDepth),
+		stop:  make(chan struct{}),
+	}
+	ready := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		ctx := u.machine.NewContext(fmt.Sprintf("switchless-%d", i))
+		s.wg.Add(1)
+		go s.worker(ctx, ready)
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-ready; err != nil {
+			close(s.stop)
+			s.wg.Wait()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// worker enters the enclave once and services requests until stopped.
+func (s *Switchless) worker(ctx *sgx.Context, ready chan<- error) {
+	defer s.wg.Done()
+	if err := ctx.EEnter(s.app.Enclave()); err != nil {
+		ready <- fmt.Errorf("sdk: switchless worker enter: %w", err)
+		return
+	}
+	ready <- nil
+	defer func() { _ = ctx.EExit() }()
+
+	env := &Env{ctx: ctx, app: s.app, urts: s.urts}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case req := <-s.queue:
+			// The worker observes the request: its clock advances to at
+			// least the submit time plus the queue hand-off.
+			ctx.Clock().MergeAtLeast(req.submitted)
+			ctx.Compute(CostSwitchlessWake)
+			res, err := s.execute(env, req)
+			req.done <- slResult{res: res, err: err, completed: ctx.Now()}
+		}
+	}
+}
+
+func (s *Switchless) execute(env *Env, req *slRequest) (any, error) {
+	decl, ok := s.app.iface.EcallByID(req.callID)
+	if !ok {
+		return nil, ErrInvalidEcall
+	}
+	if !decl.Public {
+		// Private ecalls require an in-flight ocall context, which a
+		// parked worker never has — mirror the SDK and reject.
+		return nil, fmt.Errorf("%w: switchless %s", ErrEcallNotAllowed, decl.Name)
+	}
+	fn, ok := s.app.trustedFn(req.callID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoImplementation, decl.Name)
+	}
+	chargeCopy(env.ctx, req.args, true)
+	res, err := fn(env, req.args)
+	chargeCopy(env.ctx, req.args, false)
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	return res, err
+}
+
+// Call issues a switchless ecall: enqueue, wait, merge clocks. When the
+// queue is full or the workers are stopped it falls back to the regular
+// transition path, exactly like Intel's switchless runtime.
+func (s *Switchless) Call(ctx *sgx.Context, callID int, otab *OcallTable, args any) (any, error) {
+	s.mu.Lock()
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stopped {
+		return nil, ErrSwitchlessStopped
+	}
+	ctx.Compute(CostSwitchlessSubmit)
+	req := &slRequest{
+		callID:    callID,
+		args:      args,
+		submitted: ctx.Now(),
+		done:      make(chan slResult, 1),
+	}
+	select {
+	case s.queue <- req:
+	default:
+		// Queue full: fall back to a regular transition.
+		s.mu.Lock()
+		s.fellBack++
+		s.mu.Unlock()
+		return s.urts.Ecall(ctx, s.app.ID(), callID, otab, args)
+	}
+	result := <-req.done
+	// The caller waited (spinning on the response flag) until the worker
+	// finished: its clock advances to the completion time.
+	ctx.Clock().MergeAtLeast(result.completed)
+	ctx.Compute(CostSwitchlessSubmit)
+	return result.res, result.err
+}
+
+// Stats reports how many calls ran switchless and how many fell back.
+func (s *Switchless) Stats() (served, fellBack uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served, s.fellBack
+}
+
+// Stop drains the workers: they EEXIT, release their TCSs and terminate.
+// In-flight calls complete; subsequent Calls return ErrSwitchlessStopped.
+func (s *Switchless) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	// Answer any request that slipped into the queue after the workers
+	// left, so no caller blocks forever.
+	for {
+		select {
+		case req := <-s.queue:
+			req.done <- slResult{err: ErrSwitchlessStopped}
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package sdk_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/perf/logger"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+)
+
+// slFixture builds an enclave suited for switchless testing: plenty of
+// TCSs and a mix of public/private ecalls.
+type slFixture struct {
+	h       *host.Host
+	ctx     *sgx.Context
+	app     *sdk.AppEnclave
+	otab    *sdk.OcallTable
+	proxies map[string]sdk.Proxy
+}
+
+func newSLFixture(t *testing.T) *slFixture {
+	t.Helper()
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("ecall_double", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.AddEcall("ecall_short_work", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.AddEcall("ecall_private", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.AddEcall("ecall_with_ocall", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.AddOcall("ocall_ping", []string{"ecall_private"}); err != nil {
+		t.Fatal(err)
+	}
+	impl := map[string]sdk.TrustedFn{
+		"ecall_double": func(env *sdk.Env, args any) (any, error) {
+			n, _ := args.(int)
+			return 2 * n, nil
+		},
+		"ecall_short_work": func(env *sdk.Env, args any) (any, error) {
+			env.Compute(time.Microsecond)
+			return nil, nil
+		},
+		"ecall_private": func(env *sdk.Env, args any) (any, error) { return nil, nil },
+		"ecall_with_ocall": func(env *sdk.Env, args any) (any, error) {
+			return env.Ocall("ocall_ping", nil)
+		},
+	}
+	ctx := h.NewContext("main")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{Name: "sl", NumTCS: 8}, iface, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, map[string]sdk.OcallFn{
+		"ocall_ping": func(ctx *sgx.Context, args any) (any, error) { return "pong", nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &slFixture{
+		h: h, ctx: ctx, app: app, otab: otab,
+		proxies: sdk.Proxies(app, h.Proc, otab),
+	}
+}
+
+func callID(t *testing.T, f *slFixture, name string) int {
+	t.Helper()
+	decl, ok := f.app.Interface().Lookup(name)
+	if !ok {
+		t.Fatalf("no ecall %q", name)
+	}
+	return decl.ID
+}
+
+func TestSwitchlessReturnsResults(t *testing.T) {
+	f := newSLFixture(t)
+	sl, err := f.h.URTS.StartSwitchless(f.app, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Stop()
+	for i := 0; i < 50; i++ {
+		res, err := sl.Call(f.ctx, callID(t, f, "ecall_double"), f.otab, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != 2*i {
+			t.Fatalf("double(%d) = %v", i, res)
+		}
+	}
+	served, _ := sl.Stats()
+	if served != 50 {
+		t.Fatalf("served = %d, want 50", served)
+	}
+}
+
+func TestSwitchlessEliminatesTransitionCost(t *testing.T) {
+	// The whole point (§2.3, §6): a short call over the queue must cost
+	// far less than the 4.2µs transition+dispatch path.
+	f := newSLFixture(t)
+	id := callID(t, f, "ecall_short_work")
+
+	// Regular path baseline.
+	f.call(t, "ecall_short_work")
+	start := f.ctx.Now()
+	const n = 100
+	for i := 0; i < n; i++ {
+		f.call(t, "ecall_short_work")
+	}
+	regular := f.ctx.Clock().DurationSince(start) / n
+
+	sl, err := f.h.URTS.StartSwitchless(f.app, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Stop()
+	if _, err := sl.Call(f.ctx, id, f.otab, nil); err != nil {
+		t.Fatal(err)
+	}
+	start = f.ctx.Now()
+	for i := 0; i < n; i++ {
+		if _, err := sl.Call(f.ctx, id, f.otab, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	switchless := f.ctx.Clock().DurationSince(start) / n
+
+	if regular < 5*time.Microsecond {
+		t.Fatalf("regular path suspiciously fast: %v", regular)
+	}
+	if switchless*2 >= regular {
+		t.Fatalf("switchless %v not clearly faster than regular %v", switchless, regular)
+	}
+}
+
+func (f *slFixture) call(t *testing.T, name string) {
+	t.Helper()
+	if _, err := f.proxies[name](f.ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchlessRejectsPrivateEcalls(t *testing.T) {
+	f := newSLFixture(t)
+	sl, err := f.h.URTS.StartSwitchless(f.app, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Stop()
+	_, err = sl.Call(f.ctx, callID(t, f, "ecall_private"), f.otab, nil)
+	if !errors.Is(err, sdk.ErrEcallNotAllowed) {
+		t.Fatalf("private switchless call: %v", err)
+	}
+}
+
+func TestSwitchlessWorkerCanOcall(t *testing.T) {
+	f := newSLFixture(t)
+	sl, err := f.h.URTS.StartSwitchless(f.app, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Stop()
+	// The worker thread must be able to leave the enclave for ocalls and
+	// come back, using the saved ocall table.
+	if _, err := f.proxies["ecall_double"](f.ctx, 1); err != nil {
+		t.Fatal(err) // ensures a table is saved via the regular path first
+	}
+	res, err := sl.Call(f.ctx, callID(t, f, "ecall_with_ocall"), f.otab, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "pong" {
+		t.Fatalf("ocall via worker = %v", res)
+	}
+}
+
+func TestSwitchlessFallbackOnFullQueue(t *testing.T) {
+	f := newSLFixture(t)
+	// One worker, depth 1, and a slow call to jam the queue.
+	iface := f.app.Interface()
+	_ = iface
+	sl, err := f.h.URTS.StartSwitchless(f.app, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Stop()
+	id := callID(t, f, "ecall_short_work")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		if err := f.h.Spawn("caller", func(ctx *sgx.Context) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := sl.Call(ctx, id, f.otab, nil); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	served, fellBack := sl.Stats()
+	if served+fellBack != 400 {
+		t.Fatalf("served %d + fallback %d != 400", served, fellBack)
+	}
+	if served == 0 {
+		t.Fatal("nothing ran switchless")
+	}
+}
+
+func TestSwitchlessStop(t *testing.T) {
+	f := newSLFixture(t)
+	freeBefore := f.app.Enclave().FreeTCS()
+	sl, err := f.h.URTS.StartSwitchless(f.app, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.app.Enclave().FreeTCS(); got != freeBefore-3 {
+		t.Fatalf("workers hold %d TCSs, want 3", freeBefore-got)
+	}
+	sl.Stop()
+	sl.Stop() // idempotent
+	if got := f.app.Enclave().FreeTCS(); got != freeBefore {
+		t.Fatalf("TCSs not released: %d != %d", got, freeBefore)
+	}
+	if _, err := sl.Call(f.ctx, callID(t, f, "ecall_double"), f.otab, 1); !errors.Is(err, sdk.ErrSwitchlessStopped) {
+		t.Fatalf("call after stop: %v", err)
+	}
+}
+
+func TestSwitchlessNeedsFreeTCS(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("e", true); err != nil {
+		t.Fatal(err)
+	}
+	ctx := h.NewContext("main")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{NumTCS: 1}, iface,
+		map[string]sdk.TrustedFn{"e": func(env *sdk.Env, args any) (any, error) { return nil, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.URTS.StartSwitchless(app, 2, 0); err == nil {
+		t.Fatal("switchless started with too few TCSs")
+	}
+}
+
+func TestSwitchlessBypassesLoggerInterposition(t *testing.T) {
+	// Switchless calls do not pass through sgx_ecall: an attached logger
+	// must not see them (the documented observability blind spot), while
+	// ocalls issued by the trusted code remain visible through the stub
+	// table.
+	f := newSLFixture(t)
+	l, err := logger.Attach(f.h, logger.Options{Workload: "sl-blindspot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One regular call so the logger saves its stub ocall table.
+	f.call(t, "ecall_with_ocall")
+
+	sl, err := f.h.URTS.StartSwitchless(f.app, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Stop()
+	for i := 0; i < 20; i++ {
+		if _, err := sl.Call(f.ctx, callID(t, f, "ecall_with_ocall"), f.otab, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ecalls := l.Trace().Ecalls.Len()
+	ocalls := l.Trace().Ocalls.Len()
+	if ecalls != 1 {
+		t.Fatalf("logger saw %d ecalls, want only the 1 regular one", ecalls)
+	}
+	if ocalls != 1+20 {
+		t.Fatalf("logger saw %d ocalls, want 21 (stub table still active for workers)", ocalls)
+	}
+}

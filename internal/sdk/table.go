@@ -1,0 +1,103 @@
+package sdk
+
+import (
+	"fmt"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/sgx"
+)
+
+// OcallFn is one untrusted ocall implementation. It runs outside the
+// enclave on the calling thread.
+type OcallFn func(ctx *sgx.Context, args any) (any, error)
+
+// OcallTable maps ocall IDs to untrusted implementations. The generated
+// wrapper code passes a pointer to this table into sgx_ecall; the URTS
+// saves the pointer and the TRTS dispatches ocalls through it. Because the
+// table is injected at runtime, a preloaded tool can substitute its own
+// stub table — exactly the mechanism sgx-perf uses to trace ocalls
+// (Fig. 3).
+type OcallTable struct {
+	// Funcs is indexed by ocall ID.
+	Funcs []OcallFn
+	// Names mirrors Funcs with the declared ocall names (diagnostics).
+	Names []string
+}
+
+// BuildOcallTable assembles the table for an interface from named
+// implementations. Every declared ocall needs an implementation, except
+// the four SDK synchronisation ocalls, which the URTS provides itself
+// (they are added to the interface by WithSyncOcalls).
+func BuildOcallTable(iface *edl.Interface, u *URTS, impls map[string]OcallFn) (*OcallTable, error) {
+	ocalls := iface.Ocalls()
+	t := &OcallTable{
+		Funcs: make([]OcallFn, len(ocalls)),
+		Names: make([]string, len(ocalls)),
+	}
+	for _, o := range ocalls {
+		fn, ok := impls[o.Name]
+		if !ok {
+			fn = u.syncOcallImpl(o.Name)
+			if fn == nil {
+				return nil, fmt.Errorf("sdk: no implementation for ocall %q", o.Name)
+			}
+		}
+		t.Funcs[o.ID] = fn
+		t.Names[o.ID] = o.Name
+	}
+	return t, nil
+}
+
+// Sync ocall names, matching the Intel SDK's sgx_tstdc.edl (§4.1.3).
+const (
+	OcallThreadWait        = "sgx_thread_wait_untrusted_event_ocall"
+	OcallThreadSet         = "sgx_thread_set_untrusted_event_ocall"
+	OcallThreadSetMultiple = "sgx_thread_set_multiple_untrusted_events_ocall"
+	OcallThreadSetWait     = "sgx_thread_setwait_untrusted_events_ocall"
+)
+
+// SyncOcallNames lists the four SDK synchronisation ocalls in the order
+// the paper describes them: sleep, wake one, wake multiple, wake one and
+// sleep.
+func SyncOcallNames() []string {
+	return []string{OcallThreadWait, OcallThreadSet, OcallThreadSetMultiple, OcallThreadSetWait}
+}
+
+// IsSyncOcall reports whether name is one of the four SDK sync ocalls.
+func IsSyncOcall(name string) bool {
+	switch name {
+	case OcallThreadWait, OcallThreadSet, OcallThreadSetMultiple, OcallThreadSetWait:
+		return true
+	}
+	return false
+}
+
+// WithSyncOcalls appends the four SDK synchronisation ocalls to an
+// interface if they are not already declared, as linking sgx_tstdc does.
+func WithSyncOcalls(iface *edl.Interface) (*edl.Interface, error) {
+	for _, name := range SyncOcallNames() {
+		if _, ok := iface.Lookup(name); ok {
+			continue
+		}
+		if _, err := iface.AddOcall(name, nil, edl.Param{Name: "target", Dir: edl.DirValue}); err != nil {
+			return nil, fmt.Errorf("sdk: declare %s: %w", name, err)
+		}
+	}
+	return iface, nil
+}
+
+// Arguments of the sync ocalls.
+type (
+	// WaitEventArgs puts the calling thread to sleep until its event is
+	// set.
+	WaitEventArgs struct{ Self sgx.ThreadID }
+	// SetEventArgs wakes one thread.
+	SetEventArgs struct{ Target sgx.ThreadID }
+	// SetMultipleEventArgs wakes several threads.
+	SetMultipleEventArgs struct{ Targets []sgx.ThreadID }
+	// SetWaitEventArgs wakes one thread and puts the caller to sleep.
+	SetWaitEventArgs struct {
+		Target sgx.ThreadID
+		Self   sgx.ThreadID
+	}
+)

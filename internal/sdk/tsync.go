@@ -1,0 +1,166 @@
+package sdk
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/vtime"
+)
+
+// runtimeGosched yields the Go scheduler during simulated spinning so the
+// lock holder's goroutine can run.
+func runtimeGosched() { runtime.Gosched() }
+
+// Mutex is the SDK's in-enclave mutex (§2.3.2): an uncontended lock is
+// taken without leaving the enclave, but a contended lock enqueues the
+// thread and sleeps through an ocall, and the unlocking thread wakes the
+// sleeper through another ocall — so one contended lock/unlock pair can
+// cost two enclave transitions, the Short Synchronisation Calls problem
+// (§3.4).
+type Mutex struct {
+	// SpinCount is the number of in-enclave spin attempts before sleeping.
+	// 0 is the plain SDK mutex; a positive count makes this the hybrid
+	// lock the paper recommends for short critical sections (§3.4).
+	SpinCount int
+
+	mu      sync.Mutex // models the in-enclave spinlock word
+	locked  bool
+	owner   sgx.ThreadID
+	waiters []sgx.ThreadID
+	handoff vtime.SyncPoint
+
+	// stats
+	contended uint64
+	sleeps    uint64
+}
+
+// Lock acquires the mutex on behalf of the calling enclave thread.
+func (m *Mutex) Lock(env *Env) error {
+	self := env.Context().ID()
+	spins := m.SpinCount
+	for {
+		env.Compute(CostSpin)
+		m.mu.Lock()
+		if !m.locked {
+			m.locked = true
+			m.owner = self
+			m.mu.Unlock()
+			m.handoff.Observe(env.Context().Clock())
+			return nil
+		}
+		if spins > 0 {
+			spins--
+			m.mu.Unlock()
+			// Let the holder make progress; virtual spin cost was charged
+			// above, the yield is only for the Go scheduler.
+			runtimeGosched()
+			continue
+		}
+		m.contended++
+		m.sleeps++
+		m.waiters = append(m.waiters, self)
+		m.mu.Unlock()
+		// Sleep outside the enclave (the first of the two transitions).
+		if _, err := env.Ocall(OcallThreadWait, WaitEventArgs{Self: self}); err != nil {
+			return fmt.Errorf("sdk: mutex sleep: %w", err)
+		}
+		spins = m.SpinCount
+	}
+}
+
+// Unlock releases the mutex, waking the first waiter via an ocall if any
+// (the second, typically very short, transition).
+func (m *Mutex) Unlock(env *Env) error {
+	self := env.Context().ID()
+	m.mu.Lock()
+	if !m.locked || m.owner != self {
+		m.mu.Unlock()
+		return fmt.Errorf("sdk: unlock of mutex not held by thread %d", self)
+	}
+	m.locked = false
+	m.owner = 0
+	var target sgx.ThreadID
+	if len(m.waiters) > 0 {
+		target = m.waiters[0]
+		m.waiters = m.waiters[1:]
+	}
+	m.mu.Unlock()
+	m.handoff.Publish(env.Context().Now())
+	if target != 0 {
+		if _, err := env.Ocall(OcallThreadSet, SetEventArgs{Target: target}); err != nil {
+			return fmt.Errorf("sdk: mutex wake: %w", err)
+		}
+	}
+	return nil
+}
+
+// Stats returns how often the lock was contended and how many sleep
+// ocalls it issued.
+func (m *Mutex) Stats() (contended, sleeps uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.contended, m.sleeps
+}
+
+// Cond is the SDK's in-enclave condition variable. Wait enqueues the
+// thread, releases the mutex and sleeps via ocall; Signal wakes one
+// waiter, Broadcast wakes all (the "wake multiple" ocall).
+type Cond struct {
+	mu      sync.Mutex
+	waiters []sgx.ThreadID
+}
+
+// Wait atomically releases m and sleeps until signalled, then re-acquires
+// m.
+func (c *Cond) Wait(env *Env, m *Mutex) error {
+	self := env.Context().ID()
+	c.mu.Lock()
+	c.waiters = append(c.waiters, self)
+	c.mu.Unlock()
+	if err := m.Unlock(env); err != nil {
+		return err
+	}
+	if _, err := env.Ocall(OcallThreadWait, WaitEventArgs{Self: self}); err != nil {
+		return fmt.Errorf("sdk: cond wait: %w", err)
+	}
+	return m.Lock(env)
+}
+
+// Signal wakes one waiter, if any.
+func (c *Cond) Signal(env *Env) error {
+	c.mu.Lock()
+	var target sgx.ThreadID
+	if len(c.waiters) > 0 {
+		target = c.waiters[0]
+		c.waiters = c.waiters[1:]
+	}
+	c.mu.Unlock()
+	if target == 0 {
+		return nil
+	}
+	_, err := env.Ocall(OcallThreadSet, SetEventArgs{Target: target})
+	return err
+}
+
+// Broadcast wakes every waiter with a single "wake multiple" ocall.
+func (c *Cond) Broadcast(env *Env) error {
+	c.mu.Lock()
+	targets := c.waiters
+	c.waiters = nil
+	c.mu.Unlock()
+	if len(targets) == 0 {
+		return nil
+	}
+	_, err := env.Ocall(OcallThreadSetMultiple, SetMultipleEventArgs{Targets: targets})
+	return err
+}
+
+// Waiters returns the number of threads currently enqueued on the condvar
+// (used by tests and diagnostics).
+func (c *Cond) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

@@ -1,0 +1,131 @@
+package sgx
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Remote attestation (§2.1 background: "authenticity and integrity of the
+// enclave is guaranteed by SGX through both local and remote attestation
+// mechanisms"). The model follows EPID's shape without its cryptography:
+// each machine owns an attestation key provisioned with a verification
+// service, QuoteFor signs a report with it, and the service checks quotes
+// from any registered machine — so a quote transfers trust across
+// machines, which a local report (MAC'd with the machine-private report
+// key) cannot.
+
+// Quote is a remotely verifiable statement about an enclave.
+type Quote struct {
+	// PlatformID identifies the quoting machine at the service.
+	PlatformID uint64
+	Report     Report
+	// Nonce binds the quote to a verifier challenge.
+	Nonce [16]byte
+	// Signature is the attestation-key MAC over the quote body.
+	Signature [32]byte
+}
+
+// ErrUnknownPlatform is returned for quotes from unregistered machines.
+var ErrUnknownPlatform = errors.New("sgx: unknown platform")
+
+// ErrBadQuote is returned when a quote fails verification.
+var ErrBadQuote = errors.New("sgx: quote verification failed")
+
+// AttestationService is the verification authority (the IAS stand-in):
+// it knows each registered platform's attestation key.
+type AttestationService struct {
+	mu     sync.Mutex
+	nextID uint64
+	keys   map[uint64][]byte
+}
+
+// NewAttestationService creates an empty service.
+func NewAttestationService() *AttestationService {
+	return &AttestationService{keys: make(map[uint64][]byte)}
+}
+
+// Register provisions a machine with an attestation key and returns its
+// platform identity. In real SGX this is the EPID provisioning flow.
+func (s *AttestationService) Register(m *Machine) (uint64, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return 0, fmt.Errorf("sgx: provision attestation key: %w", err)
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.keys[id] = key
+	s.mu.Unlock()
+	m.setAttestation(id, key)
+	return id, nil
+}
+
+// Verify checks a quote against the expected nonce. On success the caller
+// may trust the contained measurement.
+func (s *AttestationService) Verify(q Quote, nonce [16]byte) error {
+	s.mu.Lock()
+	key, ok := s.keys[q.PlatformID]
+	s.mu.Unlock()
+	if !ok {
+		return ErrUnknownPlatform
+	}
+	if q.Nonce != nonce {
+		return fmt.Errorf("%w: nonce mismatch", ErrBadQuote)
+	}
+	want := quoteMAC(key, q)
+	if !hmac.Equal(want[:], q.Signature[:]) {
+		return ErrBadQuote
+	}
+	return nil
+}
+
+func quoteMAC(key []byte, q Quote) [32]byte {
+	mac := hmac.New(sha256.New, key)
+	var idb [8]byte
+	binary.LittleEndian.PutUint64(idb[:], q.PlatformID)
+	mac.Write(idb[:])
+	binary.LittleEndian.PutUint64(idb[:], uint64(q.Report.EnclaveID))
+	mac.Write(idb[:])
+	mac.Write(q.Report.Measurement[:])
+	mac.Write(q.Report.MAC[:])
+	mac.Write(q.Nonce[:])
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// setAttestation stores the provisioned identity (the quoting enclave's
+// sealed key in real SGX).
+func (m *Machine) setAttestation(id uint64, key []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.platformID = id
+	m.attestKey = append([]byte(nil), key...)
+}
+
+// ErrNotProvisioned is returned by QuoteFor before Register.
+var ErrNotProvisioned = errors.New("sgx: machine not provisioned for remote attestation")
+
+// QuoteFor produces a remotely verifiable quote over the enclave: the
+// quoting path first checks the local report (as the real quoting enclave
+// does) and then signs it with the attestation key.
+func (m *Machine) QuoteFor(e *Enclave, nonce [16]byte) (Quote, error) {
+	m.mu.Lock()
+	id, key := m.platformID, m.attestKey
+	m.mu.Unlock()
+	if key == nil {
+		return Quote{}, ErrNotProvisioned
+	}
+	report := makeReport(e, m.mee.ReportKey())
+	if !verifyReport(report, m.mee.ReportKey()) {
+		return Quote{}, fmt.Errorf("sgx: local report self-check failed")
+	}
+	q := Quote{PlatformID: id, Report: report, Nonce: nonce}
+	q.Signature = quoteMAC(key, q)
+	return q, nil
+}

@@ -1,0 +1,407 @@
+package sgx
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sgxperf/internal/vtime"
+)
+
+// Errors returned by context operations.
+var (
+	// ErrNoFreeTCS mirrors SGX_ERROR_OUT_OF_TCS: all Thread Control
+	// Structures are bound to other threads.
+	ErrNoFreeTCS = errors.New("sgx: no free TCS")
+	// ErrNotInEnclave is returned for enclave-only operations issued
+	// outside an enclave.
+	ErrNotInEnclave = errors.New("sgx: not executing inside an enclave")
+	// ErrEnclaveDestroyed is returned when entering a destroyed enclave.
+	ErrEnclaveDestroyed = errors.New("sgx: enclave destroyed")
+)
+
+// FaultError reports an unhandled memory fault (the simulated equivalent of
+// a crash-inducing SIGSEGV).
+type FaultError struct {
+	Addr  Vaddr
+	Write bool
+	Kind  PageKind
+}
+
+func (e *FaultError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("sgx: unhandled fault: %s of %#x (%s page)", op, uint64(e.Addr), e.Kind)
+}
+
+// frame is one enclave entry on a thread's call stack. Ocalls suspend the
+// frame (the thread runs untrusted code); nested ecalls push a new frame.
+type frame struct {
+	enc         *Enclave
+	tcs         int
+	borrowedTCS bool
+	suspended   bool
+	aexCount    int
+	touched     map[*Page]struct{}
+}
+
+// Context is a simulated OS thread. It owns a virtual clock and an enclave
+// frame stack. A Context must only be used from a single goroutine.
+type Context struct {
+	id    ThreadID
+	name  string
+	m     *Machine
+	clock *vtime.Clock
+
+	frames    []*frame
+	nextTimer vtime.Cycles
+	inAEX     bool
+}
+
+// ID returns the thread identifier.
+func (c *Context) ID() ThreadID { return c.id }
+
+// Name returns the thread's label.
+func (c *Context) Name() string { return c.name }
+
+// Clock returns the thread's virtual clock.
+func (c *Context) Clock() *vtime.Clock { return c.clock }
+
+// Now returns the thread's current virtual time.
+func (c *Context) Now() vtime.Cycles { return c.clock.Now() }
+
+// Machine returns the machine this thread runs on.
+func (c *Context) Machine() *Machine { return c.m }
+
+// InEnclave reports whether the thread is currently executing enclave code.
+func (c *Context) InEnclave() bool {
+	f := c.top()
+	return f != nil && !f.suspended
+}
+
+// CurrentEnclave returns the enclave of the innermost frame (suspended or
+// not), or nil.
+func (c *Context) CurrentEnclave() *Enclave {
+	if f := c.top(); f != nil {
+		return f.enc
+	}
+	return nil
+}
+
+// EnclaveDepth returns the number of enclave frames on the thread's stack.
+func (c *Context) EnclaveDepth() int { return len(c.frames) }
+
+// CurrentCallAEXCount returns the number of AEXs suffered by the innermost
+// frame so far.
+func (c *Context) CurrentCallAEXCount() int {
+	if f := c.top(); f != nil {
+		return f.aexCount
+	}
+	return 0
+}
+
+func (c *Context) top() *frame {
+	if len(c.frames) == 0 {
+		return nil
+	}
+	return c.frames[len(c.frames)-1]
+}
+
+// advance moves the clock without timer-interrupt modelling (used for the
+// machine's own micro-costs).
+func (c *Context) advance(n vtime.Cycles) { c.clock.Advance(n) }
+
+func (c *Context) chargeERESUME() { c.advance(c.m.cost.EResume) }
+
+// Compute advances the thread's clock by d of simulated work, delivering
+// timer-interrupt AEXs at quantum boundaries while inside an enclave.
+func (c *Context) Compute(d time.Duration) {
+	c.ComputeCycles(c.m.cost.Frequency.Cycles(d))
+}
+
+// ComputeCycles is Compute in cycle units. Work performed inside an
+// enclave is scaled by the cost model's EnclaveComputeFactor (MEE-induced
+// slowdown) and delivers timer AEXs at quantum boundaries.
+func (c *Context) ComputeCycles(n vtime.Cycles) {
+	if c.InEnclave() && !c.inAEX {
+		n = c.m.cost.enclaveScale(n)
+	}
+	for n > 0 {
+		if !c.InEnclave() || c.inAEX {
+			c.clock.Advance(n)
+			c.catchUpTimer()
+			return
+		}
+		if c.nextTimer <= c.clock.Now() {
+			// The clock jumped past pending ticks — typically a
+			// cross-thread merge while the thread was parked (a
+			// switchless worker waiting on its queue). Those ticks
+			// interrupted idle time, not this computation: realign the
+			// timer without charging AEXs for them.
+			c.catchUpTimer()
+		}
+		until := c.nextTimer - c.clock.Now()
+		if until > n {
+			c.clock.Advance(n)
+			return
+		}
+		c.clock.Advance(until)
+		n -= until
+		_ = c.deliverAEX(AEXTimer, nil)
+	}
+}
+
+// catchUpTimer skips missed ticks while outside enclaves (interrupts are
+// handled by the OS without enclave involvement, so they cost nothing in
+// this model).
+func (c *Context) catchUpTimer() {
+	q := c.m.cost.TimerQuantum
+	for c.nextTimer <= c.clock.Now() {
+		c.nextTimer += q
+	}
+}
+
+// deliverAEX runs the full asynchronous-exit sequence: save state, run the
+// untrusted handler (for timers: the IRQ handler; for faults the caller
+// performs resolution before calling the AEP), then jump to the AEP, which
+// by default executes ERESUME.
+func (c *Context) deliverAEX(cause AEXCause, handler func() error) error {
+	f := c.top()
+	cost := c.m.cost
+	c.inAEX = true
+	defer func() { c.inAEX = false }()
+
+	c.advance(cost.AEXSave)
+	f.aexCount++
+	if cause == AEXTimer {
+		c.nextTimer += cost.TimerQuantum
+		c.advance(cost.IRQHandler)
+	}
+	if handler != nil {
+		if err := handler(); err != nil {
+			return err
+		}
+	}
+	info := AEXInfo{
+		Enclave: f.enc.ID,
+		Thread:  c.id,
+		Time:    c.clock.Now(),
+	}
+	if f.enc.Config.Debug && f.enc.Config.SGXv2 {
+		info.Cause = cause
+	}
+	c.m.currentAEP()(c, info)
+	return nil
+}
+
+// EEnter enters the enclave: binds a TCS, charges the transition, and
+// pushes a frame. Nested entries during an ocall reuse the suspended
+// frame's TCS, matching SDK semantics.
+func (c *Context) EEnter(enc *Enclave) error {
+	enc.mu.Lock()
+	destroyed := enc.destroyed
+	enc.mu.Unlock()
+	if destroyed {
+		return ErrEnclaveDestroyed
+	}
+	tcs := -1
+	borrowed := false
+	for i := len(c.frames) - 1; i >= 0; i-- {
+		if c.frames[i].enc == enc && c.frames[i].suspended {
+			tcs = c.frames[i].tcs
+			borrowed = true
+			break
+		}
+	}
+	if tcs < 0 {
+		slot, ok := enc.acquireTCS()
+		if !ok {
+			return ErrNoFreeTCS
+		}
+		tcs = slot
+	}
+	c.advance(c.m.cost.EEnter)
+	c.frames = append(c.frames, &frame{
+		enc:         enc,
+		tcs:         tcs,
+		borrowedTCS: borrowed,
+		touched:     make(map[*Page]struct{}, 8),
+	})
+	if err := c.touchPage(enc.tcsPages[tcs], true); err != nil {
+		c.popFrame()
+		return err
+	}
+	return nil
+}
+
+// EExit leaves the enclave, popping the innermost frame.
+func (c *Context) EExit() error {
+	f := c.top()
+	if f == nil || f.suspended {
+		return ErrNotInEnclave
+	}
+	c.advance(c.m.cost.EExit)
+	c.popFrame()
+	return nil
+}
+
+func (c *Context) popFrame() {
+	f := c.frames[len(c.frames)-1]
+	c.frames = c.frames[:len(c.frames)-1]
+	if !f.borrowedTCS {
+		f.enc.releaseTCS(f.tcs)
+	}
+}
+
+// OcallExit suspends the innermost frame for an ocall: the thread leaves
+// the enclave (EEXIT) but keeps its TCS bound.
+func (c *Context) OcallExit() error {
+	f := c.top()
+	if f == nil || f.suspended {
+		return ErrNotInEnclave
+	}
+	c.advance(c.m.cost.EExit)
+	f.suspended = true
+	return nil
+}
+
+// OcallReturn re-enters the enclave after an ocall completes.
+func (c *Context) OcallReturn() error {
+	f := c.top()
+	if f == nil || !f.suspended {
+		return fmt.Errorf("sgx: no suspended ocall frame")
+	}
+	c.advance(c.m.cost.EEnter)
+	f.suspended = false
+	return nil
+}
+
+// maxFaultRetries bounds fault-retry loops against buggy handlers.
+const maxFaultRetries = 8
+
+// touchPage performs one page access with full fault modelling: MMU
+// permission check first (signal path), then EPC residency (driver paging
+// path), then the access itself.
+func (c *Context) touchPage(p *Page, write bool) error {
+	f := c.top()
+	if f == nil {
+		return ErrNotInEnclave
+	}
+	need := PermRead
+	if write {
+		need |= PermWrite
+	}
+	cost := c.m.cost
+	for attempt := 0; attempt < maxFaultRetries; attempt++ {
+		if !p.MMUPerm().Has(need) {
+			err := c.deliverAEX(AEXAccessFault, func() error {
+				c.advance(cost.PageFault)
+				h := c.m.segvHandler()
+				if h == nil || !h(c, f.enc, p, write) {
+					return &FaultError{Addr: p.Vaddr, Write: write, Kind: p.Kind}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if !p.Resident() {
+			err := c.deliverAEX(AEXPageFault, func() error {
+				c.advance(cost.PageFault)
+				r := c.m.faultResolver()
+				if r == nil {
+					return errNoResolver
+				}
+				return r.ResolveEPCFault(c, f.enc, p, write)
+			})
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if _, seen := f.touched[p]; !seen {
+			f.touched[p] = struct{}{}
+			c.advance(cost.PageTouch)
+		}
+		c.m.epc.Touch(p)
+		return nil
+	}
+	return fmt.Errorf("sgx: access to %#x not resolved after %d faults", uint64(p.Vaddr), maxFaultRetries)
+}
+
+// TouchRange accesses every page overlapping [v, v+n), faulting pages in
+// as needed. It is the memory-access primitive trusted code uses.
+func (c *Context) TouchRange(v Vaddr, n int, write bool) error {
+	f := c.top()
+	if f == nil || f.suspended {
+		return ErrNotInEnclave
+	}
+	if n <= 0 {
+		return nil
+	}
+	enc := f.enc
+	first := v &^ (PageSize - 1)
+	for a := first; a < v+Vaddr(n); a += PageSize {
+		p := enc.PageAt(a)
+		if p == nil {
+			return &FaultError{Addr: a, Write: write}
+		}
+		if err := c.touchPage(p, write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBytes copies b into enclave memory at v, touching pages on the way.
+func (c *Context) WriteBytes(v Vaddr, b []byte) error {
+	if err := c.TouchRange(v, len(b), true); err != nil {
+		return err
+	}
+	enc := c.top().enc
+	for off := 0; off < len(b); {
+		p := enc.PageAt(v + Vaddr(off))
+		po := int(v+Vaddr(off)) & (PageSize - 1)
+		off += p.CopyIn(po, b[off:])
+	}
+	return nil
+}
+
+// ReadBytes copies enclave memory at v into b.
+func (c *Context) ReadBytes(v Vaddr, b []byte) error {
+	if err := c.TouchRange(v, len(b), false); err != nil {
+		return err
+	}
+	enc := c.top().enc
+	for off := 0; off < len(b); {
+		p := enc.PageAt(v + Vaddr(off))
+		po := int(v+Vaddr(off)) & (PageSize - 1)
+		off += p.CopyOut(po, b[off:])
+	}
+	return nil
+}
+
+// HeapAlloc allocates n bytes on the innermost enclave's heap. SGXv2
+// enclaves grow on demand from their reserve region; SGXv1 enclaves fail
+// with ErrOutOfEnclaveMemory when exhausted (§2.3.3).
+func (c *Context) HeapAlloc(n int) (Vaddr, error) {
+	f := c.top()
+	if f == nil || f.suspended {
+		return 0, ErrNotInEnclave
+	}
+	return f.enc.heapAlloc(n, f.enc.commitReserve)
+}
+
+// HeapReset frees all heap allocations of the innermost enclave.
+func (c *Context) HeapReset() error {
+	f := c.top()
+	if f == nil {
+		return ErrNotInEnclave
+	}
+	f.enc.heapReset()
+	return nil
+}

@@ -1,0 +1,133 @@
+package sgx
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EPC sizing (§2.3.3): current hardware reserves 128 MiB of system memory,
+// of which ≈93 MiB are usable for enclave pages; the rest holds integrity
+// metadata.
+const (
+	// EPCTotalBytes is the reserved EPC region size.
+	EPCTotalBytes = 128 << 20
+	// EPCUsableBytes is the portion available for enclave pages.
+	EPCUsableBytes = 93 << 20
+	// EPCUsablePages is the usable page capacity (23,808 pages).
+	EPCUsablePages = EPCUsableBytes / PageSize
+)
+
+// EPC is the Enclave Page Cache: a fixed-capacity set of resident enclave
+// pages shared by all enclaves on the machine. Eviction policy lives in the
+// kernel driver; the EPC itself only tracks occupancy, enforces capacity,
+// and maintains LRU ordering metadata.
+type EPC struct {
+	mu       sync.Mutex
+	capacity int
+	resident map[*Page]struct{}
+	useClock uint64
+
+	// stats
+	insertions uint64
+	removals   uint64
+	peak       int
+}
+
+// NewEPC creates an EPC with the given page capacity. Capacity 0 selects
+// the architectural default (EPCUsablePages).
+func NewEPC(capacity int) *EPC {
+	if capacity <= 0 {
+		capacity = EPCUsablePages
+	}
+	return &EPC{
+		capacity: capacity,
+		resident: make(map[*Page]struct{}, capacity/16),
+	}
+}
+
+// Capacity returns the page capacity.
+func (e *EPC) Capacity() int { return e.capacity }
+
+// Resident returns the number of currently resident pages.
+func (e *EPC) Resident() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.resident)
+}
+
+// Free returns the number of free page slots.
+func (e *EPC) Free() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.capacity - len(e.resident)
+}
+
+// ErrEPCFull is returned by Insert when no slot is free; the caller (the
+// driver) must evict a victim first.
+var ErrEPCFull = fmt.Errorf("sgx: epc full")
+
+// Insert marks the page resident, consuming one slot.
+func (e *EPC) Insert(p *Page) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.resident[p]; ok {
+		return nil
+	}
+	if len(e.resident) >= e.capacity {
+		return ErrEPCFull
+	}
+	e.resident[p] = struct{}{}
+	p.resident.Store(true)
+	e.useClock++
+	p.lastUse = e.useClock
+	e.insertions++
+	if len(e.resident) > e.peak {
+		e.peak = len(e.resident)
+	}
+	return nil
+}
+
+// Remove marks the page non-resident, freeing its slot.
+func (e *EPC) Remove(p *Page) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.resident[p]; !ok {
+		return
+	}
+	delete(e.resident, p)
+	p.resident.Store(false)
+	e.removals++
+}
+
+// Touch refreshes the page's LRU stamp.
+func (e *EPC) Touch(p *Page) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.useClock++
+	p.lastUse = e.useClock
+}
+
+// Victim returns the least-recently-used resident page for which keep
+// returns false, or nil if none qualifies. The driver uses keep to protect
+// pages that must stay resident (e.g. the SECS of a running enclave).
+func (e *EPC) Victim(keep func(*Page) bool) *Page {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var victim *Page
+	for p := range e.resident {
+		if keep != nil && keep(p) {
+			continue
+		}
+		if victim == nil || p.lastUse < victim.lastUse {
+			victim = p
+		}
+	}
+	return victim
+}
+
+// Stats reports lifetime counters.
+func (e *EPC) Stats() (insertions, removals uint64, peak int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.insertions, e.removals, e.peak
+}

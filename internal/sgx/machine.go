@@ -1,0 +1,294 @@
+package sgx
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+
+	"sgxperf/internal/vtime"
+)
+
+// ThreadID identifies a simulated OS thread.
+type ThreadID int64
+
+// AEXCause distinguishes why an asynchronous exit happened. SGX v1 hardware
+// cannot report this to software (§4.1.4); the machine model records it for
+// its own bookkeeping, and only exposes it through the AEP when the enclave
+// is a debug enclave with SGXv2 enabled, mirroring the paper's description
+// of what SGX v2 will allow.
+type AEXCause int
+
+const (
+	// AEXTimer is a timer interrupt.
+	AEXTimer AEXCause = iota + 1
+	// AEXPageFault is an EPC-residency page fault.
+	AEXPageFault
+	// AEXAccessFault is an MMU permission fault (delivered as a signal).
+	AEXAccessFault
+)
+
+// String names the cause.
+func (c AEXCause) String() string {
+	switch c {
+	case AEXTimer:
+		return "timer"
+	case AEXPageFault:
+		return "page-fault"
+	case AEXAccessFault:
+		return "access-fault"
+	default:
+		return "unknown"
+	}
+}
+
+// AEXInfo is passed to the AEP handler on every asynchronous exit.
+type AEXInfo struct {
+	Enclave EnclaveID
+	Thread  ThreadID
+	Time    vtime.Cycles
+	// Cause is AEXTimer/AEXPageFault/AEXAccessFault for debug+SGXv2
+	// enclaves and 0 (unknown) otherwise.
+	Cause AEXCause
+}
+
+// AEPFunc is the handler located at the Asynchronous Exit Pointer. The
+// default handler immediately resumes the enclave (ERESUME). Tools may
+// patch it (§4.1.4) and must chain to the previous handler to resume.
+type AEPFunc func(ctx *Context, info AEXInfo)
+
+// PageFaultResolver resolves EPC-residency faults. It is implemented by the
+// kernel driver: page the victim out if the EPC is full, page the faulting
+// page in.
+type PageFaultResolver interface {
+	ResolveEPCFault(ctx *Context, enc *Enclave, page *Page, write bool) error
+}
+
+// SegvHandler handles MMU permission faults on enclave pages (the signal
+// path used by the working-set estimator, §4.2). It returns true if the
+// fault was handled and the access should be retried.
+type SegvHandler func(ctx *Context, enc *Enclave, page *Page, write bool) bool
+
+// Machine is one SGX-capable host: an EPC, an MEE, a cost model, and the
+// set of enclaves in its address space.
+type Machine struct {
+	cost CostModel
+	epc  *EPC
+	mee  *MEE
+
+	mu          sync.Mutex
+	enclaves    map[EnclaveID]*Enclave
+	order       []*Enclave // creation order, for address lookup
+	nextEnclave EnclaveID
+	nextThread  ThreadID
+	nextBase    Vaddr
+
+	resolver PageFaultResolver
+	segv     SegvHandler
+	aep      AEPFunc
+
+	// Remote-attestation provisioning (attest.go).
+	platformID uint64
+	attestKey  []byte
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithCostModel overrides the default (vanilla-mitigation) cost model.
+func WithCostModel(c CostModel) Option {
+	return func(m *Machine) { m.cost = c }
+}
+
+// WithEPCCapacity overrides the EPC page capacity (useful for forcing
+// paging in tests without 93 MiB of working set).
+func WithEPCCapacity(pages int) Option {
+	return func(m *Machine) { m.epc = NewEPC(pages) }
+}
+
+// enclaveBaseGap spaces enclave base addresses apart.
+const enclaveBaseGap = 1 << 32
+
+// NewMachine creates a machine. Each machine gets a fresh random platform
+// key, so reports and sealed pages from one machine do not verify on
+// another (the key is not an experiment variable — no measurement depends
+// on it); the cost model defaults to MitigationNone.
+func NewMachine(opts ...Option) (*Machine, error) {
+	key := make([]byte, 16)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("sgx: platform key: %w", err)
+	}
+	mee, err := NewMEE(key)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cost:     DefaultCostModel(MitigationNone),
+		epc:      NewEPC(0),
+		mee:      mee,
+		enclaves: make(map[EnclaveID]*Enclave),
+		nextBase: 0x7f0000000000,
+	}
+	m.aep = defaultAEP
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+func defaultAEP(ctx *Context, info AEXInfo) {
+	ctx.chargeERESUME()
+}
+
+// Cost returns the machine's cost model.
+func (m *Machine) Cost() CostModel { return m.cost }
+
+// EPC returns the machine's enclave page cache.
+func (m *Machine) EPC() *EPC { return m.epc }
+
+// MEE returns the machine's memory encryption engine.
+func (m *Machine) MEE() *MEE { return m.mee }
+
+// SetPageFaultResolver installs the kernel driver's fault resolver. Must be
+// called during wiring, before enclaves run.
+func (m *Machine) SetPageFaultResolver(r PageFaultResolver) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resolver = r
+}
+
+// SetSegvHandler installs the kernel's signal dispatch for MMU faults.
+func (m *Machine) SetSegvHandler(h SegvHandler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.segv = h
+}
+
+// PatchAEP replaces the AEP handler, returning the previous one so the new
+// handler can chain to it (the logger's AEX tracing does exactly this,
+// §4.1.4).
+func (m *Machine) PatchAEP(fn AEPFunc) AEPFunc {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev := m.aep
+	m.aep = fn
+	return prev
+}
+
+func (m *Machine) currentAEP() AEPFunc {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.aep
+}
+
+func (m *Machine) segvHandler() SegvHandler {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.segv
+}
+
+func (m *Machine) faultResolver() PageFaultResolver {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resolver
+}
+
+// NewEnclaveLayout builds an enclave's address-space layout and registers
+// it with the machine. It performs no EPC loading: enclave creation is a
+// kernel-space operation (§2.1), so the driver calls this and then loads
+// the pages.
+func (m *Machine) NewEnclaveLayout(cfg Config) *Enclave {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextEnclave++
+	base := m.nextBase
+	m.nextBase += enclaveBaseGap
+	e := buildEnclave(m.nextEnclave, base, cfg)
+	m.enclaves[e.ID] = e
+	m.order = append(m.order, e)
+	return e
+}
+
+// RemoveEnclave unregisters a destroyed enclave.
+func (m *Machine) RemoveEnclave(id EnclaveID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.enclaves[id]
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	e.destroyed = true
+	e.mu.Unlock()
+	delete(m.enclaves, id)
+	for i, o := range m.order {
+		if o == e {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Enclave returns the enclave with the given ID, or nil.
+func (m *Machine) Enclave(id EnclaveID) *Enclave {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.enclaves[id]
+}
+
+// Enclaves returns a snapshot of all live enclaves.
+func (m *Machine) Enclaves() []*Enclave {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Enclave, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// LookupAddr resolves a virtual address to the enclave and page containing
+// it. Tools use this to attribute paging events to enclave regions
+// (§4.1.5).
+func (m *Machine) LookupAddr(v Vaddr) (*Enclave, *Page) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.order {
+		if p := e.PageAt(v); p != nil {
+			return e, p
+		}
+	}
+	return nil, nil
+}
+
+// Report produces a local-attestation report for the enclave.
+func (m *Machine) Report(e *Enclave) Report {
+	return makeReport(e, m.mee.ReportKey())
+}
+
+// VerifyReport checks a local-attestation report produced on this machine.
+func (m *Machine) VerifyReport(r Report) bool {
+	return verifyReport(r, m.mee.ReportKey())
+}
+
+// NewContext creates a simulated OS thread with its own virtual clock.
+func (m *Machine) NewContext(name string) *Context {
+	m.mu.Lock()
+	m.nextThread++
+	id := m.nextThread
+	m.mu.Unlock()
+	c := &Context{
+		id:    id,
+		name:  name,
+		m:     m,
+		clock: vtime.NewClock(m.cost.Frequency),
+	}
+	c.nextTimer = m.cost.TimerQuantum
+	return c
+}
+
+// SetMMUPerm changes a page's OS page-table permission. This is the
+// mprotect-equivalent used by the working-set estimator; SGX permissions
+// are unaffected.
+func (m *Machine) SetMMUPerm(p *Page, perm Perm) {
+	p.setMMUPerm(perm)
+}
+
+var errNoResolver = fmt.Errorf("sgx: no page-fault resolver installed")

@@ -1,0 +1,226 @@
+package sgx
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PageSize is the architectural page size used throughout the model.
+const PageSize = 4096
+
+// PageKind describes the role of a page inside an enclave (§2.1, §2.3.3).
+type PageKind int
+
+const (
+	// PageSECS is the enclave control structure holding metadata such as
+	// size and measurement. Exactly one per enclave.
+	PageSECS PageKind = iota + 1
+	// PageTCS is a Thread Control Structure describing an entry point. The
+	// number of TCS pages bounds concurrent in-enclave threads.
+	PageTCS
+	// PageSSA is a State Save Area page used on asynchronous exits.
+	PageSSA
+	// PageStack is an in-enclave stack page (per configured thread).
+	PageStack
+	// PageHeap is an in-enclave heap page.
+	PageHeap
+	// PageCode holds enclave code and static data.
+	PageCode
+	// PageGuard is an unmapped guard page (e.g. below each stack). Guard
+	// pages are never accessed in a correct execution.
+	PageGuard
+	// PagePadding pads the enclave to a power-of-two size. Padding pages
+	// are measured but never accessed.
+	PagePadding
+)
+
+// String returns a short name for the page kind.
+func (k PageKind) String() string {
+	switch k {
+	case PageSECS:
+		return "secs"
+	case PageTCS:
+		return "tcs"
+	case PageSSA:
+		return "ssa"
+	case PageStack:
+		return "stack"
+	case PageHeap:
+		return "heap"
+	case PageCode:
+		return "code"
+	case PageGuard:
+		return "guard"
+	case PagePadding:
+		return "padding"
+	default:
+		return "unknown"
+	}
+}
+
+// Perm is a page permission bit set. SGX keeps its own permissions (fixed
+// at enclave build in SGXv1) while the MMU permissions can be changed at
+// runtime — the working-set estimator exploits exactly this (§4.2).
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// PermRW is the common read-write permission set.
+const PermRW = PermRead | PermWrite
+
+// Has reports whether all bits in q are set in p.
+func (p Perm) Has(q Perm) bool { return p&q == q }
+
+// String renders the permission set in rwx form.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p.Has(PermRead) {
+		b[0] = 'r'
+	}
+	if p.Has(PermWrite) {
+		b[1] = 'w'
+	}
+	if p.Has(PermExec) {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Vaddr is a simulated virtual address.
+type Vaddr uint64
+
+// PageIndex returns the page number of the address within an enclave whose
+// base is base.
+func (v Vaddr) PageIndex(base Vaddr) int {
+	return int((v - base) / PageSize)
+}
+
+// Page is one enclave page. Pages are owned by their enclave; residency
+// and MMU-permission state are accessed by concurrent simulated threads
+// and are therefore atomic, while content transitions (seal/unseal) are
+// serialised by the driver.
+type Page struct {
+	// Vaddr is the page's virtual address (immutable).
+	Vaddr Vaddr
+	// Kind is the page's role (immutable).
+	Kind PageKind
+	// Thread is the configured thread slot this page belongs to, or -1 for
+	// enclave-global pages (immutable).
+	Thread int
+	// SGXPerm is the permission recorded in the EPC metadata; fixed after
+	// enclave creation in SGX v1 (immutable here).
+	SGXPerm Perm
+
+	// mmuPerm is the OS page-table permission, checked before SGXPerm and
+	// mutable at runtime (mprotect).
+	mmuPerm atomic.Uint32
+	// resident reports whether the page currently occupies an EPC slot.
+	resident atomic.Bool
+
+	// mu guards content state below.
+	mu sync.Mutex
+	// data holds the plaintext page content while resident. Allocated
+	// lazily on first write.
+	data []byte
+	// sealed holds the MEE-encrypted image while swapped out.
+	sealed []byte
+	// version counts evictions, feeding the MEE nonce (anti-replay).
+	version uint64
+
+	// lastUse is a logical-time stamp for LRU eviction; guarded by the
+	// EPC's mutex.
+	lastUse uint64
+}
+
+// MMUPerm returns the current OS page-table permission.
+func (p *Page) MMUPerm() Perm { return Perm(p.mmuPerm.Load()) }
+
+// setMMUPerm changes the OS page-table permission (mprotect equivalent).
+func (p *Page) setMMUPerm(perm Perm) { p.mmuPerm.Store(uint32(perm)) }
+
+// Resident reports whether the page is in the EPC.
+func (p *Page) Resident() bool { return p.resident.Load() }
+
+// Data returns the page's plaintext content, allocating it on first use.
+// Only meaningful while the page is resident.
+func (p *Page) Data() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.data == nil {
+		p.data = make([]byte, PageSize)
+	}
+	return p.data
+}
+
+// CopyIn writes b into the page at byte offset off, returning the number
+// of bytes copied (bounded by the page end).
+func (p *Page) CopyIn(off int, b []byte) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.data == nil {
+		p.data = make([]byte, PageSize)
+	}
+	return copy(p.data[off:], b)
+}
+
+// CopyOut reads from the page at byte offset off into b, returning the
+// number of bytes copied.
+func (p *Page) CopyOut(off int, b []byte) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.data == nil {
+		p.data = make([]byte, PageSize)
+	}
+	return copy(b, p.data[off:])
+}
+
+// Version returns the page's eviction counter, which feeds the MEE nonce.
+func (p *Page) Version() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.version
+}
+
+// SealFor encrypts the page's current content with the MEE for eviction,
+// bumping the version so stale images cannot be replayed.
+func (p *Page) SealFor(mee *MEE) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.version++
+	if p.data == nil {
+		// Never-written page: an all-zero image.
+		p.data = make([]byte, PageSize)
+	}
+	p.sealed = mee.Seal(p.Vaddr, p.version, p.data)
+}
+
+// Unseal decrypts the page's sealed image (if any) back into its plaintext
+// buffer, verifying integrity. restored reports whether an image existed;
+// it is false for never-evicted pages.
+func (p *Page) Unseal(mee *MEE) (restored bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sealed == nil {
+		return false, nil
+	}
+	pt, err := mee.Open(p.Vaddr, p.version, p.sealed)
+	if err != nil {
+		return false, err
+	}
+	if p.data == nil {
+		p.data = make([]byte, PageSize)
+	}
+	copy(p.data, pt)
+	p.sealed = nil
+	return true, nil
+}
+
+func (p *Page) String() string {
+	return fmt.Sprintf("page{%#x %s %s}", uint64(p.Vaddr), p.Kind, p.MMUPerm())
+}

@@ -1,0 +1,171 @@
+package sgx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestEPCInvariantsUnderRandomOps drives the EPC with random
+// insert/remove/touch/victim sequences and checks its invariants after
+// every step: residency never exceeds capacity, Free+Resident equals
+// Capacity, and every page's Resident flag agrees with the set.
+func TestEPCInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 1 + int(capRaw)%16
+		epc := NewEPC(capacity)
+		pages := make([]*Page, 32)
+		for i := range pages {
+			pages[i] = &Page{Vaddr: Vaddr(0x1000 * (i + 1)), Kind: PageHeap}
+		}
+		inSet := make(map[*Page]bool)
+		for step := 0; step < 200; step++ {
+			p := pages[rng.Intn(len(pages))]
+			switch rng.Intn(4) {
+			case 0:
+				err := epc.Insert(p)
+				if err == nil {
+					inSet[p] = true
+				} else if err != ErrEPCFull || inSet[p] {
+					// Insert may only fail with ErrEPCFull, and only for
+					// pages not already resident.
+					return false
+				}
+			case 1:
+				epc.Remove(p)
+				delete(inSet, p)
+			case 2:
+				if inSet[p] {
+					epc.Touch(p)
+				}
+			case 3:
+				victim := epc.Victim(nil)
+				if victim != nil && !inSet[victim] {
+					return false
+				}
+			}
+			if epc.Resident() != len(inSet) {
+				return false
+			}
+			if epc.Resident() > capacity {
+				return false
+			}
+			if epc.Free()+epc.Resident() != capacity {
+				return false
+			}
+			for q, want := range map[*Page]bool{p: inSet[p]} {
+				if q.Resident() != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVictimIsAlwaysLeastRecentlyUsed checks the LRU property against a
+// reference model under random access patterns.
+func TestVictimIsAlwaysLeastRecentlyUsed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		epc := NewEPC(8)
+		var order []*Page // reference LRU order, least-recent first
+		pages := make([]*Page, 8)
+		for i := range pages {
+			pages[i] = &Page{Vaddr: Vaddr(0x1000 * (i + 1))}
+			if err := epc.Insert(pages[i]); err != nil {
+				return false
+			}
+			order = append(order, pages[i])
+		}
+		moveBack := func(p *Page) {
+			for i, q := range order {
+				if q == p {
+					order = append(order[:i], order[i+1:]...)
+					break
+				}
+			}
+			order = append(order, p)
+		}
+		for step := 0; step < 100; step++ {
+			p := pages[rng.Intn(len(pages))]
+			epc.Touch(p)
+			moveBack(p)
+			if v := epc.Victim(nil); v != order[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClockNeverRegressesAcrossMachineOps runs a thread through random
+// enclave operations and verifies virtual time is monotonic throughout.
+func TestClockNeverRegressesAcrossMachineOps(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{HeapBytes: 8 * PageSize, NumTCS: 2})
+	loadAll(t, m, e)
+	ctx := m.NewContext("t")
+	rng := rand.New(rand.NewSource(42))
+
+	last := ctx.Now()
+	check := func() {
+		t.Helper()
+		if ctx.Now() < last {
+			t.Fatalf("clock regressed: %d < %d", ctx.Now(), last)
+		}
+		last = ctx.Now()
+	}
+	var heap Vaddr
+	for step := 0; step < 500; step++ {
+		switch rng.Intn(5) {
+		case 0:
+			if !ctx.InEnclave() && ctx.EnclaveDepth() == 0 {
+				if err := ctx.EEnter(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 1:
+			if ctx.InEnclave() {
+				if err := ctx.EExit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 2:
+			ctx.Compute(time.Duration(rng.Intn(2000)) * time.Microsecond)
+		case 3:
+			if ctx.InEnclave() {
+				if heap == 0 {
+					v, err := ctx.HeapAlloc(4 * PageSize)
+					if err != nil {
+						t.Fatal(err)
+					}
+					heap = v
+				}
+				if err := ctx.TouchRange(heap, 4*PageSize, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 4:
+			if ctx.InEnclave() {
+				if err := ctx.OcallExit(); err != nil {
+					t.Fatal(err)
+				}
+				ctx.Compute(time.Duration(rng.Intn(50)) * time.Microsecond)
+				check()
+				if err := ctx.OcallReturn(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		check()
+	}
+}

@@ -1,0 +1,840 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sgxperf/internal/vtime"
+)
+
+// testResolver is a minimal in-test "driver": it pages faulting pages in,
+// evicting LRU victims when the EPC is full.
+type testResolver struct {
+	m        *Machine
+	pageIns  int
+	pageOuts int
+}
+
+func (r *testResolver) ResolveEPCFault(ctx *Context, enc *Enclave, page *Page, _ bool) error {
+	epc := r.m.EPC()
+	for epc.Free() == 0 {
+		victim := epc.Victim(func(p *Page) bool {
+			return p == page || p.Kind == PageSECS || p.Kind == PageTCS
+		})
+		if victim == nil {
+			return errors.New("no victim")
+		}
+		victim.SealFor(r.m.MEE())
+		epc.Remove(victim)
+		r.pageOuts++
+	}
+	if _, err := page.Unseal(r.m.MEE()); err != nil {
+		return err
+	}
+	r.pageIns++
+	return epc.Insert(page)
+}
+
+// loadAll inserts every page of the enclave into the EPC (test-side EADD).
+func loadAll(t *testing.T, m *Machine, e *Enclave) {
+	t.Helper()
+	for _, p := range e.Pages() {
+		if err := m.EPC().Insert(p); err != nil {
+			t.Fatalf("insert %v: %v", p, err)
+		}
+	}
+}
+
+func newTestMachine(t *testing.T, opts ...Option) (*Machine, *testResolver) {
+	t.Helper()
+	m, err := NewMachine(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &testResolver{m: m}
+	m.SetPageFaultResolver(r)
+	return m, r
+}
+
+func TestMitigationRoundTrips(t *testing.T) {
+	tests := []struct {
+		level MitigationLevel
+		want  time.Duration
+	}{
+		{MitigationNone, 2130 * time.Nanosecond},
+		{MitigationSpectre, 3850 * time.Nanosecond},
+		{MitigationFull, 4890 * time.Nanosecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.level.String(), func(t *testing.T) {
+			cm := DefaultCostModel(tt.level)
+			got := cm.Frequency.Duration(cm.RoundTrip())
+			if got < tt.want-2*time.Nanosecond || got > tt.want+2*time.Nanosecond {
+				t.Fatalf("round trip %v, want %v", got, tt.want)
+			}
+		})
+	}
+	// §2.3.1 ratios: Spectre ≈1.74×, full ≈2.24× the vanilla cost.
+	base := DefaultCostModel(MitigationNone).RoundTrip()
+	spectre := DefaultCostModel(MitigationSpectre).RoundTrip()
+	full := DefaultCostModel(MitigationFull).RoundTrip()
+	if r := float64(spectre) / float64(base); r < 1.7 || r > 1.9 {
+		t.Errorf("spectre/base ratio %.2f, want ≈1.74", r)
+	}
+	if r := float64(full) / float64(base); r < 2.1 || r > 2.4 {
+		t.Errorf("full/base ratio %.2f, want ≈2.24", r)
+	}
+}
+
+func TestEnclaveLayout(t *testing.T) {
+	m, _ := newTestMachine(t)
+	cfg := Config{
+		Name:       "layout",
+		CodeBytes:  8 * PageSize,
+		HeapBytes:  16 * PageSize,
+		StackBytes: 4 * PageSize,
+		NumTCS:     3,
+	}
+	e := m.NewEnclaveLayout(cfg)
+
+	counts := map[PageKind]int{}
+	for _, p := range e.Pages() {
+		counts[p.Kind]++
+	}
+	if counts[PageSECS] != 1 {
+		t.Errorf("SECS pages = %d, want 1", counts[PageSECS])
+	}
+	if counts[PageCode] != 8 {
+		t.Errorf("code pages = %d, want 8", counts[PageCode])
+	}
+	if counts[PageHeap] != 16 {
+		t.Errorf("heap pages = %d, want 16", counts[PageHeap])
+	}
+	if counts[PageTCS] != 3 {
+		t.Errorf("TCS pages = %d, want 3", counts[PageTCS])
+	}
+	if counts[PageSSA] != 3*ssaPagesPerThread {
+		t.Errorf("SSA pages = %d, want %d", counts[PageSSA], 3*ssaPagesPerThread)
+	}
+	if counts[PageStack] != 3*4 {
+		t.Errorf("stack pages = %d, want 12", counts[PageStack])
+	}
+	if counts[PageGuard] != 3*2 {
+		t.Errorf("guard pages = %d, want 6", counts[PageGuard])
+	}
+	// Power-of-two total size (§4.2).
+	n := e.NumPages()
+	if n&(n-1) != 0 {
+		t.Errorf("total pages %d not a power of two", n)
+	}
+	// Pages are contiguous from Base.
+	for i, p := range e.Pages() {
+		want := e.Base + Vaddr(i*PageSize)
+		if p.Vaddr != want {
+			t.Fatalf("page %d at %#x, want %#x", i, uint64(p.Vaddr), uint64(want))
+		}
+	}
+}
+
+func TestEnclaveMeasurementDeterministic(t *testing.T) {
+	m, _ := newTestMachine(t)
+	cfg := Config{CodeBytes: PageSize, HeapBytes: PageSize, StackBytes: PageSize, NumTCS: 1}
+	e1 := m.NewEnclaveLayout(cfg)
+	e2 := m.NewEnclaveLayout(cfg)
+	if e1.Measurement() != e2.Measurement() {
+		t.Error("identical configs produced different measurements")
+	}
+	cfg.HeapBytes = 2 * PageSize
+	e3 := m.NewEnclaveLayout(cfg)
+	if e1.Measurement() == e3.Measurement() {
+		t.Error("different configs produced identical measurements")
+	}
+}
+
+func TestLocalAttestation(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{})
+	r := m.Report(e)
+	if !m.VerifyReport(r) {
+		t.Fatal("genuine report failed verification")
+	}
+	r.Measurement[0] ^= 0xff
+	if m.VerifyReport(r) {
+		t.Fatal("tampered report verified")
+	}
+	other, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.VerifyReport(m.Report(e)) {
+		t.Fatal("report verified on a different platform")
+	}
+}
+
+func TestEEnterEExitCharges(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{})
+	loadAll(t, m, e)
+	ctx := m.NewContext("t")
+
+	start := ctx.Now()
+	if err := ctx.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.InEnclave() {
+		t.Fatal("not in enclave after EEnter")
+	}
+	if err := ctx.EExit(); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.InEnclave() {
+		t.Fatal("still in enclave after EExit")
+	}
+	elapsed := ctx.Now() - start
+	rt := m.Cost().RoundTrip()
+	// Round trip plus a page touch for the TCS.
+	if elapsed < rt || elapsed > rt+m.Cost().PageTouch*4 {
+		t.Fatalf("enter+exit charged %d cycles, want ≈%d", elapsed, rt)
+	}
+}
+
+func TestTCSExhaustion(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{NumTCS: 2})
+	loadAll(t, m, e)
+
+	c1, c2, c3 := m.NewContext("a"), m.NewContext("b"), m.NewContext("c")
+	if err := c1.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.EEnter(e); !errors.Is(err, ErrNoFreeTCS) {
+		t.Fatalf("third concurrent entry: %v, want ErrNoFreeTCS", err)
+	}
+	if err := c1.EExit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.EEnter(e); err != nil {
+		t.Fatalf("entry after exit freed a TCS: %v", err)
+	}
+}
+
+func TestOcallSuspendsFrameAndReusesTCS(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{NumTCS: 1})
+	loadAll(t, m, e)
+	ctx := m.NewContext("t")
+
+	if err := ctx.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.OcallExit(); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.InEnclave() {
+		t.Fatal("in enclave during ocall")
+	}
+	// Nested ecall during the ocall must reuse the bound TCS even though
+	// the enclave has only one.
+	if err := ctx.EEnter(e); err != nil {
+		t.Fatalf("nested ecall: %v", err)
+	}
+	if ctx.EnclaveDepth() != 2 {
+		t.Fatalf("depth %d, want 2", ctx.EnclaveDepth())
+	}
+	if err := ctx.EExit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.OcallReturn(); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.InEnclave() {
+		t.Fatal("not back in enclave after ocall return")
+	}
+	if err := ctx.EExit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerAEXInjection(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{})
+	loadAll(t, m, e)
+	ctx := m.NewContext("t")
+
+	var aexCount int
+	m.PatchAEP(func(c *Context, info AEXInfo) {
+		aexCount++
+		c.chargeERESUME()
+	})
+
+	if err := ctx.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	// Table 2's long-ecall experiment: ~45.4ms of work over a 4ms quantum
+	// yields ≈11.5 AEXs.
+	ctx.Compute(45377 * time.Microsecond)
+	if err := ctx.EExit(); err != nil {
+		t.Fatal(err)
+	}
+	if aexCount < 10 || aexCount > 13 {
+		t.Fatalf("AEX count %d, want ≈11", aexCount)
+	}
+	if got := 0; ctx.CurrentCallAEXCount() != got {
+		t.Fatalf("frame popped, AEX count should be unreadable (0), got %d", ctx.CurrentCallAEXCount())
+	}
+}
+
+func TestNoTimerAEXOutsideEnclave(t *testing.T) {
+	m, _ := newTestMachine(t)
+	ctx := m.NewContext("t")
+	var aexCount int
+	m.PatchAEP(func(c *Context, info AEXInfo) {
+		aexCount++
+		c.chargeERESUME()
+	})
+	ctx.Compute(50 * time.Millisecond)
+	if aexCount != 0 {
+		t.Fatalf("AEXs outside enclave: %d", aexCount)
+	}
+}
+
+func TestHeapAllocAndRW(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{HeapBytes: 4 * PageSize})
+	loadAll(t, m, e)
+	ctx := m.NewContext("t")
+	if err := ctx.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctx.EExit() }()
+
+	v, err := ctx.HeapAlloc(3 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte("sgx-perf "), 1000) // crosses pages
+	if err := ctx.WriteBytes(v, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := ctx.ReadBytes(v, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("read back different bytes")
+	}
+}
+
+func TestHeapExhaustionSGXv1(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{HeapBytes: 2 * PageSize})
+	loadAll(t, m, e)
+	ctx := m.NewContext("t")
+	if err := ctx.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctx.EExit() }()
+
+	if _, err := ctx.HeapAlloc(PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.HeapAlloc(2 * PageSize); !errors.Is(err, ErrOutOfEnclaveMemory) {
+		t.Fatalf("over-allocation: %v, want ErrOutOfEnclaveMemory", err)
+	}
+	// Reset frees everything.
+	if err := ctx.HeapReset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.HeapAlloc(2 * PageSize); err != nil {
+		t.Fatalf("alloc after reset: %v", err)
+	}
+}
+
+func TestHeapGrowthSGXv2(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{HeapBytes: 2 * PageSize, SGXv2: true})
+	loadAll(t, m, e)
+	ctx := m.NewContext("t")
+	if err := ctx.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctx.EExit() }()
+
+	// 2 pages committed + 6 reserve: 8 pages allocatable in total.
+	if _, err := ctx.HeapAlloc(7 * PageSize); err != nil {
+		t.Fatalf("SGXv2 growth failed: %v", err)
+	}
+	if _, err := ctx.HeapAlloc(4 * PageSize); !errors.Is(err, ErrOutOfEnclaveMemory) {
+		t.Fatalf("beyond reserve: %v, want ErrOutOfEnclaveMemory", err)
+	}
+}
+
+func TestPageFaultPathAndCharges(t *testing.T) {
+	m, r := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{HeapBytes: 4 * PageSize})
+	// Load everything except heap pages: heap touches must fault.
+	for _, p := range e.Pages() {
+		if p.Kind != PageHeap {
+			if err := m.EPC().Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ctx := m.NewContext("t")
+	if err := ctx.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctx.EExit() }()
+
+	v, err := ctx.HeapAlloc(2 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ctx.Now()
+	if err := ctx.TouchRange(v, 2*PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+	if r.pageIns != 2 {
+		t.Fatalf("page-ins = %d, want 2", r.pageIns)
+	}
+	// Each fault costs at least AEXSave + PageFault + EResume.
+	minCost := 2 * (m.Cost().AEXSave + m.Cost().PageFault + m.Cost().EResume)
+	if got := ctx.Now() - before; got < minCost {
+		t.Fatalf("fault path charged %d cycles, want ≥%d", got, minCost)
+	}
+	// Second touch: no more faults.
+	if err := ctx.TouchRange(v, 2*PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+	if r.pageIns != 2 {
+		t.Fatalf("page-ins after warm touch = %d, want 2", r.pageIns)
+	}
+}
+
+func TestEvictionSealsAndRestoresContent(t *testing.T) {
+	// EPC big enough for metadata + 1 heap page: two heap pages fight.
+	m, r := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{HeapBytes: 2 * PageSize})
+	var capacity int
+	for _, p := range e.Pages() {
+		if p.Kind != PageHeap {
+			capacity++
+		}
+	}
+	capacity++ // room for exactly one heap page
+	m2, r2 := newTestMachine(t, WithEPCCapacity(capacity))
+	_ = m
+	_ = r
+	e = m2.NewEnclaveLayout(Config{HeapBytes: 2 * PageSize})
+	for _, p := range e.Pages() {
+		if p.Kind != PageHeap {
+			if err := m2.EPC().Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ctx := m2.NewContext("t")
+	if err := ctx.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctx.EExit() }()
+
+	v, err := ctx.HeapAlloc(2 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageA := []byte("page A content: secret")
+	pageB := []byte("page B content: also secret")
+	if err := ctx.WriteBytes(v, pageA); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.WriteBytes(v+PageSize, pageB); err != nil { // evicts A
+		t.Fatal(err)
+	}
+	got := make([]byte, len(pageA))
+	if err := ctx.ReadBytes(v, got); err != nil { // faults A back, evicts B
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pageA) {
+		t.Fatalf("page A corrupted after eviction round-trip: %q", got)
+	}
+	if r2.pageOuts == 0 {
+		t.Fatal("no evictions happened; test is vacuous")
+	}
+}
+
+func TestMMUFaultSignalPath(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{HeapBytes: 2 * PageSize})
+	loadAll(t, m, e)
+	ctx := m.NewContext("t")
+
+	// Working-set-estimator style: strip perms, count faults, restore.
+	faults := 0
+	m.SetSegvHandler(func(c *Context, enc *Enclave, p *Page, write bool) bool {
+		faults++
+		m.SetMMUPerm(p, p.SGXPerm)
+		return true
+	})
+	for _, p := range e.Pages() {
+		if p.Kind == PageHeap {
+			m.SetMMUPerm(p, 0)
+		}
+	}
+
+	if err := ctx.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctx.EExit() }()
+	v, err := ctx.HeapAlloc(2 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.TouchRange(v, 2*PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+	if faults != 2 {
+		t.Fatalf("faults = %d, want 2", faults)
+	}
+	// Permissions restored: no further faults.
+	if err := ctx.TouchRange(v, 2*PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+	if faults != 2 {
+		t.Fatalf("faults after restore = %d, want 2", faults)
+	}
+}
+
+func TestUnhandledMMUFaultCrashes(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{HeapBytes: PageSize})
+	loadAll(t, m, e)
+	ctx := m.NewContext("t")
+	if err := ctx.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctx.EExit() }()
+	v, err := ctx.HeapAlloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.PageAt(v)
+	m.SetMMUPerm(p, 0)
+	err = ctx.TouchRange(v, 64, false)
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("unhandled fault: %v, want *FaultError", err)
+	}
+}
+
+func TestGuardPageFaults(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{})
+	loadAll(t, m, e)
+	ctx := m.NewContext("t")
+	if err := ctx.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctx.EExit() }()
+	var guard *Page
+	for _, p := range e.Pages() {
+		if p.Kind == PageGuard {
+			guard = p
+			break
+		}
+	}
+	if guard == nil {
+		t.Fatal("no guard page in layout")
+	}
+	err := ctx.TouchRange(guard.Vaddr, 8, false)
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("guard access: %v, want *FaultError", err)
+	}
+}
+
+func TestDestroyedEnclaveRejectsEntry(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{})
+	loadAll(t, m, e)
+	m.RemoveEnclave(e.ID)
+	ctx := m.NewContext("t")
+	if err := ctx.EEnter(e); !errors.Is(err, ErrEnclaveDestroyed) {
+		t.Fatalf("enter destroyed enclave: %v", err)
+	}
+}
+
+func TestLookupAddr(t *testing.T) {
+	m, _ := newTestMachine(t)
+	e1 := m.NewEnclaveLayout(Config{})
+	e2 := m.NewEnclaveLayout(Config{})
+	enc, page := m.LookupAddr(e2.Base + 3*PageSize)
+	if enc != e2 || page != e2.Pages()[3] {
+		t.Fatal("lookup resolved wrong enclave/page")
+	}
+	if enc, _ := m.LookupAddr(e1.Base - PageSize); enc != nil {
+		t.Fatal("lookup outside any enclave returned an enclave")
+	}
+}
+
+func TestMEERoundTripProperty(t *testing.T) {
+	mee, err := NewMEE([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(content []byte, addr uint32, version uint8) bool {
+		page := make([]byte, PageSize)
+		copy(page, content)
+		sealed := mee.Seal(Vaddr(addr), uint64(version), page)
+		got, err := mee.Open(Vaddr(addr), uint64(version), sealed)
+		return err == nil && bytes.Equal(got, page)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMEERejectsTamperAndReplay(t *testing.T) {
+	mee, err := NewMEE([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, PageSize)
+	copy(page, "secret")
+	sealed := mee.Seal(0x1000, 1, page)
+
+	tampered := make([]byte, len(sealed))
+	copy(tampered, sealed)
+	tampered[10] ^= 1
+	if _, err := mee.Open(0x1000, 1, tampered); err == nil {
+		t.Error("tampered image decrypted")
+	}
+	// Replay: old image against a newer version fails.
+	if _, err := mee.Open(0x1000, 2, sealed); err == nil {
+		t.Error("replayed image accepted")
+	}
+	// Relocation: image bound to a different address fails.
+	if _, err := mee.Open(0x2000, 1, sealed); err == nil {
+		t.Error("relocated image accepted")
+	}
+}
+
+func TestMEERejectsBadKey(t *testing.T) {
+	if _, err := NewMEE([]byte("short")); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestEPCCapacityEnforced(t *testing.T) {
+	epc := NewEPC(2)
+	pages := []*Page{{Vaddr: 0x1000}, {Vaddr: 0x2000}, {Vaddr: 0x3000}}
+	if err := epc.Insert(pages[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := epc.Insert(pages[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := epc.Insert(pages[2]); !errors.Is(err, ErrEPCFull) {
+		t.Fatalf("over-capacity insert: %v", err)
+	}
+	epc.Remove(pages[0])
+	if err := epc.Insert(pages[2]); err != nil {
+		t.Fatal(err)
+	}
+	if epc.Resident() != 2 || epc.Free() != 0 {
+		t.Fatalf("resident=%d free=%d", epc.Resident(), epc.Free())
+	}
+}
+
+func TestEPCVictimIsLRU(t *testing.T) {
+	epc := NewEPC(3)
+	a, b, c := &Page{Vaddr: 0xa000}, &Page{Vaddr: 0xb000}, &Page{Vaddr: 0xc000}
+	for _, p := range []*Page{a, b, c} {
+		if err := epc.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epc.Touch(a) // a is now most recent; b is LRU
+	if v := epc.Victim(nil); v != b {
+		t.Fatalf("victim %v, want %v", v, b)
+	}
+	if v := epc.Victim(func(p *Page) bool { return p == b }); v != c {
+		t.Fatalf("victim with keep(b) = %v, want %v", v, c)
+	}
+}
+
+func TestEPCDefaultCapacityMatchesPaper(t *testing.T) {
+	// 93 MiB usable (§2.3.3) = 23,808 4-KiB pages.
+	if EPCUsablePages != 23808 {
+		t.Fatalf("EPCUsablePages = %d, want 23808", EPCUsablePages)
+	}
+	if NewEPC(0).Capacity() != EPCUsablePages {
+		t.Fatal("default EPC capacity mismatch")
+	}
+}
+
+func TestComputeDurationAccounting(t *testing.T) {
+	m, _ := newTestMachine(t)
+	ctx := m.NewContext("t")
+	start := ctx.Now()
+	ctx.Compute(100 * time.Microsecond)
+	got := ctx.Clock().Frequency().Duration(ctx.Now() - start)
+	if got < 99*time.Microsecond || got > 101*time.Microsecond {
+		t.Fatalf("compute advanced %v, want 100µs", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := (&Config{}).withDefaults()
+	if c.NumTCS != 1 || c.HeapBytes <= 0 || c.StackBytes <= 0 || c.CodeBytes <= 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	v2 := (&Config{SGXv2: true, HeapBytes: PageSize}).withDefaults()
+	if v2.HeapReserveBytes != 3*PageSize {
+		t.Fatalf("SGXv2 reserve default = %d, want %d", v2.HeapReserveBytes, 3*PageSize)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	tests := []struct {
+		p    Perm
+		want string
+	}{
+		{0, "---"},
+		{PermRead, "r--"},
+		{PermRW, "rw-"},
+		{PermRead | PermWrite | PermExec, "rwx"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestAEXCauseVisibility(t *testing.T) {
+	// Cause is only visible for debug+SGXv2 enclaves (§4.1.4).
+	run := func(debug, v2 bool) AEXCause {
+		m, _ := newTestMachine(t)
+		e := m.NewEnclaveLayout(Config{Debug: debug, SGXv2: v2})
+		loadAll(t, m, e)
+		ctx := m.NewContext("t")
+		var got AEXCause
+		m.PatchAEP(func(c *Context, info AEXInfo) {
+			got = info.Cause
+			c.chargeERESUME()
+		})
+		if err := ctx.EEnter(e); err != nil {
+			t.Fatal(err)
+		}
+		ctx.Compute(5 * time.Millisecond) // one timer AEX
+		if err := ctx.EExit(); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if c := run(true, true); c != AEXTimer {
+		t.Errorf("debug+v2 cause = %v, want timer", c)
+	}
+	if c := run(false, false); c != 0 {
+		t.Errorf("v1 cause = %v, want hidden (0)", c)
+	}
+}
+
+var _ = vtime.Cycles(0)
+
+func TestRemoteAttestation(t *testing.T) {
+	svc := NewAttestationService()
+	m1, _ := newTestMachine(t)
+	m2, _ := newTestMachine(t)
+	id1, err := svc.Register(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register(m2); err != nil {
+		t.Fatal(err)
+	}
+	e := m1.NewEnclaveLayout(Config{Name: "attested"})
+
+	var nonce [16]byte
+	copy(nonce[:], "verifier-nonce-1")
+	q, err := m1.QuoteFor(e, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PlatformID != id1 {
+		t.Fatalf("platform = %d, want %d", q.PlatformID, id1)
+	}
+	// The quote verifies remotely — unlike the local report, which only
+	// verifies on its own machine.
+	if err := svc.Verify(q, nonce); err != nil {
+		t.Fatalf("genuine quote rejected: %v", err)
+	}
+	if m2.VerifyReport(q.Report) {
+		t.Fatal("local report verified on a foreign machine")
+	}
+
+	// Tampered measurement → rejected.
+	bad := q
+	bad.Report.Measurement[0] ^= 1
+	if err := svc.Verify(bad, nonce); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("tampered quote: %v", err)
+	}
+	// Replay under a different challenge → rejected.
+	var nonce2 [16]byte
+	copy(nonce2[:], "verifier-nonce-2")
+	if err := svc.Verify(q, nonce2); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("replayed quote: %v", err)
+	}
+	// Unknown platform → rejected.
+	unknown := q
+	unknown.PlatformID = 999
+	if err := svc.Verify(unknown, nonce); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("unknown platform: %v", err)
+	}
+	// Unprovisioned machine cannot quote.
+	m3, _ := newTestMachine(t)
+	e3 := m3.NewEnclaveLayout(Config{})
+	if _, err := m3.QuoteFor(e3, nonce); !errors.Is(err, ErrNotProvisioned) {
+		t.Fatalf("unprovisioned quote: %v", err)
+	}
+}
+
+func TestMergedClockDoesNotReplayTimerTicks(t *testing.T) {
+	// Regression: a cross-thread clock merge while parked inside an
+	// enclave (a switchless worker waiting on its queue) must not replay
+	// every missed 4ms timer tick as an AEX when the thread next
+	// computes.
+	m, _ := newTestMachine(t)
+	e := m.NewEnclaveLayout(Config{})
+	loadAll(t, m, e)
+	ctx := m.NewContext("worker")
+	aex := 0
+	m.PatchAEP(func(c *Context, info AEXInfo) {
+		aex++
+		c.chargeERESUME()
+	})
+	if err := ctx.EEnter(e); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctx.EExit() }()
+
+	// The worker sits parked for 10 virtual seconds (2,500 missed ticks),
+	// then handles a 1µs request.
+	ctx.Clock().MergeAtLeast(ctx.Now() + m.Cost().Frequency.Cycles(10*time.Second))
+	before := ctx.Now()
+	ctx.Compute(time.Microsecond)
+	if aex > 1 {
+		t.Fatalf("merge replayed %d AEXs", aex)
+	}
+	elapsed := m.Cost().Frequency.Duration(ctx.Now() - before)
+	if elapsed > 100*time.Microsecond {
+		t.Fatalf("1µs of work charged %v", elapsed)
+	}
+}

@@ -1,0 +1,165 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrequencyRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"zero", 0},
+		{"one_us", time.Microsecond},
+		{"one_ms", time.Millisecond},
+		{"mixed", 2130 * time.Nanosecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := DefaultFrequency.Cycles(tt.d)
+			got := DefaultFrequency.Duration(c)
+			if diff := got - tt.d; diff > time.Nanosecond || diff < -time.Nanosecond {
+				t.Fatalf("round-trip %v -> %d cycles -> %v", tt.d, c, got)
+			}
+		})
+	}
+}
+
+func TestFrequencyPaperCalibration(t *testing.T) {
+	// §2.3.1: ≈5,850 cycles ≈ 2,130 ns on the 3.4 GHz evaluation machine.
+	d := DefaultFrequency.Duration(5850)
+	if d < 1700*time.Nanosecond || d > 1750*time.Nanosecond {
+		// 5850 / 3.4e9 = 1720 ns for a one-way pair; the paper's 2130 ns
+		// round-trip corresponds to ~7242 cycles at 3.4GHz. Their cycle
+		// figure was measured with rdtsc on a different clock domain; we
+		// only require self-consistency here.
+		t.Fatalf("5850 cycles = %v, want ~1720ns", d)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(DefaultFrequency)
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d, want 0", c.Now())
+	}
+	c.Advance(100)
+	c.Advance(-50) // ignored
+	c.Advance(0)
+	if c.Now() != 100 {
+		t.Fatalf("clock at %d, want 100", c.Now())
+	}
+	c.AdvanceDuration(time.Microsecond)
+	want := Cycles(100) + DefaultFrequency.Cycles(time.Microsecond)
+	if c.Now() != want {
+		t.Fatalf("clock at %d, want %d", c.Now(), want)
+	}
+}
+
+func TestClockMergeAtLeast(t *testing.T) {
+	c := NewClock(DefaultFrequency)
+	c.Advance(500)
+	c.MergeAtLeast(200) // no-op, behind
+	if c.Now() != 500 {
+		t.Fatalf("merge went backwards: %d", c.Now())
+	}
+	c.MergeAtLeast(900)
+	if c.Now() != 900 {
+		t.Fatalf("merge failed: %d, want 900", c.Now())
+	}
+}
+
+func TestClockDurationSince(t *testing.T) {
+	c := NewClock(DefaultFrequency)
+	c.AdvanceDuration(5 * time.Microsecond)
+	start := c.Now()
+	c.AdvanceDuration(10 * time.Microsecond)
+	got := c.DurationSince(start)
+	if got < 9999*time.Nanosecond || got > 10001*time.Nanosecond {
+		t.Fatalf("DurationSince = %v, want ~10µs", got)
+	}
+}
+
+func TestSyncPointPublishObserve(t *testing.T) {
+	var p SyncPoint
+	a := NewClock(DefaultFrequency)
+	b := NewClock(DefaultFrequency)
+	a.Advance(1000)
+	p.Publish(a.Now())
+	b.Advance(10)
+	if got := p.Observe(b); got != 1000 {
+		t.Fatalf("observe = %d, want 1000", got)
+	}
+	if b.Now() != 1000 {
+		t.Fatalf("b not merged: %d", b.Now())
+	}
+	// Older publishes never lower the point.
+	p.Publish(500)
+	if p.Time() != 1000 {
+		t.Fatalf("sync point lowered to %d", p.Time())
+	}
+}
+
+func TestSyncPointConcurrent(t *testing.T) {
+	var p SyncPoint
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClock(DefaultFrequency)
+			for j := 0; j < 1000; j++ {
+				c.Advance(Cycles(i + 1))
+				p.Publish(c.Now())
+				p.Observe(c)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Workers observe each other's publishes, so clocks compound; the
+	// point must end at least as high as the fastest isolated worker
+	// (worker 15: 16 cycles × 1000 steps) and must never be zero.
+	if p.Time() < 16000 {
+		t.Fatalf("final sync point %d, want ≥16000", p.Time())
+	}
+}
+
+func TestClockMonotonicProperty(t *testing.T) {
+	// Property: any interleaving of Advance/MergeAtLeast never decreases Now.
+	f := func(steps []int16) bool {
+		c := NewClock(DefaultFrequency)
+		prev := Cycles(0)
+		for _, s := range steps {
+			if s%2 == 0 {
+				c.Advance(Cycles(s))
+			} else {
+				c.MergeAtLeast(Cycles(s))
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrequencyConversionProperty(t *testing.T) {
+	// Property: Cycles(Duration(c)) ≈ c. Duration truncates to whole
+	// nanoseconds, so up to one nanosecond (≈3.4 cycles) may be lost.
+	f := func(raw uint32) bool {
+		c := Cycles(raw)
+		back := DefaultFrequency.Cycles(DefaultFrequency.Duration(c))
+		diff := back - c
+		return diff >= -5 && diff <= 5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,466 @@
+// Package bignum is a small arbitrary-precision integer library shaped
+// like LibreSSL's BN code, built for the Glamdring workload (§5.2.3): the
+// interesting call is SubPartWords (bn_sub_part_words), which Karatsuba
+// multiplication (MulRecursive, bn_mul_recursive) invokes in pairs —
+// exactly the pattern the paper's analyser flags for batching, and whose
+// per-call enclave transitions dominate the partitioned LibreSSL.
+//
+// Arithmetic is real (the signing workload produces correct modular
+// exponentiation results, cross-checked against math/big in tests); the
+// time it costs is charged to a virtual clock through a Meter so
+// experiments are deterministic and calibrated to the paper's machine.
+package bignum
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+	"time"
+)
+
+// Word is one limb.
+type Word uint64
+
+// Int is a little-endian limb vector. The zero value is 0.
+type Int []Word
+
+// Meter receives virtual-time charges for arithmetic work. The Glamdring
+// workload plugs the enclave/application clock in here; a nil meter means
+// free computation.
+type Meter interface {
+	Work(d time.Duration)
+}
+
+// MeterFunc adapts a function to Meter.
+type MeterFunc func(d time.Duration)
+
+// Work implements Meter.
+func (f MeterFunc) Work(d time.Duration) { f(d) }
+
+// Cost model: virtual time per primitive word operation, calibrated so
+// that 512-bit modular exponentiation signs at ≈145 ops/s natively — the
+// paper's native LibreSSL rate (§5.2.3).
+const (
+	// costWordMul is one word×word multiply-accumulate.
+	costWordMul = 65 * time.Nanosecond
+	// costWordAdd is one word add/sub with carry.
+	costWordAdd = 6 * time.Nanosecond
+)
+
+func charge(m Meter, d time.Duration) {
+	if m != nil {
+		m.Work(d)
+	}
+}
+
+// norm trims leading zero limbs.
+func (x Int) norm() Int {
+	n := len(x)
+	for n > 0 && x[n-1] == 0 {
+		n--
+	}
+	return x[:n]
+}
+
+// IsZero reports x == 0.
+func (x Int) IsZero() bool { return len(x.norm()) == 0 }
+
+// Cmp compares x and y: -1, 0, +1.
+func (x Int) Cmp(y Int) int {
+	a, b := x.norm(), y.norm()
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Clone copies x.
+func (x Int) Clone() Int {
+	out := make(Int, len(x))
+	copy(out, x)
+	return out
+}
+
+// FromBig converts a non-negative math/big integer.
+func FromBig(v *big.Int) (Int, error) {
+	if v.Sign() < 0 {
+		return nil, fmt.Errorf("bignum: negative value %s", v)
+	}
+	words := v.Bits()
+	out := make(Int, len(words))
+	for i, w := range words {
+		out[i] = Word(w)
+	}
+	return out, nil
+}
+
+// MustFromBig converts or panics; for constants in tests and setup code.
+func MustFromBig(v *big.Int) Int {
+	out, err := FromBig(v)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Big converts to math/big for verification.
+func (x Int) Big() *big.Int {
+	v := new(big.Int)
+	for i := len(x) - 1; i >= 0; i-- {
+		v.Lsh(v, 64)
+		v.Or(v, new(big.Int).SetUint64(uint64(x[i])))
+	}
+	return v
+}
+
+// String renders in hex.
+func (x Int) String() string { return fmt.Sprintf("%#x", x.Big()) }
+
+// Bytes renders x big-endian.
+func (x Int) Bytes() []byte { return x.Big().Bytes() }
+
+// FromBytes parses big-endian bytes.
+func FromBytes(b []byte) Int {
+	return MustFromBig(new(big.Int).SetBytes(b))
+}
+
+// Add returns x+y, charging the meter.
+func Add(m Meter, x, y Int) Int {
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	out := make(Int, len(x)+1)
+	var carry uint64
+	for i := range x {
+		var yi Word
+		if i < len(y) {
+			yi = y[i]
+		}
+		s, c := bits.Add64(uint64(x[i]), uint64(yi), carry)
+		out[i] = Word(s)
+		carry = c
+	}
+	out[len(x)] = Word(carry)
+	charge(m, time.Duration(len(x))*costWordAdd)
+	return out.norm()
+}
+
+// Sub returns x-y (requires x ≥ y), charging the meter.
+func Sub(m Meter, x, y Int) (Int, error) {
+	out := make(Int, len(x))
+	if subInto(out, x, y) != 0 {
+		return nil, fmt.Errorf("bignum: negative result in Sub")
+	}
+	charge(m, time.Duration(len(x))*costWordAdd)
+	return out.norm(), nil
+}
+
+// subInto computes dst = x - y limbwise, returning the final borrow.
+func subInto(dst Int, x, y Int) Word {
+	var borrow uint64
+	for i := range dst {
+		var xi, yi Word
+		if i < len(x) {
+			xi = x[i]
+		}
+		if i < len(y) {
+			yi = y[i]
+		}
+		d, b := bits.Sub64(uint64(xi), uint64(yi), borrow)
+		dst[i] = Word(d)
+		borrow = b
+	}
+	return Word(borrow)
+}
+
+// SubPartWords is the workload's bn_sub_part_words: subtract the smaller
+// of a, b from the larger into dst (len(dst) limbs), returning 1 if the
+// operands were swapped (b > a), 0 otherwise — mirroring OpenSSL's sign
+// return. It is deliberately a tiny O(n) function: its execution is far
+// shorter than an enclave transition, which is the whole point of §5.2.3.
+func SubPartWords(m Meter, dst, a, b Int) Word {
+	neg := Word(0)
+	if cmpN(a, b, len(dst)) < 0 {
+		a, b = b, a
+		neg = 1
+	}
+	subInto(dst, a, b)
+	charge(m, time.Duration(len(dst))*costWordAdd)
+	return neg
+}
+
+// cmpN compares the low n limbs.
+func cmpN(a, b Int, n int) int {
+	for i := n - 1; i >= 0; i-- {
+		var ai, bi Word
+		if i < len(a) {
+			ai = a[i]
+		}
+		if i < len(b) {
+			bi = b[i]
+		}
+		if ai != bi {
+			if ai < bi {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// mulComba is the quadratic base-case multiplier (bn_mul_comba-alike).
+func mulComba(m Meter, x, y Int) Int {
+	x, y = x.norm(), y.norm()
+	out := make(Int, len(x)+len(y)+1)
+	for i := range x {
+		var carry uint64
+		for j := range y {
+			hi, lo := bits.Mul64(uint64(x[i]), uint64(y[j]))
+			s, c1 := bits.Add64(uint64(out[i+j]), lo, 0)
+			s, c2 := bits.Add64(s, carry, 0)
+			out[i+j] = Word(s)
+			carry = hi + c1 + c2
+		}
+		out[i+len(y)] += Word(carry)
+	}
+	charge(m, time.Duration(len(x)*len(y)+1)*costWordMul)
+	return out.norm()
+}
+
+// KaratsubaThreshold is the limb count at or below which multiplication
+// falls back to the comba base case. With 512-bit operands (8 limbs) and
+// threshold 2, a full multiply performs 8 SubPartWords calls — matching
+// the paper's ≈6,500 bn_sub_part_words per signature (§5.2.3).
+const KaratsubaThreshold = 2
+
+// SubPartWordsFn lets callers interpose on the bn_sub_part_words calls
+// made by MulRecursive — the Glamdring partition routes these through an
+// ecall; the optimised variant keeps them in-enclave (§5.2.3).
+type SubPartWordsFn func(dst, a, b Int) Word
+
+// MulRecursive is bn_mul_recursive: Karatsuba multiplication calling the
+// sub primitive in successive pairs and then recursing — the exact listing
+// from §5.2.3.
+func MulRecursive(m Meter, x, y Int, sub SubPartWordsFn) Int {
+	if sub == nil {
+		sub = func(dst, a, b Int) Word { return SubPartWords(m, dst, a, b) }
+	}
+	return mulRec(m, x, y, sub)
+}
+
+func mulRec(m Meter, x, y Int, sub SubPartWordsFn) Int {
+	n := len(x)
+	if len(y) > n {
+		n = len(y)
+	}
+	if n <= KaratsubaThreshold {
+		return mulComba(m, x, y)
+	}
+	half := (n + 1) / 2
+	x0, x1 := splitAt(x, half)
+	y0, y1 := splitAt(y, half)
+
+	// The two successive bn_sub_part_words calls from the paper's
+	// listing: t = |x1 - x0|, t2 = |y0 - y1|.
+	t := make(Int, half)
+	negX := sub(t, x1, x0)
+	t2 := make(Int, half)
+	negY := sub(t2, y0, y1)
+
+	p0 := mulRec(m, x0.norm(), y0.norm(), sub)
+	p1 := mulRec(m, x1.norm(), y1.norm(), sub)
+	pm := mulRec(m, t.norm(), t2.norm(), sub)
+
+	// mid = x0·y1 + x1·y0 = p0 + p1 − (x1−x0)(y1−y0). With
+	// t = |x1−x0| and t2 = |y0−y1|, the product (x1−x0)(y1−y0) equals
+	// −pm when the recorded signs agree and +pm when they differ.
+	mid := Add(m, p0, p1)
+	if negX == negY {
+		mid = Add(m, mid, pm)
+	} else {
+		var err error
+		mid, err = Sub(m, mid, pm)
+		if err != nil {
+			// Cannot happen: mid = x0·y1 + x1·y0 ≥ 0 by construction.
+			panic("bignum: karatsuba middle term underflow")
+		}
+	}
+
+	out := p0.Clone()
+	out = addShifted(m, out, mid, half)
+	out = addShifted(m, out, p1, 2*half)
+	return out.norm()
+}
+
+func splitAt(x Int, k int) (lo, hi Int) {
+	if len(x) <= k {
+		return x, Int{}
+	}
+	return x[:k], x[k:]
+}
+
+// addShifted returns x + (y << 64·k).
+func addShifted(m Meter, x, y Int, k int) Int {
+	shifted := make(Int, len(y)+k)
+	copy(shifted[k:], y)
+	return Add(m, x, shifted)
+}
+
+// Mod returns x mod n using word-based long division (Knuth algorithm D,
+// the bn_div equivalent; this part of LibreSSL stays outside the enclave
+// in the Glamdring partition).
+func Mod(m Meter, x, n Int) (Int, error) {
+	v := n.norm()
+	if len(v) == 0 {
+		return nil, fmt.Errorf("bignum: modulus is zero")
+	}
+	u := x.norm()
+	if u.Cmp(v) < 0 {
+		return u.Clone(), nil
+	}
+	if len(v) == 1 {
+		var r uint64
+		for i := len(u) - 1; i >= 0; i-- {
+			_, r = bits.Div64(r, uint64(u[i]), uint64(v[0]))
+		}
+		charge(m, time.Duration(len(u))*costWordMul)
+		return Int{Word(r)}.norm(), nil
+	}
+
+	// Normalise so the divisor's top bit is set. After the shift the
+	// divisor still fits its original limb count (the shift removes
+	// exactly its leading zeros), while the dividend gets one limb of
+	// headroom.
+	shift := uint(bits.LeadingZeros64(uint64(v[len(v)-1])))
+	vn := shlBits(v, shift).norm()
+	un := shlBits(u, shift)
+
+	nl := len(vn)
+	ml := len(un) - nl
+	vTop := uint64(vn[nl-1])
+	vSecond := uint64(0)
+	if nl >= 2 {
+		vSecond = uint64(vn[nl-2])
+	}
+
+	for j := ml - 1; j >= 0; j-- {
+		uTop := uint64(un[j+nl])
+		uNext := uint64(un[j+nl-1])
+		var qhat, rhat uint64
+		if uTop >= vTop {
+			qhat = ^uint64(0)
+		} else {
+			qhat, rhat = bits.Div64(uTop, uNext, vTop)
+			// Refine qhat (at most two corrections).
+			for {
+				hi, lo := bits.Mul64(qhat, vSecond)
+				var uThird uint64
+				if j+nl-2 >= 0 {
+					uThird = uint64(un[j+nl-2])
+				}
+				if hi > rhat || (hi == rhat && lo > uThird) {
+					qhat--
+					var carry uint64
+					rhat, carry = bits.Add64(rhat, vTop, 0)
+					if carry != 0 {
+						break
+					}
+					continue
+				}
+				break
+			}
+		}
+		// un[j:j+nl+1] -= qhat * vn
+		var borrow, mulCarry uint64
+		for i := 0; i < nl; i++ {
+			hi, lo := bits.Mul64(qhat, uint64(vn[i]))
+			lo, c := bits.Add64(lo, mulCarry, 0)
+			mulCarry = hi + c
+			d, b := bits.Sub64(uint64(un[j+i]), lo, borrow)
+			un[j+i] = Word(d)
+			borrow = b
+		}
+		d, b := bits.Sub64(uint64(un[j+nl]), mulCarry, borrow)
+		un[j+nl] = Word(d)
+		if b != 0 {
+			// qhat was one too large: add back.
+			var carry uint64
+			for i := 0; i < nl; i++ {
+				s, c := bits.Add64(uint64(un[j+i]), uint64(vn[i]), carry)
+				un[j+i] = Word(s)
+				carry = c
+			}
+			un[j+nl] = Word(uint64(un[j+nl]) + carry)
+		}
+	}
+	charge(m, time.Duration((ml+1)*nl)*costWordMul)
+	return shrBits(Int(un[:nl]), shift).norm(), nil
+}
+
+func shlBits(x Int, s uint) Int {
+	if s == 0 {
+		out := make(Int, len(x)+1)
+		copy(out, x)
+		return out
+	}
+	out := make(Int, len(x)+1)
+	for i := len(x) - 1; i >= 0; i-- {
+		out[i+1] |= x[i] >> (64 - s)
+		out[i] = x[i] << s
+	}
+	return out
+}
+
+func shrBits(x Int, s uint) Int {
+	if s == 0 {
+		return x.Clone()
+	}
+	out := make(Int, len(x))
+	for i := 0; i < len(x); i++ {
+		out[i] = x[i] >> s
+		if i+1 < len(x) {
+			out[i] |= x[i+1] << (64 - s)
+		}
+	}
+	return out
+}
+
+// ModMul returns x·y mod n, multiplying with MulRecursive (so the sub
+// interposer sees the workload's calls) and reducing with Mod.
+func ModMul(m Meter, x, y, n Int, sub SubPartWordsFn) (Int, error) {
+	return Mod(m, MulRecursive(m, x, y, sub), n)
+}
+
+// ModExp returns base^exp mod n via square-and-multiply — the core of the
+// certificate-signing benchmark (§5.2.3).
+func ModExp(m Meter, base, exp, n Int, sub SubPartWordsFn) (Int, error) {
+	result := Int{1}
+	b, err := Mod(m, base, n)
+	if err != nil {
+		return nil, err
+	}
+	e := exp.norm()
+	for i := 0; i < len(e)*64; i++ {
+		if e[i/64]>>(uint(i)%64)&1 == 1 {
+			if result, err = ModMul(m, result, b, n, sub); err != nil {
+				return nil, err
+			}
+		}
+		if b, err = ModMul(m, b, b, n, sub); err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}

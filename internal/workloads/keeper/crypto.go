@@ -1,0 +1,147 @@
+package keeper
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// box is an AES-GCM channel with a counter nonce — the transport
+// encryption between client and proxy, and the storage encryption of
+// payloads forwarded to ZooKeeper.
+type box struct {
+	mu   sync.Mutex
+	aead cipher.AEAD
+	seq  uint64
+}
+
+func newBox(key []byte) (*box, error) {
+	sum := sha256.Sum256(key)
+	block, err := aes.NewCipher(sum[:16])
+	if err != nil {
+		return nil, fmt.Errorf("keeper: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("keeper: %w", err)
+	}
+	return &box{aead: aead}, nil
+}
+
+// Seal encrypts plain, prepending the nonce.
+func (b *box) Seal(plain []byte) []byte {
+	b.mu.Lock()
+	b.seq++
+	seq := b.seq
+	b.mu.Unlock()
+	nonce := make([]byte, b.aead.NonceSize())
+	binary.LittleEndian.PutUint64(nonce, seq)
+	return append(nonce, b.aead.Seal(nil, nonce, plain, nil)...)
+}
+
+// Open decrypts a Seal output.
+func (b *box) Open(sealed []byte) ([]byte, error) {
+	ns := b.aead.NonceSize()
+	if len(sealed) < ns {
+		return nil, fmt.Errorf("keeper: sealed packet too short")
+	}
+	return b.aead.Open(nil, sealed[:ns], sealed[ns:], nil)
+}
+
+// pathPseudonym encrypts a ZooKeeper path segment-wise, preserving the
+// hierarchy so the untrusted service can still organise znodes — the
+// SecureKeeper scheme.
+func pathPseudonym(key []byte, path string) string {
+	if path == "/" {
+		return "/"
+	}
+	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		mac := hmac.New(sha256.New, key)
+		mac.Write([]byte(p))
+		out[i] = hex.EncodeToString(mac.Sum(nil))[:16]
+	}
+	return "/" + strings.Join(out, "/")
+}
+
+// encodeRequest / decodeRequest serialise a Request for transport.
+func encodeRequest(r Request) []byte {
+	out := make([]byte, 0, 16+len(r.Path)+len(r.Data))
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(r.Op))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(int32(r.Version)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(r.Path)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(r.Data)))
+	out = append(out, hdr[:]...)
+	out = append(out, r.Path...)
+	out = append(out, r.Data...)
+	return out
+}
+
+func decodeRequest(b []byte) (Request, error) {
+	if len(b) < 16 {
+		return Request{}, fmt.Errorf("keeper: truncated request")
+	}
+	pathLen := int(binary.LittleEndian.Uint32(b[8:12]))
+	dataLen := int(binary.LittleEndian.Uint32(b[12:16]))
+	if len(b) != 16+pathLen+dataLen {
+		return Request{}, fmt.Errorf("keeper: request length mismatch")
+	}
+	return Request{
+		Op:      ZKOp(binary.LittleEndian.Uint32(b[0:4])),
+		Version: int(int32(binary.LittleEndian.Uint32(b[4:8]))),
+		Path:    string(b[16 : 16+pathLen]),
+		Data:    append([]byte(nil), b[16+pathLen:]...),
+	}, nil
+}
+
+// encodeResponse / decodeResponse serialise a Response for transport.
+func encodeResponse(r Response) []byte {
+	childBlob := strings.Join(r.Children, "\x00")
+	out := make([]byte, 0, 20+len(r.Err)+len(r.Data)+len(childBlob))
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(int32(r.Version)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(r.Err)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(r.Data)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(childBlob)))
+	if r.Exists {
+		hdr[16] = 1
+	}
+	out = append(out, hdr[:]...)
+	out = append(out, r.Err...)
+	out = append(out, r.Data...)
+	out = append(out, childBlob...)
+	return out
+}
+
+func decodeResponse(b []byte) (Response, error) {
+	if len(b) < 20 {
+		return Response{}, fmt.Errorf("keeper: truncated response")
+	}
+	errLen := int(binary.LittleEndian.Uint32(b[4:8]))
+	dataLen := int(binary.LittleEndian.Uint32(b[8:12]))
+	childLen := int(binary.LittleEndian.Uint32(b[12:16]))
+	if len(b) != 20+errLen+dataLen+childLen {
+		return Response{}, fmt.Errorf("keeper: response length mismatch")
+	}
+	r := Response{
+		Version: int(int32(binary.LittleEndian.Uint32(b[0:4]))),
+		Exists:  b[16] == 1,
+	}
+	off := 20
+	r.Err = string(b[off : off+errLen])
+	off += errLen
+	r.Data = append([]byte(nil), b[off:off+dataLen]...)
+	off += dataLen
+	if childLen > 0 {
+		r.Children = strings.Split(string(b[off:off+childLen]), "\x00")
+	}
+	return r, nil
+}

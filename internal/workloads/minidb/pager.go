@@ -1,0 +1,252 @@
+package minidb
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the database page size.
+const PageSize = 4096
+
+// dbMagic identifies a minidb file.
+const dbMagic = 0x6d696e69 // "mini"
+
+// Pager provides transactional page access over a VFS using a rollback
+// journal, shaped like SQLite's: before a page is modified its original
+// content goes to the journal; commit syncs the journal, writes the dirty
+// pages to the database, syncs the database, and truncates the journal.
+type Pager struct {
+	vfs     VFS
+	db      File
+	journal File
+	name    string
+
+	pageCount int
+	cache     map[int][]byte
+	dirty     map[int]bool
+	journaled map[int]bool
+	inTxn     bool
+	jOffset   int64
+}
+
+// journal record layout: [u32 pageNo][u32 checksum][PageSize bytes]
+const journalRecSize = 8 + PageSize
+
+// journalHeaderSize holds the journal magic + page count.
+const journalHeaderSize = 12
+
+// OpenPager opens (creating if empty) a database file and its journal.
+func OpenPager(vfs VFS, name string) (*Pager, error) {
+	db, err := vfs.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("minidb: open db: %w", err)
+	}
+	journal, err := vfs.Open(name + "-journal")
+	if err != nil {
+		return nil, fmt.Errorf("minidb: open journal: %w", err)
+	}
+	p := &Pager{
+		vfs:       vfs,
+		db:        db,
+		journal:   journal,
+		name:      name,
+		cache:     make(map[int][]byte),
+		dirty:     make(map[int]bool),
+		journaled: make(map[int]bool),
+	}
+	size, err := db.Size()
+	if err != nil {
+		return nil, err
+	}
+	p.pageCount = int(size / PageSize)
+	if p.pageCount == 0 {
+		// Fresh database: initialise page 0 (header + catalog).
+		hdr := make([]byte, PageSize)
+		binary.LittleEndian.PutUint32(hdr[0:4], dbMagic)
+		binary.LittleEndian.PutUint32(hdr[4:8], 1)
+		p.cache[0] = hdr
+		p.pageCount = 1
+		if err := p.db.WriteAt(hdr, 0); err != nil {
+			return nil, err
+		}
+	} else {
+		hdr, err := p.readPage(0)
+		if err != nil {
+			return nil, err
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != dbMagic {
+			return nil, fmt.Errorf("minidb: %q is not a minidb file", name)
+		}
+		p.pageCount = int(binary.LittleEndian.Uint32(hdr[4:8]))
+	}
+	return p, nil
+}
+
+// PageCount returns the number of allocated pages.
+func (p *Pager) PageCount() int { return p.pageCount }
+
+func (p *Pager) readPage(n int) ([]byte, error) {
+	if pg, ok := p.cache[n]; ok {
+		return pg, nil
+	}
+	pg := make([]byte, PageSize)
+	if _, err := p.db.ReadAt(pg, int64(n)*PageSize); err != nil {
+		return nil, fmt.Errorf("minidb: read page %d: %w", n, err)
+	}
+	p.cache[n] = pg
+	return pg, nil
+}
+
+// Get returns a read-only view of page n.
+func (p *Pager) Get(n int) ([]byte, error) {
+	if n < 0 || n >= p.pageCount {
+		return nil, fmt.Errorf("minidb: page %d out of range (%d pages)", n, p.pageCount)
+	}
+	return p.readPage(n)
+}
+
+// Begin starts a transaction: the journal header is written out.
+func (p *Pager) Begin() error {
+	if p.inTxn {
+		return fmt.Errorf("minidb: nested transaction")
+	}
+	p.inTxn = true
+	p.jOffset = journalHeaderSize
+	hdr := make([]byte, journalHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], dbMagic+1)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(p.pageCount))
+	return p.journal.WriteAt(hdr, 0)
+}
+
+// Write returns page n for modification, journaling its original content
+// first (once per transaction).
+func (p *Pager) Write(n int) ([]byte, error) {
+	if !p.inTxn {
+		return nil, fmt.Errorf("minidb: write outside transaction")
+	}
+	pg, err := p.Get(n)
+	if err != nil {
+		return nil, err
+	}
+	if !p.journaled[n] {
+		// Two positioned writes per journal record, as SQLite does on
+		// Linux: the page number + checksum header, then the page image —
+		// each preceded by an lseek in the naïve ocall port (§5.2.2).
+		hdr := make([]byte, 8)
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+		binary.LittleEndian.PutUint32(hdr[4:8], checksum(pg))
+		if err := p.journal.WriteAt(hdr, p.jOffset); err != nil {
+			return nil, fmt.Errorf("minidb: journal page %d: %w", n, err)
+		}
+		if err := p.journal.WriteAt(pg, p.jOffset+8); err != nil {
+			return nil, fmt.Errorf("minidb: journal page %d: %w", n, err)
+		}
+		p.jOffset += journalRecSize
+		p.journaled[n] = true
+	}
+	p.dirty[n] = true
+	return pg, nil
+}
+
+// Allocate appends a fresh page inside the transaction and returns its
+// number.
+func (p *Pager) Allocate() (int, error) {
+	if !p.inTxn {
+		return 0, fmt.Errorf("minidb: allocate outside transaction")
+	}
+	n := p.pageCount
+	p.pageCount++
+	p.cache[n] = make([]byte, PageSize)
+	p.dirty[n] = true
+	// Page count lives in the header page, which must be journaled too.
+	hdr, err := p.Write(0)
+	if err != nil {
+		return 0, err
+	}
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(p.pageCount))
+	return n, nil
+}
+
+// Commit makes the transaction durable: sync journal, write dirty pages,
+// sync database, truncate journal — the syscall sequence whose lseek+write
+// pairs the paper's SDSC finding targets.
+func (p *Pager) Commit() error {
+	if !p.inTxn {
+		return fmt.Errorf("minidb: commit outside transaction")
+	}
+	if err := p.journal.Sync(); err != nil {
+		return err
+	}
+	for n := range p.dirty {
+		if err := p.db.WriteAt(p.cache[n], int64(n)*PageSize); err != nil {
+			return fmt.Errorf("minidb: write back page %d: %w", n, err)
+		}
+	}
+	if err := p.db.Sync(); err != nil {
+		return err
+	}
+	if err := p.journal.Truncate(0); err != nil {
+		return err
+	}
+	p.endTxn()
+	return nil
+}
+
+// Rollback restores every journaled page's original content.
+func (p *Pager) Rollback() error {
+	if !p.inTxn {
+		return fmt.Errorf("minidb: rollback outside transaction")
+	}
+	size := p.jOffset
+	for off := int64(journalHeaderSize); off+journalRecSize <= size; off += journalRecSize {
+		rec := make([]byte, journalRecSize)
+		if _, err := p.journal.ReadAt(rec, off); err != nil {
+			return fmt.Errorf("minidb: rollback read: %w", err)
+		}
+		n := int(binary.LittleEndian.Uint32(rec[0:4]))
+		sum := binary.LittleEndian.Uint32(rec[4:8])
+		content := rec[8:]
+		if checksum(content) != sum {
+			return fmt.Errorf("minidb: journal checksum mismatch for page %d", n)
+		}
+		pg := make([]byte, PageSize)
+		copy(pg, content)
+		p.cache[n] = pg
+		if err := p.db.WriteAt(pg, int64(n)*PageSize); err != nil {
+			return err
+		}
+	}
+	// Restore the page count from the journal header.
+	hdr := make([]byte, journalHeaderSize)
+	if _, err := p.journal.ReadAt(hdr, 0); err != nil {
+		return err
+	}
+	p.pageCount = int(binary.LittleEndian.Uint64(hdr[4:12]))
+	// Drop pages allocated by the aborted transaction.
+	for n := range p.cache {
+		if n >= p.pageCount {
+			delete(p.cache, n)
+		}
+	}
+	if err := p.journal.Truncate(0); err != nil {
+		return err
+	}
+	p.endTxn()
+	return nil
+}
+
+func (p *Pager) endTxn() {
+	p.inTxn = false
+	p.dirty = make(map[int]bool)
+	p.journaled = make(map[int]bool)
+}
+
+// checksum is a tiny additive checksum (SQLite's journal uses a similarly
+// cheap one).
+func checksum(b []byte) uint32 {
+	var sum uint32
+	for i := 0; i < len(b); i += 64 {
+		sum += binary.LittleEndian.Uint32(b[i : i+4])
+	}
+	return sum
+}

@@ -1,0 +1,434 @@
+package minidb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Value is one SQL value: integer or string.
+type Value struct {
+	IsInt bool
+	Int   int64
+	Str   string
+}
+
+// IntVal builds an integer value.
+func IntVal(v int64) Value { return Value{IsInt: true, Int: v} }
+
+// StrVal builds a string value.
+func StrVal(s string) Value { return Value{Str: s} }
+
+// Equal compares two values.
+func (v Value) Equal(o Value) bool {
+	if v.IsInt != o.IsInt {
+		return false
+	}
+	if v.IsInt {
+		return v.Int == o.Int
+	}
+	return v.Str == o.Str
+}
+
+// String renders the value as a SQL literal.
+func (v Value) String() string {
+	if v.IsInt {
+		return strconv.FormatInt(v.Int, 10)
+	}
+	return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+}
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable is CREATE TABLE name (col, ...).
+type CreateTable struct {
+	Table   string
+	Columns []string
+}
+
+// Insert is INSERT INTO name VALUES (v, ...).
+type Insert struct {
+	Table  string
+	Values []Value
+}
+
+// Cond is the WHERE col = value condition.
+type Cond struct {
+	Column string
+	Value  Value
+}
+
+// Select is SELECT */COUNT(*) FROM name [WHERE col = value].
+type Select struct {
+	Table string
+	Count bool
+	Where *Cond
+}
+
+// Delete is DELETE FROM name [WHERE col = value].
+type Delete struct {
+	Table string
+	Where *Cond
+}
+
+// Assignment is one col = value pair in an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Value
+}
+
+// Update is UPDATE name SET col = value [, ...] [WHERE col = value].
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where *Cond
+}
+
+func (CreateTable) stmt() {}
+func (Insert) stmt()      {}
+func (Select) stmt()      {}
+func (Delete) stmt()      {}
+func (Update) stmt()      {}
+
+// sqlToken kinds.
+type sqlTokKind int
+
+const (
+	sqlIdent sqlTokKind = iota + 1
+	sqlNumber
+	sqlString
+	sqlPunct
+	sqlEOF
+)
+
+type sqlTok struct {
+	kind sqlTokKind
+	text string
+}
+
+// lexSQL tokenises a statement.
+func lexSQL(src string) ([]sqlTok, error) {
+	var toks []sqlTok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '=' || c == ';' || c == '*':
+			toks = append(toks, sqlTok{sqlPunct, string(c)})
+			i++
+		case c == '\'':
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("minidb: unterminated string literal")
+			}
+			toks = append(toks, sqlTok{sqlString, sb.String()})
+		case c == '-' || (c >= '0' && c <= '9'):
+			start := i
+			i++
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			toks = append(toks, sqlTok{sqlNumber, src[start:i]})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			toks = append(toks, sqlTok{sqlIdent, src[start:i]})
+		default:
+			return nil, fmt.Errorf("minidb: unexpected character %q", c)
+		}
+	}
+	toks = append(toks, sqlTok{sqlEOF, ""})
+	return toks, nil
+}
+
+// sqlParser is a small recursive-descent parser.
+type sqlParser struct {
+	toks []sqlTok
+	pos  int
+}
+
+func (p *sqlParser) cur() sqlTok  { return p.toks[p.pos] }
+func (p *sqlParser) next() sqlTok { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *sqlParser) keyword(kw string) error {
+	t := p.next()
+	if t.kind != sqlIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("minidb: expected %s, found %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *sqlParser) ident() (string, error) {
+	t := p.next()
+	if t.kind != sqlIdent {
+		return "", fmt.Errorf("minidb: expected identifier, found %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *sqlParser) punct(s string) error {
+	t := p.next()
+	if t.kind != sqlPunct || t.text != s {
+		return fmt.Errorf("minidb: expected %q, found %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *sqlParser) value() (Value, error) {
+	t := p.next()
+	switch t.kind {
+	case sqlNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("minidb: bad number %q", t.text)
+		}
+		return IntVal(n), nil
+	case sqlString:
+		return StrVal(t.text), nil
+	default:
+		return Value{}, fmt.Errorf("minidb: expected value, found %q", t.text)
+	}
+}
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	t := p.cur()
+	if t.kind != sqlIdent {
+		return nil, fmt.Errorf("minidb: expected statement, found %q", t.text)
+	}
+	var st Statement
+	switch strings.ToUpper(t.text) {
+	case "CREATE":
+		st, err = p.parseCreate()
+	case "INSERT":
+		st, err = p.parseInsert()
+	case "SELECT":
+		st, err = p.parseSelect()
+	case "DELETE":
+		st, err = p.parseDelete()
+	case "UPDATE":
+		st, err = p.parseUpdate()
+	default:
+		return nil, fmt.Errorf("minidb: unsupported statement %q", t.text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == sqlPunct && p.cur().text == ";" {
+		p.next()
+	}
+	if p.cur().kind != sqlEOF {
+		return nil, fmt.Errorf("minidb: trailing input after statement: %q", p.cur().text)
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseCreate() (Statement, error) {
+	if err := p.keyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.punct("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if p.cur().kind == sqlPunct && p.cur().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.punct(")"); err != nil {
+		return nil, err
+	}
+	return CreateTable{Table: name, Columns: cols}, nil
+}
+
+func (p *sqlParser) parseInsert() (Statement, error) {
+	if err := p.keyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.punct("("); err != nil {
+		return nil, err
+	}
+	var vals []Value
+	for {
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if p.cur().kind == sqlPunct && p.cur().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.punct(")"); err != nil {
+		return nil, err
+	}
+	return Insert{Table: name, Values: vals}, nil
+}
+
+// parseWhere parses an optional WHERE col = value clause.
+func (p *sqlParser) parseWhere() (*Cond, error) {
+	if !(p.cur().kind == sqlIdent && strings.EqualFold(p.cur().text, "WHERE")) {
+		return nil, nil
+	}
+	p.next()
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.punct("="); err != nil {
+		return nil, err
+	}
+	v, err := p.value()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{Column: col, Value: v}, nil
+}
+
+func (p *sqlParser) parseDelete() (Statement, error) {
+	if err := p.keyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	return Delete{Table: name, Where: where}, nil
+}
+
+func (p *sqlParser) parseUpdate() (Statement, error) {
+	if err := p.keyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("SET"); err != nil {
+		return nil, err
+	}
+	var set []Assignment
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.punct("="); err != nil {
+			return nil, err
+		}
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, Assignment{Column: col, Value: v})
+		if p.cur().kind == sqlPunct && p.cur().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	where, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	return Update{Table: name, Set: set, Where: where}, nil
+}
+
+func (p *sqlParser) parseSelect() (Statement, error) {
+	if err := p.keyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := Select{}
+	t := p.next()
+	switch {
+	case t.kind == sqlPunct && t.text == "*":
+	case t.kind == sqlIdent && strings.EqualFold(t.text, "COUNT"):
+		sel.Count = true
+		if err := p.punct("("); err != nil {
+			return nil, err
+		}
+		if err := p.punct("*"); err != nil {
+			return nil, err
+		}
+		if err := p.punct(")"); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("minidb: expected * or COUNT(*), found %q", t.text)
+	}
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = name
+	where, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	sel.Where = where
+	return sel, nil
+}

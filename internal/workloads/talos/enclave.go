@@ -1,0 +1,528 @@
+package talos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+)
+
+// OpenSSL-shaped ecall names (the hot part of Fig. 5).
+const (
+	EcallSSLNew              = "sgx_ecall_SSL_new"
+	EcallSSLSetFD            = "sgx_ecall_SSL_set_fd"
+	EcallSSLSetAcceptState   = "sgx_ecall_SSL_set_accept_state"
+	EcallSSLDoHandshake      = "sgx_ecall_SSL_do_handshake"
+	EcallSSLRead             = "sgx_ecall_SSL_read"
+	EcallSSLWrite            = "sgx_ecall_SSL_write"
+	EcallSSLShutdown         = "sgx_ecall_SSL_shutdown"
+	EcallSSLFree             = "sgx_ecall_SSL_free"
+	EcallSSLGetError         = "sgx_ecall_SSL_get_error"
+	EcallSSLGetRbio          = "sgx_ecall_SSL_get_rbio"
+	EcallSSLSetQuietShutdown = "sgx_ecall_SSL_set_quiet_shutdown"
+	EcallBIOIntCtrl          = "sgx_ecall_BIO_int_ctrl"
+	EcallERRPeekError        = "sgx_ecall_ERR_peek_error"
+	EcallERRClearError       = "sgx_ecall_ERR_clear_error"
+)
+
+// Ocall names (the used subset of the 61 declared).
+const (
+	OcallRead         = "enclave_ocall_read"
+	OcallWrite        = "enclave_ocall_write"
+	OcallInfoCallback = "enclave_ocall_execute_ssl_ctx_info_callback"
+	OcallALPNSelect   = "enclave_ocall_alpn_select_cb"
+	OcallGetTime      = "enclave_ocall_gettime"
+	OcallErrno        = "enclave_ocall_errno"
+	OcallFcntl        = "enclave_ocall_fcntl"
+	OcallMalloc       = "enclave_ocall_malloc"
+)
+
+// Interface shape (§5.2.1): 207 declared ecalls, 61 declared ocalls.
+const (
+	declaredEcalls = 207
+	declaredOcalls = 61
+	// configEcalls are the SSL_CTX_* setup calls nginx makes once at
+	// start-up; together with the hot calls they make 61 distinct ecalls
+	// appear in the trace, as the paper reports.
+	configEcalls = 46
+)
+
+// OpenSSL error codes (the subset used).
+const (
+	SSLErrorNone       = 0
+	SSLErrorWantRead   = 2
+	SSLErrorZeroReturn = 6
+	SSLErrorSSL        = 1
+)
+
+// EAGAIN sentinel returned by the read ocall when the socket is empty.
+var errEAGAIN = fmt.Errorf("talos: EAGAIN")
+
+// Crypto work costs inside the enclave.
+const (
+	costRecordOp     = 1200 * time.Nanosecond
+	costRecordPerKiB = 3 * time.Microsecond
+	costTinyCall     = 150 * time.Nanosecond
+)
+
+// sslState is the trusted per-connection state.
+type sslState struct {
+	conn        *tlsConn
+	fd          int
+	acceptState bool
+	quiet       bool
+	// sentClose/gotClose track the shutdown handshake.
+	sentClose bool
+	gotClose  bool
+	// pendingPlain buffers decrypted-but-unread application data.
+	pendingPlain [][]byte
+}
+
+// trusted is the enclave's global state: the SSL store and the OpenSSL
+// error queue (per-enclave, like OpenSSL's per-thread queue under nginx's
+// single worker).
+type trusted struct {
+	mu       sync.Mutex
+	nextID   int
+	sessions map[int]*sslState
+	errQueue []uint64
+	// infoCallbacksPerPhase shapes the callback storm of Fig. 5.
+	infoPhase1 int
+	infoPhase2 int
+}
+
+func (t *trusted) get(id int) (*sslState, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("talos: no SSL session %d", id)
+	}
+	return s, nil
+}
+
+func (t *trusted) pushErr(code uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.errQueue = append(t.errQueue, code)
+}
+
+// ecall argument bundles.
+type (
+	sslArgs struct {
+		SSL int
+		Arg int
+	}
+	readArgs struct {
+		SSL int
+		Max int
+	}
+	writeArgs struct {
+		SSL  int
+		Data []byte
+	}
+	readResult struct {
+		Ret  int
+		Data []byte
+	}
+	ioArgs struct {
+		FD  int
+		Max int
+	}
+	iowArgs struct {
+		FD   int
+		Data []byte
+	}
+)
+
+// CopyInBytes implements sdk.Copied for writes into the enclave.
+func (a writeArgs) CopyInBytes() int { return len(a.Data) }
+
+// CopyOutBytes implements sdk.Copied.
+func (a writeArgs) CopyOutBytes() int { return 8 }
+
+// buildInterface declares the 207/61 interface.
+func buildInterface() (*edl.Interface, error) {
+	iface := edl.NewInterface()
+	hot := []string{
+		EcallSSLRead, // call id 0, like Fig. 5
+		EcallSSLNew, EcallSSLSetFD, EcallSSLSetAcceptState, EcallSSLDoHandshake,
+		EcallSSLWrite, EcallSSLShutdown, EcallSSLFree, EcallSSLGetError,
+		EcallSSLGetRbio, EcallSSLSetQuietShutdown, EcallBIOIntCtrl,
+		EcallERRPeekError, EcallERRClearError,
+	}
+	for _, n := range hot {
+		if _, err := iface.AddEcall(n, true); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < configEcalls; i++ {
+		if _, err := iface.AddEcall(fmt.Sprintf("sgx_ecall_SSL_CTX_set_opt_%02d", i), true); err != nil {
+			return nil, err
+		}
+	}
+	for i := len(hot) + configEcalls; i < declaredEcalls; i++ {
+		if _, err := iface.AddEcall(fmt.Sprintf("sgx_ecall_ssl_gen_%03d", i), true); err != nil {
+			return nil, err
+		}
+	}
+	used := []string{
+		OcallRead, OcallWrite, OcallInfoCallback, OcallALPNSelect,
+		OcallGetTime, OcallErrno, OcallFcntl, OcallMalloc,
+	}
+	for _, n := range used {
+		if _, err := iface.AddOcall(n, nil); err != nil {
+			return nil, err
+		}
+	}
+	for i := len(used); i < declaredOcalls; i++ {
+		if _, err := iface.AddOcall(fmt.Sprintf("enclave_ocall_gen_%02d", i), nil); err != nil {
+			return nil, err
+		}
+	}
+	return iface, nil
+}
+
+// Enclave wraps the TaLoS enclave instance.
+type Enclave struct {
+	app     *sdk.AppEnclave
+	proxies map[string]sdk.Proxy
+	t       *trusted
+}
+
+// NewEnclave builds the TaLoS enclave over the given socket table.
+func NewEnclave(h *host.Host, ctx *sgx.Context, socks *SocketTable) (*Enclave, error) {
+	iface, err := buildInterface()
+	if err != nil {
+		return nil, err
+	}
+	t := &trusted{
+		sessions:   make(map[int]*sslState),
+		infoPhase1: 12,
+		infoPhase2: 7,
+	}
+	impl := trustedImpls(t)
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{
+		Name:       "talos",
+		CodeBytes:  96 * sgx.PageSize, // LibreSSL is big
+		HeapBytes:  128 * sgx.PageSize,
+		StackBytes: 16 * sgx.PageSize,
+		NumTCS:     4,
+	}, iface, impl)
+	if err != nil {
+		return nil, fmt.Errorf("talos: %w", err)
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, untrustedOcalls(socks))
+	if err != nil {
+		return nil, err
+	}
+	return &Enclave{
+		app:     app,
+		proxies: sdk.Proxies(app, h.Proc, otab),
+		t:       t,
+	}, nil
+}
+
+// Proxy returns the wrapper for one ecall.
+func (e *Enclave) Proxy(name string) sdk.Proxy { return e.proxies[name] }
+
+// SgxEnclave returns the hardware enclave.
+func (e *Enclave) SgxEnclave() *sgx.Enclave { return e.app.Enclave() }
+
+// chargeRecord prices record-layer crypto.
+func chargeRecord(env *sdk.Env, n int) {
+	env.Compute(costRecordOp + time.Duration(float64(costRecordPerKiB)*float64(n)/1024))
+}
+
+// fillFromSocket pulls transport bytes into the session via the read
+// ocall. Returns errEAGAIN if the socket had nothing.
+func fillFromSocket(env *sdk.Env, s *sslState) error {
+	res, err := env.Ocall(OcallRead, ioArgs{FD: s.fd, Max: 16 * 1024})
+	if err != nil {
+		return err
+	}
+	data, ok := res.([]byte)
+	if !ok {
+		return fmt.Errorf("talos: read ocall returned %T", res)
+	}
+	if len(data) == 0 {
+		// errno fetch after EAGAIN, as the real shim does.
+		if _, err := env.Ocall(OcallErrno, nil); err != nil {
+			return err
+		}
+		return errEAGAIN
+	}
+	s.conn.feed(data)
+	return nil
+}
+
+// flushToSocket sends transport bytes through the write ocall.
+func flushToSocket(env *sdk.Env, s *sslState, b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	_, err := env.Ocall(OcallWrite, iowArgs{FD: s.fd, Data: b})
+	return err
+}
+
+// fireInfoCallbacks issues n very short callback ocalls (Fig. 5's
+// execute_ssl_ctx_info_callback storm).
+func fireInfoCallbacks(env *sdk.Env, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := env.Ocall(OcallInfoCallback, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trustedImpls wires every ecall implementation.
+func trustedImpls(t *trusted) map[string]sdk.TrustedFn {
+	impls := map[string]sdk.TrustedFn{
+		EcallSSLNew: func(env *sdk.Env, args any) (any, error) {
+			env.Compute(2 * time.Microsecond) // object setup
+			if _, err := env.Ocall(OcallMalloc, nil); err != nil {
+				return nil, err
+			}
+			t.mu.Lock()
+			t.nextID++
+			id := t.nextID
+			t.sessions[id] = &sslState{conn: newTLSConn(true), fd: -1}
+			t.mu.Unlock()
+			return id, nil
+		},
+		EcallSSLSetFD: func(env *sdk.Env, args any) (any, error) {
+			a := args.(sslArgs)
+			s, err := t.get(a.SSL)
+			if err != nil {
+				return nil, err
+			}
+			env.Compute(costTinyCall)
+			if _, err := env.Ocall(OcallFcntl, nil); err != nil {
+				return nil, err
+			}
+			s.fd = a.Arg
+			return 1, nil
+		},
+		EcallSSLSetAcceptState: func(env *sdk.Env, args any) (any, error) {
+			a := args.(sslArgs)
+			s, err := t.get(a.SSL)
+			if err != nil {
+				return nil, err
+			}
+			env.Compute(costTinyCall)
+			s.acceptState = true
+			return 1, nil
+		},
+		EcallSSLGetRbio: func(env *sdk.Env, args any) (any, error) {
+			a := args.(sslArgs)
+			s, err := t.get(a.SSL)
+			if err != nil {
+				return nil, err
+			}
+			env.Compute(costTinyCall)
+			return s.fd, nil
+		},
+		EcallSSLSetQuietShutdown: func(env *sdk.Env, args any) (any, error) {
+			a := args.(sslArgs)
+			s, err := t.get(a.SSL)
+			if err != nil {
+				return nil, err
+			}
+			env.Compute(costTinyCall)
+			s.quiet = a.Arg != 0
+			return 1, nil
+		},
+		EcallBIOIntCtrl: func(env *sdk.Env, args any) (any, error) {
+			env.Compute(costTinyCall)
+			return 1, nil
+		},
+		EcallERRClearError: func(env *sdk.Env, args any) (any, error) {
+			env.Compute(costTinyCall)
+			t.mu.Lock()
+			t.errQueue = nil
+			t.mu.Unlock()
+			return nil, nil
+		},
+		EcallERRPeekError: func(env *sdk.Env, args any) (any, error) {
+			env.Compute(costTinyCall)
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			if len(t.errQueue) == 0 {
+				return uint64(0), nil
+			}
+			return t.errQueue[0], nil
+		},
+		EcallSSLGetError: func(env *sdk.Env, args any) (any, error) {
+			env.Compute(costTinyCall)
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			if len(t.errQueue) == 0 {
+				return SSLErrorNone, nil
+			}
+			return int(t.errQueue[len(t.errQueue)-1]), nil
+		},
+		EcallSSLDoHandshake: func(env *sdk.Env, args any) (any, error) {
+			a := args.(sslArgs)
+			s, err := t.get(a.SSL)
+			if err != nil {
+				return nil, err
+			}
+			if s.conn.established {
+				return 1, nil
+			}
+			if _, err := env.Ocall(OcallGetTime, nil); err != nil {
+				return nil, err
+			}
+			firstPhase := s.conn.clientNonce == nil
+			// Pull whatever the socket has.
+			if s.conn.buffered() < recordHeaderLen {
+				if err := fillFromSocket(env, s); err != nil && err != errEAGAIN {
+					return nil, err
+				}
+			}
+			out, hsErr := s.conn.handshakeStep()
+			chargeRecord(env, len(out)+64)
+			if len(out) > 0 {
+				if err := flushToSocket(env, s, out); err != nil {
+					return nil, err
+				}
+			}
+			if firstPhase && s.conn.clientNonce != nil {
+				// ALPN selection once per connection, right after the
+				// ClientHello (Fig. 5).
+				if _, err := env.Ocall(OcallALPNSelect, nil); err != nil {
+					return nil, err
+				}
+				if err := fireInfoCallbacks(env, t.infoPhase1); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := fireInfoCallbacks(env, t.infoPhase2); err != nil {
+					return nil, err
+				}
+			}
+			switch hsErr {
+			case nil:
+				if s.conn.established {
+					return 1, nil
+				}
+				t.pushErr(SSLErrorWantRead)
+				return -1, nil
+			case ErrWantRead:
+				t.pushErr(SSLErrorWantRead)
+				return -1, nil
+			default:
+				t.pushErr(SSLErrorSSL)
+				return -1, hsErr
+			}
+		},
+		EcallSSLRead: func(env *sdk.Env, args any) (any, error) {
+			a := args.(readArgs)
+			s, err := t.get(a.SSL)
+			if err != nil {
+				return nil, err
+			}
+			for attempt := 0; attempt < 2; attempt++ {
+				plain, closed, rErr := s.conn.readRecord()
+				switch {
+				case rErr == nil && closed:
+					s.gotClose = true
+					return readResult{Ret: 0}, nil
+				case rErr == nil:
+					chargeRecord(env, len(plain))
+					return readResult{Ret: len(plain), Data: plain}, nil
+				case rErr == ErrWantRead:
+					if err := fillFromSocket(env, s); err == errEAGAIN {
+						t.pushErr(SSLErrorWantRead)
+						return readResult{Ret: -1}, nil
+					} else if err != nil {
+						return nil, err
+					}
+					// Retry the decode with the new bytes.
+				default:
+					t.pushErr(SSLErrorSSL)
+					return readResult{Ret: -1}, rErr
+				}
+			}
+			t.pushErr(SSLErrorWantRead)
+			return readResult{Ret: -1}, nil
+		},
+		EcallSSLWrite: func(env *sdk.Env, args any) (any, error) {
+			a := args.(writeArgs)
+			s, err := t.get(a.SSL)
+			if err != nil {
+				return nil, err
+			}
+			rec, err := s.conn.writeRecord(a.Data)
+			if err != nil {
+				return nil, err
+			}
+			chargeRecord(env, len(a.Data))
+			if err := flushToSocket(env, s, rec); err != nil {
+				return nil, err
+			}
+			return len(a.Data), nil
+		},
+		EcallSSLShutdown: func(env *sdk.Env, args any) (any, error) {
+			a := args.(sslArgs)
+			s, err := t.get(a.SSL)
+			if err != nil {
+				return nil, err
+			}
+			env.Compute(costTinyCall)
+			if !s.sentClose {
+				alert, err := s.conn.closeNotify()
+				if err != nil {
+					return nil, err
+				}
+				chargeRecord(env, len(alert))
+				if err := flushToSocket(env, s, alert); err != nil {
+					return nil, err
+				}
+				s.sentClose = true
+				if s.gotClose {
+					return 1, nil
+				}
+				return 0, nil
+			}
+			if s.gotClose {
+				return 1, nil
+			}
+			// Check for the peer's close_notify.
+			_, closed, rErr := s.conn.readRecord()
+			if rErr == ErrWantRead {
+				if err := fillFromSocket(env, s); err == errEAGAIN {
+					return 0, nil
+				} else if err != nil {
+					return nil, err
+				}
+				_, closed, rErr = s.conn.readRecord()
+			}
+			if rErr == nil && closed {
+				s.gotClose = true
+				return 1, nil
+			}
+			return 0, nil
+		},
+		EcallSSLFree: func(env *sdk.Env, args any) (any, error) {
+			a := args.(sslArgs)
+			env.Compute(costTinyCall)
+			t.mu.Lock()
+			delete(t.sessions, a.SSL)
+			t.mu.Unlock()
+			return nil, nil
+		},
+	}
+	for i := 0; i < configEcalls; i++ {
+		impls[fmt.Sprintf("sgx_ecall_SSL_CTX_set_opt_%02d", i)] = func(env *sdk.Env, args any) (any, error) {
+			env.Compute(costTinyCall)
+			return 1, nil
+		}
+	}
+	return impls
+}

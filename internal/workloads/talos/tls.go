@@ -1,0 +1,298 @@
+// Package talos reproduces the TaLoS workload (§5.2.1): a TLS termination
+// library living inside an enclave and exposing the OpenSSL API as its
+// ecall interface, driven by an nginx-like HTTP server and a curl-like
+// client. The paper uses it to show that the OpenSSL interface — with its
+// error-queue calls and per-record socket ocalls — is a poor enclave
+// interface: 1,000 HTTP GET requests generate tens of thousands of enclave
+// transitions (Fig. 5).
+//
+// The TLS protocol here is a miniature but real one: a nonce-exchange
+// handshake deriving an AES-GCM session key, and an encrypted record
+// layer with sequence numbers. It is not interoperable TLS, but every
+// byte on the simulated wire is genuinely encrypted and authenticated.
+package talos
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Record types.
+const (
+	recHandshake = 22
+	recAppData   = 23
+	recAlert     = 21
+)
+
+// alert payloads.
+const alertCloseNotify = 0
+
+// recordHeaderLen is type(1) + length(4).
+const recordHeaderLen = 5
+
+// serverSecret is the server's long-term key material ("the certificate
+// key" of this toy protocol).
+var serverSecret = []byte("talos-server-long-term-secret")
+
+// deriveKey computes the session key from both nonces.
+func deriveKey(clientNonce, serverNonce []byte) []byte {
+	mac := hmac.New(sha256.New, serverSecret)
+	mac.Write(clientNonce)
+	mac.Write(serverNonce)
+	return mac.Sum(nil)[:16]
+}
+
+// recordCipher encrypts/decrypts the record layer after the handshake.
+type recordCipher struct {
+	aead    cipher.AEAD
+	sendSeq uint64
+	recvSeq uint64
+}
+
+func newRecordCipher(key []byte) (*recordCipher, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("talos: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("talos: %w", err)
+	}
+	return &recordCipher{aead: aead}, nil
+}
+
+func (c *recordCipher) seal(dir byte, plain []byte) []byte {
+	nonce := make([]byte, c.aead.NonceSize())
+	c.sendSeq++
+	binary.LittleEndian.PutUint64(nonce, c.sendSeq)
+	nonce[len(nonce)-1] = dir
+	return c.aead.Seal(nil, nonce, plain, nil)
+}
+
+func (c *recordCipher) open(dir byte, sealed []byte) ([]byte, error) {
+	nonce := make([]byte, c.aead.NonceSize())
+	c.recvSeq++
+	binary.LittleEndian.PutUint64(nonce, c.recvSeq)
+	nonce[len(nonce)-1] = dir
+	plain, err := c.aead.Open(nil, nonce, sealed, nil)
+	if err != nil {
+		return nil, fmt.Errorf("talos: record authentication: %w", err)
+	}
+	return plain, nil
+}
+
+// Directions for nonce separation.
+const (
+	dirClientToServer = 1
+	dirServerToClient = 2
+)
+
+// frame wraps a payload in a record.
+func frame(recType byte, payload []byte) []byte {
+	out := make([]byte, recordHeaderLen+len(payload))
+	out[0] = recType
+	binary.LittleEndian.PutUint32(out[1:5], uint32(len(payload)))
+	copy(out[recordHeaderLen:], payload)
+	return out
+}
+
+// parseFrame extracts one record from the front of buf, returning the
+// record and the remaining bytes, or ok=false if incomplete.
+func parseFrame(buf []byte) (recType byte, payload, rest []byte, ok bool) {
+	if len(buf) < recordHeaderLen {
+		return 0, nil, buf, false
+	}
+	n := int(binary.LittleEndian.Uint32(buf[1:5]))
+	if len(buf) < recordHeaderLen+n {
+		return 0, nil, buf, false
+	}
+	return buf[0], buf[recordHeaderLen : recordHeaderLen+n], buf[recordHeaderLen+n:], true
+}
+
+// ErrWantRead mirrors SSL_ERROR_WANT_READ: the operation needs more bytes
+// from the transport.
+var ErrWantRead = errors.New("talos: want read")
+
+// tlsConn is the protocol engine shared by both endpoints; the enclave
+// hosts the server side, the curl-like client the other.
+type tlsConn struct {
+	isServer    bool
+	established bool
+	closed      bool
+
+	clientNonce []byte
+	serverNonce []byte
+	cipher      *recordCipher
+
+	// inbuf accumulates transport bytes until full records are available.
+	inbuf []byte
+}
+
+func newTLSConn(isServer bool) *tlsConn {
+	return &tlsConn{isServer: isServer}
+}
+
+// feed appends transport bytes.
+func (c *tlsConn) feed(b []byte) { c.inbuf = append(c.inbuf, b...) }
+
+// buffered returns the number of undecoded bytes.
+func (c *tlsConn) buffered() int { return len(c.inbuf) }
+
+// clientHello produces the client's first flight.
+func (c *tlsConn) clientHello() ([]byte, error) {
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	c.clientNonce = nonce
+	return frame(recHandshake, append([]byte{1}, nonce...)), nil
+}
+
+// handshakeStep advances the handshake with whatever is buffered. It
+// returns output bytes to send and ErrWantRead if more input is needed.
+func (c *tlsConn) handshakeStep() ([]byte, error) {
+	if c.established {
+		return nil, nil
+	}
+	recType, payload, rest, ok := parseFrame(c.inbuf)
+	if !ok {
+		return nil, ErrWantRead
+	}
+	if recType != recHandshake || len(payload) < 1 {
+		return nil, fmt.Errorf("talos: unexpected record %d during handshake", recType)
+	}
+	c.inbuf = rest
+	switch payload[0] {
+	case 1: // ClientHello (server side)
+		if !c.isServer {
+			return nil, fmt.Errorf("talos: client received ClientHello")
+		}
+		if len(payload) != 17 {
+			return nil, fmt.Errorf("talos: bad ClientHello")
+		}
+		c.clientNonce = append([]byte(nil), payload[1:]...)
+		nonce := make([]byte, 16)
+		if _, err := rand.Read(nonce); err != nil {
+			return nil, err
+		}
+		c.serverNonce = nonce
+		cph, err := newRecordCipher(deriveKey(c.clientNonce, c.serverNonce))
+		if err != nil {
+			return nil, err
+		}
+		c.cipher = cph
+		// ServerHello: nonce + a MAC standing in for the certificate
+		// chain.
+		mac := hmac.New(sha256.New, serverSecret)
+		mac.Write(c.clientNonce)
+		mac.Write(c.serverNonce)
+		body := append([]byte{2}, c.serverNonce...)
+		body = append(body, mac.Sum(nil)...)
+		// Wait for the client's Finished next.
+		return frame(recHandshake, body), ErrWantRead
+	case 2: // ServerHello (client side)
+		if c.isServer {
+			return nil, fmt.Errorf("talos: server received ServerHello")
+		}
+		if len(payload) != 1+16+32 {
+			return nil, fmt.Errorf("talos: bad ServerHello")
+		}
+		c.serverNonce = append([]byte(nil), payload[1:17]...)
+		mac := hmac.New(sha256.New, serverSecret)
+		mac.Write(c.clientNonce)
+		mac.Write(c.serverNonce)
+		if !hmac.Equal(mac.Sum(nil), payload[17:]) {
+			return nil, fmt.Errorf("talos: server authentication failed")
+		}
+		cph, err := newRecordCipher(deriveKey(c.clientNonce, c.serverNonce))
+		if err != nil {
+			return nil, err
+		}
+		c.cipher = cph
+		c.established = true
+		// Finished: an encrypted marker proving key possession.
+		fin := c.seal([]byte("finished"))
+		return frame(recHandshake, append([]byte{3}, fin...)), nil
+	case 3: // Finished (server side)
+		if !c.isServer || c.cipher == nil {
+			return nil, fmt.Errorf("talos: unexpected Finished")
+		}
+		plain, err := c.openPeer(payload[1:])
+		if err != nil {
+			return nil, err
+		}
+		if string(plain) != "finished" {
+			return nil, fmt.Errorf("talos: bad Finished")
+		}
+		c.established = true
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("talos: unknown handshake message %d", payload[0])
+	}
+}
+
+func (c *tlsConn) seal(plain []byte) []byte {
+	dir := byte(dirClientToServer)
+	if c.isServer {
+		dir = dirServerToClient
+	}
+	return c.cipher.seal(dir, plain)
+}
+
+func (c *tlsConn) openPeer(sealed []byte) ([]byte, error) {
+	dir := byte(dirClientToServer)
+	if !c.isServer {
+		dir = dirServerToClient
+	}
+	return c.cipher.open(dir, sealed)
+}
+
+// writeRecord encrypts application data into transport bytes.
+func (c *tlsConn) writeRecord(plain []byte) ([]byte, error) {
+	if !c.established {
+		return nil, fmt.Errorf("talos: write before handshake")
+	}
+	return frame(recAppData, c.seal(plain)), nil
+}
+
+// readRecord decrypts the next buffered application record. It returns
+// (nil, io-style signals): ErrWantRead when a full record is not yet
+// buffered, closed=true on close_notify.
+func (c *tlsConn) readRecord() (plain []byte, closed bool, err error) {
+	recType, payload, rest, ok := parseFrame(c.inbuf)
+	if !ok {
+		return nil, false, ErrWantRead
+	}
+	c.inbuf = rest
+	switch recType {
+	case recAppData:
+		plain, err := c.openPeer(payload)
+		return plain, false, err
+	case recAlert:
+		pt, err := c.openPeer(payload)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(pt) == 1 && pt[0] == alertCloseNotify {
+			c.closed = true
+			return nil, true, nil
+		}
+		return nil, false, fmt.Errorf("talos: unexpected alert")
+	default:
+		return nil, false, fmt.Errorf("talos: unexpected record %d", recType)
+	}
+}
+
+// closeNotify produces the close_notify alert.
+func (c *tlsConn) closeNotify() ([]byte, error) {
+	if !c.established {
+		return nil, fmt.Errorf("talos: close before handshake")
+	}
+	return frame(recAlert, c.seal([]byte{alertCloseNotify})), nil
+}

@@ -1,0 +1,151 @@
+package talos
+
+import (
+	"bytes"
+	"testing"
+)
+
+// pipeHandshake runs the full handshake between two in-memory endpoints.
+func pipeHandshake(t *testing.T) (client, server *tlsConn) {
+	t.Helper()
+	client = newTLSConn(false)
+	server = newTLSConn(true)
+
+	hello, err := client.clientHello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.feed(hello)
+	serverHello, err := server.handshakeStep()
+	if err != ErrWantRead {
+		t.Fatalf("server after ClientHello: %v", err)
+	}
+	client.feed(serverHello)
+	finished, err := client.handshakeStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !client.established {
+		t.Fatal("client not established after ServerHello")
+	}
+	server.feed(finished)
+	if _, err := server.handshakeStep(); err != nil {
+		t.Fatal(err)
+	}
+	if !server.established {
+		t.Fatal("server not established after Finished")
+	}
+	return client, server
+}
+
+func TestTLSHandshakeAndRecords(t *testing.T) {
+	client, server := pipeHandshake(t)
+
+	// Client → server application data.
+	msg := []byte("GET / HTTP/1.1\r\n\r\n")
+	rec, err := client.writeRecord(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.feed(rec)
+	plain, closed, err := server.readRecord()
+	if err != nil || closed {
+		t.Fatalf("server read: %v closed=%v", err, closed)
+	}
+	if !bytes.Equal(plain, msg) {
+		t.Fatalf("server decrypted %q", plain)
+	}
+	// Server → client.
+	resp := []byte("HTTP/1.1 200 OK\r\n\r\nhello")
+	rec, err = server.writeRecord(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.feed(rec)
+	plain, _, err = client.readRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, resp) {
+		t.Fatalf("client decrypted %q", plain)
+	}
+	// Close notify.
+	alert, err := client.closeNotify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.feed(alert)
+	_, closed, err = server.readRecord()
+	if err != nil || !closed {
+		t.Fatalf("close notify: %v closed=%v", err, closed)
+	}
+}
+
+func TestTLSPartialRecordWantsRead(t *testing.T) {
+	client, server := pipeHandshake(t)
+	rec, err := client.writeRecord([]byte("split me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.feed(rec[:len(rec)/2])
+	if _, _, err := server.readRecord(); err != ErrWantRead {
+		t.Fatalf("partial record: %v, want ErrWantRead", err)
+	}
+	server.feed(rec[len(rec)/2:])
+	plain, _, err := server.readRecord()
+	if err != nil || string(plain) != "split me" {
+		t.Fatalf("completed record: %q, %v", plain, err)
+	}
+}
+
+func TestTLSRejectsTamperedRecord(t *testing.T) {
+	client, server := pipeHandshake(t)
+	rec, err := client.writeRecord([]byte("sensitive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec[len(rec)-1] ^= 1
+	server.feed(rec)
+	if _, _, err := server.readRecord(); err == nil {
+		t.Fatal("tampered record accepted")
+	}
+}
+
+func TestTLSRejectsReplayedRecord(t *testing.T) {
+	client, server := pipeHandshake(t)
+	rec, err := client.writeRecord([]byte("pay me once"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.feed(rec)
+	if _, _, err := server.readRecord(); err != nil {
+		t.Fatal(err)
+	}
+	server.feed(rec) // replay: sequence number mismatch breaks the MAC
+	if _, _, err := server.readRecord(); err == nil {
+		t.Fatal("replayed record accepted")
+	}
+}
+
+func TestTLSRejectsForgedServer(t *testing.T) {
+	client := newTLSConn(false)
+	if _, err := client.clientHello(); err != nil {
+		t.Fatal(err)
+	}
+	// A forged ServerHello with a wrong certificate MAC.
+	body := append([]byte{2}, make([]byte, 16+32)...)
+	client.feed(frame(recHandshake, body))
+	if _, err := client.handshakeStep(); err == nil {
+		t.Fatal("forged server accepted")
+	}
+}
+
+func TestWriteBeforeHandshakeFails(t *testing.T) {
+	c := newTLSConn(false)
+	if _, err := c.writeRecord([]byte("x")); err == nil {
+		t.Fatal("write before handshake succeeded")
+	}
+	if _, err := c.closeNotify(); err == nil {
+		t.Fatal("close before handshake succeeded")
+	}
+}

@@ -1,0 +1,478 @@
+package talos
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"sgxperf/internal/host"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/workloads"
+)
+
+// sock is one simulated TCP connection's byte queues.
+type sock struct {
+	mu       sync.Mutex
+	toServer []byte
+	toClient []byte
+}
+
+// SocketTable maps file descriptors to connections; the untrusted read
+// and write ocalls operate on it.
+type SocketTable struct {
+	mu     sync.Mutex
+	socks  map[int]*sock
+	nextFD int
+}
+
+// NewSocketTable creates an empty table.
+func NewSocketTable() *SocketTable {
+	return &SocketTable{socks: make(map[int]*sock), nextFD: 16}
+}
+
+// Accept registers a new connection and returns its fd.
+func (st *SocketTable) Accept() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	fd := st.nextFD
+	st.nextFD++
+	st.socks[fd] = &sock{}
+	return fd
+}
+
+// Close drops a connection.
+func (st *SocketTable) Close(fd int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.socks, fd)
+}
+
+func (st *SocketTable) get(fd int) (*sock, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.socks[fd]
+	if !ok {
+		return nil, fmt.Errorf("talos: bad fd %d", fd)
+	}
+	return s, nil
+}
+
+// clientSend pushes bytes toward the server.
+func (st *SocketTable) clientSend(fd int, b []byte) error {
+	s, err := st.get(fd)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.toServer = append(s.toServer, b...)
+	return nil
+}
+
+// clientRecv drains bytes the server wrote.
+func (st *SocketTable) clientRecv(fd int) ([]byte, error) {
+	s, err := st.get(fd)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.toClient
+	s.toClient = nil
+	return out, nil
+}
+
+// untrustedOcalls implements the enclave's ocall surface over the socket
+// table.
+func untrustedOcalls(st *SocketTable) map[string]sdk.OcallFn {
+	impls := map[string]sdk.OcallFn{
+		OcallRead: func(ctx *sgx.Context, args any) (any, error) {
+			a, ok := args.(ioArgs)
+			if !ok {
+				return nil, fmt.Errorf("talos: bad ioArgs %T", args)
+			}
+			s, err := st.get(a.FD)
+			if err != nil {
+				return nil, err
+			}
+			s.mu.Lock()
+			n := len(s.toServer)
+			if n > a.Max {
+				n = a.Max
+			}
+			out := append([]byte(nil), s.toServer[:n]...)
+			s.toServer = s.toServer[n:]
+			s.mu.Unlock()
+			// recv(2): base cost plus per-byte copy; an empty read is the
+			// cheap EAGAIN case. Sized so data reads land near the paper's
+			// measured read-ocall durations.
+			if n == 0 {
+				ctx.Compute(1200 * time.Nanosecond)
+			} else {
+				ctx.Compute(10*time.Microsecond + time.Duration(n)*8*time.Nanosecond)
+			}
+			return out, nil
+		},
+		OcallWrite: func(ctx *sgx.Context, args any) (any, error) {
+			a, ok := args.(iowArgs)
+			if !ok {
+				return nil, fmt.Errorf("talos: bad iowArgs %T", args)
+			}
+			s, err := st.get(a.FD)
+			if err != nil {
+				return nil, err
+			}
+			s.mu.Lock()
+			s.toClient = append(s.toClient, a.Data...)
+			s.mu.Unlock()
+			// send(2): §5.2.2 measures write ocalls at ≈17µs for page-sized
+			// buffers; scale with size.
+			ctx.Compute(11*time.Microsecond + time.Duration(len(a.Data))*8*time.Nanosecond)
+			return len(a.Data), nil
+		},
+		OcallInfoCallback: func(ctx *sgx.Context, args any) (any, error) {
+			ctx.Compute(300 * time.Nanosecond)
+			return nil, nil
+		},
+		OcallALPNSelect: func(ctx *sgx.Context, args any) (any, error) {
+			ctx.Compute(900 * time.Nanosecond)
+			return "http/1.1", nil
+		},
+		OcallGetTime: func(ctx *sgx.Context, args any) (any, error) {
+			ctx.Compute(200 * time.Nanosecond)
+			return int64(ctx.Now()), nil
+		},
+		OcallErrno: func(ctx *sgx.Context, args any) (any, error) {
+			ctx.Compute(120 * time.Nanosecond)
+			return 11 /* EAGAIN */, nil
+		},
+		OcallFcntl: func(ctx *sgx.Context, args any) (any, error) {
+			ctx.Compute(700 * time.Nanosecond)
+			return 0, nil
+		},
+		OcallMalloc: func(ctx *sgx.Context, args any) (any, error) {
+			ctx.Compute(400 * time.Nanosecond)
+			return nil, nil
+		},
+	}
+	for i := 8; i < declaredOcalls; i++ {
+		impls[fmt.Sprintf("enclave_ocall_gen_%02d", i)] = func(ctx *sgx.Context, args any) (any, error) {
+			return nil, nil
+		}
+	}
+	return impls
+}
+
+// Server is the nginx-like host application terminating TLS in the TaLoS
+// enclave.
+type Server struct {
+	h     *host.Host
+	enc   *Enclave
+	socks *SocketTable
+	body  []byte
+}
+
+// NewServer builds the enclave and configures the server (running the
+// one-time SSL_CTX_* configuration ecalls, like nginx at start-up).
+func NewServer(h *host.Host, ctx *sgx.Context) (*Server, error) {
+	socks := NewSocketTable()
+	enc, err := NewEnclave(h, ctx, socks)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		h:     h,
+		enc:   enc,
+		socks: socks,
+		body:  []byte("<html><body>" + strings.Repeat("sgx-perf ", 100) + "</body></html>"),
+	}
+	for i := 0; i < configEcalls; i++ {
+		name := fmt.Sprintf("sgx_ecall_SSL_CTX_set_opt_%02d", i)
+		if _, err := enc.Proxy(name)(ctx, sslArgs{}); err != nil {
+			return nil, fmt.Errorf("talos: configure: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Enclave exposes the TaLoS enclave (for working-set estimation).
+func (s *Server) Enclave() *Enclave { return s.enc }
+
+// call is a helper running one ecall and asserting success.
+func (s *Server) call(ctx *sgx.Context, name string, args any) (any, error) {
+	res, err := s.enc.Proxy(name)(ctx, args)
+	if err != nil {
+		return nil, fmt.Errorf("talos: %s: %w", name, err)
+	}
+	return res, nil
+}
+
+// curlClient is the remote curl process: a TLS client over the socket
+// table, with client-side work charged to the driving thread.
+type curlClient struct {
+	st   *SocketTable
+	fd   int
+	conn *tlsConn
+}
+
+// ServeRequest handles exactly one curl GET: the full nginx call sequence
+// of Fig. 5 — accept, handshake (two phases with WANT_READ in between),
+// header read across TCP segments, response write, bidirectional
+// shutdown.
+func (s *Server) ServeRequest(ctx *sgx.Context) error {
+	fd := s.socks.Accept()
+	defer s.socks.Close(fd)
+	client := &curlClient{st: s.socks, fd: fd, conn: newTLSConn(false)}
+
+	// curl connects and immediately sends its ClientHello.
+	hello, err := client.conn.clientHello()
+	if err != nil {
+		return err
+	}
+	if err := s.socks.clientSend(fd, hello); err != nil {
+		return err
+	}
+	ctx.Compute(8 * time.Microsecond) // curl start-up + TCP connect
+
+	// nginx accepts: SSL object setup.
+	res, err := s.call(ctx, EcallSSLNew, nil)
+	if err != nil {
+		return err
+	}
+	ssl, ok := res.(int)
+	if !ok {
+		return fmt.Errorf("talos: SSL_new returned %T", res)
+	}
+	if _, err := s.call(ctx, EcallSSLSetFD, sslArgs{SSL: ssl, Arg: fd}); err != nil {
+		return err
+	}
+	if _, err := s.call(ctx, EcallSSLSetAcceptState, sslArgs{SSL: ssl}); err != nil {
+		return err
+	}
+	if _, err := s.call(ctx, EcallSSLGetRbio, sslArgs{SSL: ssl}); err != nil {
+		return err
+	}
+	if _, err := s.call(ctx, EcallBIOIntCtrl, sslArgs{SSL: ssl}); err != nil {
+		return err
+	}
+	if _, err := s.call(ctx, EcallSSLSetQuietShutdown, sslArgs{SSL: ssl, Arg: 1}); err != nil {
+		return err
+	}
+
+	// Handshake phase 1: consumes the ClientHello, emits the ServerHello,
+	// wants the Finished.
+	if err := s.clearErr(ctx); err != nil {
+		return err
+	}
+	ret, err := s.call(ctx, EcallSSLDoHandshake, sslArgs{SSL: ssl})
+	if err != nil {
+		return err
+	}
+	if ret.(int) != -1 {
+		return fmt.Errorf("talos: handshake phase 1 returned %v", ret)
+	}
+	if _, err := s.call(ctx, EcallSSLGetError, sslArgs{SSL: ssl}); err != nil {
+		return err
+	}
+	// curl processes the ServerHello and sends its Finished.
+	if err := client.pump(ctx); err != nil {
+		return err
+	}
+	if err := s.clearErr(ctx); err != nil {
+		return err
+	}
+	ret, err = s.call(ctx, EcallSSLDoHandshake, sslArgs{SSL: ssl})
+	if err != nil {
+		return err
+	}
+	if ret.(int) != 1 {
+		return fmt.Errorf("talos: handshake phase 2 returned %v", ret)
+	}
+
+	// curl sends the GET as two records, the first split across TCP
+	// segments (header trickle).
+	reqRec1, err := client.conn.writeRecord([]byte("GET / HTTP/1.1\r\n"))
+	if err != nil {
+		return err
+	}
+	reqRec2, err := client.conn.writeRecord([]byte("Host: sgx-perf.example\r\nUser-Agent: curl\r\n\r\n"))
+	if err != nil {
+		return err
+	}
+	ctx.Compute(5 * time.Microsecond) // curl request construction
+	if err := s.socks.clientSend(fd, reqRec1[:len(reqRec1)/2]); err != nil {
+		return err
+	}
+
+	// nginx read loop: partial record → WANT_READ.
+	if err := s.clearErr(ctx); err != nil {
+		return err
+	}
+	rres, err := s.call(ctx, EcallSSLRead, readArgs{SSL: ssl, Max: 16 * 1024})
+	if err != nil {
+		return err
+	}
+	if rres.(readResult).Ret != -1 {
+		return fmt.Errorf("talos: expected WANT_READ on partial record")
+	}
+	if _, err := s.call(ctx, EcallSSLGetError, sslArgs{SSL: ssl}); err != nil {
+		return err
+	}
+	// The rest of the segments arrive.
+	if err := s.socks.clientSend(fd, reqRec1[len(reqRec1)/2:]); err != nil {
+		return err
+	}
+	if err := s.socks.clientSend(fd, reqRec2); err != nil {
+		return err
+	}
+	var header []byte
+	for len(header) == 0 || !strings.Contains(string(header), "\r\n\r\n") {
+		if err := s.clearErr(ctx); err != nil {
+			return err
+		}
+		rres, err = s.call(ctx, EcallSSLRead, readArgs{SSL: ssl, Max: 16 * 1024})
+		if err != nil {
+			return err
+		}
+		rr := rres.(readResult)
+		if rr.Ret <= 0 {
+			return fmt.Errorf("talos: request read failed: %d", rr.Ret)
+		}
+		header = append(header, rr.Data...)
+	}
+	if !strings.HasPrefix(string(header), "GET / HTTP/1.1") {
+		return fmt.Errorf("talos: bad request %q", header)
+	}
+	ctx.Compute(4 * time.Microsecond) // nginx request parsing + routing
+
+	// Response.
+	resp := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n%s", len(s.body), s.body)
+	if _, err := s.call(ctx, EcallSSLWrite, writeArgs{SSL: ssl, Data: []byte(resp)}); err != nil {
+		return err
+	}
+
+	// Keep-alive probe: nothing there yet → WANT_READ.
+	if err := s.clearErr(ctx); err != nil {
+		return err
+	}
+	rres, err = s.call(ctx, EcallSSLRead, readArgs{SSL: ssl, Max: 16 * 1024})
+	if err != nil {
+		return err
+	}
+	if rres.(readResult).Ret != -1 {
+		return fmt.Errorf("talos: keep-alive probe unexpectedly returned data")
+	}
+	if _, err := s.call(ctx, EcallSSLGetError, sslArgs{SSL: ssl}); err != nil {
+		return err
+	}
+
+	// curl reads the response and closes.
+	if err := client.pump(ctx); err != nil {
+		return err
+	}
+
+	// nginx sees the close: one more read returns 0, then the error
+	// queue is inspected.
+	if err := s.clearErr(ctx); err != nil {
+		return err
+	}
+	rres, err = s.call(ctx, EcallSSLRead, readArgs{SSL: ssl, Max: 16 * 1024})
+	if err != nil {
+		return err
+	}
+	if rres.(readResult).Ret != 0 {
+		return fmt.Errorf("talos: expected close_notify, got ret %d", rres.(readResult).Ret)
+	}
+	if _, err := s.call(ctx, EcallERRPeekError, nil); err != nil {
+		return err
+	}
+	if _, err := s.call(ctx, EcallERRPeekError, nil); err != nil {
+		return err
+	}
+
+	// Bidirectional shutdown: nginx calls SSL_shutdown twice (Fig. 5
+	// shows 2,000 calls for 1,000 requests).
+	if _, err := s.call(ctx, EcallSSLShutdown, sslArgs{SSL: ssl}); err != nil {
+		return err
+	}
+	if _, err := s.call(ctx, EcallSSLShutdown, sslArgs{SSL: ssl}); err != nil {
+		return err
+	}
+	if _, err := s.call(ctx, EcallSSLFree, sslArgs{SSL: ssl}); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *Server) clearErr(ctx *sgx.Context) error {
+	_, err := s.call(ctx, EcallERRClearError, nil)
+	return err
+}
+
+// pump lets the curl side consume everything the server wrote and react:
+// advance the handshake, read application data, and send close_notify
+// after the HTTP response arrived.
+func (c *curlClient) pump(ctx *sgx.Context) error {
+	data, err := c.st.clientRecv(c.fd)
+	if err != nil {
+		return err
+	}
+	c.conn.feed(data)
+	ctx.Compute(3 * time.Microsecond) // client-side TLS processing
+	if !c.conn.established {
+		out, hsErr := c.conn.handshakeStep()
+		if hsErr != nil && hsErr != ErrWantRead {
+			return hsErr
+		}
+		if len(out) > 0 {
+			return c.st.clientSend(c.fd, out)
+		}
+		return nil
+	}
+	// Established: drain the response records, then close.
+	gotResponse := false
+	for {
+		plain, closed, err := c.conn.readRecord()
+		if err == ErrWantRead {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if closed {
+			return nil
+		}
+		if len(plain) > 0 {
+			gotResponse = true
+		}
+	}
+	if gotResponse {
+		alert, err := c.conn.closeNotify()
+		if err != nil {
+			return err
+		}
+		return c.st.clientSend(c.fd, alert)
+	}
+	return nil
+}
+
+// Run serves opts.Ops HTTP GET requests (default 1,000, as in §5.2.1).
+func (s *Server) Run(ctx *sgx.Context, opts workloads.Options) (workloads.Result, error) {
+	if opts.Ops <= 0 {
+		opts.Ops = 1000
+	}
+	start := ctx.Now()
+	for i := 0; i < opts.Ops; i++ {
+		if err := s.ServeRequest(ctx); err != nil {
+			return workloads.Result{}, fmt.Errorf("talos: request %d: %w", i, err)
+		}
+	}
+	return workloads.Result{
+		Workload: "talos-nginx",
+		Variant:  "enclave",
+		Ops:      opts.Ops,
+		Virtual:  ctx.Clock().Frequency().Duration(ctx.Now() - start),
+	}, nil
+}

@@ -1,0 +1,62 @@
+// Package workloads defines the shared result type and run options for
+// the four evaluation workloads of §5: TaLoS+nginx, SecureKeeper, the
+// SQLite-style database, and the Glamdring-partitioned LibreSSL. Each
+// workload lives in its own subpackage and reports a Result measured in
+// virtual time.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Result is one workload run's outcome.
+type Result struct {
+	// Workload and Variant identify the run (e.g. "glamdring"/"enclave").
+	Workload string
+	Variant  string
+	// Ops is the number of completed operations (requests, inserts,
+	// signatures…).
+	Ops int
+	// Virtual is the elapsed virtual time of the driving thread.
+	Virtual time.Duration
+	// Extra carries workload-specific metrics (working-set pages, event
+	// counts, …).
+	Extra map[string]float64
+}
+
+// Throughput returns operations per virtual second.
+func (r Result) Throughput() float64 {
+	if r.Virtual <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Virtual.Seconds()
+}
+
+// String renders the result in one line.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s: %d ops in %v (%.1f ops/s)",
+		r.Workload, r.Variant, r.Ops, r.Virtual.Round(time.Microsecond), r.Throughput())
+	if len(r.Extra) > 0 {
+		keys := make([]string, 0, len(r.Extra))
+		for k := range r.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%.0f", k, r.Extra[k])
+		}
+	}
+	return b.String()
+}
+
+// Options are common run parameters.
+type Options struct {
+	// Duration bounds the run in virtual time (time-driven workloads).
+	Duration time.Duration
+	// Ops bounds the run in operations (count-driven workloads).
+	Ops int
+}

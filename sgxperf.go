@@ -1,0 +1,233 @@
+// Package sgxperf is the public API of the sgx-perf reproduction: a
+// performance-analysis toolset for (simulated) Intel SGX enclaves, after
+// "sgx-perf: A Performance Analysis Tool for Intel SGX Enclaves"
+// (Weichbrodt, Aublin, Kapitza — Middleware 2018).
+//
+// The package re-exports the supported surface of the internal packages:
+//
+//   - a simulated SGX host (machine, kernel driver, SDK runtime) to build
+//     and run enclave applications on virtual time;
+//   - the sgx-perf event logger, attached by preloading — it shadows
+//     sgx_ecall, rewrites ocall tables, patches the AEP for AEX
+//     counting/tracing and traces EPC paging via kprobes;
+//   - the working-set estimator;
+//   - the analyser, with the paper's anti-pattern detectors (SISC, SDSC,
+//     SNC, SSC, paging), statistics, call graphs and security hints;
+//   - the four evaluation workloads and the experiment harness that
+//     regenerates every table and figure of the paper.
+//
+// Quick start:
+//
+//	h, _ := sgxperf.NewHost()
+//	l, _ := sgxperf.AttachLogger(h, sgxperf.LoggerOptions{Workload: "demo"})
+//	// ... build an enclave via h.URTS, run ecalls ...
+//	report := sgxperf.MustAnalyze(l.Trace())
+//	fmt.Print(report.Render())
+package sgxperf
+
+import (
+	"fmt"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/kernel"
+	"sgxperf/internal/perf/analyzer"
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/perf/logger"
+	"sgxperf/internal/perf/workingset"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/vtime"
+)
+
+// Simulated-host surface.
+type (
+	// Host is a complete simulated application environment: machine,
+	// kernel, process image and SDK runtime.
+	Host = host.Host
+	// HostOption configures NewHost.
+	HostOption = host.Option
+	// Machine is the simulated SGX-capable processor.
+	Machine = sgx.Machine
+	// Context is a simulated OS thread with a virtual clock.
+	Context = sgx.Context
+	// EnclaveConfig sizes an enclave (heap, stack, TCS count).
+	EnclaveConfig = sgx.Config
+	// Enclave is a built enclave.
+	Enclave = sgx.Enclave
+	// MitigationLevel selects the side-channel mitigation state (§2.3.1).
+	MitigationLevel = sgx.MitigationLevel
+	// EnclaveID identifies an enclave on a machine.
+	EnclaveID = sgx.EnclaveID
+	// Kernel is the simulated OS layer (driver, signals, kprobes).
+	Kernel = kernel.Kernel
+)
+
+// SDK surface.
+type (
+	// TrustedFn is an in-enclave ecall implementation.
+	TrustedFn = sdk.TrustedFn
+	// OcallFn is an untrusted ocall implementation.
+	OcallFn = sdk.OcallFn
+	// OcallTable maps ocall IDs to implementations (the logger swaps it).
+	OcallTable = sdk.OcallTable
+	// Env is the trusted-side execution environment.
+	Env = sdk.Env
+	// Proxy is an untrusted ecall wrapper (edger8r output).
+	Proxy = sdk.Proxy
+	// AppEnclave is a created enclave with its interface and image.
+	AppEnclave = sdk.AppEnclave
+	// EnclaveMutex is the SDK's in-enclave mutex (sleeps via ocalls).
+	EnclaveMutex = sdk.Mutex
+	// EnclaveCond is the SDK's in-enclave condition variable.
+	EnclaveCond = sdk.Cond
+	// Interface is a parsed EDL enclave interface.
+	Interface = edl.Interface
+	// EDLParam is one declared parameter with pointer annotations.
+	EDLParam = edl.Param
+)
+
+// Tooling surface.
+type (
+	// Logger is the attached sgx-perf event logger (§4.1).
+	Logger = logger.Logger
+	// LoggerOptions configures the logger (AEX mode, paging tracing).
+	LoggerOptions = logger.Options
+	// AEXMode selects off/counting/tracing (§4.1.4).
+	AEXMode = logger.AEXMode
+	// Trace is one recorded run.
+	Trace = events.Trace
+	// WorkingSetEstimator measures enclave working sets (§4.2).
+	WorkingSetEstimator = workingset.Estimator
+	// Analyzer computes reports from traces (§4.3).
+	Analyzer = analyzer.Analyzer
+	// AnalyzerOptions carries detector weights and an optional EDL.
+	AnalyzerOptions = analyzer.Options
+	// Weights are the detector thresholds (Equations 1–3 defaults).
+	Weights = analyzer.Weights
+	// Report is the analyser's output.
+	Report = analyzer.Report
+	// Finding is one detected anti-pattern with ranked solutions.
+	Finding = analyzer.Finding
+	// SecurityHint is one interface-hardening recommendation (§3.6).
+	SecurityHint = analyzer.SecurityHint
+	// CallStats are per-call statistics (§4.3.1).
+	CallStats = analyzer.CallStats
+	// CallGraph is the Fig. 5-style call graph.
+	CallGraph = analyzer.CallGraph
+)
+
+// Mitigation levels (§2.3.1).
+const (
+	MitigationNone    = sgx.MitigationNone
+	MitigationSpectre = sgx.MitigationSpectre
+	MitigationFull    = sgx.MitigationFull
+)
+
+// AEX observation modes (§4.1.4).
+const (
+	AEXOff   = logger.AEXOff
+	AEXCount = logger.AEXCount
+	AEXTrace = logger.AEXTrace
+)
+
+// Problem and solution classes (Table 1).
+const (
+	ProblemSISC   = analyzer.ProblemSISC
+	ProblemSDSC   = analyzer.ProblemSDSC
+	ProblemSNC    = analyzer.ProblemSNC
+	ProblemSSC    = analyzer.ProblemSSC
+	ProblemPaging = analyzer.ProblemPaging
+)
+
+// NewHost builds a simulated SGX host.
+func NewHost(opts ...HostOption) (*Host, error) { return host.New(opts...) }
+
+// WithMitigation selects the host's mitigation level.
+func WithMitigation(m MitigationLevel) HostOption { return host.WithMitigation(m) }
+
+// WithEPCCapacity overrides the EPC size in pages (default: the
+// architectural 23,808 usable pages ≈ 93 MiB, §2.3.3).
+func WithEPCCapacity(pages int) HostOption { return host.WithEPCCapacity(pages) }
+
+// WithEnclaveComputeFactor sets the in-enclave compute slowdown.
+func WithEnclaveComputeFactor(f float64) HostOption { return host.WithEnclaveComputeFactor(f) }
+
+// AttachLogger preloads the sgx-perf event logger into the host process.
+func AttachLogger(h *Host, opts LoggerOptions) (*Logger, error) { return logger.Attach(h, opts) }
+
+// NewWorkingSetEstimator creates the §4.2 estimator for an enclave.
+func NewWorkingSetEstimator(h *Host, enc *Enclave) *WorkingSetEstimator {
+	return workingset.New(h, enc)
+}
+
+// NewAnalyzer prepares an analyser over a trace.
+func NewAnalyzer(t *Trace, opts AnalyzerOptions) (*Analyzer, error) {
+	return analyzer.New(t, opts)
+}
+
+// Analyze runs the full analysis with default options.
+func Analyze(t *Trace) (*Report, error) {
+	a, err := analyzer.New(t, analyzer.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return a.Analyze(), nil
+}
+
+// MustAnalyze is Analyze for contexts where the trace is known-good.
+func MustAnalyze(t *Trace) *Report {
+	r, err := Analyze(t)
+	if err != nil {
+		panic(fmt.Sprintf("sgxperf: %v", err))
+	}
+	return r
+}
+
+// NewTrace creates an empty trace (for loading saved trace files).
+func NewTrace() (*Trace, error) { return events.NewTrace() }
+
+// LoadTrace reads a trace file written by Logger.Trace().SaveFile.
+func LoadTrace(path string) (*Trace, error) {
+	t, err := events.NewTrace()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.LoadFile(path); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseEDL parses EDL text into an enclave interface.
+func ParseEDL(src string) (*Interface, []string, error) { return edl.Parse(src) }
+
+// NewInterface creates an empty interface for programmatic construction.
+func NewInterface() *Interface { return edl.NewInterface() }
+
+// BuildOcallTable assembles an ocall table for an interface.
+func BuildOcallTable(iface *Interface, h *Host, impls map[string]OcallFn) (*OcallTable, error) {
+	return sdk.BuildOcallTable(iface, h.URTS, impls)
+}
+
+// Proxies generates the untrusted ecall wrappers for an enclave.
+func Proxies(app *AppEnclave, h *Host, otab *OcallTable) map[string]Proxy {
+	return sdk.Proxies(app, h.Proc, otab)
+}
+
+// DefaultWeights returns the paper's detector thresholds (§4.3.2).
+func DefaultWeights() Weights { return analyzer.DefaultWeights() }
+
+// Catalogue returns the Table 1 problem→solutions catalogue.
+func Catalogue() map[analyzer.Problem][]analyzer.Solution { return analyzer.Catalogue() }
+
+// Frequency conversion helpers (virtual time).
+type (
+	// Cycles is a point or span of virtual time.
+	Cycles = vtime.Cycles
+	// Frequency converts cycles to durations.
+	Frequency = vtime.Frequency
+)
+
+// DefaultFrequency is the simulated 3.40 GHz CPU of the paper's testbed.
+const DefaultFrequency = vtime.DefaultFrequency

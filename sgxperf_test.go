@@ -1,0 +1,136 @@
+package sgxperf_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sgxperf"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	h, err := sgxperf.NewHost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := sgxperf.AttachLogger(h, sgxperf.LoggerOptions{Workload: "api-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, _, err := sgxperf.ParseEDL(`
+		enclave {
+			trusted { public ecall_ping(); };
+			untrusted { ocall_pong(); };
+		};
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := map[string]sgxperf.TrustedFn{
+		"ecall_ping": func(env *sgxperf.Env, args any) (any, error) {
+			return env.Ocall("ocall_pong", nil)
+		},
+	}
+	ctx := h.NewContext("main")
+	app, err := h.URTS.CreateEnclave(ctx, sgxperf.EnclaveConfig{Name: "api"}, iface, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otab, err := sgxperf.BuildOcallTable(iface, h, map[string]sgxperf.OcallFn{
+		"ocall_pong": func(ctx *sgxperf.Context, args any) (any, error) { return "pong", nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies := sgxperf.Proxies(app, h, otab)
+	res, err := proxies["ecall_ping"](ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "pong" {
+		t.Fatalf("res = %v", res)
+	}
+	report := sgxperf.MustAnalyze(lg.Trace())
+	if report.TotalCalls() != 2 {
+		t.Fatalf("total calls = %d", report.TotalCalls())
+	}
+	if !strings.Contains(report.Render(), "ecall_ping") {
+		t.Fatal("report missing the ecall")
+	}
+}
+
+func TestRunWorkloadAndTraceFileRoundTrip(t *testing.T) {
+	run, err := sgxperf.RunWorkload("sqlite", sgxperf.WorkloadOptions{
+		Variant: "enclave",
+		Ops:     50,
+		Logger:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.Ops != 50 || run.Trace == nil {
+		t.Fatalf("run = %+v", run)
+	}
+	path := filepath.Join(t.TempDir(), "trace.evdb")
+	if err := run.Trace.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := sgxperf.LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Ecalls.Len() != run.Trace.Ecalls.Len() {
+		t.Fatalf("loaded %d ecalls, want %d", loaded.Ecalls.Len(), run.Trace.Ecalls.Len())
+	}
+	// Analysis works on the loaded trace (including the embedded EDL).
+	a, err := sgxperf.NewAnalyzer(loaded, sgxperf.AnalyzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Interface() == nil {
+		t.Fatal("embedded EDL not recovered from the trace file")
+	}
+}
+
+func TestRunWorkloadUnknownNames(t *testing.T) {
+	if _, err := sgxperf.RunWorkload("ghost", sgxperf.WorkloadOptions{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := sgxperf.WorkloadVariants("ghost"); err == nil {
+		t.Fatal("unknown workload accepted by WorkloadVariants")
+	}
+	for _, w := range sgxperf.Workloads() {
+		vs, err := sgxperf.WorkloadVariants(w)
+		if err != nil || len(vs) == 0 {
+			t.Fatalf("variants(%s) = %v, %v", w, vs, err)
+		}
+	}
+}
+
+func TestRunWorkloadWithWorkingSet(t *testing.T) {
+	run, err := sgxperf.RunWorkload("glamdring", sgxperf.WorkloadOptions{
+		Variant:    "enclave",
+		Ops:        1,
+		WorkingSet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.SteadyPages == 0 {
+		t.Fatal("working set not measured")
+	}
+}
+
+func TestCatalogueAndWeightsExposed(t *testing.T) {
+	if len(sgxperf.Catalogue()) != 6 {
+		t.Fatal("Table 1 catalogue incomplete")
+	}
+	w := sgxperf.DefaultWeights()
+	if w.Move1 != 0.35 || w.Move5 != 0.50 || w.Move10 != 0.65 {
+		t.Fatalf("Equation 1 defaults wrong: %+v", w)
+	}
+	if sgxperf.DefaultFrequency.Duration(sgxperf.Cycles(3.4e9)) != time.Second {
+		t.Fatal("frequency helpers broken")
+	}
+}
