@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench-contention
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The recording pipeline and event store are the concurrency-sensitive
+# packages; run their suites under the race detector.
+race:
+	$(GO) test -race ./internal/perf/... ./internal/evstore/...
+
+# verify is the documented check for this repo: vet + the tier-1 gate
+# (build + full test suite, see ROADMAP.md) + the race-detector suites.
+verify: vet
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/perf/... ./internal/evstore/...
+
+# Re-measure logger recording throughput, chaining the previous results
+# in BENCH_results.json as the baseline for the speedup computation.
+bench-contention:
+	$(GO) run ./cmd/sgx-perf-bench -exp contention \
+		-baseline BENCH_results.json -json BENCH_results.json

@@ -12,6 +12,7 @@ package sgxperf_test
 // or, with the paper's full experiment sizes, via cmd/sgx-perf-bench -full.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -177,6 +178,28 @@ func BenchmarkAblation_Paging(b *testing.B) {
 	for _, r := range rows {
 		b.ReportMetric(float64(r.Virtual.Microseconds()), "virtual-us-"+r.Strategy)
 		b.ReportMetric(float64(r.PageIns), "page-ins-"+r.Strategy)
+	}
+}
+
+// BenchmarkLoggerContention measures the recording pipeline's wall-clock
+// throughput with N threads hammering short ecalls (§4.1: per-thread
+// buffers keep the probe cost flat as threads are added). Unlike the
+// virtual-time benchmarks above, events/s here is real wall-clock
+// throughput of the sharded recorder itself.
+func BenchmarkLoggerContention(b *testing.B) {
+	for _, threads := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			var row experiments.ContentionRow
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = experiments.RunLoggerContention(threads, 2000)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.EventsPerSec, "events/s")
+			b.ReportMetric(row.NsPerEvent, "ns/event")
+		})
 	}
 }
 

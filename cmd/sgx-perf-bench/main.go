@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,13 +29,17 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, transitions, table2, fig5, fig6-sqlite, fig6-libressl, fig78, ws-glamdring, ablation-lock, ablation-paging, ablation-switchless")
+		exp      = flag.String("exp", "all", "experiment: all, transitions, table2, fig5, fig6-sqlite, fig6-libressl, fig78, ws-glamdring, ablation-lock, ablation-paging, ablation-switchless, contention")
 		requests = flag.Int("requests", 1000, "fig5: HTTP GET count")
 		inserts  = flag.Int("inserts", 2000, "fig6-sqlite: insert count")
 		signs    = flag.Int("signs", 5, "fig6-libressl: signatures per variant")
 		duration = flag.Duration("duration", time.Second, "fig78: load duration (paper: 31s)")
 		full     = flag.Bool("full", false, "use the paper's full experiment sizes (slower)")
 		dotOut   = flag.String("dot", "", "fig5: also write the call graph to this DOT file")
+		ops      = flag.Int("ops", 20000, "contention: ecalls per thread")
+		repeats  = flag.Int("repeats", 5, "contention: sweep repetitions (median is reported)")
+		jsonOut  = flag.String("json", "", "contention: write machine-readable results to this file")
+		baseline = flag.String("baseline", "", "contention: previous -json output to compute speedups against")
 	)
 	flag.Parse()
 	if *full {
@@ -115,6 +120,39 @@ func run() error {
 				return err
 			}
 			fmt.Println(experiments.RenderSwitchless(rows))
+		case "contention":
+			rows, err := experiments.RunLoggerContentionMedian(*ops, *repeats)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderContention(rows))
+			res := contentionResults{
+				Benchmark:    "logger_contention",
+				OpsPerThread: *ops,
+				Repeats:      *repeats,
+				Rows:         rows,
+			}
+			if *baseline != "" {
+				base, err := readContentionBaseline(*baseline)
+				if err != nil {
+					return err
+				}
+				res.Baseline = base
+				res.Speedup = contentionSpeedups(base, rows)
+				for _, r := range rows {
+					key := fmt.Sprintf("threads=%d", r.Threads)
+					if s, ok := res.Speedup[key]; ok {
+						fmt.Printf("speedup vs baseline at %s: %.2fx\n", key, s)
+					}
+				}
+				fmt.Println()
+			}
+			if *jsonOut != "" {
+				if err := writeJSON(*jsonOut, res); err != nil {
+					return err
+				}
+				fmt.Printf("results written to %s\n\n", *jsonOut)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -127,7 +165,7 @@ func run() error {
 	for _, name := range []string{
 		"transitions", "table2", "fig5", "fig6-sqlite", "fig6-libressl",
 		"fig78", "ws-glamdring", "ablation-lock", "ablation-paging",
-		"ablation-switchless",
+		"ablation-switchless", "contention",
 	} {
 		start := time.Now()
 		if err := runOne(name); err != nil {
@@ -136,4 +174,57 @@ func run() error {
 		fmt.Printf("[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// contentionResults is the machine-readable schema of -exp contention
+// -json: the measured sweep, and optionally the baseline sweep it was
+// compared against with per-thread-count speedups.
+type contentionResults struct {
+	Benchmark    string                      `json:"benchmark"`
+	OpsPerThread int                         `json:"ops_per_thread"`
+	Repeats      int                         `json:"repeats"`
+	Rows         []experiments.ContentionRow `json:"rows"`
+	Baseline     []experiments.ContentionRow `json:"baseline,omitempty"`
+	Speedup      map[string]float64          `json:"speedup_vs_baseline,omitempty"`
+}
+
+// readContentionBaseline accepts a previous -json output file (the
+// baseline is its "rows" field, so results chain run-over-run) or a bare
+// JSON array of rows.
+func readContentionBaseline(path string) ([]experiments.ContentionRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res contentionResults
+	if err := json.Unmarshal(data, &res); err == nil && len(res.Rows) > 0 {
+		return res.Rows, nil
+	}
+	var rows []experiments.ContentionRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return rows, nil
+}
+
+func contentionSpeedups(base, cur []experiments.ContentionRow) map[string]float64 {
+	byThreads := make(map[int]float64, len(base))
+	for _, b := range base {
+		byThreads[b.Threads] = b.EventsPerSec
+	}
+	out := make(map[string]float64, len(cur))
+	for _, c := range cur {
+		if b := byThreads[c.Threads]; b > 0 {
+			out[fmt.Sprintf("threads=%d", c.Threads)] = c.EventsPerSec / b
+		}
+	}
+	return out
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

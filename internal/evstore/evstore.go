@@ -4,6 +4,12 @@
 // queries, ordering, simple aggregation, and binary (gob) serialisation so
 // traces can be written by the logger and analysed later by a different
 // process, just as the paper's toolchain does.
+//
+// Storage is chunked: rows live in fixed-size row chunks, so appends never
+// reslice-copy the whole table and batch inserts from the logger's
+// per-thread buffers amortise the table lock. Readers should prefer the
+// allocation-free Scan/Count paths; Rows copies and is meant for tests and
+// export.
 package evstore
 
 import (
@@ -13,15 +19,29 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
+
+// chunkSize is the fixed row-chunk capacity. Appends fill the last chunk
+// and then allocate a fresh one, so no insert ever copies existing rows.
+// The size must stay a power of two only for readability of the index
+// maths; correctness needs it fixed per table.
+const chunkSize = 1024
 
 // Table is a typed, append-only table. It is safe for concurrent use: the
 // logger inserts from many simulated threads.
 type Table[T any] struct {
 	name string
 
-	mu   sync.RWMutex
-	rows []T
+	// readHook, when set, runs before every read operation (without the
+	// table lock held). The logger uses it to flush per-thread buffers so
+	// readers always observe every event recorded before the read —
+	// regardless of batching.
+	readHook atomic.Pointer[func()]
+
+	mu     sync.RWMutex
+	chunks [][]T
+	length int
 }
 
 // NewTable creates an empty table.
@@ -32,44 +52,108 @@ func NewTable[T any](name string) *Table[T] {
 // Name returns the table's name.
 func (t *Table[T]) Name() string { return t.name }
 
+// SetReadHook installs f to run before every read operation. Writers (the
+// logger) use it to flush buffered batches lazily; pass nil to clear.
+func (t *Table[T]) SetReadHook(f func()) {
+	if f == nil {
+		t.readHook.Store(nil)
+		return
+	}
+	t.readHook.Store(&f)
+}
+
+func (t *Table[T]) notifyRead() {
+	if f := t.readHook.Load(); f != nil {
+		(*f)()
+	}
+}
+
+// appendLocked appends rows chunk by chunk. Caller holds t.mu.
+func (t *Table[T]) appendLocked(rows []T) {
+	for len(rows) > 0 {
+		if n := len(t.chunks); n == 0 || len(t.chunks[n-1]) == chunkSize {
+			t.chunks = append(t.chunks, make([]T, 0, chunkSize))
+		}
+		last := len(t.chunks) - 1
+		free := chunkSize - len(t.chunks[last])
+		take := len(rows)
+		if take > free {
+			take = free
+		}
+		t.chunks[last] = append(t.chunks[last], rows[:take]...)
+		rows = rows[take:]
+		t.length += take
+	}
+}
+
 // Insert appends rows.
 func (t *Table[T]) Insert(rows ...T) {
+	if len(rows) == 0 {
+		return
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.rows = append(t.rows, rows...)
+	t.appendLocked(rows)
+}
+
+// BatchInsert appends a whole buffer of rows under one lock acquisition —
+// the flush path for per-shard writers.
+func (t *Table[T]) BatchInsert(rows []T) {
+	if len(rows) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.appendLocked(rows)
 }
 
 // Len returns the number of rows.
 func (t *Table[T]) Len() int {
+	t.notifyRead()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.rows)
+	return t.length
 }
 
 // At returns row i.
 func (t *Table[T]) At(i int) T {
+	t.notifyRead()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.rows[i]
+	if i < 0 || i >= t.length {
+		panic(fmt.Sprintf("evstore: index %d out of range [0,%d)", i, t.length))
+	}
+	return t.chunks[i/chunkSize][i%chunkSize]
 }
 
-// Rows returns a copy of all rows.
+// Rows returns a copy of all rows. Prefer Scan on hot paths; Rows exists
+// for tests and export.
 func (t *Table[T]) Rows() []T {
+	t.notifyRead()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]T, len(t.rows))
-	copy(out, t.rows)
+	return t.rowsLocked()
+}
+
+func (t *Table[T]) rowsLocked() []T {
+	out := make([]T, 0, t.length)
+	for _, c := range t.chunks {
+		out = append(out, c...)
+	}
 	return out
 }
 
 // Select returns all rows matching pred, in insertion order.
 func (t *Table[T]) Select(pred func(T) bool) []T {
+	t.notifyRead()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var out []T
-	for _, r := range t.rows {
-		if pred(r) {
-			out = append(out, r)
+	for _, c := range t.chunks {
+		for _, r := range c {
+			if pred(r) {
+				out = append(out, r)
+			}
 		}
 	}
 	return out
@@ -77,26 +161,51 @@ func (t *Table[T]) Select(pred func(T) bool) []T {
 
 // Count returns the number of rows matching pred (nil counts all).
 func (t *Table[T]) Count(pred func(T) bool) int {
+	t.notifyRead()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if pred == nil {
-		return len(t.rows)
+		return t.length
 	}
 	n := 0
-	for _, r := range t.rows {
-		if pred(r) {
-			n++
+	for _, c := range t.chunks {
+		for _, r := range c {
+			if pred(r) {
+				n++
+			}
 		}
 	}
 	return n
 }
 
-// Scan iterates rows in insertion order until yield returns false.
+// Scan iterates rows in insertion order until yield returns false. It is
+// the zero-copy read path: no rows are copied out and no allocation is
+// made. The table lock is held for the duration of the scan, so yield must
+// not call back into the same table's write path.
 func (t *Table[T]) Scan(yield func(i int, row T) bool) {
+	t.notifyRead()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	for i, r := range t.rows {
-		if !yield(i, r) {
+	i := 0
+	for _, c := range t.chunks {
+		for j := range c {
+			if !yield(i, c[j]) {
+				return
+			}
+			i++
+		}
+	}
+}
+
+// ScanChunks yields each storage chunk in order until yield returns false.
+// Chunks must be treated as read-only; this is the bulk zero-copy path for
+// exporters.
+func (t *Table[T]) ScanChunks(yield func(rows []T) bool) {
+	t.notifyRead()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, c := range t.chunks {
+		if !yield(c) {
 			return
 		}
 	}
@@ -109,14 +218,28 @@ func (t *Table[T]) OrderedBy(less func(a, b T) bool) []T {
 	return out
 }
 
+// Replace substitutes the table's entire contents. It exists for
+// canonicalisation (sorting a trace into a deterministic order after
+// concurrent recording); it is not a hot-path operation.
+func (t *Table[T]) Replace(rows []T) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.chunks = nil
+	t.length = 0
+	t.appendLocked(rows)
+}
+
 // GroupBy partitions rows by key.
 func GroupBy[T any, K comparable](t *Table[T], key func(T) K) map[K][]T {
+	t.notifyRead()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	out := make(map[K][]T)
-	for _, r := range t.rows {
-		k := key(r)
-		out[k] = append(out[k], r)
+	for _, c := range t.chunks {
+		for _, r := range c {
+			k := key(r)
+			out[k] = append(out[k], r)
+		}
 	}
 	return out
 }
@@ -125,7 +248,8 @@ func GroupBy[T any, K comparable](t *Table[T], key func(T) K) map[K][]T {
 func (t *Table[T]) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.rows = nil
+	t.chunks = nil
+	t.length = 0
 }
 
 // table is the untyped view the DB uses for serialisation.
@@ -136,9 +260,12 @@ type table interface {
 }
 
 func (t *Table[T]) encodeRows(enc *gob.Encoder) error {
+	t.notifyRead()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return enc.Encode(t.rows)
+	// Encode a flat []T so the on-disk format is identical to the
+	// pre-chunking version of the store.
+	return enc.Encode(t.rowsLocked())
 }
 
 func (t *Table[T]) decodeRows(dec *gob.Decoder) error {
@@ -148,7 +275,9 @@ func (t *Table[T]) decodeRows(dec *gob.Decoder) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.rows = rows
+	t.chunks = nil
+	t.length = 0
+	t.appendLocked(rows)
 	return nil
 }
 

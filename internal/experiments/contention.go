@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/perf/logger"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+)
+
+// ContentionRow is one measurement of the logger's recording pipeline
+// under multi-threaded load: N simulated TCS threads hammering short
+// ecalls while the logger records every event. Unlike the paper's virtual
+// time experiments, the interesting number here is wall-clock: how fast
+// the recording pipeline itself can absorb events from concurrent
+// threads (§4.1: per-thread buffers keep the probe cost flat as threads
+// are added).
+type ContentionRow struct {
+	Threads      int           `json:"threads"`
+	Events       int           `json:"events"`
+	Wall         time.Duration `json:"wall_ns"`
+	EventsPerSec float64       `json:"events_per_sec"`
+	NsPerEvent   float64       `json:"ns_per_event"`
+}
+
+// RunLoggerContention runs threads × opsPerThread short ecalls against one
+// enclave with the logger attached and reports recording throughput.
+// opsPerThread ≤ 0 selects a default.
+func RunLoggerContention(threads, opsPerThread int) (ContentionRow, error) {
+	if threads <= 0 {
+		threads = 1
+	}
+	if opsPerThread <= 0 {
+		opsPerThread = 2000
+	}
+	h, err := host.New()
+	if err != nil {
+		return ContentionRow{}, err
+	}
+	l, err := logger.Attach(h, logger.Options{Workload: "contention", SkipPaging: true})
+	if err != nil {
+		return ContentionRow{}, err
+	}
+	defer l.Detach()
+
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("ecall_short", true); err != nil {
+		return ContentionRow{}, err
+	}
+	impl := map[string]sdk.TrustedFn{
+		"ecall_short": func(env *sdk.Env, args any) (any, error) {
+			env.Compute(500 * time.Nanosecond)
+			return nil, nil
+		},
+	}
+	ctx := h.NewContext("builder")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{
+		Name:   "contention",
+		NumTCS: threads + 1,
+	}, iface, impl)
+	if err != nil {
+		return ContentionRow{}, err
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, nil)
+	if err != nil {
+		return ContentionRow{}, err
+	}
+	proxy := sdk.MustProxy(sdk.Proxies(app, h.Proc, otab), "ecall_short")
+
+	errs := make(chan error, threads)
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		if err := h.Spawn(fmt.Sprintf("hammer-%d", w), func(ctx *sgx.Context) {
+			for i := 0; i < opsPerThread; i++ {
+				if _, err := proxy(ctx, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}); err != nil {
+			return ContentionRow{}, err
+		}
+	}
+	h.Wait()
+	wall := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return ContentionRow{}, err
+		}
+	}
+
+	events := l.Trace().Ecalls.Len()
+	if want := threads * opsPerThread; events != want {
+		return ContentionRow{}, fmt.Errorf("contention: recorded %d ecall events, want %d", events, want)
+	}
+	row := ContentionRow{Threads: threads, Events: events, Wall: wall}
+	if wall > 0 {
+		row.EventsPerSec = float64(events) / wall.Seconds()
+		row.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
+	}
+	return row, nil
+}
+
+// RunLoggerContentionSweep measures the standard thread counts (1, 4, 16).
+func RunLoggerContentionSweep(opsPerThread int) ([]ContentionRow, error) {
+	return RunLoggerContentionMedian(opsPerThread, 1)
+}
+
+// RunLoggerContentionMedian runs the sweep repeats times per thread count
+// and keeps the median row by throughput, damping scheduler noise.
+func RunLoggerContentionMedian(opsPerThread, repeats int) ([]ContentionRow, error) {
+	if repeats <= 0 {
+		repeats = 1
+	}
+	var out []ContentionRow
+	for _, n := range []int{1, 4, 16} {
+		runs := make([]ContentionRow, 0, repeats)
+		for r := 0; r < repeats; r++ {
+			row, err := RunLoggerContention(n, opsPerThread)
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, row)
+		}
+		sort.Slice(runs, func(i, j int) bool {
+			return runs[i].EventsPerSec < runs[j].EventsPerSec
+		})
+		out = append(out, runs[len(runs)/2])
+	}
+	return out, nil
+}
+
+// RenderContention renders the sweep as a table.
+func RenderContention(rows []ContentionRow) string {
+	var b strings.Builder
+	b.WriteString("Logger recording throughput under thread contention\n")
+	b.WriteString("threads |     events |   events/s | ns/event\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%7d | %10d | %10.0f | %8.0f\n",
+			r.Threads, r.Events, r.EventsPerSec, r.NsPerEvent)
+	}
+	return b.String()
+}

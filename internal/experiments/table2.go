@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sgxperf/internal/host"
+	"sgxperf/internal/perf/events"
 	"sgxperf/internal/perf/logger"
 )
 
@@ -110,12 +111,13 @@ func RunTable2(opts Table2Options) (*Table2, error) {
 		}
 		total := 0
 		n := 0
-		for _, e := range l.Trace().Ecalls.Rows() {
+		l.Trace().Ecalls.Scan(func(_ int, e events.CallEvent) bool {
 			if e.Name == "ecall_loop" {
 				total += e.AEXCount
 				n++
 			}
-		}
+			return true
+		})
 		if n > 0 {
 			aexs = float64(total) / float64(n)
 		}

@@ -12,6 +12,7 @@ package loader
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Well-known symbol names used across the repository.
@@ -27,50 +28,63 @@ const (
 	SymSigaction = "sigaction"
 )
 
-// Library is a shared object: a named bag of symbols.
+// Library is a shared object: a named bag of symbols. Symbol tables are
+// copy-on-write: ecall proxies resolve sgx_ecall through the loader on
+// every call (so preloads take effect without recompiling), which makes
+// lookup a hot path that must not contend on a lock.
 type Library struct {
 	name string
 
-	mu      sync.RWMutex
-	symbols map[string]any
+	mu      sync.Mutex // serialises writers
+	symbols atomic.Pointer[map[string]any]
 }
 
 // NewLibrary creates an empty library.
 func NewLibrary(name string) *Library {
-	return &Library{name: name, symbols: make(map[string]any)}
+	l := &Library{name: name}
+	m := make(map[string]any)
+	l.symbols.Store(&m)
+	return l
 }
 
 // Name returns the library's name.
 func (l *Library) Name() string { return l.name }
 
-// Define exports a symbol (typically a function value) under name.
+// Define exports a symbol (typically a function value) under name. It
+// copies the symbol table, so concurrent lookups never see a partial map.
 func (l *Library) Define(name string, value any) *Library {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.symbols[name] = value
+	old := *l.symbols.Load()
+	next := make(map[string]any, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = value
+	l.symbols.Store(&next)
 	return l
 }
 
-// Symbol returns the library's own definition of name.
+// Symbol returns the library's own definition of name. Lock-free.
 func (l *Library) Symbol(name string) (any, bool) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	v, ok := l.symbols[name]
+	v, ok := (*l.symbols.Load())[name]
 	return v, ok
 }
 
 // Process is a process image: an ordered list of loaded libraries. Symbol
 // resolution walks the list front to back, so preloaded libraries shadow
-// later ones — exactly LD_PRELOAD.
+// later ones — exactly LD_PRELOAD. The list is copy-on-write so Dlsym —
+// run by every ecall proxy — is lock-free.
 type Process struct {
-	mu   sync.RWMutex
-	libs []*Library
+	mu   sync.Mutex // serialises Load/Preload
+	libs atomic.Pointer[[]*Library]
 }
 
 // NewProcess creates a process with the given libraries in load order.
 func NewProcess(libs ...*Library) *Process {
 	p := &Process{}
-	p.libs = append(p.libs, libs...)
+	l := append([]*Library(nil), libs...)
+	p.libs.Store(&l)
 	return p
 }
 
@@ -78,7 +92,11 @@ func NewProcess(libs ...*Library) *Process {
 func (p *Process) Load(lib *Library) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.libs = append(p.libs, lib)
+	old := *p.libs.Load()
+	next := make([]*Library, 0, len(old)+1)
+	next = append(next, old...)
+	next = append(next, lib)
+	p.libs.Store(&next)
 }
 
 // Preload prepends a library so its symbols shadow everything loaded later
@@ -86,23 +104,24 @@ func (p *Process) Load(lib *Library) {
 func (p *Process) Preload(lib *Library) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.libs = append([]*Library{lib}, p.libs...)
+	old := *p.libs.Load()
+	next := make([]*Library, 0, len(old)+1)
+	next = append(next, lib)
+	next = append(next, old...)
+	p.libs.Store(&next)
 }
 
 // Libraries returns the current load order.
 func (p *Process) Libraries() []*Library {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	out := make([]*Library, len(p.libs))
-	copy(out, p.libs)
+	libs := *p.libs.Load()
+	out := make([]*Library, len(libs))
+	copy(out, libs)
 	return out
 }
 
-// Dlsym resolves a symbol in load order (RTLD_DEFAULT).
+// Dlsym resolves a symbol in load order (RTLD_DEFAULT). Lock-free.
 func (p *Process) Dlsym(name string) (any, bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	for _, l := range p.libs {
+	for _, l := range *p.libs.Load() {
 		if v, ok := l.Symbol(name); ok {
 			return v, true
 		}
@@ -114,10 +133,8 @@ func (p *Process) Dlsym(name string) (any, bool) {
 // (RTLD_NEXT): a shadowing library uses this to find the implementation it
 // shadows.
 func (p *Process) DlsymNext(after *Library, name string) (any, bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
 	seen := false
-	for _, l := range p.libs {
+	for _, l := range *p.libs.Load() {
 		if l == after {
 			seen = true
 			continue

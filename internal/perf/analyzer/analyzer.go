@@ -142,40 +142,44 @@ func New(trace *events.Trace, opts Options) (*Analyzer, error) {
 
 // interfaceFromTrace recovers the EDL the logger embedded, if any.
 func interfaceFromTrace(trace *events.Trace) *edl.Interface {
-	for _, meta := range trace.Enclaves.Rows() {
+	var out *edl.Interface
+	trace.Enclaves.Scan(func(_ int, meta events.EnclaveMeta) bool {
 		if meta.EDL == "" {
-			continue
+			return true
 		}
-		iface, _, err := edl.Parse(meta.EDL)
-		if err == nil {
-			return iface
+		if iface, _, err := edl.Parse(meta.EDL); err == nil {
+			out = iface
+			return false
 		}
-	}
-	return nil
+		return true
+	})
+	return out
 }
 
 // prepare merges both call tables, sorts by start time, computes adjusted
-// durations, direct-parent offsets and indirect parents (Fig. 4).
+// durations, direct-parent offsets and indirect parents (Fig. 4). The
+// tables are read with the zero-copy scan path: events are materialised
+// once, directly into the prepared slice.
 func (a *Analyzer) prepare() {
-	ecalls := a.trace.Ecalls.Rows()
-	ocalls := a.trace.Ocalls.Rows()
-	a.all = make([]call, 0, len(ecalls)+len(ocalls))
-	for _, e := range ecalls {
+	a.all = make([]call, 0, a.trace.Ecalls.Len()+a.trace.Ocalls.Len())
+	a.trace.Ecalls.Scan(func(_ int, e events.CallEvent) bool {
 		if a.opts.Enclave != 0 && e.Enclave != a.opts.Enclave {
-			continue
+			return true
 		}
 		adj := a.freq.Duration(e.Duration() - a.transition)
 		if adj < 0 {
 			adj = 0
 		}
 		a.all = append(a.all, call{ev: e, adjusted: adj, indirect: -1})
-	}
-	for _, o := range ocalls {
+		return true
+	})
+	a.trace.Ocalls.Scan(func(_ int, o events.CallEvent) bool {
 		if a.opts.Enclave != 0 && o.Enclave != a.opts.Enclave {
-			continue
+			return true
 		}
 		a.all = append(a.all, call{ev: o, adjusted: a.freq.Duration(o.Duration()), indirect: -1})
-	}
+		return true
+	})
 	sort.SliceStable(a.all, func(i, j int) bool {
 		if a.all[i].ev.Start != a.all[j].ev.Start {
 			return a.all[i].ev.Start < a.all[j].ev.Start

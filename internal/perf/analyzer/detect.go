@@ -339,8 +339,8 @@ func (a *Analyzer) DetectMerging() []Finding {
 // sections where leaving the enclave to sleep is wasteful.
 func (a *Analyzer) DetectSSC() []Finding {
 	w := a.opts.Weights
-	syncs := a.trace.Syncs.Rows()
-	if len(syncs) < w.SyncMinOcalls {
+	nsyncs := a.trace.Syncs.Len()
+	if nsyncs < w.SyncMinOcalls {
 		return nil
 	}
 	var wakes, shortWakes, sleeps int
@@ -348,7 +348,7 @@ func (a *Analyzer) DetectSSC() []Finding {
 	for i := range a.all {
 		byCall[a.all[i].ev.ID] = a.all[i].adjusted
 	}
-	for _, s := range syncs {
+	a.trace.Syncs.Scan(func(_ int, s events.SyncEvent) bool {
 		switch s.Kind {
 		case events.SyncWake:
 			wakes++
@@ -358,7 +358,8 @@ func (a *Analyzer) DetectSSC() []Finding {
 		case events.SyncSleep:
 			sleeps++
 		}
-	}
+		return true
+	})
 	if wakes == 0 && sleeps == 0 {
 		return nil
 	}
@@ -368,10 +369,10 @@ func (a *Analyzer) DetectSSC() []Finding {
 		Kind:    events.KindOcall,
 		Evidence: fmt.Sprintf(
 			"%d sync ocall events: %d sleeps, %d wake-ups (%d wake-ups <%v)",
-			len(syncs), sleeps, wakes, shortWakes, w.SyncShortLimit),
+			nsyncs, sleeps, wakes, shortWakes, w.SyncShortLimit),
 		Solutions:    []Solution{SolutionHybridLock, SolutionLockFree},
 		SecurityNote: "",
-		Score:        float64(len(syncs)),
+		Score:        float64(nsyncs),
 	}}
 }
 
@@ -407,8 +408,7 @@ type PagingStats struct {
 // PagingSummary aggregates the paging events (§4.1.5).
 func (a *Analyzer) PagingSummary() PagingStats {
 	out := PagingStats{ByRegion: make(map[string]int)}
-	pages := a.trace.Paging.Rows()
-	for _, p := range pages {
+	a.trace.Paging.Scan(func(_ int, p events.PagingEvent) bool {
 		if p.Kind == events.PageIn {
 			out.PageIns++
 		} else {
@@ -422,7 +422,8 @@ func (a *Analyzer) PagingSummary() PagingStats {
 				break
 			}
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -439,14 +440,15 @@ type WakeEdge struct {
 // phase (§5.2.4).
 func (a *Analyzer) WakeGraph() []WakeEdge {
 	agg := make(map[[2]int64]int)
-	for _, s := range a.trace.Syncs.Rows() {
+	a.trace.Syncs.Scan(func(_ int, s events.SyncEvent) bool {
 		if s.Kind != events.SyncWake {
-			continue
+			return true
 		}
 		for _, t := range s.Targets {
 			agg[[2]int64{int64(s.Thread), int64(t)}]++
 		}
-	}
+		return true
+	})
 	out := make([]WakeEdge, 0, len(agg))
 	for k, n := range agg {
 		out = append(out, WakeEdge{From: k[0], To: k[1], Count: n})

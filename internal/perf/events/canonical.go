@@ -1,0 +1,125 @@
+package events
+
+import (
+	"sort"
+
+	"sgxperf/internal/sgx"
+)
+
+// Canonicalize rewrites the trace into a deterministic canonical form so
+// traces of the same workload can be compared byte-for-byte regardless of
+// how threads interleaved while recording. Within one thread, events are
+// recorded (and IDs allocated) in a deterministic order; across threads,
+// both the global ID counter and shard flush timing depend on scheduling.
+// Canonicalize removes that nondeterminism:
+//
+//  1. every event is assigned a new ID by sorting all events by
+//     (thread, original ID) — original IDs are allocation-ordered within
+//     a thread, so this order is deterministic for deterministic
+//     workloads;
+//  2. Parent/During/Call references are rewritten through the same map;
+//  3. each table is reordered by new ID (Threads by thread, Enclaves by
+//     enclave).
+//
+// The analyser does not require canonical traces (it orders events
+// itself); Canonicalize exists for golden-trace tests and reproducible
+// exports.
+func (t *Trace) Canonicalize() {
+	type key struct {
+		thread sgx.ThreadID
+		id     EventID
+	}
+	var keys []key
+	t.Ecalls.Scan(func(_ int, e CallEvent) bool {
+		keys = append(keys, key{e.Thread, e.ID})
+		return true
+	})
+	t.Ocalls.Scan(func(_ int, e CallEvent) bool {
+		keys = append(keys, key{e.Thread, e.ID})
+		return true
+	})
+	t.AEXs.Scan(func(_ int, e AEXEvent) bool {
+		keys = append(keys, key{e.Thread, e.ID})
+		return true
+	})
+	t.Paging.Scan(func(_ int, e PagingEvent) bool {
+		keys = append(keys, key{e.Thread, e.ID})
+		return true
+	})
+	t.Syncs.Scan(func(_ int, e SyncEvent) bool {
+		keys = append(keys, key{e.Thread, e.ID})
+		return true
+	})
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].thread != keys[j].thread {
+			return keys[i].thread < keys[j].thread
+		}
+		return keys[i].id < keys[j].id
+	})
+	remap := make(map[EventID]EventID, len(keys))
+	for i, k := range keys {
+		remap[k.id] = EventID(i + 1)
+	}
+	ref := func(id EventID) EventID {
+		if id == NoEvent {
+			return NoEvent
+		}
+		if n, ok := remap[id]; ok {
+			return n
+		}
+		return id
+	}
+
+	calls := func(tab interface {
+		Rows() []CallEvent
+		Replace(rows []CallEvent)
+	}) {
+		rows := tab.Rows()
+		for i := range rows {
+			rows[i].ID = ref(rows[i].ID)
+			rows[i].Parent = ref(rows[i].Parent)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+		tab.Replace(rows)
+	}
+	calls(t.Ecalls)
+	calls(t.Ocalls)
+
+	aexs := t.AEXs.Rows()
+	for i := range aexs {
+		aexs[i].ID = ref(aexs[i].ID)
+		aexs[i].During = ref(aexs[i].During)
+	}
+	sort.Slice(aexs, func(i, j int) bool { return aexs[i].ID < aexs[j].ID })
+	t.AEXs.Replace(aexs)
+
+	paging := t.Paging.Rows()
+	for i := range paging {
+		paging[i].ID = ref(paging[i].ID)
+	}
+	sort.Slice(paging, func(i, j int) bool { return paging[i].ID < paging[j].ID })
+	t.Paging.Replace(paging)
+
+	syncs := t.Syncs.Rows()
+	for i := range syncs {
+		syncs[i].ID = ref(syncs[i].ID)
+		syncs[i].Call = ref(syncs[i].Call)
+	}
+	sort.Slice(syncs, func(i, j int) bool { return syncs[i].ID < syncs[j].ID })
+	t.Syncs.Replace(syncs)
+
+	threads := t.Threads.Rows()
+	sort.Slice(threads, func(i, j int) bool {
+		if threads[i].Thread != threads[j].Thread {
+			return threads[i].Thread < threads[j].Thread
+		}
+		return threads[i].Time < threads[j].Time
+	})
+	t.Threads.Replace(threads)
+
+	enclaves := t.Enclaves.Rows()
+	sort.Slice(enclaves, func(i, j int) bool { return enclaves[i].Enclave < enclaves[j].Enclave })
+	t.Enclaves.Replace(enclaves)
+
+	t.nextID.Store(int64(len(keys)))
+}

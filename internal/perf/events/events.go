@@ -194,6 +194,18 @@ type Trace struct {
 	nextID atomic.Int64
 }
 
+// SetReadFlush installs flush to run before any read of the trace's event
+// tables. A recorder with per-thread buffers (the logger) registers its
+// flush function here so readers always observe a complete trace, however
+// events are batched. Pass nil to clear.
+func (t *Trace) SetReadFlush(flush func()) {
+	for _, tab := range []interface{ SetReadHook(func()) }{
+		t.Ecalls, t.Ocalls, t.AEXs, t.Paging, t.Syncs, t.Threads, t.Enclaves,
+	} {
+		tab.SetReadHook(flush)
+	}
+}
+
 // NewTrace creates an empty trace with its schema registered.
 func NewTrace() (*Trace, error) {
 	t := &Trace{
@@ -229,12 +241,23 @@ func (t *Trace) NextID() EventID {
 	return EventID(t.nextID.Add(1))
 }
 
-// Calls returns all call events of the given kind.
+// Calls returns all call events of the given kind. It copies; hot paths
+// should use ScanCalls instead.
 func (t *Trace) Calls(kind CallKind) []CallEvent {
 	if kind == KindEcall {
 		return t.Ecalls.Rows()
 	}
 	return t.Ocalls.Rows()
+}
+
+// ScanCalls iterates all call events of the given kind in insertion order
+// without copying, until yield returns false.
+func (t *Trace) ScanCalls(kind CallKind, yield func(i int, ev CallEvent) bool) {
+	if kind == KindEcall {
+		t.Ecalls.Scan(yield)
+		return
+	}
+	t.Ocalls.Scan(yield)
 }
 
 // Frequency returns the trace's recorded CPU frequency, defaulting to the
@@ -257,34 +280,30 @@ func (t *Trace) TransitionCycles() vtime.Cycles {
 // Save serialises the trace.
 func (t *Trace) Save(w io.Writer) error { return t.db.Save(w) }
 
-// Load restores a trace written by Save.
-func (t *Trace) Load(r io.Reader) error {
-	if err := t.db.Load(r); err != nil {
-		return err
-	}
-	// Continue ID allocation past the loaded events.
+// maxEventID scans every ID-carrying table without copying rows and
+// returns the highest event ID present.
+func (t *Trace) maxEventID() EventID {
 	var maxID EventID
 	bump := func(id EventID) {
 		if id > maxID {
 			maxID = id
 		}
 	}
-	for _, e := range t.Ecalls.Rows() {
-		bump(e.ID)
+	t.Ecalls.Scan(func(_ int, e CallEvent) bool { bump(e.ID); return true })
+	t.Ocalls.Scan(func(_ int, e CallEvent) bool { bump(e.ID); return true })
+	t.AEXs.Scan(func(_ int, e AEXEvent) bool { bump(e.ID); return true })
+	t.Paging.Scan(func(_ int, e PagingEvent) bool { bump(e.ID); return true })
+	t.Syncs.Scan(func(_ int, e SyncEvent) bool { bump(e.ID); return true })
+	return maxID
+}
+
+// Load restores a trace written by Save.
+func (t *Trace) Load(r io.Reader) error {
+	if err := t.db.Load(r); err != nil {
+		return err
 	}
-	for _, e := range t.Ocalls.Rows() {
-		bump(e.ID)
-	}
-	for _, e := range t.AEXs.Rows() {
-		bump(e.ID)
-	}
-	for _, e := range t.Paging.Rows() {
-		bump(e.ID)
-	}
-	for _, e := range t.Syncs.Rows() {
-		bump(e.ID)
-	}
-	t.nextID.Store(int64(maxID))
+	// Continue ID allocation past the loaded events.
+	t.nextID.Store(int64(t.maxEventID()))
 	return nil
 }
 
@@ -296,17 +315,6 @@ func (t *Trace) LoadFile(path string) error {
 	if err := t.db.LoadFile(path); err != nil {
 		return err
 	}
-	var maxID EventID
-	for _, e := range t.Ecalls.Rows() {
-		if e.ID > maxID {
-			maxID = e.ID
-		}
-	}
-	for _, e := range t.Ocalls.Rows() {
-		if e.ID > maxID {
-			maxID = e.ID
-		}
-	}
-	t.nextID.Store(int64(maxID))
+	t.nextID.Store(int64(t.maxEventID()))
 	return nil
 }

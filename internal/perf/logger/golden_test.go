@@ -1,0 +1,243 @@
+package logger_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/perf/analyzer"
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/perf/logger"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+)
+
+// runGoldenWorkload runs a fixed multi-threaded workload with the logger
+// attached at the given flush batch size and returns the recorded trace.
+// The workload is deterministic in virtual time: threads never share
+// locks, never page, and every compute duration is a pure function of
+// (worker, iteration), so the only run-to-run variation is the order in
+// which threads interleave on the global event-ID counter — exactly the
+// nondeterminism Canonicalize removes.
+func runGoldenWorkload(t *testing.T, flushEvery int) *events.Trace {
+	t.Helper()
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := logger.Attach(h, logger.Options{
+		Workload:   "golden",
+		AEX:        logger.AEXTrace,
+		FlushEvery: flushEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	iface := edl.NewInterface()
+	for _, n := range []string{"ecall_work", "ecall_chatty"} {
+		if _, err := iface.AddEcall(n, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := iface.AddOcall("ocall_ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	impl := map[string]sdk.TrustedFn{
+		"ecall_work": func(env *sdk.Env, args any) (any, error) {
+			env.Compute(time.Duration(5+args.(int)%23) * time.Microsecond)
+			return nil, nil
+		},
+		"ecall_chatty": func(env *sdk.Env, args any) (any, error) {
+			env.Compute(2 * time.Microsecond)
+			if _, err := env.Ocall("ocall_ping", nil); err != nil {
+				return nil, err
+			}
+			env.Compute(3 * time.Microsecond)
+			return nil, nil
+		},
+	}
+	ctx := h.NewContext("builder")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{
+		Name:   "golden",
+		NumTCS: 8,
+	}, iface, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, map[string]sdk.OcallFn{
+		"ocall_ping": func(ctx *sgx.Context, args any) (any, error) { return nil, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies := sdk.Proxies(app, h.Proc, otab)
+
+	const threads = 4
+	const opsPerThread = 50
+	errs := make(chan error, threads)
+	for w := 0; w < threads; w++ {
+		w := w
+		if err := h.Spawn(fmt.Sprintf("golden-%d", w), func(ctx *sgx.Context) {
+			for i := 0; i < opsPerThread; i++ {
+				name := "ecall_work"
+				if (w+i)%3 == 0 {
+					name = "ecall_chatty"
+				}
+				if _, err := proxies[name](ctx, w*1000+i); err != nil {
+					errs <- fmt.Errorf("worker %d op %d: %w", w, i, err)
+					return
+				}
+			}
+			errs <- nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Detach()
+	return l.Trace()
+}
+
+// encodeCanonical canonicalises the trace and serialises it.
+func encodeCanonical(t *testing.T, trace *events.Trace) []byte {
+	t.Helper()
+	trace.Canonicalize()
+	var buf bytes.Buffer
+	if err := trace.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTraceBatchingInvariant is the tentpole's hard invariant: the
+// batched per-thread recording pipeline must produce a trace that is
+// byte-identical (after canonical event-ID ordering) to the unbatched
+// path, which has the same per-event semantics as the old global-mutex
+// recorder (FlushEvery=1 publishes every event immediately).
+func TestGoldenTraceBatchingInvariant(t *testing.T) {
+	unbatched := runGoldenWorkload(t, 1)
+	batched := runGoldenWorkload(t, 256)
+
+	a := encodeCanonical(t, unbatched)
+	b := encodeCanonical(t, batched)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical traces differ: unbatched %d bytes, batched %d bytes", len(a), len(b))
+	}
+
+	// The analyser must see the two traces identically too.
+	ra := analyzeTrace(t, unbatched)
+	rb := analyzeTrace(t, batched)
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("analyzer reports differ:\nunbatched: %+v\nbatched:   %+v", ra, rb)
+	}
+}
+
+// TestGoldenTraceDeterminism runs the identical workload twice at the
+// default batch size: after canonicalisation the two traces must be
+// byte-identical.
+func TestGoldenTraceDeterminism(t *testing.T) {
+	first := encodeCanonical(t, runGoldenWorkload(t, 0))
+	second := encodeCanonical(t, runGoldenWorkload(t, 0))
+	if !bytes.Equal(first, second) {
+		t.Fatalf("canonical traces differ across identical runs: %d vs %d bytes", len(first), len(second))
+	}
+}
+
+func analyzeTrace(t *testing.T, trace *events.Trace) *analyzer.Report {
+	t.Helper()
+	a, err := analyzer.New(trace, analyzer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Analyze()
+}
+
+// TestStubCacheBuildsOnce asserts the stub-table cache's regression
+// guarantee: many threads racing through their first ecall with the same
+// ocall table must cause exactly one stub-table rewrite, never a
+// duplicate rebuild (§4.1.2 rewrites the table once per table identity).
+func TestStubCacheBuildsOnce(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := logger.Attach(h, logger.Options{Workload: "stub-race"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Detach()
+
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("ecall_ping", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.AddOcall("ocall_noop", nil); err != nil {
+		t.Fatal(err)
+	}
+	impl := map[string]sdk.TrustedFn{
+		"ecall_ping": func(env *sdk.Env, args any) (any, error) {
+			return env.Ocall("ocall_noop", nil)
+		},
+	}
+	ctx := h.NewContext("builder")
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{
+		Name:   "stub-race",
+		NumTCS: 18,
+	}, iface, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, map[string]sdk.OcallFn{
+		"ocall_noop": func(ctx *sgx.Context, args any) (any, error) { return nil, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := sdk.MustProxy(sdk.Proxies(app, h.Proc, otab), "ecall_ping")
+
+	// Release all first ecalls as close to simultaneously as possible.
+	const threads = 16
+	var gate sync.WaitGroup
+	gate.Add(1)
+	errs := make(chan error, threads)
+	for w := 0; w < threads; w++ {
+		if err := h.Spawn(fmt.Sprintf("racer-%d", w), func(ctx *sgx.Context) {
+			gate.Wait()
+			for i := 0; i < 20; i++ {
+				if _, err := proxy(ctx, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gate.Done()
+	h.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.StubBuilds(); got != 1 {
+		t.Fatalf("stub table built %d times for one ocall table, want exactly 1", got)
+	}
+	if got, want := l.Trace().Ocalls.Len(), threads*20; got != want {
+		t.Fatalf("ocall events = %d, want %d", got, want)
+	}
+}

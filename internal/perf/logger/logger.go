@@ -7,6 +7,13 @@
 // paging functions (§4.1.5). All events are serialised to an embedded
 // event database.
 //
+// Recording is sharded per thread, mirroring the paper's per-thread
+// in-memory buffers (§4.1): each simulated thread owns a recorder shard
+// holding its call stack and event buffers, reached without any global
+// lock on the hot path. Buffers are flushed to the event database in
+// batches — either when full or lazily when a reader touches a table — so
+// probe costs stay flat as threads are added.
+//
 // The logger needs no changes to the application, the enclave, or the
 // SDK — only preloading, exactly as in the paper.
 package logger
@@ -36,6 +43,10 @@ const (
 	CostAEXTrace   = 1118 * time.Nanosecond
 )
 
+// defaultFlushEvery is the per-shard buffer capacity before a batch flush
+// to the event database.
+const defaultFlushEvery = 256
+
 // AEXMode selects how the logger observes asynchronous exits (§4.1.4).
 type AEXMode int
 
@@ -57,12 +68,39 @@ type Options struct {
 	// TracePaging registers kprobes on the driver's paging functions
 	// (default true — set SkipPaging to disable).
 	SkipPaging bool
+	// FlushEvery sets the per-thread buffer size before events are
+	// flushed to the database in a batch (default 256). 1 flushes every
+	// event immediately, reproducing the unbatched row-at-a-time path —
+	// useful for golden-trace comparisons.
+	FlushEvery int
 }
 
 type stackEntry struct {
 	kind events.CallKind
 	id   events.EventID
 	aex  int
+}
+
+// stubPair is one (original table, stub table) association for the
+// one-entry stub cache.
+type stubPair struct {
+	orig *sdk.OcallTable
+	stub *sdk.OcallTable
+}
+
+// shard is one thread's recorder: its call stack plus event buffers. The
+// mutex is effectively uncontended — the owning thread is the only
+// hot-path user; other goroutines only take it to flush buffered events
+// to the database. The stack holds entries by value so pushing a call
+// allocates nothing in steady state.
+type shard struct {
+	mu     sync.Mutex
+	stack  []stackEntry
+	ecalls []events.CallEvent
+	ocalls []events.CallEvent
+	syncs  []events.SyncEvent
+	aexs   []events.AEXEvent
+	paging []events.PagingEvent
 }
 
 // Logger is an attached sgx-perf event logger.
@@ -75,11 +113,44 @@ type Logger struct {
 
 	enabled atomic.Bool
 
-	mu           sync.Mutex
-	stacks       map[sgx.ThreadID][]*stackEntry
-	stubCache    map[*sdk.OcallTable]*sdk.OcallTable
-	seenEnclaves map[sgx.EnclaveID]bool
-	signalHits   map[kernel.Signal]int
+	// Probe costs pre-converted to cycles at attach time (the machine
+	// frequency is fixed), sparing a float conversion on every event.
+	ecallPreCycles  vtime.Cycles
+	ecallPostCycles vtime.Cycles
+	ocallPreCycles  vtime.Cycles
+	ocallPostCycles vtime.Cycles
+	aexCycles       vtime.Cycles
+
+	// Per-thread recorder shards: a copy-on-write slice indexed by
+	// ThreadID (the machine hands out small sequential IDs). Lookups on
+	// the hot path are a single atomic load; growth takes shardMu.
+	shards  atomic.Pointer[[]*shard]
+	shardMu sync.Mutex
+	// pending counts non-empty (unflushed) shard buffers; the table read
+	// hooks use it to skip flushing when there is nothing to flush. It is
+	// bumped only when a buffer goes empty→non-empty, so the steady-state
+	// hot path pays one atomic add per batch, not per event.
+	pending atomic.Int64
+
+	// stubCache maps original ocall tables to their generated stub
+	// tables (§4.1.2). Lookups are lock-free; builds serialise on stubMu
+	// so one table is never generated twice. lastStub is a one-entry
+	// cache in front: applications pass the same table on every ecall, so
+	// the common lookup is one atomic load and a pointer compare.
+	stubCache  sync.Map // *sdk.OcallTable -> *sdk.OcallTable
+	lastStub   atomic.Pointer[stubPair]
+	stubMu     sync.Mutex
+	stubBuilds atomic.Int64
+
+	// encNames is a copy-on-write registry indexed by EnclaveID (the
+	// machine hands out small sequential IDs): a non-nil entry means the
+	// enclave's metadata has been recorded, and holds its ecall names by
+	// ID. One atomic load replaces a shared-map lookup per ecall.
+	encNames atomic.Pointer[[][]string]
+	encMu    sync.Mutex
+
+	signalMu   sync.Mutex
+	signalHits map[kernel.Signal]int
 
 	detachKprobes []func()
 	prevAEP       sgx.AEPFunc
@@ -90,6 +161,9 @@ type Logger struct {
 func Attach(h *host.Host, opts Options) (*Logger, error) {
 	if opts.AEX == 0 {
 		opts.AEX = AEXOff
+	}
+	if opts.FlushEvery <= 0 {
+		opts.FlushEvery = defaultFlushEvery
 	}
 	trace, err := events.NewTrace()
 	if err != nil {
@@ -104,14 +178,24 @@ func Attach(h *host.Host, opts Options) (*Logger, error) {
 	})
 
 	l := &Logger{
-		h:            h,
-		trace:        trace,
-		opts:         opts,
-		stacks:       make(map[sgx.ThreadID][]*stackEntry),
-		stubCache:    make(map[*sdk.OcallTable]*sdk.OcallTable),
-		seenEnclaves: make(map[sgx.EnclaveID]bool),
-		signalHits:   make(map[kernel.Signal]int),
+		h:          h,
+		trace:      trace,
+		opts:       opts,
+		signalHits: make(map[kernel.Signal]int),
+
+		ecallPreCycles:  cost.Frequency.Cycles(CostEcallProbe / 2),
+		ecallPostCycles: cost.Frequency.Cycles(CostEcallProbe - CostEcallProbe/2),
+		ocallPreCycles:  cost.Frequency.Cycles(CostOcallProbe / 2),
+		ocallPostCycles: cost.Frequency.Cycles(CostOcallProbe - CostOcallProbe/2),
+		aexCycles:       cost.Frequency.Cycles(CostAEXCount),
 	}
+	if opts.AEX == AEXTrace {
+		l.aexCycles = cost.Frequency.Cycles(CostAEXTrace)
+	}
+	// Readers of the event tables trigger a flush of all shard buffers,
+	// so a trace handle taken at attach time always observes every event
+	// recorded before the read.
+	trace.SetReadFlush(l.flushAll)
 
 	// Build liblogger and preload it (LD_PRELOAD, §4). Its sgx_ecall,
 	// pthread_create and sigaction shadow the URTS and libc.
@@ -132,9 +216,9 @@ func Attach(h *host.Host, opts Options) (*Logger, error) {
 			wrapped := handler
 			if handler != nil {
 				wrapped = func(ctx *sgx.Context, s kernel.Signal, info *kernel.SigInfo) bool {
-					l.mu.Lock()
+					l.signalMu.Lock()
 					l.signalHits[s]++
-					l.mu.Unlock()
+					l.signalMu.Unlock()
 					return handler(ctx, s, info)
 				}
 			}
@@ -181,14 +265,111 @@ func mitigationName(c sgx.CostModel) string {
 	return "custom"
 }
 
-// Trace returns the recorded trace.
-func (l *Logger) Trace() *events.Trace { return l.trace }
+// shard returns the calling thread's recorder shard, creating it on first
+// sight. The fast path is one atomic load and two bounds checks.
+func (l *Logger) shard(tid sgx.ThreadID) *shard {
+	if s := l.shards.Load(); s != nil && int(tid) >= 0 && int(tid) < len(*s) {
+		if sh := (*s)[tid]; sh != nil {
+			return sh
+		}
+	}
+	return l.growShard(tid)
+}
+
+// growShard creates the shard for tid behind the registry lock, copying
+// the shard slice so concurrent readers never observe a partial update.
+func (l *Logger) growShard(tid sgx.ThreadID) *shard {
+	l.shardMu.Lock()
+	defer l.shardMu.Unlock()
+	idx := int(tid)
+	if idx < 0 {
+		idx = 0 // defensive: the machine hands out IDs ≥ 1
+	}
+	var cur []*shard
+	if p := l.shards.Load(); p != nil {
+		cur = *p
+	}
+	if idx < len(cur) && cur[idx] != nil {
+		return cur[idx]
+	}
+	grown := make([]*shard, max(idx+1, len(cur)))
+	copy(grown, cur)
+	sh := &shard{}
+	grown[idx] = sh
+	l.shards.Store(&grown)
+	return sh
+}
+
+// flushAll drains every shard's buffers into the event database. Shards
+// are merged in ascending ThreadID order so the flush order is stable
+// across runs (given deterministic per-thread content).
+func (l *Logger) flushAll() {
+	if l.pending.Load() == 0 {
+		return
+	}
+	p := l.shards.Load()
+	if p == nil {
+		return
+	}
+	for _, sh := range *p {
+		if sh != nil {
+			l.flushShard(sh)
+		}
+	}
+}
+
+// flushShard drains one shard's buffers into the database in batches.
+func (l *Logger) flushShard(sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	l.flushShardLocked(sh)
+}
+
+func (l *Logger) flushShardLocked(sh *shard) {
+	dirty := 0
+	if len(sh.ecalls) > 0 {
+		l.trace.Ecalls.BatchInsert(sh.ecalls)
+		sh.ecalls = sh.ecalls[:0]
+		dirty++
+	}
+	if len(sh.ocalls) > 0 {
+		l.trace.Ocalls.BatchInsert(sh.ocalls)
+		sh.ocalls = sh.ocalls[:0]
+		dirty++
+	}
+	if len(sh.syncs) > 0 {
+		l.trace.Syncs.BatchInsert(sh.syncs)
+		sh.syncs = sh.syncs[:0]
+		dirty++
+	}
+	if len(sh.aexs) > 0 {
+		l.trace.AEXs.BatchInsert(sh.aexs)
+		sh.aexs = sh.aexs[:0]
+		dirty++
+	}
+	if len(sh.paging) > 0 {
+		l.trace.Paging.BatchInsert(sh.paging)
+		sh.paging = sh.paging[:0]
+		dirty++
+	}
+	if dirty > 0 {
+		l.pending.Add(int64(-dirty))
+	}
+}
+
+// Trace returns the recorded trace, flushing all buffered events first.
+// Reads through the returned trace stay coherent even while recording
+// continues: table reads flush the shard buffers lazily.
+func (l *Logger) Trace() *events.Trace {
+	l.flushAll()
+	return l.trace
+}
 
 // SignalHits reports how many signals of each number the logger has
 // observed through its shadowed handlers.
 func (l *Logger) SignalHits() map[kernel.Signal]int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.signalMu.Lock()
+	defer l.signalMu.Unlock()
 	out := make(map[kernel.Signal]int, len(l.signalHits))
 	for k, v := range l.signalHits {
 		out[k] = v
@@ -196,9 +377,15 @@ func (l *Logger) SignalHits() map[kernel.Signal]int {
 	return out
 }
 
-// Detach stops recording: the AEP is restored and kprobes unregistered.
-// The preloaded library stays in the process image (as with LD_PRELOAD)
-// but becomes a transparent pass-through.
+// StubBuilds reports how many ocall stub tables the logger has generated.
+// Each distinct ocall table must be built exactly once (§4.1.2), however
+// many threads race on the first ecall.
+func (l *Logger) StubBuilds() int64 { return l.stubBuilds.Load() }
+
+// Detach stops recording: buffered events are flushed, the AEP is
+// restored and kprobes unregistered. The preloaded library stays in the
+// process image (as with LD_PRELOAD) but becomes a transparent
+// pass-through.
 func (l *Logger) Detach() {
 	l.enabled.Store(false)
 	for _, d := range l.detachKprobes {
@@ -209,87 +396,149 @@ func (l *Logger) Detach() {
 		l.h.Machine.PatchAEP(l.prevAEP)
 		l.aepPatched = false
 	}
+	l.flushAll()
 }
 
 // sgxEcall is the logger's shadow of the URTS sgx_ecall (Fig. 2): record
 // start time, thread and identifiers, swap in the stub ocall table, call
-// the real implementation, record the end time.
+// the real implementation, record the end time. All bookkeeping stays in
+// the thread's own shard — no global lock is taken.
 func (l *Logger) sgxEcall(ctx *sgx.Context, eid sgx.EnclaveID, callID int, otab *sdk.OcallTable, args any) (any, error) {
 	if !l.enabled.Load() {
 		return l.next(ctx, eid, callID, otab, args)
 	}
-	ctx.Compute(CostEcallProbe / 2)
-	l.noteEnclave(eid)
+	ctx.ComputeCycles(l.ecallPreCycles)
+	names := l.enclaveNames(eid)
 	stub := l.stubTable(otab)
+	sh := l.shard(ctx.ID())
 
 	id := l.trace.NextID()
-	entry := &stackEntry{kind: events.KindEcall, id: id}
-	parent := l.push(ctx.ID(), entry)
+	parent := l.push(sh, events.KindEcall, id)
 
-	name := l.ecallName(eid, callID)
+	name := ecallName(names, callID)
 	start := ctx.Now()
 	res, err := l.next(ctx, eid, callID, stub, args)
 	end := ctx.Now()
 
-	l.pop(ctx.ID())
-	l.trace.Ecalls.Insert(events.CallEvent{
-		ID:       id,
-		Kind:     events.KindEcall,
-		Enclave:  eid,
-		Thread:   ctx.ID(),
-		CallID:   callID,
-		Name:     name,
-		Start:    start,
-		End:      end,
-		Parent:   parent,
-		AEXCount: entry.aex,
-		Err:      err != nil,
+	l.popRecord(sh, &sh.ecalls, true, events.CallEvent{
+		ID:      id,
+		Kind:    events.KindEcall,
+		Enclave: eid,
+		Thread:  ctx.ID(),
+		CallID:  callID,
+		Name:    name,
+		Start:   start,
+		End:     end,
+		Parent:  parent,
+		Err:     err != nil,
 	})
-	ctx.Compute(CostEcallProbe - CostEcallProbe/2)
+	ctx.ComputeCycles(l.ecallPostCycles)
 	return res, err
 }
 
-func (l *Logger) ecallName(eid sgx.EnclaveID, callID int) string {
-	if app, ok := l.h.URTS.AppEnclaveFor(eid); ok {
-		if f, ok := app.Interface().EcallByID(callID); ok {
-			return f.Name
-		}
+// ecallName resolves a call ID against an enclave's name table.
+func ecallName(names []string, callID int) string {
+	if callID >= 0 && callID < len(names) {
+		return names[callID]
 	}
 	return fmt.Sprintf("ecall_%d", callID)
 }
 
-// noteEnclave records enclave metadata on first sight, including its EDL
-// interface so the analyser can run its security checks without being
-// handed the file separately.
-func (l *Logger) noteEnclave(eid sgx.EnclaveID) {
-	l.mu.Lock()
-	seen := l.seenEnclaves[eid]
-	l.seenEnclaves[eid] = true
-	l.mu.Unlock()
-	if seen {
-		return
+// popRecord pops the thread's stack entry and buffers the completed call
+// event under one shard lock acquisition, flushing when the buffer reaches
+// the configured batch size. withAEX fills in the popped entry's AEX count
+// (ecalls only).
+func (l *Logger) popRecord(sh *shard, buf *[]events.CallEvent, withAEX bool, ev events.CallEvent) {
+	sh.mu.Lock()
+	if n := len(sh.stack); n > 0 {
+		if withAEX {
+			ev.AEXCount = sh.stack[n-1].aex
+		}
+		sh.stack = sh.stack[:n-1]
+	}
+	*buf = append(*buf, ev)
+	if len(*buf) == 1 {
+		l.pending.Add(1)
+	}
+	if len(*buf) >= l.opts.FlushEvery {
+		l.flushShardLocked(sh)
+	}
+	sh.mu.Unlock()
+}
+
+// enclaveNames returns the enclave's ecall-name table, recording its
+// metadata on first sight — including its EDL interface, so the analyser
+// can run its security checks without being handed the file separately.
+// The fast path is one atomic load and an index.
+func (l *Logger) enclaveNames(eid sgx.EnclaveID) []string {
+	if p := l.encNames.Load(); p != nil && int(eid) >= 0 && int(eid) < len(*p) {
+		if names := (*p)[eid]; names != nil {
+			return names
+		}
+	}
+	return l.noteEnclave(eid)
+}
+
+// noteEnclave records enclave metadata behind the registry lock and
+// publishes the enclave's name table, copying the registry slice so
+// concurrent readers never observe a partial update.
+func (l *Logger) noteEnclave(eid sgx.EnclaveID) []string {
+	l.encMu.Lock()
+	defer l.encMu.Unlock()
+	idx := int(eid)
+	if idx < 0 {
+		idx = 0 // defensive: the machine hands out IDs ≥ 1
+	}
+	var cur [][]string
+	if p := l.encNames.Load(); p != nil {
+		cur = *p
+	}
+	if idx < len(cur) && cur[idx] != nil {
+		return cur[idx]
 	}
 	meta := events.EnclaveMeta{Enclave: eid}
+	names := []string{} // non-nil marks the enclave seen
 	if app, ok := l.h.URTS.AppEnclaveFor(eid); ok {
 		meta.Name = app.Enclave().Config.Name
 		meta.NumPages = app.Enclave().NumPages()
 		meta.EDL = app.Interface().Format()
+		ecalls := app.Interface().Ecalls()
+		names = make([]string, len(ecalls))
+		for i, f := range ecalls {
+			names[i] = f.Name
+		}
 	}
 	l.trace.Enclaves.Insert(meta)
+	grown := make([][]string, max(idx+1, len(cur)))
+	copy(grown, cur)
+	grown[idx] = names
+	l.encNames.Store(&grown)
+	return names
 }
 
 // stubTable returns (building once per table, §4.1.2) the logger's ocall
 // table oT_logger: one generated call stub per original entry, each
 // logging events and then calling the original function pointer (Fig. 3).
+// The lookup is lock-free; builds serialise on stubMu with a re-check, so
+// concurrent first ecalls never generate the same stub table twice.
 func (l *Logger) stubTable(orig *sdk.OcallTable) *sdk.OcallTable {
 	if orig == nil {
 		return nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if stub, ok := l.stubCache[orig]; ok {
-		return stub
+	if p := l.lastStub.Load(); p != nil && p.orig == orig {
+		return p.stub
 	}
+	if stub, ok := l.stubCache.Load(orig); ok {
+		s := stub.(*sdk.OcallTable)
+		l.lastStub.Store(&stubPair{orig: orig, stub: s})
+		return s
+	}
+	l.stubMu.Lock()
+	defer l.stubMu.Unlock()
+	if stub, ok := l.stubCache.Load(orig); ok {
+		return stub.(*sdk.OcallTable)
+	}
+	l.stubBuilds.Add(1)
 	stub := &sdk.OcallTable{
 		Funcs: make([]sdk.OcallFn, len(orig.Funcs)),
 		Names: make([]string, len(orig.Names)),
@@ -307,7 +556,8 @@ func (l *Logger) stubTable(orig *sdk.OcallTable) *sdk.OcallTable {
 		}
 		stub.Funcs[i] = l.makeStub(ocallID, name, fn)
 	}
-	l.stubCache[orig] = stub
+	l.stubCache.Store(orig, stub)
+	l.lastStub.Store(&stubPair{orig: orig, stub: stub})
 	return stub
 }
 
@@ -318,10 +568,10 @@ func (l *Logger) makeStub(ocallID int, name string, orig sdk.OcallFn) sdk.OcallF
 		if !l.enabled.Load() {
 			return orig(ctx, args)
 		}
-		ctx.Compute(CostOcallProbe / 2)
+		ctx.ComputeCycles(l.ocallPreCycles)
+		sh := l.shard(ctx.ID())
 		id := l.trace.NextID()
-		entry := &stackEntry{kind: events.KindOcall, id: id}
-		parent := l.push(ctx.ID(), entry)
+		parent := l.push(sh, events.KindOcall, id)
 
 		var enclave sgx.EnclaveID
 		if enc := ctx.CurrentEnclave(); enc != nil {
@@ -329,13 +579,12 @@ func (l *Logger) makeStub(ocallID int, name string, orig sdk.OcallFn) sdk.OcallF
 		}
 		start := ctx.Now()
 		if sdk.IsSyncOcall(name) {
-			l.recordSync(ctx, name, args, id, start)
+			l.recordSync(ctx, sh, name, args, id, start)
 		}
 		res, err := orig(ctx, args)
 		end := ctx.Now()
 
-		l.pop(ctx.ID())
-		l.trace.Ocalls.Insert(events.CallEvent{
+		l.popRecord(sh, &sh.ocalls, false, events.CallEvent{
 			ID:      id,
 			Kind:    events.KindOcall,
 			Enclave: enclave,
@@ -347,23 +596,34 @@ func (l *Logger) makeStub(ocallID int, name string, orig sdk.OcallFn) sdk.OcallF
 			Parent:  parent,
 			Err:     err != nil,
 		})
-		ctx.Compute(CostOcallProbe - CostOcallProbe/2)
+		ctx.ComputeCycles(l.ocallPostCycles)
 		return res, err
 	}
 }
 
 // recordSync reduces the four SDK sync ocalls to sleep and wake events
 // (§4.1.3), tracking which thread wakes which.
-func (l *Logger) recordSync(ctx *sgx.Context, name string, args any, call events.EventID, now vtime.Cycles) {
+func (l *Logger) recordSync(ctx *sgx.Context, sh *shard, name string, args any, call events.EventID, now vtime.Cycles) {
+	bufSync := func(ev events.SyncEvent) {
+		sh.mu.Lock()
+		sh.syncs = append(sh.syncs, ev)
+		if len(sh.syncs) == 1 {
+			l.pending.Add(1)
+		}
+		if len(sh.syncs) >= l.opts.FlushEvery {
+			l.flushShardLocked(sh)
+		}
+		sh.mu.Unlock()
+	}
 	switch name {
 	case sdk.OcallThreadWait:
-		l.trace.Syncs.Insert(events.SyncEvent{
+		bufSync(events.SyncEvent{
 			ID: l.trace.NextID(), Kind: events.SyncSleep,
 			Thread: ctx.ID(), Time: now, Call: call,
 		})
 	case sdk.OcallThreadSet:
 		if a, ok := args.(sdk.SetEventArgs); ok {
-			l.trace.Syncs.Insert(events.SyncEvent{
+			bufSync(events.SyncEvent{
 				ID: l.trace.NextID(), Kind: events.SyncWake,
 				Thread: ctx.ID(), Targets: []sgx.ThreadID{a.Target}, Time: now, Call: call,
 			})
@@ -372,18 +632,18 @@ func (l *Logger) recordSync(ctx *sgx.Context, name string, args any, call events
 		if a, ok := args.(sdk.SetMultipleEventArgs); ok {
 			targets := make([]sgx.ThreadID, len(a.Targets))
 			copy(targets, a.Targets)
-			l.trace.Syncs.Insert(events.SyncEvent{
+			bufSync(events.SyncEvent{
 				ID: l.trace.NextID(), Kind: events.SyncWake,
 				Thread: ctx.ID(), Targets: targets, Time: now, Call: call,
 			})
 		}
 	case sdk.OcallThreadSetWait:
 		if a, ok := args.(sdk.SetWaitEventArgs); ok {
-			l.trace.Syncs.Insert(events.SyncEvent{
+			bufSync(events.SyncEvent{
 				ID: l.trace.NextID(), Kind: events.SyncWake,
 				Thread: ctx.ID(), Targets: []sgx.ThreadID{a.Target}, Time: now, Call: call,
 			})
-			l.trace.Syncs.Insert(events.SyncEvent{
+			bufSync(events.SyncEvent{
 				ID: l.trace.NextID(), Kind: events.SyncSleep,
 				Thread: ctx.ID(), Time: now, Call: call,
 			})
@@ -393,36 +653,44 @@ func (l *Logger) recordSync(ctx *sgx.Context, name string, args any, call events
 
 // aep is the logger's patched Asynchronous Exit Pointer handler (§4.1.4):
 // count (and optionally timestamp) the AEX, then chain to the previous
-// handler, which resumes the enclave.
+// handler, which resumes the enclave. The AEP runs on the interrupted
+// thread, so only that thread's shard is touched.
 func (l *Logger) aep(ctx *sgx.Context, info sgx.AEXInfo) {
 	if l.enabled.Load() {
-		if l.opts.AEX == AEXTrace {
-			ctx.Compute(CostAEXTrace)
-		} else {
-			ctx.Compute(CostAEXCount)
-		}
+		ctx.ComputeCycles(l.aexCycles)
+		sh := l.shard(ctx.ID())
 		during := events.NoEvent
-		l.mu.Lock()
-		if s := l.stacks[ctx.ID()]; len(s) > 0 {
-			top := s[len(s)-1]
-			top.aex++
-			during = top.id
+		sh.mu.Lock()
+		if n := len(sh.stack); n > 0 {
+			sh.stack[n-1].aex++
+			during = sh.stack[n-1].id
 		}
-		l.mu.Unlock()
+		sh.mu.Unlock()
 		if l.opts.AEX == AEXTrace {
-			l.trace.AEXs.Insert(events.AEXEvent{
+			ev := events.AEXEvent{
 				ID:      l.trace.NextID(),
 				Enclave: info.Enclave,
 				Thread:  info.Thread,
 				Time:    info.Time,
 				During:  during,
-			})
+			}
+			sh.mu.Lock()
+			sh.aexs = append(sh.aexs, ev)
+			if len(sh.aexs) == 1 {
+				l.pending.Add(1)
+			}
+			if len(sh.aexs) >= l.opts.FlushEvery {
+				l.flushShardLocked(sh)
+			}
+			sh.mu.Unlock()
 		}
 	}
 	l.prevAEP(ctx, info)
 }
 
-// onPaging converts a driver kprobe hit into a paging event (§4.1.5).
+// onPaging converts a driver kprobe hit into a paging event (§4.1.5). The
+// kprobe fires on the faulting thread, inside the driver's paging path;
+// the event is buffered in that thread's shard.
 func (l *Logger) onPaging(sym string, ev kernel.KprobeEvent) {
 	if !l.enabled.Load() {
 		return
@@ -431,7 +699,7 @@ func (l *Logger) onPaging(sym string, ev kernel.KprobeEvent) {
 	if sym == kernel.SymbolEWB {
 		kind = events.PageOut
 	}
-	l.trace.Paging.Insert(events.PagingEvent{
+	pe := events.PagingEvent{
 		ID:       l.trace.NextID(),
 		Kind:     kind,
 		Enclave:  ev.Enclave,
@@ -439,30 +707,30 @@ func (l *Logger) onPaging(sym string, ev kernel.KprobeEvent) {
 		Vaddr:    uint64(ev.Vaddr),
 		PageKind: ev.Kind.String(),
 		Time:     ev.Time,
-	})
+	}
+	sh := l.shard(ev.Thread)
+	sh.mu.Lock()
+	sh.paging = append(sh.paging, pe)
+	if len(sh.paging) == 1 {
+		l.pending.Add(1)
+	}
+	if len(sh.paging) >= l.opts.FlushEvery {
+		l.flushShardLocked(sh)
+	}
+	sh.mu.Unlock()
 }
 
 // push adds a stack entry for the thread and returns the direct parent's
 // event ID (an in-flight call of the opposite kind), or NoEvent.
-func (l *Logger) push(tid sgx.ThreadID, e *stackEntry) events.EventID {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+func (l *Logger) push(sh *shard, kind events.CallKind, id events.EventID) events.EventID {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	parent := events.NoEvent
-	if s := l.stacks[tid]; len(s) > 0 {
-		top := s[len(s)-1]
-		if top.kind != e.kind {
+	if n := len(sh.stack); n > 0 {
+		if top := &sh.stack[n-1]; top.kind != kind {
 			parent = top.id
 		}
 	}
-	l.stacks[tid] = append(l.stacks[tid], e)
+	sh.stack = append(sh.stack, stackEntry{kind: kind, id: id})
 	return parent
-}
-
-func (l *Logger) pop(tid sgx.ThreadID) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	s := l.stacks[tid]
-	if len(s) > 0 {
-		l.stacks[tid] = s[:len(s)-1]
-	}
 }

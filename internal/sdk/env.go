@@ -70,14 +70,14 @@ func (e *Env) ocall(decl *edl.Func, args any) (any, error) {
 	}
 	fn := tab.Funcs[decl.ID]
 
-	e.ctx.Compute(CostOcallDispatch)
+	e.ctx.ComputeCycles(e.urts.ocallDispatchCycles)
 	chargeCopy(e.ctx, args, true) // [out]-to-untrusted copy before leaving
 	if err := e.ctx.OcallExit(); err != nil {
 		return nil, fmt.Errorf("sdk: ocall exit: %w", err)
 	}
-	e.urts.pushOcall(e.ctx.ID(), decl.Name)
+	e.urts.pushOcall(e.ctx, decl.Name)
 	res, err := fn(e.ctx, args)
-	e.urts.popOcall(e.ctx.ID())
+	e.urts.popOcall(e.ctx)
 	if retErr := e.ctx.OcallReturn(); retErr != nil && err == nil {
 		err = fmt.Errorf("sdk: ocall return: %w", retErr)
 	}

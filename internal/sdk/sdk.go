@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sgxperf/internal/edl"
@@ -54,11 +55,13 @@ type AppEnclave struct {
 	iface *edl.Interface
 	urts  *URTS
 
-	mu      sync.Mutex
+	// trusted is immutable after CreateEnclave, so ecall dispatch reads it
+	// without synchronisation.
 	trusted []TrustedFn
 	// savedTable is the last ocall table passed to sgx_ecall — the
-	// injection point for the logger's stub table (Fig. 3).
-	savedTable *OcallTable
+	// injection point for the logger's stub table (Fig. 3). Atomic: every
+	// ecall saves it and the logger swaps it concurrently.
+	savedTable atomic.Pointer[OcallTable]
 }
 
 // Enclave returns the underlying hardware enclave.
@@ -70,21 +73,11 @@ func (a *AppEnclave) ID() sgx.EnclaveID { return a.enc.ID }
 // Interface returns the enclave's declared EDL interface.
 func (a *AppEnclave) Interface() *edl.Interface { return a.iface }
 
-func (a *AppEnclave) saveTable(t *OcallTable) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.savedTable = t
-}
+func (a *AppEnclave) saveTable(t *OcallTable) { a.savedTable.Store(t) }
 
-func (a *AppEnclave) table() *OcallTable {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.savedTable
-}
+func (a *AppEnclave) table() *OcallTable { return a.savedTable.Load() }
 
 func (a *AppEnclave) trustedFn(id int) (TrustedFn, bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if id < 0 || id >= len(a.trusted) {
 		return nil, false
 	}
@@ -116,27 +109,51 @@ func (e *uevent) wait(ctx *sgx.Context) {
 }
 
 // URTS is the untrusted runtime system: the enclave registry and the real
-// implementation of sgx_ecall.
+// implementation of sgx_ecall. Its registries are sync.Maps: every ecall
+// consults them, and a shared mutex would serialise otherwise-independent
+// threads (§4.1 wants the probe path contention-free).
 type URTS struct {
 	machine *sgx.Machine
 	driver  *kernel.Driver
 
-	mu       sync.Mutex
-	enclaves map[sgx.EnclaveID]*AppEnclave
-	events   map[sgx.ThreadID]*uevent
-	// inflight tracks, per thread, the stack of ocall names currently
-	// executing; the TRTS consults it to enforce allow lists.
-	inflight map[sgx.ThreadID][]string
+	// enclaves maps sgx.EnclaveID → *AppEnclave.
+	enclaves sync.Map
+	// lastEnclave is a one-entry cache in front of enclaves: workloads
+	// overwhelmingly ecall into one enclave, so the common lookup is one
+	// atomic load and an ID compare instead of a hashed map access.
+	lastEnclave atomic.Pointer[AppEnclave]
+	// events maps sgx.ThreadID → *uevent. It stays a shared map because
+	// wake ocalls signal other threads' events.
+	events sync.Map
+	// inflightKey is the TLS slot holding each thread's *ocallStack: the
+	// stack of ocall names currently executing on that thread, which the
+	// TRTS consults to enforce allow lists. Thread-local storage makes the
+	// per-ecall consult lock- and hash-free.
+	inflightKey sgx.TLSKey
+
+	// Dispatch costs pre-converted to cycles at construction (the machine
+	// frequency is fixed), sparing a float conversion on every call.
+	urtsDispatchCycles  vtime.Cycles
+	trtsDispatchCycles  vtime.Cycles
+	ocallDispatchCycles vtime.Cycles
+}
+
+// ocallStack is one thread's in-flight ocall-name stack, stored in the
+// thread's TLS slot and only ever accessed by its owner.
+type ocallStack struct {
+	names []string
 }
 
 // NewURTS creates the runtime for a machine+driver pair.
 func NewURTS(m *sgx.Machine, d *kernel.Driver) *URTS {
+	freq := m.Cost().Frequency
 	return &URTS{
-		machine:  m,
-		driver:   d,
-		enclaves: make(map[sgx.EnclaveID]*AppEnclave),
-		events:   make(map[sgx.ThreadID]*uevent),
-		inflight: make(map[sgx.ThreadID][]string),
+		machine:             m,
+		driver:              d,
+		inflightKey:         sgx.NewTLSKey(),
+		urtsDispatchCycles:  freq.Cycles(CostURTSDispatch),
+		trtsDispatchCycles:  freq.Cycles(CostTRTSDispatch),
+		ocallDispatchCycles: freq.Cycles(CostOcallDispatch),
 	}
 }
 
@@ -177,67 +194,73 @@ func (u *URTS) CreateEnclave(ctx *sgx.Context, cfg sgx.Config, iface *edl.Interf
 		f, _ := iface.Lookup(name)
 		app.trusted[f.ID] = fn
 	}
-	u.mu.Lock()
-	u.enclaves[enc.ID] = app
-	u.mu.Unlock()
+	u.enclaves.Store(enc.ID, app)
 	return app, nil
 }
 
 // DestroyEnclave tears the enclave down.
 func (u *URTS) DestroyEnclave(app *AppEnclave) {
-	u.mu.Lock()
-	delete(u.enclaves, app.enc.ID)
-	u.mu.Unlock()
+	u.enclaves.Delete(app.enc.ID)
+	u.lastEnclave.CompareAndSwap(app, nil)
 	u.driver.DestroyEnclave(app.enc)
 }
 
 // AppEnclaveFor returns the registered enclave state for an ID.
 func (u *URTS) AppEnclaveFor(eid sgx.EnclaveID) (*AppEnclave, bool) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	a, ok := u.enclaves[eid]
-	return a, ok
+	if a := u.lastEnclave.Load(); a != nil && a.enc.ID == eid {
+		return a, true
+	}
+	v, ok := u.enclaves.Load(eid)
+	if !ok {
+		return nil, false
+	}
+	a := v.(*AppEnclave)
+	u.lastEnclave.Store(a)
+	return a, true
 }
 
 // Machine returns the machine this runtime drives.
 func (u *URTS) Machine() *sgx.Machine { return u.machine }
 
 func (u *URTS) eventFor(tid sgx.ThreadID) *uevent {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	ev, ok := u.events[tid]
-	if !ok {
-		ev = newUevent()
-		u.events[tid] = ev
+	if v, ok := u.events.Load(tid); ok {
+		return v.(*uevent)
 	}
-	return ev
+	v, _ := u.events.LoadOrStore(tid, newUevent())
+	return v.(*uevent)
 }
 
-func (u *URTS) pushOcall(tid sgx.ThreadID, name string) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	u.inflight[tid] = append(u.inflight[tid], name)
+// ocallStackFor returns the thread's in-flight stack from its TLS slot,
+// creating it on first use.
+func (u *URTS) ocallStackFor(ctx *sgx.Context) *ocallStack {
+	if v := ctx.TLSGet(u.inflightKey); v != nil {
+		return v.(*ocallStack)
+	}
+	s := &ocallStack{}
+	ctx.TLSSet(u.inflightKey, s)
+	return s
 }
 
-func (u *URTS) popOcall(tid sgx.ThreadID) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	s := u.inflight[tid]
-	if len(s) > 0 {
-		u.inflight[tid] = s[:len(s)-1]
+func (u *URTS) pushOcall(ctx *sgx.Context, name string) {
+	s := u.ocallStackFor(ctx)
+	s.names = append(s.names, name)
+}
+
+func (u *URTS) popOcall(ctx *sgx.Context) {
+	s := u.ocallStackFor(ctx)
+	if len(s.names) > 0 {
+		s.names = s.names[:len(s.names)-1]
 	}
 }
 
 // currentOcall returns the innermost in-flight ocall on the thread, if
 // any.
-func (u *URTS) currentOcall(tid sgx.ThreadID) (string, bool) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	s := u.inflight[tid]
-	if len(s) == 0 {
+func (u *URTS) currentOcall(ctx *sgx.Context) (string, bool) {
+	s := u.ocallStackFor(ctx)
+	if len(s.names) == 0 {
 		return "", false
 	}
-	return s[len(s)-1], true
+	return s.names[len(s.names)-1], true
 }
 
 // Ecall is the real sgx_ecall: the single entry point for all ecalls. It
@@ -252,7 +275,7 @@ func (u *URTS) Ecall(ctx *sgx.Context, eid sgx.EnclaveID, callID int, otab *Ocal
 	if !ok {
 		return nil, ErrInvalidEcall
 	}
-	ctx.Compute(CostURTSDispatch)
+	ctx.ComputeCycles(u.urtsDispatchCycles)
 	if otab != nil {
 		app.saveTable(otab)
 	}
@@ -260,7 +283,7 @@ func (u *URTS) Ecall(ctx *sgx.Context, eid sgx.EnclaveID, callID int, otab *Ocal
 	// Interface enforcement (§3.6): outside any ocall only public ecalls
 	// may run; during an ocall the ecall must be in that ocall's allow
 	// list (the SDK triggers an error for forgotten combinations).
-	if cur, in := u.currentOcall(ctx.ID()); in {
+	if cur, in := u.currentOcall(ctx); in {
 		if !app.iface.Allowed(cur, decl.Name) {
 			return nil, fmt.Errorf("%w: %s during ocall %s", ErrEcallNotAllowed, decl.Name, cur)
 		}
@@ -276,7 +299,7 @@ func (u *URTS) Ecall(ctx *sgx.Context, eid sgx.EnclaveID, callID int, otab *Ocal
 		return nil, fmt.Errorf("sdk: eenter: %w", err)
 	}
 	// TRTS trampoline: resolve the ID, charge dispatch, copy [in] buffers.
-	ctx.Compute(CostTRTSDispatch)
+	ctx.ComputeCycles(u.trtsDispatchCycles)
 	chargeCopy(ctx, args, true)
 	env := &Env{ctx: ctx, app: app, urts: u}
 	res, err := fn(env, args)

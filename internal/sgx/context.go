@@ -3,6 +3,7 @@ package sgx
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"sgxperf/internal/vtime"
@@ -44,7 +45,55 @@ type frame struct {
 	borrowedTCS bool
 	suspended   bool
 	aexCount    int
-	touched     map[*Page]struct{}
+
+	// Touched-page tracking for the first-touch cost charge. Most calls
+	// touch a handful of pages, so a linear-scanned list beats a map (no
+	// hashing, no per-call make, trivially reusable); page-heavy calls
+	// spill into the map.
+	touchedList []*Page
+	touchedMap  map[*Page]struct{}
+}
+
+// touchedListMax bounds the linear-scanned touched list before spilling
+// into the map.
+const touchedListMax = 32
+
+func (f *frame) touchedBefore(p *Page) bool {
+	for _, q := range f.touchedList {
+		if q == p {
+			return true
+		}
+	}
+	if f.touchedMap != nil {
+		_, ok := f.touchedMap[p]
+		return ok
+	}
+	return false
+}
+
+func (f *frame) noteTouched(p *Page) {
+	if len(f.touchedList) < touchedListMax {
+		f.touchedList = append(f.touchedList, p)
+		return
+	}
+	if f.touchedMap == nil {
+		f.touchedMap = make(map[*Page]struct{}, 2*touchedListMax)
+	}
+	f.touchedMap[p] = struct{}{}
+}
+
+// reset clears the frame for reuse, keeping the touched containers'
+// capacity.
+func (f *frame) reset() {
+	f.enc = nil
+	f.tcs = 0
+	f.borrowedTCS = false
+	f.suspended = false
+	f.aexCount = 0
+	f.touchedList = f.touchedList[:0]
+	if f.touchedMap != nil {
+		clear(f.touchedMap)
+	}
 }
 
 // Context is a simulated OS thread. It owns a virtual clock and an enclave
@@ -58,6 +107,42 @@ type Context struct {
 	frames    []*frame
 	nextTimer vtime.Cycles
 	inAEX     bool
+
+	// framePool recycles popped frames (and their touched maps) so the
+	// per-ecall EENTER path allocates nothing in steady state. A Context is
+	// single-goroutine, so the pool needs no locking.
+	framePool []*frame
+
+	// tls is per-thread storage, the pthread TLS equivalent runtimes use
+	// for per-thread bookkeeping without shared-map lookups. Indexed by
+	// TLSKey; single-goroutine like the rest of the Context.
+	tls []any
+}
+
+// TLSKey indexes one per-thread storage slot across all Contexts.
+type TLSKey int
+
+var nextTLSKey atomic.Int32
+
+// NewTLSKey allocates a process-wide TLS slot. Subsystems allocate their
+// key once (at init or construction) and then get O(1) per-thread state
+// on any Context without locks or map hashing.
+func NewTLSKey() TLSKey { return TLSKey(nextTLSKey.Add(1) - 1) }
+
+// TLSGet returns the thread's value for the slot, or nil.
+func (c *Context) TLSGet(k TLSKey) any {
+	if int(k) < len(c.tls) {
+		return c.tls[k]
+	}
+	return nil
+}
+
+// TLSSet stores the thread's value for the slot.
+func (c *Context) TLSSet(k TLSKey, v any) {
+	for int(k) >= len(c.tls) {
+		c.tls = append(c.tls, nil)
+	}
+	c.tls[k] = v
 }
 
 // ID returns the thread identifier.
@@ -200,10 +285,7 @@ func (c *Context) deliverAEX(cause AEXCause, handler func() error) error {
 // pushes a frame. Nested entries during an ocall reuse the suspended
 // frame's TCS, matching SDK semantics.
 func (c *Context) EEnter(enc *Enclave) error {
-	enc.mu.Lock()
-	destroyed := enc.destroyed
-	enc.mu.Unlock()
-	if destroyed {
+	if enc.destroyed.Load() {
 		return ErrEnclaveDestroyed
 	}
 	tcs := -1
@@ -223,12 +305,11 @@ func (c *Context) EEnter(enc *Enclave) error {
 		tcs = slot
 	}
 	c.advance(c.m.cost.EEnter)
-	c.frames = append(c.frames, &frame{
-		enc:         enc,
-		tcs:         tcs,
-		borrowedTCS: borrowed,
-		touched:     make(map[*Page]struct{}, 8),
-	})
+	f := c.newFrame()
+	f.enc = enc
+	f.tcs = tcs
+	f.borrowedTCS = borrowed
+	c.frames = append(c.frames, f)
 	if err := c.touchPage(enc.tcsPages[tcs], true); err != nil {
 		c.popFrame()
 		return err
@@ -247,12 +328,24 @@ func (c *Context) EExit() error {
 	return nil
 }
 
+// newFrame takes a recycled frame from the pool, or allocates one.
+func (c *Context) newFrame() *frame {
+	if n := len(c.framePool); n > 0 {
+		f := c.framePool[n-1]
+		c.framePool = c.framePool[:n-1]
+		return f
+	}
+	return &frame{}
+}
+
 func (c *Context) popFrame() {
 	f := c.frames[len(c.frames)-1]
 	c.frames = c.frames[:len(c.frames)-1]
 	if !f.borrowedTCS {
 		f.enc.releaseTCS(f.tcs)
 	}
+	f.reset()
+	c.framePool = append(c.framePool, f)
 }
 
 // OcallExit suspends the innermost frame for an ocall: the thread leaves
@@ -323,8 +416,8 @@ func (c *Context) touchPage(p *Page, write bool) error {
 			}
 			continue
 		}
-		if _, seen := f.touched[p]; !seen {
-			f.touched[p] = struct{}{}
+		if !f.touchedBefore(p) {
+			f.noteTouched(p)
 			c.advance(cost.PageTouch)
 		}
 		c.m.epc.Touch(p)

@@ -5,7 +5,9 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // EnclaveID identifies an enclave on a machine.
@@ -73,14 +75,17 @@ type Enclave struct {
 	pages       []*Page
 	measurement [32]byte
 
-	mu        sync.Mutex
-	tcsFree   []int // indices into tcsPages
+	// tcsFree is a bitmap of free TCS slots (bit i set ⇔ slot i free),
+	// managed with CAS so concurrent EENTERs never serialise on a mutex.
+	tcsFree   []atomic.Uint64
 	tcsPages  []*Page
-	heapNext  int // byte offset into heap region
-	heapSize  int
-	heap      []*Page // committed heap pages in order
-	reserve   []*Page // SGXv2 uncommitted heap pages (EAUG candidates)
-	destroyed bool
+	destroyed atomic.Bool
+
+	mu       sync.Mutex
+	heapNext int // byte offset into heap region
+	heapSize int
+	heap     []*Page // committed heap pages in order
+	reserve  []*Page // SGXv2 uncommitted heap pages (EAUG candidates)
 }
 
 // buildEnclave lays out the enclave's address space. Layout, in page order:
@@ -130,13 +135,16 @@ func buildEnclave(id EnclaveID, base Vaddr, cfg Config) *Enclave {
 		add(PageGuard, t, 0)
 		tcs := add(PageTCS, t, PermRW)
 		e.tcsPages = append(e.tcsPages, tcs)
-		e.tcsFree = append(e.tcsFree, t)
 		for i := 0; i < ssaPagesPerThread; i++ {
 			add(PageSSA, t, PermRW)
 		}
 	}
 	for len(e.pages) < nextPow2(len(e.pages)) {
 		add(PagePadding, -1, PermRead)
+	}
+	e.tcsFree = make([]atomic.Uint64, (cfg.NumTCS+63)/64)
+	for t := 0; t < cfg.NumTCS; t++ {
+		e.tcsFree[t/64].Store(e.tcsFree[t/64].Load() | 1<<(t%64))
 	}
 	e.measurement = measure(base, e.pages, e.reserve)
 	return e
@@ -212,30 +220,49 @@ func (e *Enclave) PageAt(v Vaddr) *Page {
 // Contains reports whether vaddr falls inside the enclave.
 func (e *Enclave) Contains(v Vaddr) bool { return e.PageAt(v) != nil }
 
-// acquireTCS binds a free TCS slot, or returns false if all are busy.
+// acquireTCS binds a free TCS slot, or returns false if all are busy. The
+// slot is claimed by clearing its bit with a CAS loop; highest free slot
+// wins, matching the previous LIFO free-stack's initial order.
 func (e *Enclave) acquireTCS() (int, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if len(e.tcsFree) == 0 {
-		return 0, false
+	for {
+		retry := false
+		for w := len(e.tcsFree) - 1; w >= 0; w-- {
+			v := e.tcsFree[w].Load()
+			if v == 0 {
+				continue
+			}
+			bit := bits.Len64(v) - 1
+			if e.tcsFree[w].CompareAndSwap(v, v&^(1<<bit)) {
+				return w*64 + bit, true
+			}
+			retry = true
+			break
+		}
+		if !retry {
+			return 0, false
+		}
 	}
-	slot := e.tcsFree[len(e.tcsFree)-1]
-	e.tcsFree = e.tcsFree[:len(e.tcsFree)-1]
-	return slot, true
 }
 
-// releaseTCS frees a TCS slot.
+// releaseTCS frees a TCS slot by setting its bit back.
 func (e *Enclave) releaseTCS(slot int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.tcsFree = append(e.tcsFree, slot)
+	w := &e.tcsFree[slot/64]
+	mask := uint64(1) << (slot % 64)
+	for {
+		v := w.Load()
+		if w.CompareAndSwap(v, v|mask) {
+			return
+		}
+	}
 }
 
 // FreeTCS returns the number of currently unbound TCS slots.
 func (e *Enclave) FreeTCS() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.tcsFree)
+	n := 0
+	for i := range e.tcsFree {
+		n += bits.OnesCount64(e.tcsFree[i].Load())
+	}
+	return n
 }
 
 // ErrOutOfEnclaveMemory is returned when a heap allocation exceeds the

@@ -3,6 +3,7 @@ package sgx
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // EPC sizing (§2.3.3): current hardware reserves 128 MiB of system memory,
@@ -22,10 +23,14 @@ const (
 // kernel driver; the EPC itself only tracks occupancy, enforces capacity,
 // and maintains LRU ordering metadata.
 type EPC struct {
+	// useClock is the logical LRU clock. It is atomic so Touch — hit on
+	// every page access of every concurrent thread — never takes the EPC
+	// mutex.
+	useClock atomic.Uint64
+
 	mu       sync.Mutex
 	capacity int
 	resident map[*Page]struct{}
-	useClock uint64
 
 	// stats
 	insertions uint64
@@ -78,8 +83,7 @@ func (e *EPC) Insert(p *Page) error {
 	}
 	e.resident[p] = struct{}{}
 	p.resident.Store(true)
-	e.useClock++
-	p.lastUse = e.useClock
+	p.lastUse.Store(e.useClock.Add(1))
 	e.insertions++
 	if len(e.resident) > e.peak {
 		e.peak = len(e.resident)
@@ -99,12 +103,11 @@ func (e *EPC) Remove(p *Page) {
 	e.removals++
 }
 
-// Touch refreshes the page's LRU stamp.
+// Touch refreshes the page's LRU stamp. It is lock-free: page accesses
+// happen on every memory touch of every running thread, and serialising
+// them through the EPC mutex would dominate the simulation.
 func (e *EPC) Touch(p *Page) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.useClock++
-	p.lastUse = e.useClock
+	p.lastUse.Store(e.useClock.Add(1))
 }
 
 // Victim returns the least-recently-used resident page for which keep
@@ -118,7 +121,7 @@ func (e *EPC) Victim(keep func(*Page) bool) *Page {
 		if keep != nil && keep(p) {
 			continue
 		}
-		if victim == nil || p.lastUse < victim.lastUse {
+		if victim == nil || p.lastUse.Load() < victim.lastUse.Load() {
 			victim = p
 		}
 	}

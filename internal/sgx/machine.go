@@ -216,9 +216,7 @@ func (m *Machine) RemoveEnclave(id EnclaveID) {
 	if !ok {
 		return
 	}
-	e.mu.Lock()
-	e.destroyed = true
-	e.mu.Unlock()
+	e.destroyed.Store(true)
 	delete(m.enclaves, id)
 	for i, o := range m.order {
 		if o == e {

@@ -133,9 +133,9 @@ type Page struct {
 	// version counts evictions, feeding the MEE nonce (anti-replay).
 	version uint64
 
-	// lastUse is a logical-time stamp for LRU eviction; guarded by the
-	// EPC's mutex.
-	lastUse uint64
+	// lastUse is a logical-time stamp for LRU eviction, updated atomically
+	// by the EPC's lock-free Touch path.
+	lastUse atomic.Uint64
 }
 
 // MMUPerm returns the current OS page-table permission.
