@@ -11,8 +11,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The recording pipeline and event store are the concurrency-sensitive
-# packages; run their suites under the race detector.
+# The recording pipeline, the live streaming engine
+# (internal/perf/live) and the event store with its subscription tap
+# (internal/evstore) are the concurrency-sensitive packages; run their
+# suites under the race detector. The ./internal/perf/... wildcard
+# includes the live engine and its golden live-vs-postmortem tests.
 race:
 	$(GO) test -race ./internal/perf/... ./internal/evstore/...
 

@@ -29,19 +29,24 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, transitions, table2, fig5, fig6-sqlite, fig6-libressl, fig78, ws-glamdring, ablation-lock, ablation-paging, ablation-switchless, contention")
+		exp      = flag.String("exp", "all", "experiment: all, transitions, table2, fig5, fig6-sqlite, fig6-libressl, fig78, ws-glamdring, ablation-lock, ablation-paging, ablation-switchless, contention, live")
 		requests = flag.Int("requests", 1000, "fig5: HTTP GET count")
 		inserts  = flag.Int("inserts", 2000, "fig6-sqlite: insert count")
 		signs    = flag.Int("signs", 5, "fig6-libressl: signatures per variant")
-		duration = flag.Duration("duration", time.Second, "fig78: load duration (paper: 31s)")
+		duration = flag.Duration("duration", time.Second, "fig78/live: load duration (paper: 31s)")
 		full     = flag.Bool("full", false, "use the paper's full experiment sizes (slower)")
 		dotOut   = flag.String("dot", "", "fig5: also write the call graph to this DOT file")
 		ops      = flag.Int("ops", 20000, "contention: ecalls per thread")
 		repeats  = flag.Int("repeats", 5, "contention: sweep repetitions (median is reported)")
-		jsonOut  = flag.String("json", "", "contention: write machine-readable results to this file")
+		jsonOut  = flag.String("json", "", "contention/live: write machine-readable results to this file")
 		baseline = flag.String("baseline", "", "contention: previous -json output to compute speedups against")
+		liveView = flag.Bool("live", false, "shorthand for -exp live: monitor the SecureKeeper run with streaming snapshots")
+		interval = flag.Duration("interval", 200*time.Millisecond, "live: wall-clock delay between streamed snapshots")
 	)
 	flag.Parse()
+	if *liveView {
+		*exp = "live"
+	}
 	if *full {
 		*requests = 1000
 		*inserts = 20000
@@ -120,18 +125,48 @@ func run() error {
 				return err
 			}
 			fmt.Println(experiments.RenderSwitchless(rows))
+		case "live":
+			view, err := experiments.RunLive(*duration, *interval, func(t experiments.LiveTick) {
+				fmt.Printf("[t+%v] +%d call events\n%s\n",
+					t.Elapsed.Round(time.Millisecond), t.NewCalls,
+					experiments.RenderLiveSnapshot(t.Snapshot))
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderLiveRun(view))
+			if *jsonOut != "" {
+				if err := writeJSON(*jsonOut, view); err != nil {
+					return err
+				}
+				fmt.Printf("live results written to %s\n\n", *jsonOut)
+			}
 		case "contention":
 			rows, err := experiments.RunLoggerContentionMedian(*ops, *repeats)
 			if err != nil {
 				return err
 			}
 			fmt.Println(experiments.RenderContention(rows))
+			liveRows, err := experiments.RunLoggerContentionLiveMedian(*ops, *repeats)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderContentionLive(liveRows))
 			res := contentionResults{
 				Benchmark:    "logger_contention",
 				OpsPerThread: *ops,
 				Repeats:      *repeats,
 				Rows:         rows,
+				LiveRows:     liveRows,
+				LiveOverhead: contentionOverheads(rows, liveRows),
 			}
+			for _, r := range liveRows {
+				key := fmt.Sprintf("threads=%d", r.Threads)
+				if o, ok := res.LiveOverhead[key]; ok {
+					fmt.Printf("live subscriber throughput at %s: %.1f%% of plain recording\n", key, o*100)
+				}
+			}
+			fmt.Println()
 			if *baseline != "" {
 				base, err := readContentionBaseline(*baseline)
 				if err != nil {
@@ -165,7 +200,7 @@ func run() error {
 	for _, name := range []string{
 		"transitions", "table2", "fig5", "fig6-sqlite", "fig6-libressl",
 		"fig78", "ws-glamdring", "ablation-lock", "ablation-paging",
-		"ablation-switchless", "contention",
+		"ablation-switchless", "contention", "live",
 	} {
 		start := time.Now()
 		if err := runOne(name); err != nil {
@@ -184,6 +219,11 @@ type contentionResults struct {
 	OpsPerThread int                         `json:"ops_per_thread"`
 	Repeats      int                         `json:"repeats"`
 	Rows         []experiments.ContentionRow `json:"rows"`
+	// LiveRows repeats the sweep with a live streaming collector
+	// subscribed to the trace; LiveOverhead is live/plain throughput per
+	// thread count (1.0 = free, the acceptance bar is ≥ 0.9).
+	LiveRows     []experiments.ContentionRow `json:"live_rows,omitempty"`
+	LiveOverhead map[string]float64          `json:"live_overhead,omitempty"`
 	Baseline     []experiments.ContentionRow `json:"baseline,omitempty"`
 	Speedup      map[string]float64          `json:"speedup_vs_baseline,omitempty"`
 }
@@ -205,6 +245,22 @@ func readContentionBaseline(path string) ([]experiments.ContentionRow, error) {
 		return nil, fmt.Errorf("baseline %s: %w", path, err)
 	}
 	return rows, nil
+}
+
+// contentionOverheads reports the live sweep's throughput as a fraction
+// of the plain sweep's, per thread count.
+func contentionOverheads(plain, live []experiments.ContentionRow) map[string]float64 {
+	byThreads := make(map[int]float64, len(plain))
+	for _, r := range plain {
+		byThreads[r.Threads] = r.EventsPerSec
+	}
+	out := make(map[string]float64, len(live))
+	for _, r := range live {
+		if p := byThreads[r.Threads]; p > 0 {
+			out[fmt.Sprintf("threads=%d", r.Threads)] = r.EventsPerSec / p
+		}
+	}
+	return out
 }
 
 func contentionSpeedups(base, cur []experiments.ContentionRow) map[string]float64 {

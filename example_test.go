@@ -73,6 +73,109 @@ func Example() {
 	// finding: [Short Identical Successive Calls] first recommendation: batch calls
 }
 
+// ExampleNewSession is the Example quick start collapsed into the
+// Session builder: one call replaces NewHost, AttachLogger, ParseEDL,
+// BuildOcallTable and Proxies.
+func ExampleNewSession() {
+	s, err := sgxperf.NewSession(
+		sgxperf.WithEDL(`
+			enclave {
+				trusted   { public ecall_tiny(); };
+				untrusted { ocall_log(); };
+			};
+		`),
+		sgxperf.WithOcallImpls(map[string]sgxperf.OcallFn{
+			"ocall_log": func(ctx *sgxperf.Context, args any) (any, error) { return nil, nil },
+		}),
+		sgxperf.WithLogger(sgxperf.WithWorkload("session-example")),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer s.Close()
+	ctx := s.NewContext("main")
+	enc, err := s.Enclave(ctx, sgxperf.EnclaveConfig{Name: "example"},
+		map[string]sgxperf.TrustedFn{
+			"ecall_tiny": func(env *sgxperf.Env, args any) (any, error) {
+				env.Compute(300 * time.Nanosecond)
+				return nil, nil
+			},
+		})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := enc.Call(ctx, "ecall_tiny", nil); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	report, err := s.Analyze()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("ecall events recorded:", s.Logger.Trace().Ecalls.Len())
+	fmt.Println("SISC detected:", report.HasProblem(sgxperf.ProblemSISC))
+	// Output:
+	// ecall events recorded: 1000
+	// SISC detected: true
+}
+
+// ExampleSession_Live monitors a workload while it runs: the collector
+// streams events off the recorder's flush path, and once the workload
+// quiesces its snapshot matches the post-mortem analysis exactly.
+func ExampleSession_Live() {
+	s, err := sgxperf.NewSession(
+		sgxperf.WithEDL(`enclave { trusted { public ecall_spin(); }; };`),
+		sgxperf.WithLogger(sgxperf.WithWorkload("live-example")),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer s.Close()
+	col, err := s.Live(sgxperf.LiveOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer col.Close()
+
+	ctx := s.NewContext("main")
+	enc, err := s.Enclave(ctx, sgxperf.EnclaveConfig{Name: "live"},
+		map[string]sgxperf.TrustedFn{
+			"ecall_spin": func(env *sgxperf.Env, args any) (any, error) {
+				env.Compute(400 * time.Nanosecond)
+				return nil, nil
+			},
+		})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := enc.Call(ctx, "ecall_spin", nil); err != nil {
+			fmt.Println(err)
+			return
+		}
+		// A dashboard would call col.Snapshot() here at any time.
+	}
+
+	col.Drain()
+	snap := col.Snapshot()
+	fmt.Println("ecalls streamed:", snap.Counts.Ecalls)
+	fmt.Println("live findings:", len(snap.Findings))
+	report, _ := s.Analyze()
+	fmt.Println("matches post-mortem:", len(snap.Findings) == len(report.Findings))
+	// Output:
+	// ecalls streamed: 500
+	// live findings: 2
+	// matches post-mortem: true
+}
+
 // ExampleRunWorkload reproduces a slice of the paper's SQLite study
 // (§5.2.2) through the workload registry.
 func ExampleRunWorkload() {

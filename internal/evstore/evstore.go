@@ -42,6 +42,16 @@ type Table[T any] struct {
 	mu     sync.RWMutex
 	chunks [][]T
 	length int
+	// subs are the insert subscribers, guarded by mu. Inserts already hold
+	// the write lock, so notification needs no extra synchronisation and a
+	// table with no subscribers pays only a nil-slice check.
+	subs []*subscriber[T]
+}
+
+// subscriber is one registered insert tap. The indirection lets cancel
+// find its own entry after other subscribers come and go.
+type subscriber[T any] struct {
+	fn func(rows []T)
 }
 
 // NewTable creates an empty table.
@@ -86,6 +96,30 @@ func (t *Table[T]) appendLocked(rows []T) {
 	}
 }
 
+// notifySubsLocked delivers the committed rows in [start, start+n) to
+// every subscriber as chunk-backed subslices. Committed chunk prefixes
+// are never rewritten (the store is append-only), so the slices stay
+// valid after the lock is released without any copy. Caller holds t.mu.
+func (t *Table[T]) notifySubsLocked(start, n int) {
+	if len(t.subs) == 0 || n == 0 {
+		return
+	}
+	for n > 0 {
+		c := t.chunks[start/chunkSize]
+		off := start % chunkSize
+		take := len(c) - off
+		if take > n {
+			take = n
+		}
+		rows := c[off : off+take : off+take]
+		for _, s := range t.subs {
+			s.fn(rows)
+		}
+		start += take
+		n -= take
+	}
+}
+
 // Insert appends rows.
 func (t *Table[T]) Insert(rows ...T) {
 	if len(rows) == 0 {
@@ -93,7 +127,9 @@ func (t *Table[T]) Insert(rows ...T) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	start := t.length
 	t.appendLocked(rows)
+	t.notifySubsLocked(start, len(rows))
 }
 
 // BatchInsert appends a whole buffer of rows under one lock acquisition —
@@ -104,7 +140,41 @@ func (t *Table[T]) BatchInsert(rows []T) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	start := t.length
 	t.appendLocked(rows)
+	t.notifySubsLocked(start, len(rows))
+}
+
+// Subscribe registers fn to observe every row inserted from now on, in
+// commit order. With replay set, fn first receives every row already in
+// the table; registration and replay happen atomically with respect to
+// inserts, so the subscriber sees each row exactly once. fn runs with the
+// table's write lock held: it must be fast, must treat the slice as
+// read-only, and must not call back into the table (hand rows to another
+// goroutine for real work). The returned cancel removes the subscription
+// and is idempotent.
+func (t *Table[T]) Subscribe(fn func(rows []T), replay bool) (cancel func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if replay {
+		for _, c := range t.chunks {
+			if len(c) > 0 {
+				fn(c[:len(c):len(c)])
+			}
+		}
+	}
+	s := &subscriber[T]{fn: fn}
+	t.subs = append(t.subs, s)
+	return func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		for i, cur := range t.subs {
+			if cur == s {
+				t.subs = append(t.subs[:i], t.subs[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 // Len returns the number of rows.
@@ -197,6 +267,26 @@ func (t *Table[T]) Scan(yield func(i int, row T) bool) {
 	}
 }
 
+// ScanFrom iterates rows in insertion order starting at index start,
+// until yield returns false. It is the cursor read path: a reader that
+// remembers how far it got resumes from there without touching earlier
+// chunks. Like Scan, it holds the table lock for the duration, so yield
+// must not call back into the same table's write path.
+func (t *Table[T]) ScanFrom(start int, yield func(i int, row T) bool) {
+	t.notifyRead()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < t.length; i++ {
+		c := t.chunks[i/chunkSize]
+		if !yield(i, c[i%chunkSize]) {
+			return
+		}
+	}
+}
+
 // ScanChunks yields each storage chunk in order until yield returns false.
 // Chunks must be treated as read-only; this is the bulk zero-copy path for
 // exporters.
@@ -220,7 +310,9 @@ func (t *Table[T]) OrderedBy(less func(a, b T) bool) []T {
 
 // Replace substitutes the table's entire contents. It exists for
 // canonicalisation (sorting a trace into a deterministic order after
-// concurrent recording); it is not a hot-path operation.
+// concurrent recording); it is not a hot-path operation. Subscribers are
+// not notified: a subscription observes the append-only insert stream,
+// not rewrites, so canonicalise only after live consumers detach.
 func (t *Table[T]) Replace(rows []T) {
 	t.mu.Lock()
 	defer t.mu.Unlock()

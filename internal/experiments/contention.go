@@ -8,6 +8,7 @@ import (
 
 	"sgxperf/internal/edl"
 	"sgxperf/internal/host"
+	"sgxperf/internal/perf/live"
 	"sgxperf/internal/perf/logger"
 	"sgxperf/internal/sdk"
 	"sgxperf/internal/sgx"
@@ -32,6 +33,19 @@ type ContentionRow struct {
 // enclave with the logger attached and reports recording throughput.
 // opsPerThread ≤ 0 selects a default.
 func RunLoggerContention(threads, opsPerThread int) (ContentionRow, error) {
+	return runLoggerContention(threads, opsPerThread, false)
+}
+
+// RunLoggerContentionLive is the same experiment with a live streaming
+// collector subscribed to the trace: it measures what the analysis tap
+// costs the recording hot path. The collector's subscribers only enqueue
+// batches, so throughput should stay within a few percent of the plain
+// run.
+func RunLoggerContentionLive(threads, opsPerThread int) (ContentionRow, error) {
+	return runLoggerContention(threads, opsPerThread, true)
+}
+
+func runLoggerContention(threads, opsPerThread int, withLive bool) (ContentionRow, error) {
 	if threads <= 0 {
 		threads = 1
 	}
@@ -47,6 +61,13 @@ func RunLoggerContention(threads, opsPerThread int) (ContentionRow, error) {
 		return ContentionRow{}, err
 	}
 	defer l.Detach()
+	var col *live.Collector
+	if withLive {
+		if col, err = live.Attach(l, live.Options{}); err != nil {
+			return ContentionRow{}, err
+		}
+		defer col.Close()
+	}
 
 	iface := edl.NewInterface()
 	if _, err := iface.AddEcall("ecall_short", true); err != nil {
@@ -100,6 +121,15 @@ func RunLoggerContention(threads, opsPerThread int) (ContentionRow, error) {
 	if want := threads * opsPerThread; events != want {
 		return ContentionRow{}, fmt.Errorf("contention: recorded %d ecall events, want %d", events, want)
 	}
+	if withLive {
+		// The collector must have observed the complete run: the drained
+		// snapshot's per-call counts equal the recorded events.
+		col.Drain()
+		snap := col.Snapshot()
+		if snap.Counts.Ecalls != events {
+			return ContentionRow{}, fmt.Errorf("contention: live collector saw %d ecalls, trace has %d", snap.Counts.Ecalls, events)
+		}
+	}
 	row := ContentionRow{Threads: threads, Events: events, Wall: wall}
 	if wall > 0 {
 		row.EventsPerSec = float64(events) / wall.Seconds()
@@ -116,6 +146,16 @@ func RunLoggerContentionSweep(opsPerThread int) ([]ContentionRow, error) {
 // RunLoggerContentionMedian runs the sweep repeats times per thread count
 // and keeps the median row by throughput, damping scheduler noise.
 func RunLoggerContentionMedian(opsPerThread, repeats int) ([]ContentionRow, error) {
+	return contentionMedian(opsPerThread, repeats, false)
+}
+
+// RunLoggerContentionLiveMedian is the median sweep with a live collector
+// attached.
+func RunLoggerContentionLiveMedian(opsPerThread, repeats int) ([]ContentionRow, error) {
+	return contentionMedian(opsPerThread, repeats, true)
+}
+
+func contentionMedian(opsPerThread, repeats int, withLive bool) ([]ContentionRow, error) {
 	if repeats <= 0 {
 		repeats = 1
 	}
@@ -123,7 +163,7 @@ func RunLoggerContentionMedian(opsPerThread, repeats int) ([]ContentionRow, erro
 	for _, n := range []int{1, 4, 16} {
 		runs := make([]ContentionRow, 0, repeats)
 		for r := 0; r < repeats; r++ {
-			row, err := RunLoggerContention(n, opsPerThread)
+			row, err := runLoggerContention(n, opsPerThread, withLive)
 			if err != nil {
 				return nil, err
 			}
@@ -139,8 +179,17 @@ func RunLoggerContentionMedian(opsPerThread, repeats int) ([]ContentionRow, erro
 
 // RenderContention renders the sweep as a table.
 func RenderContention(rows []ContentionRow) string {
+	return renderContention("Logger recording throughput under thread contention", rows)
+}
+
+// RenderContentionLive renders the live-subscriber sweep as a table.
+func RenderContentionLive(rows []ContentionRow) string {
+	return renderContention("Logger recording throughput with a live collector subscribed", rows)
+}
+
+func renderContention(title string, rows []ContentionRow) string {
 	var b strings.Builder
-	b.WriteString("Logger recording throughput under thread contention\n")
+	b.WriteString(title + "\n")
 	b.WriteString("threads |     events |   events/s | ns/event\n")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%7d | %10d | %10.0f | %8.0f\n",

@@ -7,6 +7,8 @@
 package analyzer
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -15,6 +17,11 @@ import (
 	"sgxperf/internal/sgx"
 	"sgxperf/internal/vtime"
 )
+
+// ErrNoTrace reports that an analysis was requested without a trace —
+// typically a logger that was never attached or was detached before its
+// trace was taken. Test with errors.Is.
+var ErrNoTrace = errors.New("no trace to analyze")
 
 // Weights holds every configurable threshold of the detectors, with the
 // paper's published defaults.
@@ -118,8 +125,12 @@ type call struct {
 	hasDirect              bool
 }
 
-// New prepares an analyser over the trace.
+// New prepares an analyser over the trace. A nil trace returns an error
+// wrapping ErrNoTrace.
 func New(trace *events.Trace, opts Options) (*Analyzer, error) {
+	if trace == nil {
+		return nil, fmt.Errorf("analyzer: %w", ErrNoTrace)
+	}
 	if opts.Weights == (Weights{}) {
 		opts.Weights = DefaultWeights()
 	}
@@ -292,7 +303,7 @@ func (a *Analyzer) Analyze() *Report {
 	r.Findings = append(r.Findings, a.DetectMerging()...)
 	r.Findings = append(r.Findings, a.DetectSSC()...)
 	r.Findings = append(r.Findings, a.DetectPaging()...)
-	sortFindings(r.Findings)
+	SortFindings(r.Findings)
 	r.Security = a.SecurityHints()
 	return r
 }

@@ -1,8 +1,6 @@
 package analyzer
 
 import (
-	"fmt"
-	"sort"
 	"time"
 
 	"sgxperf/internal/perf/events"
@@ -148,51 +146,19 @@ type Finding struct {
 	Score float64
 }
 
-// sortFindings orders findings for the report: by problem, then score.
-func sortFindings(fs []Finding) {
-	sort.SliceStable(fs, func(i, j int) bool {
-		if fs[i].Problem != fs[j].Problem {
-			return fs[i].Problem < fs[j].Problem
-		}
-		return fs[i].Score > fs[j].Score
-	})
-}
-
 // DetectMoving applies Equation 1: calls dominated by executions shorter
 // than the transition cost should be moved across the enclave boundary
 // (or, for ocalls during ecalls, duplicated inside — the SNC solution).
 func (a *Analyzer) DetectMoving() []Finding {
-	w := a.opts.Weights
 	var out []Finding
 	for _, name := range a.perNames {
-		if a.kindOf(name) == events.KindOcall && isSyncName(name) {
-			continue // sync ocalls are handled by the SSC detector
-		}
 		s, ok := a.Stats(name)
-		if !ok || s.Count == 0 {
+		if !ok {
 			continue
 		}
-		if !(s.FracBelow1us >= w.Move1 || s.FracBelow5us >= w.Move5 || s.FracBelow10us >= w.Move10) {
-			continue
+		if f, ok := MovingFinding(s, a.opts.Weights); ok {
+			out = append(out, f)
 		}
-		f := Finding{
-			Call: name,
-			Kind: s.Kind,
-			Evidence: fmt.Sprintf(
-				"%d executions; %.0f%% <1µs, %.0f%% <5µs, %.0f%% <10µs (mean %v)",
-				s.Count, s.FracBelow1us*100, s.FracBelow5us*100, s.FracBelow10us*100, s.Mean),
-			Score: s.FracBelow10us * float64(s.Count),
-		}
-		if s.Kind == events.KindEcall {
-			f.Problem = ProblemSISC
-			f.Solutions = []Solution{SolutionBatch, SolutionMoveCaller}
-			f.SecurityNote = "moving an ecall's code outside the enclave may expose sensitive data; perform a security evaluation first (§3.1)"
-		} else {
-			f.Problem = ProblemSNC
-			f.Solutions = []Solution{SolutionReorder, SolutionMoveCaller, SolutionDuplicate}
-			f.SecurityNote = "duplicating ocall functionality inside the enclave increases the TCB (§3.3)"
-		}
-		out = append(out, f)
 	}
 	return out
 }
@@ -201,54 +167,15 @@ func (a *Analyzer) DetectMoving() []Finding {
 // (or last) 10/20µs of their direct parent can often execute before (or
 // after) the parent instead, saving transitions without TCB changes.
 func (a *Analyzer) DetectReordering() []Finding {
-	w := a.opts.Weights
 	var out []Finding
 	for _, name := range a.perNames {
-		calls := a.callsNamed(name)
-		var total, s10, s20, e10, e20 int
-		for _, c := range calls {
-			if !c.hasDirect {
-				continue
-			}
-			total++
-			switch {
-			case c.offsetStart < micros(10):
-				s10++
-			case c.offsetStart < micros(20):
-				s20++
-			}
-			switch {
-			case c.offsetEnd >= 0 && c.offsetEnd < micros(10):
-				e10++
-			case c.offsetEnd >= 0 && c.offsetEnd < micros(20):
-				e20++
+		var agg ReorderAgg
+		for _, c := range a.callsNamed(name) {
+			if c.hasDirect {
+				agg.Add(c.offsetStart, c.offsetEnd)
 			}
 		}
-		if total == 0 {
-			continue
-		}
-		n := float64(total)
-		startScore := float64(s10)/n*w.ReorderW10 + float64(s20)/n*w.ReorderW20
-		endScore := float64(e10)/n*w.ReorderW10 + float64(e20)/n*w.ReorderW20
-		report := func(where string, score float64, c10, c20 int) {
-			out = append(out, Finding{
-				Problem: ProblemSNC,
-				Call:    name,
-				Kind:    a.kindOf(name),
-				Evidence: fmt.Sprintf(
-					"%d/%d nested executions within %s 10µs (+%d within 20µs) of the parent (weighted score %.2f ≥ %.2f)",
-					c10, total, where, c20, score, w.ReorderThreshold),
-				Solutions:    []Solution{SolutionReorder},
-				SecurityNote: "",
-				Score:        score,
-			})
-		}
-		if startScore >= w.ReorderThreshold {
-			report("the first", startScore, s10, s20)
-		}
-		if endScore >= w.ReorderThreshold {
-			report("the last", endScore, e10, e20)
-		}
+		out = append(out, ReorderFindings(name, a.kindOf(name), agg, a.opts.Weights)...)
 	}
 	return out
 }
@@ -257,81 +184,22 @@ func (a *Analyzer) DetectReordering() []Finding {
 // before they start can be merged into one call (batched, when a call is
 // its own indirect parent — the SISC case).
 func (a *Analyzer) DetectMerging() []Finding {
-	w := a.opts.Weights
-	type pairKey struct{ parent, child string }
-	type pairAgg struct {
-		count            int
-		g1, g5, g10, g20 int
-	}
-	pairs := make(map[pairKey]*pairAgg)
+	pairs := make(map[MergePair]*MergeAgg)
 	for i := range a.all {
 		c := &a.all[i]
 		if c.indirect < 0 {
 			continue
 		}
-		p := &a.all[c.indirect]
-		k := pairKey{p.ev.Name, c.ev.Name}
+		k := MergePair{Parent: a.all[c.indirect].ev.Name, Child: c.ev.Name}
 		agg := pairs[k]
 		if agg == nil {
-			agg = &pairAgg{}
+			agg = &MergeAgg{}
 			pairs[k] = agg
 		}
-		agg.count++
-		switch {
-		case c.gap < micros(1):
-			agg.g1++
-		case c.gap < micros(5):
-			agg.g5++
-		case c.gap < micros(10):
-			agg.g10++
-		case c.gap < micros(20):
-			agg.g20++
-		}
+		agg.Add(c.gap)
 	}
-	var out []Finding
-	for k, agg := range pairs {
-		if isSyncName(k.child) || isSyncName(k.parent) {
-			continue
-		}
-		childTotal := len(a.byName[k.child])
-		parentTotal := len(a.byName[k.parent])
-		if childTotal == 0 || parentTotal == 0 {
-			continue
-		}
-		// λ: the parent must be the indirect parent of the call most of
-		// the time.
-		if float64(agg.count)/float64(childTotal) < w.MergeMinPairFrac {
-			continue
-		}
-		pn := float64(parentTotal)
-		score := float64(agg.g1)/pn*w.MergeW1 +
-			float64(agg.g5)/pn*w.MergeW5 +
-			float64(agg.g10)/pn*w.MergeW10 +
-			float64(agg.g20)/pn*w.MergeW20
-		if score < w.MergeThreshold {
-			continue
-		}
-		f := Finding{
-			Call:    k.child,
-			Kind:    a.kindOf(k.child),
-			Partner: k.parent,
-			Evidence: fmt.Sprintf(
-				"%d executions follow %s closely (gaps: %d<1µs, %d<5µs, %d<10µs, %d<20µs; weighted score %.2f ≥ %.2f)",
-				agg.count, k.parent, agg.g1, agg.g5, agg.g10, agg.g20, score, w.MergeThreshold),
-			Score: score,
-		}
-		if k.parent == k.child {
-			// Batching is the special case of merging with the call being
-			// its own indirect parent (§4.3.2).
-			f.Problem = ProblemSISC
-			f.Solutions = []Solution{SolutionBatch, SolutionMoveCaller}
-		} else {
-			f.Problem = ProblemSDSC
-			f.Solutions = []Solution{SolutionMerge, SolutionMoveCaller}
-		}
-		out = append(out, f)
-	}
-	return out
+	totalOf := func(name string) int { return len(a.byName[name]) }
+	return MergeFindings(pairs, totalOf, a.kindOf, a.opts.Weights)
 }
 
 // DetectSSC analyses the sleep/wake events of the SDK synchronisation
@@ -339,11 +207,10 @@ func (a *Analyzer) DetectMerging() []Finding {
 // sections where leaving the enclave to sleep is wasteful.
 func (a *Analyzer) DetectSSC() []Finding {
 	w := a.opts.Weights
-	nsyncs := a.trace.Syncs.Len()
-	if nsyncs < w.SyncMinOcalls {
+	agg := SyncAgg{Total: a.trace.Syncs.Len()}
+	if agg.Total < w.SyncMinOcalls {
 		return nil
 	}
-	var wakes, shortWakes, sleeps int
 	byCall := make(map[events.EventID]time.Duration)
 	for i := range a.all {
 		byCall[a.all[i].ev.ID] = a.all[i].adjusted
@@ -351,47 +218,22 @@ func (a *Analyzer) DetectSSC() []Finding {
 	a.trace.Syncs.Scan(func(_ int, s events.SyncEvent) bool {
 		switch s.Kind {
 		case events.SyncWake:
-			wakes++
+			agg.Wakes++
 			if d, ok := byCall[s.Call]; ok && d < w.SyncShortLimit {
-				shortWakes++
+				agg.ShortWakes++
 			}
 		case events.SyncSleep:
-			sleeps++
+			agg.Sleeps++
 		}
 		return true
 	})
-	if wakes == 0 && sleeps == 0 {
-		return nil
-	}
-	return []Finding{{
-		Problem: ProblemSSC,
-		Call:    "sdk synchronisation",
-		Kind:    events.KindOcall,
-		Evidence: fmt.Sprintf(
-			"%d sync ocall events: %d sleeps, %d wake-ups (%d wake-ups <%v)",
-			nsyncs, sleeps, wakes, shortWakes, w.SyncShortLimit),
-		Solutions:    []Solution{SolutionHybridLock, SolutionLockFree},
-		SecurityNote: "",
-		Score:        float64(nsyncs),
-	}}
+	return SSCFindings(agg, w)
 }
 
 // DetectPaging flags EPC paging activity (§3.5): every page-out requires
 // re-encryption and every fault an AEX, so enclaves should rarely page.
 func (a *Analyzer) DetectPaging() []Finding {
-	p := a.PagingSummary()
-	if p.PageIns+p.PageOuts < a.opts.Weights.PagingMinEvents {
-		return nil
-	}
-	return []Finding{{
-		Problem: ProblemPaging,
-		Call:    "enclave memory",
-		Evidence: fmt.Sprintf(
-			"%d page-ins, %d page-outs (%d during calls)",
-			p.PageIns, p.PageOuts, p.DuringCalls),
-		Solutions: []Solution{SolutionReduceMemory, SolutionPreloadPages, SolutionSelfPaging},
-		Score:     float64(p.PageIns + p.PageOuts),
-	}}
+	return PagingFindings(a.PagingSummary(), a.opts.Weights)
 }
 
 // PagingStats summarises EPC paging activity.
@@ -449,20 +291,7 @@ func (a *Analyzer) WakeGraph() []WakeEdge {
 		}
 		return true
 	})
-	out := make([]WakeEdge, 0, len(agg))
-	for k, n := range agg {
-		out = append(out, WakeEdge{From: k[0], To: k[1], Count: n})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
-		}
-		return out[i].To < out[j].To
-	})
-	return out
+	return WakeEdges(agg)
 }
 
 // isSyncName reports whether the call is one of the SDK sync ocalls.

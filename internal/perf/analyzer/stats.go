@@ -34,50 +34,21 @@ type CallStats struct {
 	TotalAEX int
 }
 
-// Stats computes statistics for one call name, or ok=false if unseen.
+// Stats computes statistics for one call name, or ok=false if unseen. It
+// gathers the call's durations and hands off to the shared
+// StatsFromDurations kernel.
 func (a *Analyzer) Stats(name string) (CallStats, bool) {
 	calls := a.callsNamed(name)
 	if len(calls) == 0 {
 		return CallStats{}, false
 	}
 	durs := make([]time.Duration, len(calls))
-	s := CallStats{Name: name, Kind: calls[0].ev.Kind, Count: len(calls)}
-	var sum float64
+	totalAEX := 0
 	for i, c := range calls {
 		durs[i] = c.adjusted
-		sum += float64(c.adjusted)
-		s.TotalAEX += c.ev.AEXCount
-		switch {
-		case c.adjusted < time.Microsecond:
-			s.FracBelow1us++
-			fallthrough
-		case c.adjusted < 5*time.Microsecond:
-			s.FracBelow5us++
-			fallthrough
-		case c.adjusted < 10*time.Microsecond:
-			s.FracBelow10us++
-		}
+		totalAEX += c.ev.AEXCount
 	}
-	n := float64(len(calls))
-	s.FracBelow1us /= n
-	s.FracBelow5us /= n
-	s.FracBelow10us /= n
-
-	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-	s.Min, s.Max = durs[0], durs[len(durs)-1]
-	s.Mean = time.Duration(sum / n)
-	s.Median = percentile(durs, 0.50)
-	s.P90 = percentile(durs, 0.90)
-	s.P95 = percentile(durs, 0.95)
-	s.P99 = percentile(durs, 0.99)
-
-	var varSum float64
-	for _, d := range durs {
-		diff := float64(d) - float64(s.Mean)
-		varSum += diff * diff
-	}
-	s.Std = time.Duration(math.Sqrt(varSum / n))
-	return s, true
+	return StatsFromDurations(name, calls[0].ev.Kind, durs, totalAEX)
 }
 
 // AllStats computes statistics for every call name, ordered by descending
@@ -89,7 +60,7 @@ func (a *Analyzer) AllStats() []CallStats {
 			out = append(out, s)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	SortStats(out)
 	return out
 }
 

@@ -1,0 +1,51 @@
+package events
+
+// Cursor is a polling reader over a trace's event tables: each call to a
+// table method returns only the events appended since the cursor last
+// read that table. Reads go through the tables' normal read path, so a
+// recorder's buffered events are flushed first (the read-hook drain) and
+// a cursor polled after quiescence always reaches the end of the trace.
+//
+// A cursor is a convenience for periodic consumers — live terminal views,
+// tail-style exporters — that want pull semantics instead of the push
+// subscription the streaming analyser uses. It is not safe for concurrent
+// use; give each consumer its own cursor.
+type Cursor struct {
+	trace *Trace
+
+	ecalls, ocalls, aexs, paging, syncs, threads int
+}
+
+// NewCursor creates a cursor positioned at the start of the trace.
+func (t *Trace) NewCursor() *Cursor { return &Cursor{trace: t} }
+
+// cursorDrain copies the rows of tab from *next on, advancing *next.
+func cursorDrain[T any](tab interface {
+	ScanFrom(start int, yield func(i int, row T) bool)
+}, next *int) []T {
+	var out []T
+	tab.ScanFrom(*next, func(i int, row T) bool {
+		out = append(out, row)
+		*next = i + 1
+		return true
+	})
+	return out
+}
+
+// Ecalls returns the ecall events recorded since the last call.
+func (c *Cursor) Ecalls() []CallEvent { return cursorDrain(c.trace.Ecalls, &c.ecalls) }
+
+// Ocalls returns the ocall events recorded since the last call.
+func (c *Cursor) Ocalls() []CallEvent { return cursorDrain(c.trace.Ocalls, &c.ocalls) }
+
+// AEXs returns the AEX events recorded since the last call.
+func (c *Cursor) AEXs() []AEXEvent { return cursorDrain(c.trace.AEXs, &c.aexs) }
+
+// Paging returns the paging events recorded since the last call.
+func (c *Cursor) Paging() []PagingEvent { return cursorDrain(c.trace.Paging, &c.paging) }
+
+// Syncs returns the sync events recorded since the last call.
+func (c *Cursor) Syncs() []SyncEvent { return cursorDrain(c.trace.Syncs, &c.syncs) }
+
+// Threads returns the thread events recorded since the last call.
+func (c *Cursor) Threads() []ThreadEvent { return cursorDrain(c.trace.Threads, &c.threads) }

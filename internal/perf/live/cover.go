@@ -1,0 +1,55 @@
+package live
+
+import (
+	"sort"
+
+	"sgxperf/internal/vtime"
+)
+
+// coverSet is the union of one thread's call spans, kept as sorted
+// disjoint intervals. The paging detector only needs an existence test —
+// "did this paging event fall inside any call on its thread?" — and a
+// point is inside some call span iff it is inside the union, so merged
+// intervals lose nothing. Calls on one thread nest or follow each other,
+// which keeps the set short and inserts near-append.
+type coverSet struct {
+	ivs []interval
+}
+
+type interval struct {
+	lo, hi vtime.Cycles
+}
+
+// add unions [lo, hi] into the set.
+func (s *coverSet) add(lo, hi vtime.Cycles) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	// First interval that could overlap or follow [lo, hi].
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].hi >= lo })
+	j := i
+	for j < len(s.ivs) && s.ivs[j].lo <= hi {
+		if s.ivs[j].lo < lo {
+			lo = s.ivs[j].lo
+		}
+		if s.ivs[j].hi > hi {
+			hi = s.ivs[j].hi
+		}
+		j++
+	}
+	if i == j {
+		// No overlap: insert at i.
+		s.ivs = append(s.ivs, interval{})
+		copy(s.ivs[i+1:], s.ivs[i:])
+		s.ivs[i] = interval{lo, hi}
+		return
+	}
+	s.ivs[i] = interval{lo, hi}
+	s.ivs = append(s.ivs[:i+1], s.ivs[j:]...)
+}
+
+// contains reports whether t falls inside the union.
+func (s *coverSet) contains(t vtime.Cycles) bool {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].hi >= t })
+	return i < len(s.ivs) && s.ivs[i].lo <= t
+}

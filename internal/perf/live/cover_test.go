@@ -1,0 +1,54 @@
+package live
+
+import (
+	"testing"
+
+	"sgxperf/internal/vtime"
+)
+
+func TestCoverSet(t *testing.T) {
+	var s coverSet
+	s.add(10, 20)
+	s.add(40, 50)
+	s.add(15, 45) // bridges both
+	if len(s.ivs) != 1 || s.ivs[0] != (interval{10, 50}) {
+		t.Fatalf("merge failed: %+v", s.ivs)
+	}
+	s.add(60, 70)
+	for _, tc := range []struct {
+		t  vtime.Cycles
+		in bool
+	}{{9, false}, {10, true}, {50, true}, {55, false}, {60, true}, {70, true}, {71, false}} {
+		if got := s.contains(tc.t); got != tc.in {
+			t.Fatalf("contains(%d) = %v, want %v", tc.t, got, tc.in)
+		}
+	}
+	// Out-of-order inserts keep the set sorted and disjoint.
+	var r coverSet
+	r.add(100, 110)
+	r.add(0, 5)
+	r.add(50, 60)
+	if len(r.ivs) != 3 || r.ivs[0].lo != 0 || r.ivs[1].lo != 50 || r.ivs[2].lo != 100 {
+		t.Fatalf("ordering: %+v", r.ivs)
+	}
+}
+
+func TestRingWindow(t *testing.T) {
+	r := ring{width: 10}
+	for i := 0; i < 5; i++ {
+		r.add(vtime.Cycles(i * 10))
+	}
+	if r.sum() != 5 {
+		t.Fatalf("sum = %d, want 5", r.sum())
+	}
+	// Jump far ahead: old buckets expire.
+	r.add(vtime.Cycles(10 * 10 * ringBuckets))
+	if r.sum() != 1 {
+		t.Fatalf("after expiry sum = %d, want 1", r.sum())
+	}
+	// Late event older than the window clamps into the oldest bucket.
+	r.add(0)
+	if r.sum() != 2 {
+		t.Fatalf("late event dropped: sum = %d, want 2", r.sum())
+	}
+}

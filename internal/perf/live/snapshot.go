@@ -1,0 +1,141 @@
+package live
+
+import (
+	"sort"
+	"time"
+
+	"sgxperf/internal/perf/analyzer"
+	"sgxperf/internal/perf/events"
+)
+
+// Counts are the raw event totals the collector has observed, per table.
+type Counts struct {
+	Ecalls int `json:"ecalls"`
+	Ocalls int `json:"ocalls"`
+	Syncs  int `json:"syncs"`
+	AEXs   int `json:"aexs"`
+	Paging int `json:"paging"`
+}
+
+// Rates are sliding-window event rates in events per second of virtual
+// time, over the window the snapshot reports.
+type Rates struct {
+	Window time.Duration `json:"window"`
+	Ecalls float64       `json:"ecalls_per_sec"`
+	Ocalls float64       `json:"ocalls_per_sec"`
+	AEXs   float64       `json:"aexs_per_sec"`
+	Paging float64       `json:"paging_per_sec"`
+}
+
+// Snapshot is one consistent view of the live analysis: totals and rates
+// for dashboards, plus the analyser-grade statistics and findings. After
+// the workload quiesces and Drain returns, Stats, Findings, Paging and
+// WakeGraph equal the post-mortem analyser's report over the same trace.
+type Snapshot struct {
+	Workload string `json:"workload"`
+	Counts   Counts `json:"counts"`
+	Rates    Rates  `json:"rates"`
+
+	Stats     []analyzer.CallStats `json:"stats"`
+	Findings  []analyzer.Finding   `json:"findings"`
+	Paging    analyzer.PagingStats `json:"paging_summary"`
+	WakeGraph []analyzer.WakeEdge  `json:"wake_graph"`
+}
+
+// Snapshot computes the current view from the incremental aggregates by
+// running the shared analyser kernels. It is safe to call at any time,
+// concurrently with recording; its cost is the kernels (sorting the
+// duration multisets, scoring the detectors), independent of how the
+// aggregates were built.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.opts.Weights
+
+	s := Snapshot{
+		Workload: c.workload,
+		Counts:   Counts{Ecalls: c.nEcalls, Ocalls: c.nOcalls, Syncs: c.nSyncs, AEXs: c.nAEX, Paging: c.nPage},
+		Rates: Rates{
+			Window: c.opts.Window,
+			Ecalls: c.ecallRing.rate(c.freq),
+			Ocalls: c.ocallRing.rate(c.freq),
+			AEXs:   c.aexRing.rate(c.freq),
+			Paging: c.pageRing.rate(c.freq),
+		},
+	}
+
+	names := make([]string, 0, len(c.perName))
+	for n := range c.perName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Stats: the per-name duration multisets through the shared kernel,
+	// ordered as the analyser's overview.
+	s.Stats = make([]analyzer.CallStats, 0, len(names))
+	for _, n := range names {
+		na := c.perName[n]
+		if st, ok := analyzer.StatsFromDurations(n, na.kind, na.durs, na.totalAEX); ok {
+			s.Findings = appendMoving(s.Findings, st, w)
+			s.Stats = append(s.Stats, st)
+		}
+	}
+	analyzer.SortStats(s.Stats)
+
+	// Reordering: the accumulated direct-parent offset bands.
+	for _, n := range names {
+		s.Findings = append(s.Findings, analyzer.ReorderFindings(n, c.perName[n].kind, c.perName[n].reorder, w)...)
+	}
+
+	// Merging: consecutive pairs within each indirect-parent group.
+	pairs := make(map[analyzer.MergePair]*analyzer.MergeAgg)
+	for _, g := range c.groups {
+		for i := 1; i < len(g); i++ {
+			k := analyzer.MergePair{Parent: g[i-1].name, Child: g[i].name}
+			agg := pairs[k]
+			if agg == nil {
+				agg = &analyzer.MergeAgg{}
+				pairs[k] = agg
+			}
+			gap := c.freq.Duration(g[i].start - g[i-1].end)
+			if gap < 0 {
+				gap = 0
+			}
+			agg.Add(gap)
+		}
+	}
+	totalOf := func(name string) int {
+		if na := c.perName[name]; na != nil {
+			return len(na.durs)
+		}
+		return 0
+	}
+	kindOf := func(name string) (k events.CallKind) {
+		if na := c.perName[name]; na != nil {
+			k = na.kind
+		}
+		return k
+	}
+	s.Findings = append(s.Findings, analyzer.MergeFindings(pairs, totalOf, kindOf, w)...)
+
+	s.Findings = append(s.Findings, analyzer.SSCFindings(c.syncAgg, w)...)
+
+	s.Paging = c.paging
+	s.Paging.ByRegion = make(map[string]int, len(c.paging.ByRegion))
+	for k, v := range c.paging.ByRegion {
+		s.Paging.ByRegion[k] = v
+	}
+	s.Findings = append(s.Findings, analyzer.PagingFindings(s.Paging, w)...)
+
+	analyzer.SortFindings(s.Findings)
+	s.WakeGraph = analyzer.WakeEdges(c.wakeAgg)
+	return s
+}
+
+// appendMoving applies the Equation 1 kernel to one call's stats.
+func appendMoving(fs []analyzer.Finding, st analyzer.CallStats, w analyzer.Weights) []analyzer.Finding {
+	if f, ok := analyzer.MovingFinding(st, w); ok {
+		fs = append(fs, f)
+	}
+	return fs
+}

@@ -1,0 +1,61 @@
+package live
+
+import "sgxperf/internal/vtime"
+
+// ringBuckets is the sliding-window resolution: the window is divided
+// into this many buckets, expiring whole buckets as virtual time
+// advances.
+const ringBuckets = 64
+
+// ring is one event category's sliding-window counter over virtual time.
+// The window is anchored at the newest event the ring has seen; rates are
+// exact to one bucket width.
+type ring struct {
+	width   vtime.Cycles // bucket width (window / ringBuckets, min 1)
+	buckets [ringBuckets]int64
+	cur     int64 // absolute index of the newest bucket
+	started bool
+}
+
+// add counts one event at virtual time t.
+func (r *ring) add(t vtime.Cycles) {
+	b := int64(t / r.width)
+	if !r.started {
+		r.started = true
+		r.cur = b
+	}
+	if b > r.cur {
+		if b-r.cur >= ringBuckets {
+			r.buckets = [ringBuckets]int64{}
+		} else {
+			for i := r.cur + 1; i <= b; i++ {
+				r.buckets[i%ringBuckets] = 0
+			}
+		}
+		r.cur = b
+	}
+	if b < r.cur-(ringBuckets-1) {
+		// Older than the window: count it in the oldest bucket rather than
+		// dropping it, so totals stay right when batches arrive late.
+		b = r.cur - (ringBuckets - 1)
+	}
+	r.buckets[((b%ringBuckets)+ringBuckets)%ringBuckets]++
+}
+
+// sum is the number of events in the window.
+func (r *ring) sum() int64 {
+	var n int64
+	for _, b := range r.buckets {
+		n += b
+	}
+	return n
+}
+
+// rate converts the window count into events per second of virtual time.
+func (r *ring) rate(freq vtime.Frequency) float64 {
+	window := freq.Duration(vtime.Cycles(ringBuckets) * r.width).Seconds()
+	if window <= 0 {
+		return 0
+	}
+	return float64(r.sum()) / window
+}

@@ -357,6 +357,14 @@ func (l *Logger) flushShardLocked(sh *shard) {
 	}
 }
 
+// Flush drains every thread's buffered events into the event database.
+// Readers normally need not call it — table reads flush lazily — but a
+// live consumer can use it to bound staleness explicitly.
+func (l *Logger) Flush() { l.flushAll() }
+
+// Detached reports whether recording has been stopped by Detach.
+func (l *Logger) Detached() bool { return !l.enabled.Load() }
+
 // Trace returns the recorded trace, flushing all buffered events first.
 // Reads through the returned trace stay coherent even while recording
 // continues: table reads flush the shard buffers lazily.

@@ -1,0 +1,59 @@
+package logger_test
+
+import (
+	"testing"
+
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/perf/logger"
+)
+
+func TestLoggerFunctionalOptions(t *testing.T) {
+	a := newApp(t)
+	l, err := logger.New(a.h,
+		logger.WithWorkload("opts"),
+		logger.WithAEX(logger.AEXCount),
+		logger.WithPagingTrace(false),
+		logger.WithFlushEvery(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.call(t, "ecall_noop", nil)
+	tr := l.Trace()
+	if tr.Meta.Len() != 1 || tr.Meta.At(0).Workload != "opts" {
+		t.Fatalf("workload meta = %+v", tr.Meta.Rows())
+	}
+	if n := tr.Ecalls.Len(); n != 1 {
+		t.Fatalf("recorded %d ecalls, want 1", n)
+	}
+}
+
+func TestLoggerFlushAndDetached(t *testing.T) {
+	a := newApp(t)
+	l, err := logger.New(a.h, logger.WithWorkload("flush"), logger.WithPagingTrace(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Detached() {
+		t.Fatal("fresh logger reports detached")
+	}
+	// Subscribers are notified on insert only, never on read — so a
+	// subscriber observing the event after Flush proves Flush drained the
+	// shard buffer into the database without any reader's help.
+	tr := l.Trace()
+	seen := 0
+	cancel := tr.Ecalls.Subscribe(func(rows []events.CallEvent) { seen += len(rows) }, false)
+	defer cancel()
+	a.call(t, "ecall_noop", nil)
+	if seen != 0 {
+		t.Fatalf("event flushed before Flush (batch size is %d)", 256)
+	}
+	l.Flush()
+	if seen != 1 {
+		t.Fatalf("after Flush subscriber saw %d ecalls, want 1", seen)
+	}
+	l.Detach()
+	if !l.Detached() {
+		t.Fatal("Detach did not mark the logger detached")
+	}
+}

@@ -1,0 +1,148 @@
+package sgxperf
+
+import (
+	"fmt"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/perf/analyzer"
+	"sgxperf/internal/perf/live"
+	"sgxperf/internal/perf/logger"
+	"sgxperf/internal/sdk"
+)
+
+// Session is the one-stop entry point to the toolset: a simulated host
+// with the sgx-perf logger preloaded, an enclave interface, and the
+// ocall table — everything the 5-step quick start (NewHost →
+// AttachLogger → ParseEDL → BuildOcallTable → Proxies) builds by hand.
+// The individual steps remain available for callers that need to
+// compose the pieces differently.
+type Session struct {
+	Host      *Host
+	Logger    *Logger
+	Interface *Interface
+	// Ocalls is the assembled ocall table; the logger has already swapped
+	// its tracing stubs in front of it.
+	Ocalls *OcallTable
+	// Warnings are the EDL parser's non-fatal diagnostics, if WithEDL was
+	// used.
+	Warnings []string
+}
+
+// SessionOption configures NewSession.
+type SessionOption func(*sessionConfig)
+
+type sessionConfig struct {
+	hostOpts   []HostOption
+	loggerOpts []LoggerOption
+	edl        string
+	hasEDL     bool
+	ocallImpls map[string]OcallFn
+}
+
+// WithEDL declares the enclave interface from EDL source. Without it the
+// session starts with an empty interface that can be populated through
+// Session.Interface.
+func WithEDL(src string) SessionOption {
+	return func(c *sessionConfig) { c.edl, c.hasEDL = src, true }
+}
+
+// WithOcallImpls supplies the untrusted ocall implementations backing
+// the interface's untrusted functions.
+func WithOcallImpls(impls map[string]OcallFn) SessionOption {
+	return func(c *sessionConfig) { c.ocallImpls = impls }
+}
+
+// WithHost forwards options to the underlying NewHost call.
+func WithHost(opts ...HostOption) SessionOption {
+	return func(c *sessionConfig) { c.hostOpts = append(c.hostOpts, opts...) }
+}
+
+// WithLogger forwards options to the underlying logger attachment.
+func WithLogger(opts ...LoggerOption) SessionOption {
+	return func(c *sessionConfig) { c.loggerOpts = append(c.loggerOpts, opts...) }
+}
+
+// NewSession builds a host, preloads the logger, parses the interface
+// and assembles the ocall table in one call.
+func NewSession(opts ...SessionOption) (*Session, error) {
+	var cfg sessionConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	h, err := host.New(cfg.hostOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	l, err := logger.New(h, cfg.loggerOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	s := &Session{Host: h, Logger: l}
+	if cfg.hasEDL {
+		iface, warnings, err := edl.Parse(cfg.edl)
+		if err != nil {
+			return nil, fmt.Errorf("session: %w", err)
+		}
+		s.Interface, s.Warnings = iface, warnings
+	} else {
+		s.Interface = edl.NewInterface()
+	}
+	otab, err := sdk.BuildOcallTable(s.Interface, h.URTS, cfg.ocallImpls)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	s.Ocalls = otab
+	return s, nil
+}
+
+// NewContext creates a simulated OS thread on the session's host.
+func (s *Session) NewContext(name string) *Context { return s.Host.NewContext(name) }
+
+// SessionEnclave is an enclave created through a Session, with its
+// untrusted ecall proxies pre-generated.
+type SessionEnclave struct {
+	App     *AppEnclave
+	Proxies map[string]Proxy
+}
+
+// Enclave builds an enclave against the session's interface and returns
+// it with its proxies.
+func (s *Session) Enclave(ctx *Context, cfg EnclaveConfig, trusted map[string]TrustedFn) (*SessionEnclave, error) {
+	app, err := s.Host.URTS.CreateEnclave(ctx, cfg, s.Interface, trusted)
+	if err != nil {
+		return nil, fmt.Errorf("session: enclave %q: %w", cfg.Name, err)
+	}
+	return &SessionEnclave{
+		App:     app,
+		Proxies: sdk.Proxies(app, s.Host.Proc, s.Ocalls),
+	}, nil
+}
+
+// Call invokes one of the enclave's public ecalls by name.
+func (e *SessionEnclave) Call(ctx *Context, name string, args any) (any, error) {
+	p, ok := e.Proxies[name]
+	if !ok {
+		return nil, fmt.Errorf("session: no ecall proxy %q", name)
+	}
+	return p(ctx, args)
+}
+
+// Analyze runs the post-mortem analysis over everything the session's
+// logger has recorded so far.
+func (s *Session) Analyze() (*Report, error) {
+	a, err := analyzer.New(s.Logger.Trace(), analyzer.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	return a.Analyze(), nil
+}
+
+// Live attaches a streaming collector to the session's trace. The
+// caller owns the collector and should Close it when done.
+func (s *Session) Live(opts LiveOptions) (*LiveCollector, error) {
+	return live.Attach(s.Logger, opts)
+}
+
+// Close detaches the logger; the recorded trace stays readable.
+func (s *Session) Close() { s.Logger.Detach() }

@@ -18,11 +18,19 @@
 //
 // Quick start:
 //
-//	h, _ := sgxperf.NewHost()
-//	l, _ := sgxperf.AttachLogger(h, sgxperf.LoggerOptions{Workload: "demo"})
-//	// ... build an enclave via h.URTS, run ecalls ...
-//	report := sgxperf.MustAnalyze(l.Trace())
+//	s, _ := sgxperf.NewSession(
+//		sgxperf.WithEDL(`enclave { trusted { public ecall_work(); }; };`),
+//		sgxperf.WithLogger(sgxperf.WithWorkload("demo")),
+//	)
+//	enc, _ := s.Enclave(s.NewContext("main"), sgxperf.EnclaveConfig{Name: "demo"}, trusted)
+//	// ... enc.Call(ctx, "ecall_work", nil) ...
+//	report, _ := s.Analyze()
 //	fmt.Print(report.Render())
+//
+// The individual building blocks (NewHost, AttachLogger, ParseEDL,
+// BuildOcallTable, Proxies) remain available for callers that compose
+// them differently, and AttachLive streams analysis from a running
+// workload.
 package sgxperf
 
 import (
@@ -33,6 +41,7 @@ import (
 	"sgxperf/internal/kernel"
 	"sgxperf/internal/perf/analyzer"
 	"sgxperf/internal/perf/events"
+	"sgxperf/internal/perf/live"
 	"sgxperf/internal/perf/logger"
 	"sgxperf/internal/perf/workingset"
 	"sgxperf/internal/sdk"
@@ -92,7 +101,13 @@ type (
 	// Logger is the attached sgx-perf event logger (§4.1).
 	Logger = logger.Logger
 	// LoggerOptions configures the logger (AEX mode, paging tracing).
+	//
+	// Deprecated: prefer NewLogger with functional LoggerOption values
+	// (WithWorkload, WithAEX, WithPagingTrace); the struct form is kept
+	// so existing AttachLogger callers do not break.
 	LoggerOptions = logger.Options
+	// LoggerOption configures NewLogger, mirroring HostOption.
+	LoggerOption = logger.Option
 	// AEXMode selects off/counting/tracing (§4.1.4).
 	AEXMode = logger.AEXMode
 	// Trace is one recorded run.
@@ -115,6 +130,28 @@ type (
 	CallStats = analyzer.CallStats
 	// CallGraph is the Fig. 5-style call graph.
 	CallGraph = analyzer.CallGraph
+	// LiveCollector streams analysis from a running workload: it
+	// subscribes to the recorder's flush path and folds events into
+	// incremental statistics, detectors and sliding-window rates. After
+	// the workload quiesces, Drain + Snapshot reproduce exactly what the
+	// post-mortem analyser reports over the same trace.
+	LiveCollector = live.Collector
+	// LiveSnapshot is one consistent view of a LiveCollector: event
+	// counts, windowed rates, per-call statistics and current findings.
+	LiveSnapshot = live.Snapshot
+	// LiveOptions configures AttachLive (weights, enclave filter,
+	// rate-window width).
+	LiveOptions = live.Options
+)
+
+// Sentinel errors of the public surface; match with errors.Is through
+// any wrapping the constructors add.
+var (
+	// ErrNoTrace reports analysis attempted without a trace.
+	ErrNoTrace = analyzer.ErrNoTrace
+	// ErrLoggerDetached reports a live attachment to a logger that has
+	// already been detached from its host.
+	ErrLoggerDetached = logger.ErrDetached
 )
 
 // Mitigation levels (§2.3.1).
@@ -155,6 +192,22 @@ func WithEnclaveComputeFactor(f float64) HostOption { return host.WithEnclaveCom
 
 // AttachLogger preloads the sgx-perf event logger into the host process.
 func AttachLogger(h *Host, opts LoggerOptions) (*Logger, error) { return logger.Attach(h, opts) }
+
+// NewLogger preloads the logger configured by functional options.
+func NewLogger(h *Host, opts ...LoggerOption) (*Logger, error) { return logger.New(h, opts...) }
+
+// WithWorkload names the workload in the trace metadata.
+func WithWorkload(name string) LoggerOption { return logger.WithWorkload(name) }
+
+// WithAEX selects the logger's AEX observation mode (§4.1.4).
+func WithAEX(mode AEXMode) LoggerOption { return logger.WithAEX(mode) }
+
+// WithPagingTrace enables or disables EPC paging tracing via kprobes.
+func WithPagingTrace(on bool) LoggerOption { return logger.WithPagingTrace(on) }
+
+// AttachLive subscribes a streaming collector to the logger's trace.
+// Fails with ErrLoggerDetached once the logger has been detached.
+func AttachLive(l *Logger, opts LiveOptions) (*LiveCollector, error) { return live.Attach(l, opts) }
 
 // NewWorkingSetEstimator creates the §4.2 estimator for an enclave.
 func NewWorkingSetEstimator(h *Host, enc *Enclave) *WorkingSetEstimator {

@@ -1,6 +1,7 @@
 package sgxperf_test
 
 import (
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -57,6 +58,96 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 	if !strings.Contains(report.Render(), "ecall_ping") {
 		t.Fatal("report missing the ecall")
+	}
+}
+
+// TestSessionQuickstart drives the same application as
+// TestPublicAPIQuickstart through the Session builder and checks the
+// live collector agrees with the post-mortem report.
+func TestSessionQuickstart(t *testing.T) {
+	s, err := sgxperf.NewSession(
+		sgxperf.WithEDL(`
+			enclave {
+				trusted { public ecall_ping(); };
+				untrusted { ocall_pong(); };
+			};
+		`),
+		sgxperf.WithOcallImpls(map[string]sgxperf.OcallFn{
+			"ocall_pong": func(ctx *sgxperf.Context, args any) (any, error) { return "pong", nil },
+		}),
+		sgxperf.WithLogger(sgxperf.WithWorkload("session-test"), sgxperf.WithAEX(sgxperf.AEXCount)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := s.Live(sgxperf.LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	ctx := s.NewContext("main")
+	enc, err := s.Enclave(ctx, sgxperf.EnclaveConfig{Name: "api"},
+		map[string]sgxperf.TrustedFn{
+			"ecall_ping": func(env *sgxperf.Env, args any) (any, error) {
+				return env.Ocall("ocall_pong", nil)
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := enc.Call(ctx, "ecall_ping", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "pong" {
+		t.Fatalf("res = %v", res)
+	}
+	if _, err := enc.Call(ctx, "ecall_ghost", nil); err == nil {
+		t.Fatal("unknown ecall accepted")
+	}
+	report, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalCalls() != 2 {
+		t.Fatalf("total calls = %d", report.TotalCalls())
+	}
+	col.Drain()
+	snap := col.Snapshot()
+	if snap.Counts.Ecalls != 1 || snap.Counts.Ocalls != 1 {
+		t.Fatalf("live counts = %+v", snap.Counts)
+	}
+	if snap.Workload != "session-test" {
+		t.Fatalf("live workload = %q", snap.Workload)
+	}
+	s.Close()
+	if !s.Logger.Detached() {
+		t.Fatal("session close did not detach the logger")
+	}
+}
+
+// TestSentinelErrorsThroughReexports asserts errors.Is matches the
+// sentinels through every layer of wrapping the re-exports add.
+func TestSentinelErrorsThroughReexports(t *testing.T) {
+	if _, err := sgxperf.NewAnalyzer(nil, sgxperf.AnalyzerOptions{}); !errors.Is(err, sgxperf.ErrNoTrace) {
+		t.Fatalf("NewAnalyzer(nil) = %v, want ErrNoTrace", err)
+	}
+	if _, err := sgxperf.Analyze(nil); !errors.Is(err, sgxperf.ErrNoTrace) {
+		t.Fatalf("Analyze(nil) = %v, want ErrNoTrace", err)
+	}
+	h, err := sgxperf.NewHost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := sgxperf.NewLogger(h, sgxperf.WithWorkload("sentinel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Detach()
+	if _, err := sgxperf.AttachLive(l, sgxperf.LiveOptions{}); !errors.Is(err, sgxperf.ErrLoggerDetached) {
+		t.Fatalf("AttachLive(detached) = %v, want ErrLoggerDetached", err)
+	} else if !strings.Contains(err.Error(), "live: attach") {
+		t.Fatalf("wrapped error lost its context: %v", err)
 	}
 }
 
