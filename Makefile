@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench-contention
+.PHONY: build test vet lint race verify bench-contention
 
 build:
 	$(GO) build ./...
@@ -11,20 +11,30 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs go vet plus the repository's own analyzer suite
+# (cmd/sgx-perf-vet): the virtual-clock invariant for simulator packages
+# and the lock-free hot-path invariant for the logger.
+lint: vet
+	$(GO) run ./cmd/sgx-perf-vet
+
 # The recording pipeline, the live streaming engine
 # (internal/perf/live) and the event store with its subscription tap
 # (internal/evstore) are the concurrency-sensitive packages; run their
-# suites under the race detector. The ./internal/perf/... wildcard
-# includes the live engine and its golden live-vs-postmortem tests.
+# suites under the race detector, together with the simulator layers they
+# drive (machine, SDK runtime, host) — lock-ordering bugs between the
+# logger and the SDK sync primitives only surface when both run raced.
 race:
-	$(GO) test -race ./internal/perf/... ./internal/evstore/...
+	$(GO) test -race ./internal/perf/... ./internal/evstore/... \
+		./internal/sgx/... ./internal/sdk/... ./internal/host/...
 
-# verify is the documented check for this repo: vet + the tier-1 gate
-# (build + full test suite, see ROADMAP.md) + the race-detector suites.
-verify: vet
+# verify is the documented check for this repo: lint (go vet + the
+# custom analyzers) + the tier-1 gate (build + full test suite, see
+# ROADMAP.md) + the race-detector suites.
+verify: lint
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/perf/... ./internal/evstore/...
+	$(GO) test -race ./internal/perf/... ./internal/evstore/... \
+		./internal/sgx/... ./internal/sdk/... ./internal/host/...
 
 # Re-measure logger recording throughput, chaining the previous results
 # in BENCH_results.json as the baseline for the speedup computation.

@@ -1,0 +1,112 @@
+// Command sgx-perf-lint runs the static interface analysis: findings
+// from an enclave's EDL alone, with no workload run. Given a trace it
+// switches to hybrid mode — static findings re-ranked by observed call
+// counts, with static-only and dynamic-only discrepancies flagged.
+//
+// Usage:
+//
+//	sgx-perf-lint -edl enclave.edl
+//	sgx-perf-lint -workload securekeeper
+//	sgx-perf-lint -workload sqlite -trace trace.evdb
+//	sgx-perf-lint -edl enclave.edl -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sgxperf"
+	"sgxperf/internal/edl"
+	"sgxperf/internal/workloads/keeper"
+	"sgxperf/internal/workloads/minidb"
+)
+
+// bundledInterfaces maps workload names to their interface builders, so
+// the bundled studies can be linted without an EDL file on disk.
+var bundledInterfaces = map[string]func() (*edl.Interface, error){
+	"securekeeper": keeper.Interface,
+	"sqlite":       minidb.Interface,
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sgx-perf-lint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workload  = flag.String("workload", "", "lint a bundled workload's interface (securekeeper, sqlite)")
+		edlPath   = flag.String("edl", "", "lint the interface in this EDL file")
+		tracePath = flag.String("trace", "", "trace file for hybrid mode (rank findings by observed call counts)")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		wideMin   = flag.Int("wide-surface", 0, "public-ecall count that flags a wide surface (0 = default)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		return fmt.Errorf("unexpected arguments %v", flag.Args())
+	}
+
+	var iface *sgxperf.Interface
+	switch {
+	case *workload != "" && *edlPath != "":
+		return fmt.Errorf("-workload and -edl are mutually exclusive")
+	case *workload != "":
+		build, ok := bundledInterfaces[*workload]
+		if !ok {
+			names := make([]string, 0, len(bundledInterfaces))
+			for n := range bundledInterfaces {
+				names = append(names, n)
+			}
+			return fmt.Errorf("unknown workload %q (have %v)", *workload, names)
+		}
+		var err error
+		if iface, err = build(); err != nil {
+			return err
+		}
+	case *edlPath != "":
+		src, err := os.ReadFile(*edlPath)
+		if err != nil {
+			return err
+		}
+		parsed, warnings, err := sgxperf.ParseEDL(string(src))
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", *edlPath, err)
+		}
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, "edl warning:", w)
+		}
+		iface = parsed
+	case *tracePath == "":
+		flag.Usage()
+		return fmt.Errorf("need -workload, -edl or -trace")
+	}
+
+	opts := sgxperf.LintOptions{WideSurfaceMin: *wideMin}
+	var report *sgxperf.LintReport
+	if *tracePath != "" {
+		trace, err := sgxperf.LoadTrace(*tracePath)
+		if err != nil {
+			return err
+		}
+		if report, err = sgxperf.HybridLint(iface, trace, opts); err != nil {
+			return err
+		}
+	} else {
+		report = sgxperf.StaticLint(iface, opts)
+	}
+
+	if *jsonOut {
+		raw, err := report.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+		return nil
+	}
+	fmt.Print(report.Render())
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sgxperf"
+)
+
+// Regenerate the golden files after an intentional output change with
+//
+//	go test ./cmd/sgx-perf-lint -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGoldenReports pins the exact text and JSON reports sgx-perf-lint
+// produces for the bundled workload interfaces. The static pass is fully
+// deterministic — same interface, same cost model, same findings in the
+// same order — so any diff here is a real behaviour change.
+func TestGoldenReports(t *testing.T) {
+	for name, build := range bundledInterfaces {
+		iface, err := build()
+		if err != nil {
+			t.Fatalf("%s interface: %v", name, err)
+		}
+		report := sgxperf.StaticLint(iface, sgxperf.LintOptions{})
+
+		text := report.Render()
+		compareGolden(t, name+".txt", []byte(text))
+
+		raw, err := report.MarshalJSON()
+		if err != nil {
+			t.Fatalf("%s json: %v", name, err)
+		}
+		compareGolden(t, name+".json", append(raw, '\n'))
+	}
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("%s drifted from golden file.\n--- want\n%s\n--- got\n%s", name, want, got)
+	}
+}

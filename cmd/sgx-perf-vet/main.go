@@ -1,0 +1,78 @@
+// Command sgx-perf-vet runs the repository's own static-analysis suite
+// (internal/lint): the virtual-clock invariant for simulator packages and
+// the lock-free hot-path invariant for the logger. It exits non-zero when
+// any diagnostic is reported, so `make verify` fails on violations.
+//
+// Usage:
+//
+//	sgx-perf-vet            # analyse the tree rooted at .
+//	sgx-perf-vet -root ../  # analyse another checkout
+//	sgx-perf-vet -list      # print the analyzers and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"sgxperf/internal/lint"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sgx-perf-vet:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		root    = flag.String("root", ".", "repository root to analyse")
+		jsonOut = flag.Bool("json", false, "emit diagnostics as JSON")
+		list    = flag.Bool("list", false, "print the analyzer suite and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+
+	diags, err := lint.Run(*root, analyzers)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			}
+		}
+		raw, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("%d diagnostic(s)", len(diags))
+	}
+	return nil
+}

@@ -22,7 +22,6 @@ package edl
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -257,7 +256,10 @@ func (i *Interface) Validate() ([]string, error) {
 	return warnings, nil
 }
 
-// Format renders the interface back to EDL text.
+// Format renders the interface back to EDL text. The rendering
+// round-trips: Parse(Format(i)) reproduces every function ID, parameter
+// attribute and allow-list — allow entries keep their declaration order,
+// which fixes which ecall a reentrancy finding names as its partner.
 func (i *Interface) Format() string {
 	var b strings.Builder
 	b.WriteString("enclave {\n    trusted {\n")
@@ -274,10 +276,7 @@ func (i *Interface) Format() string {
 		b.WriteString("        ")
 		writeSig(&b, f)
 		if len(f.Allow) > 0 {
-			allow := make([]string, len(f.Allow))
-			copy(allow, f.Allow)
-			sort.Strings(allow)
-			b.WriteString(" allow(" + strings.Join(allow, ", ") + ")")
+			b.WriteString(" allow(" + strings.Join(f.Allow, ", ") + ")")
 		}
 		b.WriteString(";\n")
 	}

@@ -122,6 +122,79 @@ func TestFormatRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFormatSemanticRoundTrip checks the stronger contract Format
+// documents: Parse(Format(i)) reproduces every function ID, parameter
+// attribute and allow-list entry, with allow entries in declaration
+// order. The order matters downstream — the static analyzer names the
+// first allowed ecall as the reentrancy partner.
+func TestFormatSemanticRoundTrip(t *testing.T) {
+	iface := NewInterface()
+	mustEcall := func(name string, public bool, params ...Param) {
+		t.Helper()
+		if _, err := iface.AddEcall(name, public, params...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOcall := func(name string, allow []string, params ...Param) {
+		t.Helper()
+		if _, err := iface.AddOcall(name, allow, params...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEcall("ecall_store", true,
+		Param{Name: "buf", Dir: DirIn, Size: "len"},
+		Param{Name: "len", Dir: DirValue})
+	mustEcall("ecall_load", true,
+		Param{Name: "buf", Dir: DirInOut, Size: "len"},
+		Param{Name: "len", Dir: DirValue})
+	mustEcall("ecall_cb_late", false)
+	mustEcall("ecall_cb_early", false,
+		Param{Name: "p", Dir: DirUserCheck})
+	mustOcall("ocall_log", nil,
+		Param{Name: "msg", Dir: DirIn, IsString: true})
+	// Allow-list deliberately not in name order: declaration order must
+	// survive the round trip.
+	mustOcall("ocall_notify", []string{"ecall_cb_late", "ecall_cb_early"},
+		Param{Name: "code", Dir: DirValue})
+
+	again, _, err := Parse(iface.Format())
+	if err != nil {
+		t.Fatalf("re-parse of Format output: %v\n%s", err, iface.Format())
+	}
+	checkFuncs := func(kind string, want, got []*Func) {
+		t.Helper()
+		if len(want) != len(got) {
+			t.Fatalf("%s count: want %d, got %d", kind, len(want), len(got))
+		}
+		for i := range want {
+			w, g := want[i], got[i]
+			if w.Name != g.Name || w.ID != g.ID || w.Public != g.Public || w.Kind != g.Kind {
+				t.Errorf("%s %d: want %+v, got %+v", kind, i, w, g)
+			}
+			if len(w.Params) != len(g.Params) {
+				t.Fatalf("%s %s param count: want %d, got %d", kind, w.Name, len(w.Params), len(g.Params))
+			}
+			for pi := range w.Params {
+				if w.Params[pi] != g.Params[pi] {
+					t.Errorf("%s %s param %d: want %+v, got %+v",
+						kind, w.Name, pi, w.Params[pi], g.Params[pi])
+				}
+			}
+			if len(w.Allow) != len(g.Allow) {
+				t.Fatalf("%s %s allow count: want %v, got %v", kind, w.Name, w.Allow, g.Allow)
+			}
+			for ai := range w.Allow {
+				if w.Allow[ai] != g.Allow[ai] {
+					t.Errorf("%s %s allow order drifted: want %v, got %v",
+						kind, w.Name, w.Allow, g.Allow)
+				}
+			}
+		}
+	}
+	checkFuncs("ecall", iface.Ecalls(), again.Ecalls())
+	checkFuncs("ocall", iface.Ocalls(), again.Ocalls())
+}
+
 func TestParseErrors(t *testing.T) {
 	tests := []struct {
 		name string
@@ -155,17 +228,188 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
-func TestValidateWarnsUnreachablePrivateEcall(t *testing.T) {
-	iface := NewInterface()
-	if _, err := iface.AddEcall("ecall_hidden", false); err != nil {
-		t.Fatal(err)
+// TestValidateWarnings exercises every warning path of Validate with
+// programmatically built interfaces: user_check pointers on both call
+// kinds, unreachable private ecalls, and the clean cases that must stay
+// silent (public ecalls, private ecalls reachable via an allow-list).
+func TestValidateWarnings(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func(t *testing.T) *Interface
+		want  []string // substrings, one per expected warning, in order
+	}{
+		{
+			name: "unreachable_private_ecall",
+			build: func(t *testing.T) *Interface {
+				iface := NewInterface()
+				if _, err := iface.AddEcall("ecall_hidden", false); err != nil {
+					t.Fatal(err)
+				}
+				return iface
+			},
+			want: []string{"ecall_hidden is private but allowed by no ocall"},
+		},
+		{
+			name: "user_check_on_ecall",
+			build: func(t *testing.T) *Interface {
+				iface := NewInterface()
+				if _, err := iface.AddEcall("ecall_peek", true,
+					Param{Name: "p", Dir: DirUserCheck}); err != nil {
+					t.Fatal(err)
+				}
+				return iface
+			},
+			want: []string{`ecall ecall_peek: parameter "p" is user_check`},
+		},
+		{
+			name: "user_check_on_ocall",
+			build: func(t *testing.T) *Interface {
+				iface := NewInterface()
+				if _, err := iface.AddOcall("ocall_raw", nil,
+					Param{Name: "buf", Dir: DirUserCheck}); err != nil {
+					t.Fatal(err)
+				}
+				return iface
+			},
+			want: []string{`ocall ocall_raw: parameter "buf" is user_check`},
+		},
+		{
+			name: "reachable_private_ecall_is_silent",
+			build: func(t *testing.T) *Interface {
+				iface := NewInterface()
+				if _, err := iface.AddEcall("ecall_cb", false); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := iface.AddOcall("ocall_wait", []string{"ecall_cb"}); err != nil {
+					t.Fatal(err)
+				}
+				return iface
+			},
+			want: nil,
+		},
+		{
+			name: "public_ecall_is_silent",
+			build: func(t *testing.T) *Interface {
+				iface := NewInterface()
+				if _, err := iface.AddEcall("ecall_work", true,
+					Param{Name: "buf", Dir: DirIn, Size: "len"},
+					Param{Name: "len", Dir: DirValue}); err != nil {
+					t.Fatal(err)
+				}
+				return iface
+			},
+			want: nil,
+		},
+		{
+			name: "warnings_accumulate_across_functions",
+			build: func(t *testing.T) *Interface {
+				iface := NewInterface()
+				if _, err := iface.AddEcall("ecall_peek", true,
+					Param{Name: "p", Dir: DirUserCheck}); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := iface.AddEcall("ecall_hidden", false); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := iface.AddOcall("ocall_raw", nil,
+					Param{Name: "buf", Dir: DirUserCheck}); err != nil {
+					t.Fatal(err)
+				}
+				return iface
+			},
+			want: []string{
+				`ecall ecall_peek: parameter "p" is user_check`,
+				"ecall_hidden is private but allowed by no ocall",
+				`ocall ocall_raw: parameter "buf" is user_check`,
+			},
+		},
 	}
-	warnings, err := iface.Validate()
-	if err != nil {
-		t.Fatal(err)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			warnings, err := tt.build(t).Validate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(warnings) != len(tt.want) {
+				t.Fatalf("got %d warnings %v, want %d", len(warnings), warnings, len(tt.want))
+			}
+			for i, sub := range tt.want {
+				if !strings.Contains(warnings[i], sub) {
+					t.Errorf("warning %d = %q, want substring %q", i, warnings[i], sub)
+				}
+			}
+		})
 	}
-	if len(warnings) != 1 || !strings.Contains(warnings[0], "unreachable") {
-		t.Fatalf("warnings = %v", warnings)
+}
+
+// TestValidateErrors covers the hard-violation paths reachable only
+// through the programmatic builder (the parser rejects these earlier).
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func(t *testing.T) *Interface
+		want  string
+	}{
+		{
+			name: "allow_unknown_function",
+			build: func(t *testing.T) *Interface {
+				iface := NewInterface()
+				if _, err := iface.AddOcall("ocall_x", []string{"ghost"}); err != nil {
+					t.Fatal(err)
+				}
+				return iface
+			},
+			want: "allows unknown function",
+		},
+		{
+			name: "allow_names_ocall",
+			build: func(t *testing.T) *Interface {
+				iface := NewInterface()
+				if _, err := iface.AddOcall("ocall_a", nil); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := iface.AddOcall("ocall_b", []string{"ocall_a"}); err != nil {
+					t.Fatal(err)
+				}
+				return iface
+			},
+			want: "not an ecall",
+		},
+		{
+			name: "duplicate_parameter",
+			build: func(t *testing.T) *Interface {
+				iface := NewInterface()
+				if _, err := iface.AddEcall("ecall_dup", true,
+					Param{Name: "a"}, Param{Name: "a"}); err != nil {
+					t.Fatal(err)
+				}
+				return iface
+			},
+			want: "duplicate parameter",
+		},
+		{
+			name: "size_names_no_parameter",
+			build: func(t *testing.T) *Interface {
+				iface := NewInterface()
+				if _, err := iface.AddEcall("ecall_bad", true,
+					Param{Name: "buf", Dir: DirIn, Size: "missing"}); err != nil {
+					t.Fatal(err)
+				}
+				return iface
+			},
+			want: "names no parameter",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tt.build(t).Validate()
+			if err == nil {
+				t.Fatalf("Validate succeeded, want error containing %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q does not contain %q", err, tt.want)
+			}
+		})
 	}
 }
 

@@ -23,6 +23,34 @@ func FuzzParse(f *testing.F) {
 		"",
 		"enclave { trusted { public e([size=, in] p); }; };",
 		strings.Repeat("enclave {", 50),
+		// Shapes the static interface analyzer (internal/perf/staticlint)
+		// cares about: reentrancy cycles via allow-lists, user_check
+		// pointers on both call kinds, unreachable private ecalls, and
+		// un-sized in/out buffers.
+		`enclave {
+    trusted {
+        public ecall_put([in, size=len] buf, len);
+        public ecall_peek([user_check] p);
+        ecall_resume();
+        ecall_orphan();
+    };
+    untrusted {
+        ocall_wait() allow(ecall_resume);
+        ocall_raw([user_check] buf);
+        ocall_unsized([in] blob);
+    };
+};`,
+		`enclave {
+    trusted {
+        public sgx_ecall_from_client([in, size=len] req, len);
+        sgx_ecall_renew_session_key([user_check] sealed_key);
+    };
+    untrusted {
+        ocall_zk_notify(code) allow(sgx_ecall_renew_session_key);
+        ocall_print_debug([in, string] msg);
+    };
+};`,
+		"enclave { untrusted { o1() allow(e1, e2); }; trusted { e2(); e1(); }; };",
 	}
 	for _, s := range seeds {
 		f.Add(s)

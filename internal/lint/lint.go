@@ -1,0 +1,202 @@
+// Package lint is a small static-analysis framework for the repository's
+// own invariants, mirroring the golang.org/x/tools go/analysis API shape
+// (Analyzer → Pass → Diagnostic) on the standard library's go/ast and
+// go/parser alone, so the tree stays dependency-free.
+//
+// Two invariants matter enough to machine-check here:
+//
+//   - the simulator runs on virtual time, so wall-clock reads in
+//     simulator packages are bugs even when tests pass (see VirtualClock);
+//   - the logger's hot path is lock-free by design (one shard-local lock
+//     at most), so Logger-level mutex acquisition in a hot-path method is
+//     a regression even when the race detector stays quiet (see
+//     HotPathLocks).
+//
+// The cmd/sgx-perf-vet driver runs every analyzer over the tree; `make
+// verify` runs the driver.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzers returns the full analyzer suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{VirtualClock, HotPathLocks}
+}
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lowercase, no spaces).
+	Name string
+	// Doc is the one-paragraph description the driver prints.
+	Doc string
+	// Packages restricts the analyzer to packages whose root-relative
+	// directory has one of these prefixes. Empty means every package.
+	Packages []string
+	// Run inspects one package and reports diagnostics through the pass.
+	Run func(*Pass) error
+}
+
+// applies reports whether the analyzer covers the given package dir.
+func (a *Analyzer) applies(relDir string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	rel := filepath.ToSlash(relDir)
+	for _, p := range a.Packages {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// A Pass hands one parsed package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test sources, sorted by filename.
+	Files []*ast.File
+	// Dir is the package directory relative to the analysis root.
+	Dir string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at the given position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned in the source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		filepath.ToSlash(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run parses every Go package under root and applies the analyzers,
+// returning the diagnostics sorted by position. Test files, testdata
+// trees and hidden directories are skipped; parse errors abort the run —
+// the build is broken anyway.
+func Run(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, fset, err := parseTree(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(pkgs))
+	for dir := range pkgs {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		for _, a := range analyzers {
+			if !a.applies(dir) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkgs[dir],
+				Dir:      dir,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("lint: %s on %s: %w", a.Name, dir, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// parseTree parses all non-test Go files under root, grouped by their
+// directory relative to root.
+func parseTree(root string) (map[string][]*ast.File, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	pkgs := make(map[string][]*ast.File)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		pkgs[rel] = append(pkgs[rel], file)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, files := range pkgs {
+		sort.Slice(files, func(i, j int) bool {
+			return fset.Position(files[i].Package).Filename < fset.Position(files[j].Package).Filename
+		})
+	}
+	return pkgs, fset, nil
+}
+
+// importName returns the local name under which file imports the given
+// path: the alias if renamed, the default base name otherwise, "" if the
+// path is not imported, and "." for dot imports.
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}

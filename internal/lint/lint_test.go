@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a synthetic source tree for Run.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func messages(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func TestVirtualClockFlagsWallClockReads(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/sgx/clock.go": `package sgx
+
+import "time"
+
+func bad() time.Time { return time.Now() }
+
+func alsoBad() { time.Sleep(time.Millisecond) }
+
+// Durations and conversions stay legal.
+func fine(d time.Duration) time.Duration { return d + time.Nanosecond }
+`,
+		// Aliased import: the check must follow the rename.
+		"internal/sdk/alias.go": `package sdk
+
+import wall "time"
+
+func sneaky() wall.Time { return wall.Now() }
+`,
+		// Outside the configured packages: wall clock is fine.
+		"cmd/tool/main.go": `package main
+
+import "time"
+
+func main() { _ = time.Now() }
+`,
+		// Test files are exempt (watchdog deadlines).
+		"internal/sgx/clock_test.go": `package sgx
+
+import "time"
+
+func watchdog() { time.Sleep(time.Second) }
+`,
+	})
+	diags, err := Run(root, []*Analyzer{VirtualClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("diagnostics = %v, want 3", messages(diags))
+	}
+	for _, want := range []string{"time.Now", "time.Sleep", "wall.Now"} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no diagnostic mentions %s: %v", want, messages(diags))
+		}
+	}
+}
+
+func TestVirtualClockShadowedIdentifier(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/sgx/shadow.go": `package sgx
+
+import "time"
+
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func fine() int {
+	time := clock{} // local shadows the import
+	return time.Now()
+}
+
+var _ = time.Nanosecond
+`,
+	})
+	diags, err := Run(root, []*Analyzer{VirtualClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("shadowed identifier flagged: %v", messages(diags))
+	}
+}
+
+const hotPathSrc = `package logger
+
+import "sync"
+
+type Logger struct {
+	mu      sync.Mutex
+	tableMu sync.RWMutex
+	n       int
+}
+
+type shard struct {
+	mu sync.Mutex
+}
+
+// record is hot.
+//
+//sgxperf:hotpath
+func (l *Logger) record(sh *shard) {
+	sh.mu.Lock() // shard-local: legal
+	sh.mu.Unlock()
+	%s
+}
+
+// grow is the slow path: receiver locks are fine here.
+func (l *Logger) grow() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.n++
+}
+`
+
+func TestHotPathFlagsReceiverMutex(t *testing.T) {
+	src := strings.Replace(hotPathSrc, "%s", "l.mu.Lock()\n\tl.mu.Unlock()\n\tl.tableMu.RLock()\n\tl.tableMu.RUnlock()", 1)
+	root := writeTree(t, map[string]string{"internal/perf/logger/logger.go": src})
+	diags, err := Run(root, []*Analyzer{HotPathLocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2 (Lock + RLock)", messages(diags))
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "Logger.record") {
+			t.Fatalf("diagnostic does not name the method: %s", d)
+		}
+	}
+}
+
+func TestHotPathCleanMethodPasses(t *testing.T) {
+	src := strings.Replace(hotPathSrc, "%s", "_ = l.n", 1)
+	root := writeTree(t, map[string]string{"internal/perf/logger/logger.go": src})
+	diags, err := Run(root, []*Analyzer{HotPathLocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("clean hot path flagged: %v", messages(diags))
+	}
+}
+
+func TestHotPathFlagsClosureBodies(t *testing.T) {
+	src := strings.Replace(hotPathSrc, "%s", "f := func() { l.mu.Lock(); l.mu.Unlock() }; f()", 1)
+	root := writeTree(t, map[string]string{"internal/perf/logger/logger.go": src})
+	diags, err := Run(root, []*Analyzer{HotPathLocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want 1 (lock inside closure)", messages(diags))
+	}
+}
+
+func TestHotPathRequiresAnnotations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/perf/logger/logger.go": `package logger
+
+func plain() {}
+`,
+	})
+	diags, err := Run(root, []*Analyzer{HotPathLocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "no //sgxperf:hotpath") {
+		t.Fatalf("missing-annotation diagnostic not emitted: %v", messages(diags))
+	}
+}
+
+func TestRunSkipsTestdataAndSortsDiagnostics(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/sgx/testdata/bad.go": `package bad
+
+import "time"
+
+var _ = time.Now()
+`,
+		"internal/sgx/b.go": `package sgx
+
+import "time"
+
+var _ = time.Now()
+`,
+		"internal/sgx/a.go": `package sgx
+
+import "time"
+
+var _ = time.Now()
+`,
+	})
+	diags, err := Run(root, []*Analyzer{VirtualClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2 (testdata skipped)", messages(diags))
+	}
+	if !strings.HasSuffix(diags[0].Pos.Filename, "a.go") {
+		t.Fatalf("diagnostics not sorted by file: %v", messages(diags))
+	}
+}
+
+func TestRunAbortsOnParseError(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/sgx/broken.go": "package sgx\n\nfunc {",
+	})
+	if _, err := Run(root, []*Analyzer{VirtualClock}); err == nil {
+		t.Fatal("parse error not reported")
+	}
+}
+
+// TestRepositoryIsClean runs the full analyzer suite over this repository:
+// the invariants the analyzers encode must hold on the tree that ships
+// them.
+func TestRepositoryIsClean(t *testing.T) {
+	diags, err := Run("../..", Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("repository violates its own invariants:\n%s", strings.Join(messages(diags), "\n"))
+	}
+}

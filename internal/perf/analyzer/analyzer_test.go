@@ -725,6 +725,11 @@ func TestCatalogueMatchesTable1(t *testing.T) {
 		ProblemPermissiveInterface: {
 			SolutionLimitPublicEcalls, SolutionLimitEcallsFromOcalls, SolutionCheckPointers,
 		},
+		ProblemReentrancy: {SolutionLimitEcallsFromOcalls, SolutionRemoveDead},
+		ProblemLargeCopies: {
+			SolutionReduceCopies, SolutionSwitchless, SolutionMoveCaller,
+		},
+		ProblemTransitionBound: {SolutionSwitchless, SolutionBatch, SolutionDuplicate},
 	}
 	if len(cat) != len(want) {
 		t.Fatalf("catalogue has %d problems, want %d", len(cat), len(want))

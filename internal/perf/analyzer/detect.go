@@ -25,6 +25,22 @@ const (
 	// needs. The analyser reports it through SecurityHints rather than
 	// Findings, but it is part of the problem catalogue.
 	ProblemPermissiveInterface
+	// ProblemReentrancy flags ecall→ocall→ecall cycles reachable through
+	// the interface's allow-lists: an allowed ecall may re-issue the same
+	// ocall, so the nesting depth is unbounded and every level consumes
+	// trusted stack (§3.6). Found statically by the interface analyser.
+	ProblemReentrancy
+	// ProblemLargeCopies flags calls whose [in]/[out] buffer copies are
+	// large or statically unbounded: the marshalling cost grows past the
+	// transition round-trip itself (§6, "reduce copies"). Found statically
+	// by the interface analyser from the machine's cost model.
+	ProblemLargeCopies
+	// ProblemTransitionBound flags calls that marshal almost nothing, so
+	// the transition round-trip is their dominant cost — the static
+	// counterpart of Equation 1's transition-dominated calls, and the
+	// candidate set for switchless workers ("SGX Switchless Calls Made
+	// Configless").
+	ProblemTransitionBound
 )
 
 // String names the problem as in the paper.
@@ -42,6 +58,12 @@ func (p Problem) String() string {
 		return "Paging"
 	case ProblemPermissiveInterface:
 		return "Permissive Enclave Interface"
+	case ProblemReentrancy:
+		return "Reentrant Enclave Interface"
+	case ProblemLargeCopies:
+		return "Expensive Boundary Copies"
+	case ProblemTransitionBound:
+		return "Transition-Bound Calls"
 	default:
 		return "Unknown"
 	}
@@ -78,6 +100,15 @@ const (
 	SolutionLimitEcallsFromOcalls
 	// SolutionCheckPointers verifies user_check pointer handling.
 	SolutionCheckPointers
+	// SolutionSwitchless services the call with a worker thread instead of
+	// an enclave transition ("SGX Switchless Calls Made Configless").
+	SolutionSwitchless
+	// SolutionReduceCopies shrinks or chunks the [in]/[out] buffer copies
+	// of a call (§6).
+	SolutionReduceCopies
+	// SolutionRemoveDead deletes interface surface no caller can reach
+	// (private ecalls allowed by no ocall).
+	SolutionRemoveDead
 )
 
 // String names the solution.
@@ -109,6 +140,12 @@ func (s Solution) String() string {
 		return "limit ecalls from ocalls"
 	case SolutionCheckPointers:
 		return "check data and pointers"
+	case SolutionSwitchless:
+		return "use switchless calls"
+	case SolutionReduceCopies:
+		return "reduce boundary copies"
+	case SolutionRemoveDead:
+		return "remove unreachable ecalls"
 	default:
 		return "unknown"
 	}
@@ -125,6 +162,11 @@ func Catalogue() map[Problem][]Solution {
 		ProblemPermissiveInterface: {
 			SolutionLimitPublicEcalls, SolutionLimitEcallsFromOcalls, SolutionCheckPointers,
 		},
+		ProblemReentrancy: {SolutionLimitEcallsFromOcalls, SolutionRemoveDead},
+		ProblemLargeCopies: {
+			SolutionReduceCopies, SolutionSwitchless, SolutionMoveCaller,
+		},
+		ProblemTransitionBound: {SolutionSwitchless, SolutionBatch, SolutionDuplicate},
 	}
 }
 

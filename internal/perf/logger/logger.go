@@ -267,6 +267,8 @@ func mitigationName(c sgx.CostModel) string {
 
 // shard returns the calling thread's recorder shard, creating it on first
 // sight. The fast path is one atomic load and two bounds checks.
+//
+//sgxperf:hotpath
 func (l *Logger) shard(tid sgx.ThreadID) *shard {
 	if s := l.shards.Load(); s != nil && int(tid) >= 0 && int(tid) < len(*s) {
 		if sh := (*s)[tid]; sh != nil {
@@ -411,6 +413,8 @@ func (l *Logger) Detach() {
 // start time, thread and identifiers, swap in the stub ocall table, call
 // the real implementation, record the end time. All bookkeeping stays in
 // the thread's own shard — no global lock is taken.
+//
+//sgxperf:hotpath
 func (l *Logger) sgxEcall(ctx *sgx.Context, eid sgx.EnclaveID, callID int, otab *sdk.OcallTable, args any) (any, error) {
 	if !l.enabled.Load() {
 		return l.next(ctx, eid, callID, otab, args)
@@ -456,6 +460,8 @@ func ecallName(names []string, callID int) string {
 // event under one shard lock acquisition, flushing when the buffer reaches
 // the configured batch size. withAEX fills in the popped entry's AEX count
 // (ecalls only).
+//
+//sgxperf:hotpath
 func (l *Logger) popRecord(sh *shard, buf *[]events.CallEvent, withAEX bool, ev events.CallEvent) {
 	sh.mu.Lock()
 	if n := len(sh.stack); n > 0 {
@@ -478,6 +484,8 @@ func (l *Logger) popRecord(sh *shard, buf *[]events.CallEvent, withAEX bool, ev 
 // metadata on first sight — including its EDL interface, so the analyser
 // can run its security checks without being handed the file separately.
 // The fast path is one atomic load and an index.
+//
+//sgxperf:hotpath
 func (l *Logger) enclaveNames(eid sgx.EnclaveID) []string {
 	if p := l.encNames.Load(); p != nil && int(eid) >= 0 && int(eid) < len(*p) {
 		if names := (*p)[eid]; names != nil {
@@ -529,6 +537,8 @@ func (l *Logger) noteEnclave(eid sgx.EnclaveID) []string {
 // logging events and then calling the original function pointer (Fig. 3).
 // The lookup is lock-free; builds serialise on stubMu with a re-check, so
 // concurrent first ecalls never generate the same stub table twice.
+//
+//sgxperf:hotpath
 func (l *Logger) stubTable(orig *sdk.OcallTable) *sdk.OcallTable {
 	if orig == nil {
 		return nil
@@ -541,6 +551,12 @@ func (l *Logger) stubTable(orig *sdk.OcallTable) *sdk.OcallTable {
 		l.lastStub.Store(&stubPair{orig: orig, stub: s})
 		return s
 	}
+	return l.buildStubTable(orig)
+}
+
+// buildStubTable generates the stub table behind stubMu, re-checking the
+// cache so concurrent first ecalls build it only once.
+func (l *Logger) buildStubTable(orig *sdk.OcallTable) *sdk.OcallTable {
 	l.stubMu.Lock()
 	defer l.stubMu.Unlock()
 	if stub, ok := l.stubCache.Load(orig); ok {
@@ -570,7 +586,10 @@ func (l *Logger) stubTable(orig *sdk.OcallTable) *sdk.OcallTable {
 }
 
 // makeStub generates one call stub, given the ocall's identifier, name and
-// original function pointer.
+// original function pointer. The returned closure is the per-ocall hot
+// path, so the directive covers its body too.
+//
+//sgxperf:hotpath
 func (l *Logger) makeStub(ocallID int, name string, orig sdk.OcallFn) sdk.OcallFn {
 	return func(ctx *sgx.Context, args any) (any, error) {
 		if !l.enabled.Load() {
@@ -611,6 +630,8 @@ func (l *Logger) makeStub(ocallID int, name string, orig sdk.OcallFn) sdk.OcallF
 
 // recordSync reduces the four SDK sync ocalls to sleep and wake events
 // (§4.1.3), tracking which thread wakes which.
+//
+//sgxperf:hotpath
 func (l *Logger) recordSync(ctx *sgx.Context, sh *shard, name string, args any, call events.EventID, now vtime.Cycles) {
 	bufSync := func(ev events.SyncEvent) {
 		sh.mu.Lock()
@@ -663,6 +684,8 @@ func (l *Logger) recordSync(ctx *sgx.Context, sh *shard, name string, args any, 
 // count (and optionally timestamp) the AEX, then chain to the previous
 // handler, which resumes the enclave. The AEP runs on the interrupted
 // thread, so only that thread's shard is touched.
+//
+//sgxperf:hotpath
 func (l *Logger) aep(ctx *sgx.Context, info sgx.AEXInfo) {
 	if l.enabled.Load() {
 		ctx.ComputeCycles(l.aexCycles)
@@ -730,6 +753,8 @@ func (l *Logger) onPaging(sym string, ev kernel.KprobeEvent) {
 
 // push adds a stack entry for the thread and returns the direct parent's
 // event ID (an in-flight call of the opposite kind), or NoEvent.
+//
+//sgxperf:hotpath
 func (l *Logger) push(sh *shard, kind events.CallKind, id events.EventID) events.EventID {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()

@@ -1,0 +1,232 @@
+package staticlint
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"sgxperf/internal/edl"
+)
+
+// Source records how a report was produced.
+type Source int
+
+const (
+	// SourceStatic means the interface alone was analysed.
+	SourceStatic Source = iota
+	// SourceHybrid means static findings were joined with a recorded trace.
+	SourceHybrid
+)
+
+func (s Source) String() string {
+	if s == SourceHybrid {
+		return "hybrid"
+	}
+	return "static"
+}
+
+// Summary condenses the interface shape the detectors saw.
+type Summary struct {
+	Ecalls        int `json:"ecalls"`
+	PublicEcalls  int `json:"public_ecalls"`
+	PrivateEcalls int `json:"private_ecalls"`
+	Ocalls        int `json:"ocalls"`
+	// AllowEdges counts allow-list entries across all ocalls.
+	AllowEdges int `json:"allow_edges"`
+	// UserCheckParams counts user_check parameters across all functions.
+	UserCheckParams int `json:"user_check_params"`
+}
+
+func summarise(iface *edl.Interface) Summary {
+	var s Summary
+	if iface == nil {
+		return s
+	}
+	for _, e := range iface.Ecalls() {
+		s.Ecalls++
+		if e.Public {
+			s.PublicEcalls++
+		} else {
+			s.PrivateEcalls++
+		}
+		for _, p := range e.Params {
+			if p.Dir == edl.DirUserCheck {
+				s.UserCheckParams++
+			}
+		}
+	}
+	for _, o := range iface.Ocalls() {
+		s.Ocalls++
+		s.AllowEdges += len(o.Allow)
+		for _, p := range o.Params {
+			if p.Dir == edl.DirUserCheck {
+				s.UserCheckParams++
+			}
+		}
+	}
+	return s
+}
+
+// Report is the output of the static pass, optionally joined with a trace.
+type Report struct {
+	// Workload names the traced workload (hybrid reports only).
+	Workload string
+	Source   Source
+	Summary  Summary
+	Findings []RankedFinding
+	// StaticOnly lists calls with findings that never executed in the
+	// trace (hybrid reports only).
+	StaticOnly []string
+	// DynamicOnly lists calls the trace observed that the interface does
+	// not declare (hybrid reports only).
+	DynamicOnly []DynamicOnly
+	// Warnings are the interface's own Validate warnings.
+	Warnings []string
+}
+
+// HasProblem reports whether any finding carries the given problem class.
+func (r *Report) HasProblem(p fmt.Stringer) bool {
+	for _, f := range r.Findings {
+		if f.Problem.String() == p.String() {
+			return true
+		}
+	}
+	return false
+}
+
+// FindingsFor returns the findings about one call.
+func (r *Report) FindingsFor(call string) []RankedFinding {
+	var out []RankedFinding
+	for _, f := range r.Findings {
+		if f.Call == call {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Render produces the human-readable report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sgx-perf static interface analysis (%s)\n", r.Source)
+	if r.Workload != "" {
+		fmt.Fprintf(&b, "workload: %s\n", r.Workload)
+	}
+	fmt.Fprintf(&b, "interface: %d ecalls (%d public, %d private), %d ocalls, %d allow edges, %d user_check params\n",
+		r.Summary.Ecalls, r.Summary.PublicEcalls, r.Summary.PrivateEcalls,
+		r.Summary.Ocalls, r.Summary.AllowEdges, r.Summary.UserCheckParams)
+	if len(r.Findings) == 0 {
+		b.WriteString("no findings\n")
+	} else {
+		fmt.Fprintf(&b, "%d finding%s\n", len(r.Findings), plural(len(r.Findings)))
+	}
+	for i, f := range r.Findings {
+		fmt.Fprintf(&b, "\n[%d] %s — %s %s", i+1, f.Problem, f.Kind, f.Call)
+		if f.Partner != "" {
+			fmt.Fprintf(&b, " (with %s)", f.Partner)
+		}
+		if r.Source == SourceHybrid {
+			fmt.Fprintf(&b, " — observed %d×, rank %.2f", f.Observed, f.HybridScore)
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "    %s\n", f.Evidence)
+		if len(f.Solutions) > 0 {
+			sols := make([]string, len(f.Solutions))
+			for j, s := range f.Solutions {
+				sols[j] = s.String()
+			}
+			fmt.Fprintf(&b, "    recommend: %s\n", strings.Join(sols, "; "))
+		}
+		if f.SecurityNote != "" {
+			fmt.Fprintf(&b, "    security: %s\n", f.SecurityNote)
+		}
+	}
+	if len(r.StaticOnly) > 0 {
+		fmt.Fprintf(&b, "\nstatic-only (declared, flagged, never executed): %s\n",
+			strings.Join(r.StaticOnly, ", "))
+	}
+	for i, d := range r.DynamicOnly {
+		if i == 0 {
+			b.WriteString("\ndynamic-only (observed, not declared):\n")
+		}
+		fmt.Fprintf(&b, "    %s %s ×%d", d.Kind, d.Name, d.Count)
+		if d.Note != "" {
+			fmt.Fprintf(&b, " (%s)", d.Note)
+		}
+		b.WriteByte('\n')
+	}
+	for i, w := range r.Warnings {
+		if i == 0 {
+			b.WriteString("\ninterface warnings:\n")
+		}
+		fmt.Fprintf(&b, "    %s\n", w)
+	}
+	return b.String()
+}
+
+// jsonFinding is the JSON view of a RankedFinding, with enums as strings.
+type jsonFinding struct {
+	Problem      string   `json:"problem"`
+	Call         string   `json:"call"`
+	Kind         string   `json:"kind"`
+	Partner      string   `json:"partner,omitempty"`
+	Evidence     string   `json:"evidence"`
+	Solutions    []string `json:"solutions,omitempty"`
+	SecurityNote string   `json:"security_note,omitempty"`
+	Score        float64  `json:"score"`
+	Observed     int      `json:"observed,omitempty"`
+	HybridScore  float64  `json:"hybrid_score,omitempty"`
+}
+
+type jsonDynamicOnly struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Count int    `json:"count"`
+	Note  string `json:"note,omitempty"`
+}
+
+type jsonReport struct {
+	Workload    string            `json:"workload,omitempty"`
+	Source      string            `json:"source"`
+	Summary     Summary           `json:"summary"`
+	Findings    []jsonFinding     `json:"findings"`
+	StaticOnly  []string          `json:"static_only,omitempty"`
+	DynamicOnly []jsonDynamicOnly `json:"dynamic_only,omitempty"`
+	Warnings    []string          `json:"warnings,omitempty"`
+}
+
+// MarshalJSON renders the report with every enum as its string form, so
+// the output is stable against renumbering the Go constants.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := jsonReport{
+		Workload: r.Workload,
+		Source:   r.Source.String(),
+		Summary:  r.Summary,
+		Findings: make([]jsonFinding, 0, len(r.Findings)),
+	}
+	for _, f := range r.Findings {
+		jf := jsonFinding{
+			Problem:      f.Problem.String(),
+			Call:         f.Call,
+			Kind:         f.Kind.String(),
+			Partner:      f.Partner,
+			Evidence:     f.Evidence,
+			SecurityNote: f.SecurityNote,
+			Score:        f.Score,
+			Observed:     f.Observed,
+			HybridScore:  f.HybridScore,
+		}
+		for _, s := range f.Solutions {
+			jf.Solutions = append(jf.Solutions, s.String())
+		}
+		out.Findings = append(out.Findings, jf)
+	}
+	out.StaticOnly = r.StaticOnly
+	for _, d := range r.DynamicOnly {
+		out.DynamicOnly = append(out.DynamicOnly, jsonDynamicOnly{
+			Name: d.Name, Kind: d.Kind.String(), Count: d.Count, Note: d.Note,
+		})
+	}
+	out.Warnings = r.Warnings
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -13,16 +13,22 @@ import (
 	"sgxperf/internal/workloads"
 )
 
-// The two ecalls of the SecureKeeper enclave (§5.2.4).
+// The two ecalls of the SecureKeeper enclave (§5.2.4), plus the private
+// key-renewal ecall and the ZooKeeper notification ocall that make the
+// interface exhibit the §3.6 shapes (user_check pointer, allow-list
+// reentrancy) the static lint exists to flag.
 const (
 	EcallFromClient = "sgx_ecall_handle_input_from_client"
 	EcallFromZK     = "sgx_ecall_handle_input_from_zookeeper"
+	EcallRenewKey   = "sgx_ecall_renew_session_key"
+	OcallZKNotify   = "ocall_zk_notify"
 )
 
 // Shape constants from §5.2.4.
 const (
 	// declaredOcalls pads the interface to six ocalls, of which three are
-	// exercised (the debug print plus two sync ocalls).
+	// exercised (the debug print plus two sync ocalls). The pad counts the
+	// debug print, the ZooKeeper notification and generic fillers.
 	declaredOcalls = 6
 	// debugPrintsPerConnect reproduces the "debugging print ocalls during
 	// connection establishment".
@@ -129,16 +135,14 @@ func WithPayloadBase(n int) Option {
 	return func(c *config) { c.payloadBase = n }
 }
 
-// New builds the SecureKeeper proxy enclave and the backing store.
-func New(h *host.Host, ctx *sgx.Context, opts ...Option) (*Workload, error) {
-	cfg := config{payloadBase: 1024}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	_ = cfg
-
-	w := &Workload{h: h, store: NewZKStore(), p: &proxy{sessions: make(map[int]*session)}}
-
+// Interface builds the SecureKeeper EDL interface (§5.2.4): the two
+// public handler ecalls, a private key-renewal ecall reachable only
+// during the ZooKeeper notification ocall (an allow-list reentrancy
+// cycle), the debug print, and generic fillers padding the surface to
+// declaredOcalls. The key-renewal ecall hands its sealed key out through
+// a user_check pointer — exactly the §3.6 obligations the static
+// interface lint reports.
+func Interface() (*edl.Interface, error) {
 	iface := edl.NewInterface()
 	if _, err := iface.AddEcall(EcallFromClient, true,
 		edl.Param{Name: "packet", Dir: edl.DirIn, Size: "len"},
@@ -150,19 +154,47 @@ func New(h *host.Host, ctx *sgx.Context, opts ...Option) (*Workload, error) {
 		edl.Param{Name: "len"}); err != nil {
 		return nil, err
 	}
+	if _, err := iface.AddEcall(EcallRenewKey, false,
+		edl.Param{Name: "sealed_key", Dir: edl.DirUserCheck}); err != nil {
+		return nil, err
+	}
 	if _, err := iface.AddOcall("ocall_print_debug", nil,
 		edl.Param{Name: "msg", Dir: edl.DirIn, IsString: true}); err != nil {
 		return nil, err
 	}
-	for i := 1; i < declaredOcalls; i++ {
+	if _, err := iface.AddOcall(OcallZKNotify, []string{EcallRenewKey}); err != nil {
+		return nil, err
+	}
+	for i := 1; i <= declaredOcalls-2; i++ {
 		if _, err := iface.AddOcall(fmt.Sprintf("ocall_keeper_gen_%d", i), nil); err != nil {
 			return nil, err
 		}
+	}
+	return iface, nil
+}
+
+// New builds the SecureKeeper proxy enclave and the backing store.
+func New(h *host.Host, ctx *sgx.Context, opts ...Option) (*Workload, error) {
+	cfg := config{payloadBase: 1024}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	_ = cfg
+
+	w := &Workload{h: h, store: NewZKStore(), p: &proxy{sessions: make(map[int]*session)}}
+
+	iface, err := Interface()
+	if err != nil {
+		return nil, err
 	}
 
 	impl := map[string]sdk.TrustedFn{
 		EcallFromClient: w.handleFromClient,
 		EcallFromZK:     w.handleFromZK,
+		EcallRenewKey: func(env *sdk.Env, args any) (any, error) {
+			env.Compute(costCryptoOp) // re-derive and seal the session key
+			return nil, nil
+		},
 	}
 	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{
 		Name:       "securekeeper",
@@ -179,8 +211,11 @@ func New(h *host.Host, ctx *sgx.Context, opts ...Option) (*Workload, error) {
 			ctx.Compute(800 * time.Nanosecond) // fprintf to a log
 			return nil, nil
 		},
+		OcallZKNotify: func(ctx *sgx.Context, args any) (any, error) {
+			return nil, nil
+		},
 	}
-	for i := 1; i < declaredOcalls; i++ {
+	for i := 1; i <= declaredOcalls-2; i++ {
 		ocalls[fmt.Sprintf("ocall_keeper_gen_%d", i)] = func(ctx *sgx.Context, args any) (any, error) {
 			return nil, nil
 		}

@@ -74,6 +74,73 @@ type Workload struct {
 	proxies map[string]sdk.Proxy
 }
 
+// EcallProgress is the private progress-handler hook: the engine's
+// long-running statements let the host interrupt them, but only while the
+// fsync ocall is in flight (its allow-list names this ecall alone).
+const EcallProgress = "ecall_sqlite_progress"
+
+// Interface builds the enclavised database's EDL interface (§5.2.2): two
+// hot public ecalls, the private progress hook, the eight named
+// filesystem ocalls and fillers padding the surface to the paper's 41.
+// The read/write ocalls hand their buffers over as user_check pointers —
+// the common (and §3.6-risky) way real SQLite ports avoid double copies —
+// while the merged lseek+write call marshals its buffer properly.
+func Interface() (*edl.Interface, error) {
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall("ecall_db_init", true); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddEcall("ecall_exec_sql", true,
+		edl.Param{Name: "sql", Dir: edl.DirIn, Size: "len", IsString: true},
+		edl.Param{Name: "len"}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddEcall(EcallProgress, false); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallOpen, nil,
+		edl.Param{Name: "path", Dir: edl.DirIn, IsString: true}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallLseek, nil,
+		edl.Param{Name: "fd"}, edl.Param{Name: "offset"}, edl.Param{Name: "whence"}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallWrite, nil,
+		edl.Param{Name: "buf", Dir: edl.DirUserCheck},
+		edl.Param{Name: "fd"}, edl.Param{Name: "len"}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallRead, nil,
+		edl.Param{Name: "buf", Dir: edl.DirUserCheck},
+		edl.Param{Name: "fd"}, edl.Param{Name: "len"}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallFsync, []string{EcallProgress},
+		edl.Param{Name: "fd"}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallTruncate, nil,
+		edl.Param{Name: "fd"}, edl.Param{Name: "size"}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallFileSize, nil,
+		edl.Param{Name: "fd"}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallLseekWrite, nil,
+		edl.Param{Name: "buf", Dir: edl.DirIn, Size: "len"},
+		edl.Param{Name: "fd"}, edl.Param{Name: "offset"}, edl.Param{Name: "len"}); err != nil {
+		return nil, err
+	}
+	for i := 0; i < FillerOcalls; i++ {
+		if _, err := iface.AddOcall(fmt.Sprintf("ocall_sqlite_gen_%02d", i), nil); err != nil {
+			return nil, err
+		}
+	}
+	return iface, nil
+}
+
 // New builds the workload. The enclave variants create an enclave whose
 // interface declares 2 hot ecalls and 41 ocalls (§5.2.2).
 func New(h *host.Host, variant Variant, ctx *sgx.Context) (*Workload, error) {
@@ -93,28 +160,9 @@ func New(h *host.Host, variant Variant, ctx *sgx.Context) (*Workload, error) {
 		return nil, fmt.Errorf("minidb: unknown variant %q", variant)
 	}
 
-	iface := edl.NewInterface()
-	if _, err := iface.AddEcall("ecall_db_init", true); err != nil {
+	iface, err := Interface()
+	if err != nil {
 		return nil, err
-	}
-	if _, err := iface.AddEcall("ecall_exec_sql", true,
-		edl.Param{Name: "sql", Dir: edl.DirIn, Size: "len", IsString: true},
-		edl.Param{Name: "len"}); err != nil {
-		return nil, err
-	}
-	ocallNames := []string{
-		OcallOpen, OcallLseek, OcallWrite, OcallRead,
-		OcallFsync, OcallTruncate, OcallFileSize, OcallLseekWrite,
-	}
-	for _, name := range ocallNames {
-		if _, err := iface.AddOcall(name, nil); err != nil {
-			return nil, err
-		}
-	}
-	for i := 0; i < FillerOcalls; i++ {
-		if _, err := iface.AddOcall(fmt.Sprintf("ocall_sqlite_gen_%02d", i), nil); err != nil {
-			return nil, err
-		}
 	}
 
 	holder := &envHolder{}

@@ -8,6 +8,7 @@ import (
 	"sgxperf/internal/perf/analyzer"
 	"sgxperf/internal/perf/live"
 	"sgxperf/internal/perf/logger"
+	"sgxperf/internal/perf/staticlint"
 	"sgxperf/internal/sdk"
 )
 
@@ -136,6 +137,23 @@ func (s *Session) Analyze() (*Report, error) {
 		return nil, fmt.Errorf("session: %w", err)
 	}
 	return a.Analyze(), nil
+}
+
+// Lint runs the static interface analysis over the session's interface:
+// findings from the EDL alone, before (or without) any workload run.
+func (s *Session) Lint(opts LintOptions) *LintReport {
+	return staticlint.Static(s.Interface, opts)
+}
+
+// LintHybrid joins the static findings with everything the session's
+// logger has recorded so far, ranking them by observed call counts and
+// flagging static-only and dynamic-only discrepancies.
+func (s *Session) LintHybrid(opts LintOptions) (*LintReport, error) {
+	r, err := staticlint.Hybrid(s.Interface, s.Logger.Trace(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	return r, nil
 }
 
 // Live attaches a streaming collector to the session's trace. The

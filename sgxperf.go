@@ -43,6 +43,7 @@ import (
 	"sgxperf/internal/perf/events"
 	"sgxperf/internal/perf/live"
 	"sgxperf/internal/perf/logger"
+	"sgxperf/internal/perf/staticlint"
 	"sgxperf/internal/perf/workingset"
 	"sgxperf/internal/sdk"
 	"sgxperf/internal/sgx"
@@ -142,6 +143,14 @@ type (
 	// LiveOptions configures AttachLive (weights, enclave filter,
 	// rate-window width).
 	LiveOptions = live.Options
+	// LintReport is the static interface analysis, optionally joined with
+	// a recorded trace (hybrid mode).
+	LintReport = staticlint.Report
+	// LintOptions tunes the static detectors (cost model, thresholds).
+	LintOptions = staticlint.Options
+	// RankedFinding is a static finding with its trace-observed execution
+	// count and hybrid rank.
+	RankedFinding = staticlint.RankedFinding
 )
 
 // Sentinel errors of the public surface; match with errors.Is through
@@ -168,14 +177,34 @@ const (
 	AEXTrace = logger.AEXTrace
 )
 
-// Problem and solution classes (Table 1).
+// Problem and solution classes: Table 1's dynamic anti-patterns plus the
+// classes the static interface analyser adds.
 const (
-	ProblemSISC   = analyzer.ProblemSISC
-	ProblemSDSC   = analyzer.ProblemSDSC
-	ProblemSNC    = analyzer.ProblemSNC
-	ProblemSSC    = analyzer.ProblemSSC
-	ProblemPaging = analyzer.ProblemPaging
+	ProblemSISC                = analyzer.ProblemSISC
+	ProblemSDSC                = analyzer.ProblemSDSC
+	ProblemSNC                 = analyzer.ProblemSNC
+	ProblemSSC                 = analyzer.ProblemSSC
+	ProblemPaging              = analyzer.ProblemPaging
+	ProblemPermissiveInterface = analyzer.ProblemPermissiveInterface
+	ProblemReentrancy          = analyzer.ProblemReentrancy
+	ProblemLargeCopies         = analyzer.ProblemLargeCopies
+	ProblemTransitionBound     = analyzer.ProblemTransitionBound
 )
+
+// StaticLint runs the static interface analysis: findings from the EDL
+// alone, with no workload run (§3.6 and §6 shapes visible in the
+// interface definition).
+func StaticLint(iface *Interface, opts LintOptions) *LintReport {
+	return staticlint.Static(iface, opts)
+}
+
+// HybridLint joins the static findings with a recorded trace: findings
+// are re-ranked by observed call counts, and static-only and
+// dynamic-only discrepancies are flagged. A nil interface falls back to
+// the EDL embedded in the trace.
+func HybridLint(iface *Interface, t *Trace, opts LintOptions) (*LintReport, error) {
+	return staticlint.Hybrid(iface, t, opts)
+}
 
 // NewHost builds a simulated SGX host.
 func NewHost(opts ...HostOption) (*Host, error) { return host.New(opts...) }
