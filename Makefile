@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench-contention
+.PHONY: build test vet lint race verify bench-contention bench-analyze
 
 build:
 	$(GO) build ./...
@@ -18,13 +18,16 @@ lint: vet
 	$(GO) run ./cmd/sgx-perf-vet
 
 # The recording pipeline, the live streaming engine
-# (internal/perf/live) and the event store with its subscription tap
-# (internal/evstore) are the concurrency-sensitive packages; run their
-# suites under the race detector, together with the simulator layers they
-# drive (machine, SDK runtime, host) — lock-ordering bugs between the
-# logger and the SDK sync primitives only surface when both run raced.
+# (internal/perf/live), the event store with its subscription tap and
+# parallel codec (internal/evstore) and the shared worker pool
+# (internal/pool) behind the parallel analyzer are the
+# concurrency-sensitive packages; run their suites under the race
+# detector, together with the simulator layers they drive (machine, SDK
+# runtime, host) — lock-ordering bugs between the logger and the SDK
+# sync primitives only surface when both run raced.
 race:
 	$(GO) test -race ./internal/perf/... ./internal/evstore/... \
+		./internal/pool/... \
 		./internal/sgx/... ./internal/sdk/... ./internal/host/...
 
 # verify is the documented check for this repo: lint (go vet + the
@@ -34,6 +37,7 @@ verify: lint
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/perf/... ./internal/evstore/... \
+		./internal/pool/... \
 		./internal/sgx/... ./internal/sdk/... ./internal/host/...
 
 # Re-measure logger recording throughput, chaining the previous results
@@ -41,3 +45,10 @@ verify: lint
 bench-contention:
 	$(GO) run ./cmd/sgx-perf-bench -exp contention \
 		-baseline BENCH_results.json -json BENCH_results.json
+
+# Measure analysis-pipeline throughput (serial vs parallel) and trace
+# codec speed (gob vs columnar), merging the rows into BENCH_results.json
+# under the "analyze" key.
+bench-analyze:
+	GOMAXPROCS=8 $(GO) run ./cmd/sgx-perf-bench -exp analyze -repeats 5 \
+		-json BENCH_results.json

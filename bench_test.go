@@ -12,11 +12,15 @@ package sgxperf_test
 // or, with the paper's full experiment sizes, via cmd/sgx-perf-bench -full.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 	"time"
 
+	"sgxperf"
+	"sgxperf/internal/evstore"
 	"sgxperf/internal/experiments"
+	"sgxperf/internal/perf/events"
 )
 
 // BenchmarkSec231_TransitionCost regenerates the §2.3.1 measurement:
@@ -238,5 +242,79 @@ func BenchmarkAblation_Switchless(b *testing.B) {
 	}
 	for _, r := range rows {
 		b.ReportMetric(r.SignsPerSec, "signs/s-"+r.Variant)
+	}
+}
+
+// BenchmarkAnalyzeParallel compares the serial reference analysis
+// pipeline against the parallel one (worker-pool kernels + interval
+// index) on a synthetic 10k-call trace. events/s is wall-clock
+// post-processing throughput.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	for _, mode := range []string{"serial", "parallel"} {
+		b.Run(mode, func(b *testing.B) {
+			trace, err := experiments.SynthAnalysisTrace(10000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := sgxperf.NewAnalyzer(trace, sgxperf.AnalyzerOptions{Serial: mode == "serial"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nEvents := trace.Ecalls.Len() + trace.Ocalls.Len() + trace.Paging.Len() + trace.Syncs.Len()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				a.Analyze()
+			}
+			b.ReportMetric(float64(nEvents)*float64(b.N)/time.Since(start).Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkCodecSaveLoad compares trace serialisation through the legacy
+// gob format and the chunked columnar codec; MB/s is against each
+// format's own encoded size.
+func BenchmarkCodecSaveLoad(b *testing.B) {
+	trace, err := experiments.SynthAnalysisTrace(10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts evstore.SaveOptions
+	}{
+		{"gob", evstore.SaveOptions{Format: evstore.FormatGob}},
+		{"binary", evstore.SaveOptions{Format: evstore.FormatBinary}},
+		{"binary-flate", evstore.SaveOptions{Format: evstore.FormatBinary, Compress: true}},
+	} {
+		var buf bytes.Buffer
+		if err := trace.SaveWith(&buf, tc.opts); err != nil {
+			b.Fatal(err)
+		}
+		mb := float64(buf.Len()) / 1e6
+		b.Run("save/"+tc.name, func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := trace.SaveWith(&buf, tc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(mb*float64(b.N)/time.Since(start).Seconds(), "MB/s")
+			b.ReportMetric(float64(buf.Len()), "bytes")
+		})
+		b.Run("load/"+tc.name, func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				dst, err := events.NewTrace()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := dst.Load(bytes.NewReader(buf.Bytes())); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(mb*float64(b.N)/time.Since(start).Seconds(), "MB/s")
+		})
 	}
 }

@@ -29,7 +29,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, transitions, table2, fig5, fig6-sqlite, fig6-libressl, fig78, ws-glamdring, ablation-lock, ablation-paging, ablation-switchless, contention, live")
+		exp      = flag.String("exp", "all", "experiment: all, transitions, table2, fig5, fig6-sqlite, fig6-libressl, fig78, ws-glamdring, ablation-lock, ablation-paging, ablation-switchless, contention, live, analyze")
 		requests = flag.Int("requests", 1000, "fig5: HTTP GET count")
 		inserts  = flag.Int("inserts", 2000, "fig6-sqlite: insert count")
 		signs    = flag.Int("signs", 5, "fig6-libressl: signatures per variant")
@@ -40,6 +40,7 @@ func run() error {
 		repeats  = flag.Int("repeats", 5, "contention: sweep repetitions (median is reported)")
 		jsonOut  = flag.String("json", "", "contention/live: write machine-readable results to this file")
 		baseline = flag.String("baseline", "", "contention: previous -json output to compute speedups against")
+		analyzeN = flag.Int("analyze-ops", 50000, "analyze: synthetic trace size in top-level calls")
 		liveView = flag.Bool("live", false, "shorthand for -exp live: monitor the SecureKeeper run with streaming snapshots")
 		interval = flag.Duration("interval", 200*time.Millisecond, "live: wall-clock delay between streamed snapshots")
 	)
@@ -188,6 +189,18 @@ func run() error {
 				}
 				fmt.Printf("results written to %s\n\n", *jsonOut)
 			}
+		case "analyze":
+			res, err := experiments.RunAnalyzeThroughput(*analyzeN, *repeats)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderAnalyze(res))
+			if *jsonOut != "" {
+				if err := mergeJSONKey(*jsonOut, "analyze", res); err != nil {
+					return err
+				}
+				fmt.Printf("analyze results merged into %s\n\n", *jsonOut)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -200,7 +213,7 @@ func run() error {
 	for _, name := range []string{
 		"transitions", "table2", "fig5", "fig6-sqlite", "fig6-libressl",
 		"fig78", "ws-glamdring", "ablation-lock", "ablation-paging",
-		"ablation-switchless", "contention", "live",
+		"ablation-switchless", "contention", "live", "analyze",
 	} {
 		start := time.Now()
 		if err := runOne(name); err != nil {
@@ -275,6 +288,26 @@ func contentionSpeedups(base, cur []experiments.ContentionRow) map[string]float6
 		}
 	}
 	return out
+}
+
+// mergeJSONKey sets key to v inside the JSON object stored at path,
+// preserving every other top-level field (the contention results live in
+// the same file). A missing or non-object file starts a fresh object.
+func mergeJSONKey(path, key string, v any) error {
+	obj := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &obj) // best-effort: garbage starts fresh
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	obj[key] = raw
+	out, err := json.MarshalIndent(obj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func writeJSON(path string, v any) error {

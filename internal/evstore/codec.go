@@ -1,0 +1,658 @@
+package evstore
+
+// The versioned binary trace codec — the replacement for gob on the
+// Save/Load path. The gob format round-tripped every table through
+// reflection in one monolithic stream; at paper-size traces (§5's
+// multi-million-event runs) both directions were the slowest link in the
+// pipeline. The codec instead writes each table as a sequence of
+// independent row chunks:
+//
+//	file   := magic "sgxperf-evc\x02" | uvarint(#tables) | table*
+//	table  := str(name) | byte(codec: 0 gob, 1 columnar) |
+//	          uvarint(#rows) | uvarint(#chunks) | chunk*
+//	chunk  := uvarint(#rows) | byte(flags: bit0 flate) |
+//	          uvarint(len(payload)) | payload
+//
+// A columnar chunk payload is self-contained: a string dictionary (call
+// names intern to small indexes) followed by column-major varint data,
+// with delta encoding for the monotone columns (event IDs, timestamps)
+// supplied by the per-type RowCodec implementations in
+// internal/perf/events. Self-containment is what buys parallelism: every
+// chunk encodes and decodes independently on the shared worker pool, and
+// the loader streams chunks into BatchInsert a window at a time instead
+// of materialising whole tables. Tables without a registered RowCodec
+// fall back to gob per chunk (codec byte 0) and still gain chunking,
+// optional compression and parallelism.
+//
+// Legacy traces saved by the gob format are still readable: Load peeks
+// at the first bytes and dispatches on the magic (see db.Load).
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"sgxperf/internal/pool"
+)
+
+// magicBinary identifies the columnar format; the trailing byte is the
+// format version.
+const magicBinary = "sgxperf-evc\x02"
+
+// Format selects the on-disk representation for SaveWith.
+type Format int
+
+const (
+	// FormatBinary is the chunked columnar codec (the default).
+	FormatBinary Format = iota
+	// FormatGob is the legacy reflection-based format, kept writable for
+	// interop tests and migration fixtures.
+	FormatGob
+)
+
+// SaveOptions configures SaveWith.
+type SaveOptions struct {
+	Format Format
+	// Compress flate-compresses each chunk payload. It costs encode CPU
+	// and is off by default; chunks record the choice per chunk, so
+	// readers need no configuration.
+	Compress bool
+}
+
+const (
+	chunkFlagFlate = 1 << 0
+
+	codecGob      = 0
+	codecColumnar = 1
+
+	// Decode-side sanity caps: corrupted counts must produce errors, not
+	// multi-gigabyte allocations.
+	maxDecodeTables   = 1 << 12
+	maxDecodeName     = 1 << 12
+	maxDecodeChunkLen = 1 << 28
+	maxDecodeRows     = 1 << 24
+)
+
+// ErrCorrupt reports a structurally invalid binary trace. Test with
+// errors.Is.
+var ErrCorrupt = errors.New("corrupt trace data")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("evstore: %w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// A RowCodec encodes one chunk of rows into the columnar payload and
+// back. Implementations live next to the row types (internal/perf/
+// events); they choose the column order and the delta/interning scheme.
+// Decode must tolerate arbitrary input by relying on the Decoder's
+// sticky error — never panic.
+type RowCodec[T any] interface {
+	Encode(e *Encoder, rows []T)
+	Decode(d *Decoder, n int) []T
+}
+
+// SetCodec registers the table's columnar codec. It must be called
+// before the table is shared between goroutines (in practice: right
+// after NewTable); tables without a codec serialise chunks through gob.
+func (t *Table[T]) SetCodec(c RowCodec[T]) { t.codec = c }
+
+// ---------------------------------------------------------------------
+// Encoder / Decoder: the primitive layer RowCodecs are written against.
+
+// Encoder accumulates one chunk's columnar payload: varints, zigzag
+// varints, fixed floats and dictionary-interned strings. The dictionary
+// is per chunk, so payloads stay self-contained and chunks can be
+// encoded concurrently with no shared state.
+type Encoder struct {
+	col  []byte
+	dict map[string]uint64
+	ord  []string
+}
+
+// Uvarint appends an unsigned varint.
+//
+//sgxperf:hotpath
+func (e *Encoder) Uvarint(v uint64) { e.col = binary.AppendUvarint(e.col, v) }
+
+// Varint appends a zigzag-encoded signed varint — the delta encoding
+// primitive for monotone columns.
+//
+//sgxperf:hotpath
+func (e *Encoder) Varint(v int64) { e.col = binary.AppendVarint(e.col, v) }
+
+// Float64 appends a fixed 8-byte little-endian float.
+//
+//sgxperf:hotpath
+func (e *Encoder) Float64(v float64) {
+	e.col = binary.LittleEndian.AppendUint64(e.col, math.Float64bits(v))
+}
+
+// String appends the dictionary index of s, interning it on first use.
+//
+//sgxperf:hotpath
+func (e *Encoder) String(s string) {
+	if e.dict == nil {
+		e.dict = make(map[string]uint64)
+	}
+	idx, ok := e.dict[s]
+	if !ok {
+		idx = uint64(len(e.ord))
+		e.dict[s] = idx
+		e.ord = append(e.ord, s)
+	}
+	e.Uvarint(idx)
+}
+
+// finish assembles the payload: dictionary block then column data.
+func (e *Encoder) finish() []byte {
+	head := binary.AppendUvarint(nil, uint64(len(e.ord)))
+	for _, s := range e.ord {
+		head = binary.AppendUvarint(head, uint64(len(s)))
+		head = append(head, s...)
+	}
+	return append(head, e.col...)
+}
+
+// Decoder reads one chunk payload written by an Encoder. Every method
+// returns a zero value once an error has been recorded (sticky error),
+// so RowCodec.Decode loops need no per-read checks; the caller inspects
+// Err once per chunk.
+type Decoder struct {
+	data []byte
+	pos  int
+	dict []string
+	err  error
+}
+
+func newDecoder(payload []byte, nrows int) (*Decoder, error) {
+	d := &Decoder{data: payload}
+	ndict := d.Uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ndict > uint64(len(payload)) {
+		return nil, corruptf("dictionary of %d entries in a %d-byte payload", ndict, len(payload))
+	}
+	d.dict = make([]string, 0, ndict)
+	for i := uint64(0); i < ndict; i++ {
+		n := d.Uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if n > uint64(len(d.data)-d.pos) {
+			return nil, corruptf("dictionary string of %d bytes with %d remaining", n, len(d.data)-d.pos)
+		}
+		d.dict = append(d.dict, string(d.data[d.pos:d.pos+int(n)]))
+		d.pos += int(n)
+	}
+	_ = nrows
+	return d, nil
+}
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Uvarint reads an unsigned varint. Delta-encoded columns make
+// single-byte varints the overwhelmingly common case, so that case is
+// decoded inline before falling back to the generic loop.
+//
+//sgxperf:hotpath
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos < len(d.data) {
+		if b := d.data[d.pos]; b < 0x80 {
+			d.pos++
+			return uint64(b)
+		}
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail(corruptf("truncated uvarint at offset %d", d.pos))
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// Varint reads a zigzag-encoded signed varint.
+//
+//sgxperf:hotpath
+func (d *Decoder) Varint() int64 {
+	ux := d.Uvarint()
+	return int64(ux>>1) ^ -int64(ux&1)
+}
+
+// Float64 reads a fixed 8-byte little-endian float.
+//
+//sgxperf:hotpath
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data)-d.pos < 8 {
+		d.fail(corruptf("truncated float64 at offset %d", d.pos))
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+// Length reads a uvarint element count and validates it against the
+// bytes remaining (every encoded element occupies at least one byte), so
+// corrupt counts cannot trigger outsized allocations in RowCodecs.
+func (d *Decoder) Length() int {
+	v := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.data)-d.pos) {
+		d.fail(corruptf("element count %d with %d bytes remaining", v, len(d.data)-d.pos))
+		return 0
+	}
+	return int(v)
+}
+
+// String reads a dictionary index and resolves it.
+//
+//sgxperf:hotpath
+func (d *Decoder) String() string {
+	idx := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if idx >= uint64(len(d.dict)) {
+		d.fail(corruptf("string index %d outside dictionary of %d", idx, len(d.dict)))
+		return ""
+	}
+	return d.dict[idx]
+}
+
+// ---------------------------------------------------------------------
+// Table-level encode: snapshot chunks, encode them on the pool, write.
+
+// chunkSnapshot captures the committed chunk slices under the read lock;
+// committed prefixes are never rewritten, so the slices stay valid after
+// the lock is released and chunks can be encoded concurrently.
+func (t *Table[T]) chunkSnapshot() (chunks [][]T, total int) {
+	t.notifyRead()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	chunks = make([][]T, 0, len(t.chunks))
+	for _, c := range t.chunks {
+		if len(c) > 0 {
+			chunks = append(chunks, c[:len(c):len(c)])
+		}
+	}
+	return chunks, t.length
+}
+
+// encodeChunkPayload produces one chunk's payload bytes (pre-compression).
+func (t *Table[T]) encodeChunkPayload(rows []T) ([]byte, byte, error) {
+	if t.codec != nil {
+		// Pre-size for the common shape — a dozen-odd mostly-single-byte
+		// columns per row — so the append path grows the buffer rarely.
+		e := Encoder{col: make([]byte, 0, 16*len(rows)+64)}
+		t.codec.Encode(&e, rows)
+		return e.finish(), codecColumnar, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rows); err != nil {
+		return nil, codecGob, err
+	}
+	return buf.Bytes(), codecGob, nil
+}
+
+// writeBinary serialises the table: header, then each chunk encoded (and
+// optionally compressed) in parallel on the shared pool and written in
+// order.
+func (t *Table[T]) writeBinary(w io.Writer, opts SaveOptions) error {
+	chunks, total := t.chunkSnapshot()
+
+	head := binary.AppendUvarint(nil, uint64(len(t.name)))
+	head = append(head, t.name...)
+	codecByte := byte(codecGob)
+	if t.codec != nil {
+		codecByte = codecColumnar
+	}
+	head = append(head, codecByte)
+	head = binary.AppendUvarint(head, uint64(total))
+	head = binary.AppendUvarint(head, uint64(len(chunks)))
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+
+	payloads := make([][]byte, len(chunks))
+	flags := make([]byte, len(chunks))
+	errs := make([]error, len(chunks))
+	pool.ForEach(len(chunks), func(i int) {
+		p, _, err := t.encodeChunkPayload(chunks[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if opts.Compress {
+			var buf bytes.Buffer
+			fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+			if err == nil {
+				if _, err = fw.Write(p); err == nil {
+					err = fw.Close()
+				}
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if buf.Len() < len(p) {
+				p = buf.Bytes()
+				flags[i] = chunkFlagFlate
+			}
+		}
+		payloads[i] = p
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("chunk %d: %w", i, err)
+		}
+	}
+
+	var chead []byte
+	for i, p := range payloads {
+		chead = binary.AppendUvarint(chead[:0], uint64(len(chunks[i])))
+		chead = append(chead, flags[i])
+		chead = binary.AppendUvarint(chead, uint64(len(p)))
+		if _, err := w.Write(chead); err != nil {
+			return err
+		}
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Table-level decode: stream chunk windows, decode them on the pool,
+// batch-insert in order.
+
+// rawChunk is one chunk read off the wire, pre-decode.
+type rawChunk struct {
+	nrows   int
+	flags   byte
+	payload []byte
+}
+
+// binTableReader carries the streaming state the DB loader hands each
+// table.
+type binTableReader struct {
+	br *countingReader
+}
+
+func (t *Table[T]) readBinary(r *binTableReader) error {
+	codecByte, err := r.br.readByte()
+	if err != nil {
+		return err
+	}
+	switch codecByte {
+	case codecColumnar:
+		if t.codec == nil {
+			return corruptf("table %q was written with a columnar codec but none is registered", t.name)
+		}
+	case codecGob:
+		// Decodable regardless of registration.
+	default:
+		return corruptf("table %q: unknown codec %d", t.name, codecByte)
+	}
+	total, err := r.br.readUvarint(maxDecodeRows)
+	if err != nil {
+		return err
+	}
+	nchunks, err := r.br.readUvarint(maxDecodeRows)
+	if err != nil {
+		return err
+	}
+
+	t.mu.Lock()
+	t.chunks = nil
+	t.length = 0
+	t.mu.Unlock()
+
+	// Stream a window of chunks at a time: sequential reads, parallel
+	// decode, in-order append. Memory stays bounded by the window, not
+	// the table.
+	window := pool.Size() * 2
+	if window < 4 {
+		window = 4
+	}
+	decoded := 0
+	for done := 0; done < int(nchunks); {
+		n := int(nchunks) - done
+		if n > window {
+			n = window
+		}
+		raws := make([]rawChunk, n)
+		for i := 0; i < n; i++ {
+			if raws[i], err = r.br.readChunk(); err != nil {
+				return fmt.Errorf("table %q chunk %d: %w", t.name, done+i, err)
+			}
+		}
+		rows := make([][]T, n)
+		errs := make([]error, n)
+		pool.ForEach(n, func(i int) {
+			rows[i], errs[i] = t.decodeChunk(raws[i], codecByte)
+		})
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				return fmt.Errorf("table %q chunk %d: %w", t.name, done+i, errs[i])
+			}
+			decoded += len(rows[i])
+			if decoded > int(total) {
+				return corruptf("table %q: more rows than declared (%d > %d)", t.name, decoded, total)
+			}
+			t.appendQuiet(rows[i])
+		}
+		done += n
+	}
+	if decoded != int(total) {
+		return corruptf("table %q: %d rows decoded, header declared %d", t.name, decoded, total)
+	}
+	return nil
+}
+
+// decodeChunk inflates and decodes one raw chunk.
+func (t *Table[T]) decodeChunk(rc rawChunk, codecByte byte) ([]T, error) {
+	payload := rc.payload
+	if rc.flags&chunkFlagFlate != 0 {
+		fr := flate.NewReader(bytes.NewReader(payload))
+		inflated, err := io.ReadAll(io.LimitReader(fr, maxDecodeChunkLen+1))
+		if err != nil {
+			return nil, corruptf("inflate: %v", err)
+		}
+		if len(inflated) > maxDecodeChunkLen {
+			return nil, corruptf("inflated chunk exceeds %d bytes", maxDecodeChunkLen)
+		}
+		payload = inflated
+	}
+	if codecByte == codecGob {
+		var rows []T
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rows); err != nil {
+			return nil, corruptf("gob chunk: %v", err)
+		}
+		if len(rows) != rc.nrows {
+			return nil, corruptf("gob chunk decoded %d rows, header declared %d", len(rows), rc.nrows)
+		}
+		return rows, nil
+	}
+	// Every columnar row occupies at least one payload byte, so a row
+	// count above the payload size is corrupt — reject it before the
+	// RowCodec allocates the row slice.
+	if rc.nrows > len(payload) {
+		return nil, corruptf("%d rows declared in a %d-byte payload", rc.nrows, len(payload))
+	}
+	d, err := newDecoder(payload, rc.nrows)
+	if err != nil {
+		return nil, err
+	}
+	rows := t.codec.Decode(d, rc.nrows)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) != rc.nrows {
+		return nil, corruptf("codec decoded %d rows, header declared %d", len(rows), rc.nrows)
+	}
+	return rows, nil
+}
+
+// appendQuiet appends decoded rows without notifying subscribers — the
+// load path mirrors the gob decodeRows semantics (a restore, not an
+// insert stream). Decoded chunks arrive at exactly the storage chunk
+// size except the last (writeBinary emits storage chunks), so a full
+// chunk slice is adopted directly instead of copied; the indexing
+// invariant — every chunk but the last holds exactly chunkSize rows —
+// is preserved because adoption only happens when the previous chunk is
+// full.
+func (t *Table[T]) appendQuiet(rows []T) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(rows) == chunkSize {
+		if n := len(t.chunks); n == 0 || len(t.chunks[n-1]) == chunkSize {
+			t.chunks = append(t.chunks, rows)
+			t.length += len(rows)
+			return
+		}
+	}
+	t.appendLocked(rows)
+}
+
+// ---------------------------------------------------------------------
+// Wire-reading helpers.
+
+// countingReader wraps the load stream with bounds-checked primitives.
+type countingReader struct {
+	r io.Reader
+	// scratch avoids a per-call allocation for single bytes.
+	scratch [1]byte
+}
+
+func (c *countingReader) readByte() (byte, error) {
+	if br, ok := c.r.(io.ByteReader); ok {
+		return br.ReadByte()
+	}
+	_, err := io.ReadFull(c.r, c.scratch[:])
+	return c.scratch[0], err
+}
+
+func (c *countingReader) readUvarint(limit uint64) (uint64, error) {
+	v, err := binary.ReadUvarint(byteReaderFunc(c.readByte))
+	if err != nil {
+		return 0, corruptf("truncated varint: %v", err)
+	}
+	if v > limit {
+		return 0, corruptf("value %d exceeds limit %d", v, limit)
+	}
+	return v, nil
+}
+
+func (c *countingReader) readN(n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, corruptf("truncated read of %d bytes: %v", n, err)
+	}
+	return buf, nil
+}
+
+func (c *countingReader) readString(limit uint64) (string, error) {
+	n, err := c.readUvarint(limit)
+	if err != nil {
+		return "", err
+	}
+	b, err := c.readN(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (c *countingReader) readChunk() (rawChunk, error) {
+	nrows, err := c.readUvarint(maxDecodeRows)
+	if err != nil {
+		return rawChunk{}, err
+	}
+	flags, err := c.readByte()
+	if err != nil {
+		return rawChunk{}, corruptf("truncated chunk flags: %v", err)
+	}
+	plen, err := c.readUvarint(maxDecodeChunkLen)
+	if err != nil {
+		return rawChunk{}, err
+	}
+	payload, err := c.readN(int(plen))
+	if err != nil {
+		return rawChunk{}, err
+	}
+	return rawChunk{nrows: int(nrows), flags: flags, payload: payload}, nil
+}
+
+// byteReaderFunc adapts a func to io.ByteReader.
+type byteReaderFunc func() (byte, error)
+
+func (f byteReaderFunc) ReadByte() (byte, error) { return f() }
+
+// ---------------------------------------------------------------------
+// DB-level save/load.
+
+// saveBinary writes the columnar format. Caller holds db.mu.
+func (db *DB) saveBinary(w io.Writer, opts SaveOptions) error {
+	if _, err := io.WriteString(w, magicBinary); err != nil {
+		return fmt.Errorf("evstore: header: %w", err)
+	}
+	head := binary.AppendUvarint(nil, uint64(len(db.tables)))
+	if _, err := w.Write(head); err != nil {
+		return fmt.Errorf("evstore: header: %w", err)
+	}
+	for _, t := range db.tables {
+		if err := t.writeBinary(w, opts); err != nil {
+			return fmt.Errorf("evstore: table %q: %w", t.Name(), err)
+		}
+	}
+	return nil
+}
+
+// loadBinary reads the columnar format; r is positioned just past the
+// magic.
+func (db *DB) loadBinary(r io.Reader) error {
+	cr := &countingReader{r: r}
+	ntables, err := cr.readUvarint(maxDecodeTables)
+	if err != nil {
+		return fmt.Errorf("evstore: header: %w", err)
+	}
+	if int(ntables) != len(db.tables) {
+		return fmt.Errorf("evstore: file has %d tables, schema has %d", ntables, len(db.tables))
+	}
+	for i, t := range db.tables {
+		name, err := cr.readString(maxDecodeName)
+		if err != nil {
+			return fmt.Errorf("evstore: table %d: %w", i, err)
+		}
+		if name != t.Name() {
+			return fmt.Errorf("evstore: table %d is %q in file, %q in schema", i, name, t.Name())
+		}
+		if err := t.readBinary(&binTableReader{br: cr}); err != nil {
+			return fmt.Errorf("evstore: table %q: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package evstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// recCodec is a columnar codec for the test row type, covering every
+// Encoder/Decoder primitive (varint delta, uvarint, string interning).
+type recCodec struct{}
+
+func (recCodec) Encode(e *Encoder, rows []rec) {
+	prev := int64(0)
+	for i := range rows {
+		e.Varint(int64(rows[i].ID) - prev)
+		prev = int64(rows[i].ID)
+	}
+	for i := range rows {
+		e.String(rows[i].Name)
+	}
+	for i := range rows {
+		e.Varint(rows[i].Dur)
+	}
+}
+
+func (recCodec) Decode(d *Decoder, n int) []rec {
+	rows := make([]rec, n)
+	prev := int64(0)
+	for i := range rows {
+		prev += d.Varint()
+		rows[i].ID = int(prev)
+	}
+	for i := range rows {
+		rows[i].Name = d.String()
+	}
+	for i := range rows {
+		rows[i].Dur = d.Varint()
+	}
+	return rows
+}
+
+// aux is a second row type left on the gob fallback, so every DB in
+// these tests exercises both chunk codecs.
+type aux struct {
+	Tag string
+	N   float64
+}
+
+// testDB builds a two-table schema: "recs" columnar, "extra" gob.
+func testDB(t *testing.T) (*DB, *Table[rec], *Table[aux]) {
+	t.Helper()
+	db := NewDB()
+	recs := NewTable[rec]("recs")
+	recs.SetCodec(recCodec{})
+	extra := NewTable[aux]("extra")
+	if err := Register(db, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(db, extra); err != nil {
+		t.Fatal(err)
+	}
+	return db, recs, extra
+}
+
+func fillDB(recs *Table[rec], extra *Table[aux], n int) {
+	rows := make([]rec, n)
+	for i := range rows {
+		rows[i] = rec{ID: i * 3, Name: fmt.Sprintf("name-%d", i%7), Dur: int64(i) - 5}
+	}
+	recs.BatchInsert(rows)
+	for i := 0; i < n/100+1; i++ {
+		extra.Insert(aux{Tag: fmt.Sprintf("t%d", i), N: float64(i) / 3})
+	}
+}
+
+func dbEqual(t *testing.T, a, b *DB, ar, br *Table[rec], ax, bx *Table[aux]) {
+	t.Helper()
+	if !reflect.DeepEqual(ar.Rows(), br.Rows()) {
+		t.Fatalf("recs differ: %v vs %v", ar.Rows(), br.Rows())
+	}
+	if !reflect.DeepEqual(ax.Rows(), bx.Rows()) {
+		t.Fatalf("extra differs: %v vs %v", ax.Rows(), bx.Rows())
+	}
+}
+
+// TestBinaryRoundTrip saves and loads across format options and table
+// sizes, including the multi-chunk regime (> chunkSize rows) that drives
+// the parallel encode/decode paths.
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100, chunkSize, chunkSize + 1, 3*chunkSize + 17} {
+		for _, compress := range []bool{false, true} {
+			t.Run(fmt.Sprintf("n=%d/compress=%v", n, compress), func(t *testing.T) {
+				src, recs, extra := testDB(t)
+				_ = src
+				fillDB(recs, extra, n)
+				var buf bytes.Buffer
+				if err := src.SaveWith(&buf, SaveOptions{Compress: compress}); err != nil {
+					t.Fatal(err)
+				}
+				dst, drecs, dextra := testDB(t)
+				if err := dst.Load(bytes.NewReader(buf.Bytes())); err != nil {
+					t.Fatal(err)
+				}
+				dbEqual(t, src, dst, recs, drecs, extra, dextra)
+			})
+		}
+	}
+}
+
+// TestLegacyGobMigration is the backward-compatibility contract: a
+// database saved by the legacy gob format loads identically through the
+// new Load, and re-saving it in the binary format round-trips losslessly
+// — the gob→codec migration path.
+func TestLegacyGobMigration(t *testing.T) {
+	src, recs, extra := testDB(t)
+	fillDB(recs, extra, 2*chunkSize+9)
+
+	var gobBuf bytes.Buffer
+	if err := src.SaveWith(&gobBuf, SaveOptions{Format: FormatGob}); err != nil {
+		t.Fatal(err)
+	}
+	mid, mrecs, mextra := testDB(t)
+	if err := mid.Load(bytes.NewReader(gobBuf.Bytes())); err != nil {
+		t.Fatalf("loading legacy gob: %v", err)
+	}
+	dbEqual(t, src, mid, recs, mrecs, extra, mextra)
+
+	// Migrate: write the loaded data in the new format and load it again.
+	var binBuf bytes.Buffer
+	if err := mid.Save(&binBuf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.HasPrefix(binBuf.Bytes(), gobBuf.Bytes()[:4]) {
+		t.Fatal("migrated save still looks like gob")
+	}
+	dst, drecs, dextra := testDB(t)
+	if err := dst.Load(bytes.NewReader(binBuf.Bytes())); err != nil {
+		t.Fatalf("loading migrated binary: %v", err)
+	}
+	dbEqual(t, src, dst, recs, drecs, extra, dextra)
+}
+
+// TestLoadOverwritesExisting checks Load replaces prior contents rather
+// than appending.
+func TestLoadOverwritesExisting(t *testing.T) {
+	src, recs, extra := testDB(t)
+	fillDB(recs, extra, 50)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, drecs, dextra := testDB(t)
+	fillDB(drecs, dextra, 200)
+	if err := dst.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	dbEqual(t, src, dst, recs, drecs, extra, dextra)
+}
+
+// TestCorruptInputsError feeds truncations and bit-flips of a valid
+// binary file into Load: every one must produce an error or load
+// cleanly — never panic. Truncations must always error.
+func TestCorruptInputsError(t *testing.T) {
+	src, recs, extra := testDB(t)
+	fillDB(recs, extra, 300)
+	var buf bytes.Buffer
+	if err := src.SaveWith(&buf, SaveOptions{Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	for cut := 0; cut < len(full); cut += 7 {
+		dst, _, _ := testDB(t)
+		if err := dst.Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d loaded without error", cut, len(full))
+		}
+	}
+	for pos := 0; pos < len(full); pos += 11 {
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0x41
+		dst, _, _ := testDB(t)
+		_ = dst.Load(bytes.NewReader(mut)) // must not panic; error optional
+	}
+}
+
+// TestCorruptErrorsAreErrCorrupt spot-checks that structural damage
+// reports ErrCorrupt.
+func TestCorruptErrorsAreErrCorrupt(t *testing.T) {
+	src, recs, extra := testDB(t)
+	fillDB(recs, extra, 10)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mut := buf.Bytes()
+	mut = mut[:len(mut)-3] // drop the tail of the last chunk
+	dst, _, _ := testDB(t)
+	err := dst.Load(bytes.NewReader(mut))
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error %v is not ErrCorrupt", err)
+	}
+}
+
+// FuzzCodecRoundTrip drives two properties at once: (1) a database built
+// from fuzz-derived rows survives encode→decode bit-for-bit in both
+// formats, and (2) Load over the raw fuzz bytes themselves returns an
+// error or succeeds but never panics.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{}, false)
+	f.Add([]byte("hello world, this is seed data for rows"), true)
+	f.Add([]byte(magicBinary+"\x02recs"), false)
+	// A valid save as a seed so mutations explore near-valid inputs.
+	{
+		db := NewDB()
+		recs := NewTable[rec]("recs")
+		recs.SetCodec(recCodec{})
+		extra := NewTable[aux]("extra")
+		if Register(db, recs) == nil && Register(db, extra) == nil {
+			fillDB(recs, extra, 40)
+			var buf bytes.Buffer
+			if err := db.Save(&buf); err == nil {
+				f.Add(buf.Bytes(), true)
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, compress bool) {
+		// Property 2: arbitrary bytes never panic the loader.
+		raw, _, _ := testDB(t)
+		_ = raw.Load(bytes.NewReader(data))
+
+		// Property 1: rows derived from the fuzz input round-trip exactly.
+		src, recs, extra := testDB(t)
+		var rows []rec
+		for i := 0; i+4 <= len(data); i += 4 {
+			rows = append(rows, rec{
+				ID:   int(int8(data[i])) * 1000,
+				Name: string(data[i+1 : i+3]),
+				Dur:  int64(int8(data[i+3])),
+			})
+		}
+		recs.BatchInsert(rows)
+		if len(data) > 0 {
+			extra.Insert(aux{Tag: string(data[:len(data)%5]), N: float64(len(data))})
+		}
+		for _, format := range []Format{FormatBinary, FormatGob} {
+			var buf bytes.Buffer
+			if err := src.SaveWith(&buf, SaveOptions{Format: format, Compress: compress}); err != nil {
+				t.Fatalf("save format=%d: %v", format, err)
+			}
+			dst, drecs, dextra := testDB(t)
+			if err := dst.Load(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("load format=%d: %v", format, err)
+			}
+			if !reflect.DeepEqual(recs.Rows(), drecs.Rows()) {
+				t.Fatalf("format=%d: recs did not round-trip", format)
+			}
+			if !reflect.DeepEqual(extra.Rows(), dextra.Rows()) {
+				t.Fatalf("format=%d: extra did not round-trip", format)
+			}
+		}
+	})
+}

@@ -13,6 +13,7 @@
 package evstore
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -38,6 +39,11 @@ type Table[T any] struct {
 	// readers always observe every event recorded before the read —
 	// regardless of batching.
 	readHook atomic.Pointer[func()]
+
+	// codec, when set (SetCodec), serialises chunks through the columnar
+	// binary format instead of gob. Written once during schema setup,
+	// before the table is shared; read-only afterwards.
+	codec RowCodec[T]
 
 	mu     sync.RWMutex
 	chunks [][]T
@@ -349,6 +355,8 @@ type table interface {
 	Name() string
 	encodeRows(enc *gob.Encoder) error
 	decodeRows(dec *gob.Decoder) error
+	writeBinary(w io.Writer, opts SaveOptions) error
+	readBinary(r *binTableReader) error
 }
 
 func (t *Table[T]) encodeRows(enc *gob.Encoder) error {
@@ -422,10 +430,26 @@ type header struct {
 	Tables  []string
 }
 
-// Save serialises every registered table to w.
+// Save serialises every registered table to w in the default format —
+// the chunked columnar codec (see codec.go). Use SaveWith to choose the
+// legacy gob format or per-chunk compression.
 func (db *DB) Save(w io.Writer) error {
+	return db.SaveWith(w, SaveOptions{})
+}
+
+// SaveWith serialises every registered table to w with explicit format
+// options.
+func (db *DB) SaveWith(w io.Writer, opts SaveOptions) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if opts.Format == FormatBinary {
+		return db.saveBinary(w, opts)
+	}
+	return db.saveGob(w)
+}
+
+// saveGob writes the legacy gob format. Caller holds db.mu.
+func (db *DB) saveGob(w io.Writer) error {
 	enc := gob.NewEncoder(w)
 	h := header{Magic: magic, Version: version}
 	for _, t := range db.tables {
@@ -443,10 +467,26 @@ func (db *DB) Save(w io.Writer) error {
 }
 
 // Load restores table contents from r. The registered schema must match
-// the one the file was written with.
+// the one the file was written with. Both the columnar binary format and
+// the legacy gob format are accepted; the magic bytes decide.
 func (db *DB) Load(r io.Reader) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	br := bufio.NewReaderSize(r, 1<<16)
+	peek, err := br.Peek(len(magicBinary))
+	if err == nil && string(peek) == magicBinary {
+		if _, err := br.Discard(len(magicBinary)); err != nil {
+			return fmt.Errorf("evstore: header: %w", err)
+		}
+		return db.loadBinary(br)
+	}
+	// Not the binary magic (or too short to hold it): try the legacy gob
+	// format, which produces its own error on garbage.
+	return db.loadGob(br)
+}
+
+// loadGob reads the legacy gob format. Caller holds db.mu.
+func (db *DB) loadGob(r io.Reader) error {
 	dec := gob.NewDecoder(r)
 	var h header
 	if err := dec.Decode(&h); err != nil {

@@ -32,6 +32,13 @@ var HotPathLocks = &Analyzer{
 		"the recorder hot path is lock-free by design",
 	Packages: []string{
 		"internal/perf/logger",
+		// The codec primitives (Encoder/Decoder), the typed event codecs
+		// and the parallel analysis kernels are per-partition hot loops:
+		// they run once per row or per chunk on the worker pool, where a
+		// receiver lock would serialise the whole fan-out.
+		"internal/evstore",
+		"internal/perf/events",
+		"internal/perf/analyzer",
 	},
 	Run: runHotPathLocks,
 }

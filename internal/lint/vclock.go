@@ -38,6 +38,11 @@ var VirtualClock = &Analyzer{
 		"internal/vtime",
 		"internal/loader",
 		"internal/perf/logger",
+		// The shared worker pool and the event store sit under both the
+		// simulator and the analysis pipeline; neither may observe real
+		// time (timing belongs to the experiments layer).
+		"internal/pool",
+		"internal/evstore",
 	},
 	Run: runVirtualClock,
 }

@@ -89,6 +89,12 @@ type Options struct {
 	// Traces from multi-enclave applications — SecureKeeper spawns one
 	// enclave per client (§5.2.4) — can be dissected per enclave.
 	Enclave sgx.EnclaveID
+	// Serial forces the single-threaded reference pipeline. By default
+	// Analyze partitions its kernels over the shared worker pool
+	// (internal/pool) and merges deterministically; the two paths produce
+	// reflect.DeepEqual reports, so Serial exists as an escape hatch for
+	// debugging and as the baseline the parallel path is tested against.
+	Serial bool
 }
 
 // Analyzer computes a Report from a trace.
@@ -289,8 +295,21 @@ func (a *Analyzer) kindOf(name string) events.CallKind {
 	return a.all[idx[0]].ev.Kind
 }
 
-// Analyze produces the full report.
+// Analyze produces the full report. Unless Options.Serial is set, the
+// kernels run concurrently on the shared worker pool and are merged
+// deterministically; the result is reflect.DeepEqual to the serial
+// pipeline's on any trace (see parallel.go for the determinism
+// argument).
 func (a *Analyzer) Analyze() *Report {
+	if a.opts.Serial {
+		return a.analyzeSerial()
+	}
+	return a.analyzeParallel()
+}
+
+// analyzeSerial is the single-threaded reference pipeline: each kernel
+// runs to completion before the next starts, in a fixed order.
+func (a *Analyzer) analyzeSerial() *Report {
 	r := &Report{
 		Workload:  a.workload(),
 		Stats:     a.AllStats(),

@@ -330,8 +330,11 @@ func WakeEdges(agg map[[2]int64]int) []WakeEdge {
 }
 
 // SortFindings orders findings for a report: by problem class, then
-// descending score, with name tie-breaks so the order is fully
-// deterministic however the findings were produced.
+// descending score, then by call name, partner, kind and evidence text.
+// Every comparison key is part of the order, so the result is one total
+// order that does not depend on how (or in what order, or on how many
+// goroutines) the findings were produced — the property the parallel
+// pipeline's merge relies on.
 func SortFindings(fs []Finding) {
 	sort.SliceStable(fs, func(i, j int) bool {
 		if fs[i].Problem != fs[j].Problem {
@@ -343,6 +346,12 @@ func SortFindings(fs []Finding) {
 		if fs[i].Call != fs[j].Call {
 			return fs[i].Call < fs[j].Call
 		}
-		return fs[i].Partner < fs[j].Partner
+		if fs[i].Partner != fs[j].Partner {
+			return fs[i].Partner < fs[j].Partner
+		}
+		if fs[i].Kind != fs[j].Kind {
+			return fs[i].Kind < fs[j].Kind
+		}
+		return fs[i].Evidence < fs[j].Evidence
 	})
 }

@@ -1,0 +1,291 @@
+package analyzer
+
+// The parallel analysis pipeline. Analyze partitions the prepared call
+// index by call-name and the paging/sync tables by storage chunk, runs
+// every kernel on the shared bounded worker pool (internal/pool), and
+// merges the partial results deterministically.
+//
+// Determinism argument (why the parallel report is reflect.DeepEqual to
+// the serial one):
+//
+//   - per-name kernels (stats, Equation 1 moving, Equation 2 reordering,
+//     Equation 3 pair accumulation) read only that name's calls, so the
+//     partition is exact, and each kernel is the same pure function the
+//     serial path calls;
+//   - cross-partition aggregates (merge pair counters, paging counters,
+//     wake edge counts) are integer sums, which commute — no
+//     floating-point accumulation ever crosses a partition boundary, so
+//     scheduling order cannot perturb a single bit;
+//   - partial results land in slots indexed by partition (never appended
+//     concurrently), and the final report is assembled from those slots
+//     in the serial pipeline's exact order before the same stable sorts
+//     (SortStats, SortFindings) run over them.
+//
+// The only intentional divergence from the serial code is the paging
+// summary's DuringCalls test: the serial path scans every call per
+// paging event, the parallel path answers the same ∃-question from a
+// per-thread interval index (sorted starts + prefix-max ends) in
+// O(log n). Both compute "is there a call on this thread whose window
+// contains the event", so the counts agree.
+
+import (
+	"sort"
+	"time"
+
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/pool"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/vtime"
+)
+
+// nameResult holds one call-name partition's kernel outputs.
+type nameResult struct {
+	stats   CallStats
+	ok      bool
+	moving  []Finding
+	reorder []Finding
+	// pairs are the Equation 3 accumulators for pairs whose *child* is
+	// this partition's name; child names are unique per partition, so the
+	// per-partition maps have disjoint key sets and merge by copy.
+	pairs map[MergePair]*MergeAgg
+}
+
+// analyzeParallel produces the full report with every kernel running
+// concurrently on the shared pool.
+func (a *Analyzer) analyzeParallel() *Report {
+	var (
+		res      = make([]nameResult, len(a.perNames))
+		graph    *CallGraph
+		paging   PagingStats
+		wake     []WakeEdge
+		sscF     []Finding
+		security []SecurityHint
+	)
+	pool.Do(
+		func() { graph = a.CallGraph() },
+		func() { paging = a.pagingSummaryIndexed() },
+		func() { wake = a.wakeGraphSharded() },
+		func() { sscF = a.DetectSSC() },
+		func() { security = a.SecurityHints() },
+		func() {
+			pool.ForEach(len(a.perNames), func(i int) {
+				res[i] = a.nameKernels(a.perNames[i])
+			})
+		},
+	)
+
+	// Deterministic merge, mirroring the serial pipeline's order exactly.
+	r := &Report{
+		Workload:  a.workload(),
+		Graph:     graph,
+		Paging:    paging,
+		WakeGraph: wake,
+	}
+	r.Stats = make([]CallStats, 0, len(a.perNames))
+	for i := range res {
+		if res[i].ok {
+			r.Stats = append(r.Stats, res[i].stats)
+		}
+	}
+	SortStats(r.Stats)
+
+	for i := range res {
+		r.Findings = append(r.Findings, res[i].moving...)
+	}
+	for i := range res {
+		r.Findings = append(r.Findings, res[i].reorder...)
+	}
+	pairs := make(map[MergePair]*MergeAgg)
+	for i := range res {
+		for k, agg := range res[i].pairs {
+			pairs[k] = agg
+		}
+	}
+	totalOf := func(name string) int { return len(a.byName[name]) }
+	r.Findings = append(r.Findings, MergeFindings(pairs, totalOf, a.kindOf, a.opts.Weights)...)
+	r.Findings = append(r.Findings, sscF...)
+	r.Findings = append(r.Findings, PagingFindings(paging, a.opts.Weights)...)
+	SortFindings(r.Findings)
+	r.Security = security
+	return r
+}
+
+// nameKernels runs the per-name kernels — stats, Equation 1, Equation 2
+// and the Equation 3 pair accumulation — over one call-name partition.
+// It reads only prepared (immutable) state and writes only its own
+// result, so partitions need no synchronisation beyond pool completion.
+//
+//sgxperf:hotpath
+func (a *Analyzer) nameKernels(name string) nameResult {
+	var out nameResult
+	idx := a.byName[name]
+	if len(idx) == 0 {
+		return out
+	}
+	kind := a.all[idx[0]].ev.Kind
+
+	durs := make([]time.Duration, len(idx))
+	totalAEX := 0
+	var reorder ReorderAgg
+	for i, j := range idx {
+		c := &a.all[j]
+		durs[i] = c.adjusted
+		totalAEX += c.ev.AEXCount
+		if c.hasDirect {
+			reorder.Add(c.offsetStart, c.offsetEnd)
+		}
+		if c.indirect >= 0 {
+			k := MergePair{Parent: a.all[c.indirect].ev.Name, Child: name}
+			if out.pairs == nil {
+				out.pairs = make(map[MergePair]*MergeAgg)
+			}
+			agg := out.pairs[k]
+			if agg == nil {
+				agg = &MergeAgg{}
+				out.pairs[k] = agg
+			}
+			agg.Add(c.gap)
+		}
+	}
+
+	out.stats, out.ok = StatsFromDurations(name, kind, durs, totalAEX)
+	if out.ok {
+		if f, ok := MovingFinding(out.stats, a.opts.Weights); ok {
+			out.moving = append(out.moving, f)
+		}
+	}
+	out.reorder = ReorderFindings(name, kind, reorder, a.opts.Weights)
+	return out
+}
+
+// callIntervals is a per-thread index over the prepared calls answering
+// "does any call window on thread t contain time x" in O(log n): starts
+// are sorted (a.all is start-ordered) and maxEnd[i] is the running
+// maximum of End over starts[0..i], so an interval containing x exists
+// iff the last interval starting at or before x has maxEnd >= x.
+type callIntervals struct {
+	byThread map[sgx.ThreadID]*threadIntervals
+}
+
+type threadIntervals struct {
+	starts []vtime.Cycles
+	maxEnd []vtime.Cycles
+}
+
+func (a *Analyzer) buildCallIntervals() *callIntervals {
+	idx := &callIntervals{byThread: make(map[sgx.ThreadID]*threadIntervals)}
+	for i := range a.all {
+		ev := &a.all[i].ev
+		ti := idx.byThread[ev.Thread]
+		if ti == nil {
+			ti = &threadIntervals{}
+			idx.byThread[ev.Thread] = ti
+		}
+		end := ev.End
+		if n := len(ti.maxEnd); n > 0 && ti.maxEnd[n-1] > end {
+			end = ti.maxEnd[n-1]
+		}
+		ti.starts = append(ti.starts, ev.Start)
+		ti.maxEnd = append(ti.maxEnd, end)
+	}
+	return idx
+}
+
+// contains reports whether any call on the thread spans time x.
+//
+//sgxperf:hotpath
+func (ci *callIntervals) contains(thread sgx.ThreadID, x vtime.Cycles) bool {
+	ti := ci.byThread[thread]
+	if ti == nil {
+		return false
+	}
+	// Last interval with Start <= x.
+	k := sort.Search(len(ti.starts), func(i int) bool { return ti.starts[i] > x }) - 1
+	return k >= 0 && ti.maxEnd[k] >= x
+}
+
+// pagingSummaryIndexed computes the same PagingStats as PagingSummary,
+// sharding the paging table by storage chunk across the pool and
+// answering the during-call test from the interval index. All counters
+// are integers, so the shard merge is order-independent.
+//
+//sgxperf:hotpath
+func (a *Analyzer) pagingSummaryIndexed() PagingStats {
+	out := PagingStats{ByRegion: make(map[string]int)}
+	var chunks [][]events.PagingEvent
+	a.trace.Paging.ScanChunks(func(rows []events.PagingEvent) bool {
+		if len(rows) > 0 {
+			chunks = append(chunks, rows)
+		}
+		return true
+	})
+	if len(chunks) == 0 {
+		return out
+	}
+	intervals := a.buildCallIntervals()
+	parts := make([]PagingStats, len(chunks))
+	pool.ForEach(len(chunks), func(ci int) {
+		p := PagingStats{ByRegion: make(map[string]int)}
+		for i := range chunks[ci] {
+			ev := &chunks[ci][i]
+			if ev.Kind == events.PageIn {
+				p.PageIns++
+			} else {
+				p.PageOuts++
+			}
+			p.ByRegion[ev.PageKind]++
+			if intervals.contains(ev.Thread, ev.Time) {
+				p.DuringCalls++
+			}
+		}
+		parts[ci] = p
+	})
+	for i := range parts {
+		out.PageIns += parts[i].PageIns
+		out.PageOuts += parts[i].PageOuts
+		out.DuringCalls += parts[i].DuringCalls
+		for region, n := range parts[i].ByRegion {
+			out.ByRegion[region] += n
+		}
+	}
+	return out
+}
+
+// wakeGraphSharded computes the same wake graph as WakeGraph, sharding
+// the sync table by storage chunk; edge counts are integer sums and
+// WakeEdges sorts the merged map, so the output is deterministic.
+//
+//sgxperf:hotpath
+func (a *Analyzer) wakeGraphSharded() []WakeEdge {
+	var chunks [][]events.SyncEvent
+	a.trace.Syncs.ScanChunks(func(rows []events.SyncEvent) bool {
+		if len(rows) > 0 {
+			chunks = append(chunks, rows)
+		}
+		return true
+	})
+	if len(chunks) == 0 {
+		return WakeEdges(nil)
+	}
+	parts := make([]map[[2]int64]int, len(chunks))
+	pool.ForEach(len(chunks), func(ci int) {
+		agg := make(map[[2]int64]int)
+		for i := range chunks[ci] {
+			s := &chunks[ci][i]
+			if s.Kind != events.SyncWake {
+				continue
+			}
+			for _, t := range s.Targets {
+				agg[[2]int64{int64(s.Thread), int64(t)}]++
+			}
+		}
+		parts[ci] = agg
+	})
+	merged := make(map[[2]int64]int)
+	for _, part := range parts {
+		for k, n := range part {
+			merged[k] += n
+		}
+	}
+	return WakeEdges(merged)
+}

@@ -1,0 +1,218 @@
+package analyzer
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/vtime"
+)
+
+// xorshift is a tiny deterministic PRNG so the golden traces are stable
+// across runs and platforms without importing math/rand.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+func (x *xorshift) intn(n int) int { return int(x.next() % uint64(n)) }
+
+// goldenTrace synthesises a trace exercising every kernel: many call
+// names across threads and enclaves, nested ocalls with back-to-back
+// repeats (merge/batch pressure), sync sleep/wake pairs, paging events
+// inside and outside call windows, and AEX counts.
+func goldenTrace(t *testing.T, seed uint64, nOps int) *events.Trace {
+	t.Helper()
+	b := newBuilder(t)
+	rng := xorshift(seed | 1)
+	names := []string{
+		"ecall_put", "ecall_get", "ecall_del", "ecall_tick",
+		"ecall_crypto", "ecall_flush",
+	}
+	onames := []string{"ocall_write", "ocall_read", "ocall_log"}
+	clock := make([]float64, 8) // per-thread time in µs
+	for op := 0; op < nOps; op++ {
+		thread := int64(rng.intn(len(clock)))
+		clock[thread] += float64(1 + rng.intn(40))
+		start := clock[thread]
+		dur := float64(1+rng.intn(30)) / 2
+		name := names[rng.intn(len(names))]
+		id := b.trace.NextID()
+		enclave := sgx.EnclaveID(1 + rng.intn(2))
+		b.trace.Ecalls.Insert(events.CallEvent{
+			ID: id, Kind: events.KindEcall, Enclave: enclave,
+			Thread: sgx.ThreadID(thread), CallID: rng.intn(8), Name: name,
+			Start: b.cyc(start), End: b.cyc(start + dur),
+			Parent: events.NoEvent, AEXCount: rng.intn(3),
+		})
+		// Nested ocalls, sometimes repeated back-to-back to trigger the
+		// merge/batch detectors, sometimes near the parent's start for
+		// the reordering detector.
+		nested := rng.intn(3)
+		at := start + float64(rng.intn(3))/4
+		for k := 0; k < nested; k++ {
+			oid := b.trace.NextID()
+			oname := onames[rng.intn(len(onames))]
+			odur := float64(1+rng.intn(6)) / 4
+			b.trace.Ocalls.Insert(events.CallEvent{
+				ID: oid, Kind: events.KindOcall, Enclave: enclave,
+				Thread: sgx.ThreadID(thread), Name: oname,
+				Start: b.cyc(at), End: b.cyc(at + odur),
+				Parent: id,
+			})
+			at += odur + float64(rng.intn(4))/4
+			if rng.intn(4) == 0 { // occasional sync ocall with wake targets
+				sid := b.trace.NextID()
+				kind := events.SyncSleep
+				var targets []sgx.ThreadID
+				if rng.intn(2) == 0 {
+					kind = events.SyncWake
+					targets = []sgx.ThreadID{sgx.ThreadID(rng.intn(len(clock)))}
+				}
+				b.trace.Syncs.Insert(events.SyncEvent{
+					ID: sid, Kind: kind, Thread: sgx.ThreadID(thread),
+					Targets: targets, Time: b.cyc(at), Call: oid,
+				})
+			}
+		}
+		if rng.intn(5) == 0 {
+			pid := b.trace.NextID()
+			kind := events.PageIn
+			if rng.intn(2) == 0 {
+				kind = events.PageOut
+			}
+			// Half land inside the ecall window, half in the gaps.
+			when := start + dur/2
+			if rng.intn(2) == 0 {
+				when = start + dur + 1
+			}
+			b.trace.Paging.Insert(events.PagingEvent{
+				ID: pid, Kind: kind, Enclave: enclave,
+				Thread: sgx.ThreadID(thread), Vaddr: rng.next(),
+				PageKind: []string{"heap", "stack", "code"}[rng.intn(3)],
+				Time:     b.cyc(when),
+			})
+		}
+		clock[thread] = start + dur
+	}
+	return b.trace
+}
+
+// reports runs both pipelines over the same prepared analyser state.
+func reports(t *testing.T, trace *events.Trace, opts Options) (serial, parallel *Report) {
+	t.Helper()
+	opts.Serial = true
+	as, err := New(trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial = as.Analyze()
+	opts.Serial = false
+	ap, err := New(trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel = ap.Analyze()
+	return serial, parallel
+}
+
+// TestParallelAnalyzeDeepEqualGolden is the pipeline's core guarantee:
+// on traces exercising every kernel, the parallel report is
+// reflect.DeepEqual to the serial one — stats, findings (order
+// included), security hints, paging, wake graph and call graph.
+func TestParallelAnalyzeDeepEqualGolden(t *testing.T) {
+	for _, tc := range []struct {
+		seed uint64
+		ops  int
+	}{
+		{seed: 1, ops: 50},
+		{seed: 7, ops: 400},
+		{seed: 42, ops: 1500},
+	} {
+		t.Run(fmt.Sprintf("seed=%d/ops=%d", tc.seed, tc.ops), func(t *testing.T) {
+			trace := goldenTrace(t, tc.seed, tc.ops)
+			serial, parallel := reports(t, trace, Options{})
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("parallel report diverges from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+			}
+		})
+	}
+}
+
+// TestParallelAnalyzeDeepEqualPerEnclave repeats the guarantee with the
+// per-enclave dissection filter active.
+func TestParallelAnalyzeDeepEqualPerEnclave(t *testing.T) {
+	trace := goldenTrace(t, 99, 600)
+	for _, enc := range []sgx.EnclaveID{1, 2} {
+		serial, parallel := reports(t, trace, Options{Enclave: enc})
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("enclave %d: parallel report diverges from serial", enc)
+		}
+	}
+}
+
+// TestParallelAnalyzeEmptyTrace checks the degenerate partitions: no
+// calls, no paging, no syncs.
+func TestParallelAnalyzeEmptyTrace(t *testing.T) {
+	trace, err := events.NewTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, parallel := reports(t, trace, Options{})
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("empty trace: serial %+v != parallel %+v", serial, parallel)
+	}
+}
+
+// TestParallelAnalyzeRepeatable guards against scheduling-dependent
+// output: the parallel pipeline must produce the identical report run
+// after run.
+func TestParallelAnalyzeRepeatable(t *testing.T) {
+	trace := goldenTrace(t, 1234, 800)
+	a, err := New(trace, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := a.Analyze()
+	for i := 0; i < 5; i++ {
+		if got := a.Analyze(); !reflect.DeepEqual(first, got) {
+			t.Fatalf("run %d differs from first parallel run", i)
+		}
+	}
+}
+
+// TestCallIntervalsMatchesLinearScan cross-checks the O(log n) interval
+// index against the serial linear-scan definition on the golden trace.
+func TestCallIntervalsMatchesLinearScan(t *testing.T) {
+	trace := goldenTrace(t, 5, 300)
+	a, err := New(trace, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := a.buildCallIntervals()
+	linear := func(thread sgx.ThreadID, x vtime.Cycles) bool {
+		for i := range a.all {
+			c := &a.all[i]
+			if c.ev.Thread == thread && c.ev.Start <= x && x <= c.ev.End {
+				return true
+			}
+		}
+		return false
+	}
+	rng := xorshift(77)
+	for i := 0; i < 2000; i++ {
+		thread := sgx.ThreadID(rng.intn(10))
+		x := vtime.Cycles(rng.next() % 4_000_000)
+		if got, want := idx.contains(thread, x), linear(thread, x); got != want {
+			t.Fatalf("contains(thread=%d, x=%d) = %v, linear scan says %v", thread, x, got, want)
+		}
+	}
+}

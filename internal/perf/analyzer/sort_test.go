@@ -1,0 +1,58 @@
+package analyzer
+
+import (
+	"reflect"
+	"testing"
+
+	"sgxperf/internal/perf/events"
+)
+
+// TestSortFindingsDeterministicOnTies feeds SortFindings permutations of
+// a finding set with deliberate score ties (same problem, same score,
+// differing only in call/partner/kind/evidence) and requires one total
+// order regardless of input order — the property the parallel merge
+// depends on.
+func TestSortFindingsDeterministicOnTies(t *testing.T) {
+	base := []Finding{
+		{Problem: ProblemSISC, Call: "b", Score: 2, Evidence: "x"},
+		{Problem: ProblemSISC, Call: "a", Score: 2, Evidence: "y"},
+		{Problem: ProblemSISC, Call: "a", Score: 2, Evidence: "x"},
+		{Problem: ProblemSISC, Call: "a", Partner: "p", Score: 2, Evidence: "x"},
+		{Problem: ProblemSISC, Call: "a", Score: 2, Kind: events.KindOcall, Evidence: "x"},
+		{Problem: ProblemSNC, Call: "a", Score: 9, Evidence: "x"},
+		{Problem: ProblemSISC, Call: "c", Score: 5, Evidence: "x"},
+	}
+
+	want := append([]Finding(nil), base...)
+	SortFindings(want)
+
+	// Exhaustive-ish: rotate and reverse the input several ways.
+	perms := [][]Finding{
+		append([]Finding(nil), base...),
+	}
+	rev := make([]Finding, len(base))
+	for i, f := range base {
+		rev[len(base)-1-i] = f
+	}
+	perms = append(perms, rev)
+	for r := 1; r < len(base); r++ {
+		rot := append(append([]Finding(nil), base[r:]...), base[:r]...)
+		perms = append(perms, rot)
+	}
+	for i, p := range perms {
+		SortFindings(p)
+		if !reflect.DeepEqual(p, want) {
+			t.Fatalf("permutation %d sorted differently:\ngot  %+v\nwant %+v", i, p, want)
+		}
+	}
+
+	// And the order itself is the documented one: problem asc, score
+	// desc, call asc, partner asc, kind asc, evidence asc.
+	if want[0].Problem != ProblemSISC || want[0].Score != 5 {
+		t.Fatalf("expected the score-5 SISC finding first, got %+v", want[0])
+	}
+	last := want[len(want)-1]
+	if last.Problem != ProblemSNC {
+		t.Fatalf("expected the SNC finding last, got %+v", last)
+	}
+}

@@ -3,8 +3,21 @@ package events
 import (
 	"sort"
 
+	"sgxperf/internal/evstore"
 	"sgxperf/internal/sgx"
 )
+
+// collect copies a table into one exactly-sized slice via the bulk
+// chunk scan — the rewrite buffer for Replace, without the intermediate
+// allocations of the row-by-row paths.
+func collect[T any](tab *evstore.Table[T]) []T {
+	out := make([]T, 0, tab.Len())
+	tab.ScanChunks(func(rows []T) bool {
+		out = append(out, rows...)
+		return true
+	})
+	return out
+}
 
 // Canonicalize rewrites the trace into a deterministic canonical form so
 // traces of the same workload can be compared byte-for-byte regardless of
@@ -70,11 +83,8 @@ func (t *Trace) Canonicalize() {
 		return id
 	}
 
-	calls := func(tab interface {
-		Rows() []CallEvent
-		Replace(rows []CallEvent)
-	}) {
-		rows := tab.Rows()
+	calls := func(tab *evstore.Table[CallEvent]) {
+		rows := collect(tab)
 		for i := range rows {
 			rows[i].ID = ref(rows[i].ID)
 			rows[i].Parent = ref(rows[i].Parent)
@@ -85,7 +95,7 @@ func (t *Trace) Canonicalize() {
 	calls(t.Ecalls)
 	calls(t.Ocalls)
 
-	aexs := t.AEXs.Rows()
+	aexs := collect(t.AEXs)
 	for i := range aexs {
 		aexs[i].ID = ref(aexs[i].ID)
 		aexs[i].During = ref(aexs[i].During)
@@ -93,14 +103,14 @@ func (t *Trace) Canonicalize() {
 	sort.Slice(aexs, func(i, j int) bool { return aexs[i].ID < aexs[j].ID })
 	t.AEXs.Replace(aexs)
 
-	paging := t.Paging.Rows()
+	paging := collect(t.Paging)
 	for i := range paging {
 		paging[i].ID = ref(paging[i].ID)
 	}
 	sort.Slice(paging, func(i, j int) bool { return paging[i].ID < paging[j].ID })
 	t.Paging.Replace(paging)
 
-	syncs := t.Syncs.Rows()
+	syncs := collect(t.Syncs)
 	for i := range syncs {
 		syncs[i].ID = ref(syncs[i].ID)
 		syncs[i].Call = ref(syncs[i].Call)
@@ -108,7 +118,7 @@ func (t *Trace) Canonicalize() {
 	sort.Slice(syncs, func(i, j int) bool { return syncs[i].ID < syncs[j].ID })
 	t.Syncs.Replace(syncs)
 
-	threads := t.Threads.Rows()
+	threads := collect(t.Threads)
 	sort.Slice(threads, func(i, j int) bool {
 		if threads[i].Thread != threads[j].Thread {
 			return threads[i].Thread < threads[j].Thread
@@ -117,7 +127,7 @@ func (t *Trace) Canonicalize() {
 	})
 	t.Threads.Replace(threads)
 
-	enclaves := t.Enclaves.Rows()
+	enclaves := collect(t.Enclaves)
 	sort.Slice(enclaves, func(i, j int) bool { return enclaves[i].Enclave < enclaves[j].Enclave })
 	t.Enclaves.Replace(enclaves)
 

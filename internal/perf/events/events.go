@@ -219,6 +219,14 @@ func NewTrace() (*Trace, error) {
 		Enclaves: evstore.NewTable[EnclaveMeta]("enclaves"),
 		db:       evstore.NewDB(),
 	}
+	// Columnar codecs for the high-volume tables (see codec.go); Meta and
+	// Enclaves intentionally stay on the gob fallback.
+	t.Ecalls.SetCodec(callCodec{})
+	t.Ocalls.SetCodec(callCodec{})
+	t.AEXs.SetCodec(aexCodec{})
+	t.Paging.SetCodec(pagingCodec{})
+	t.Syncs.SetCodec(syncCodec{})
+	t.Threads.SetCodec(threadCodec{})
 	for _, err := range []error{
 		evstore.Register(t.db, t.Meta),
 		evstore.Register(t.db, t.Ecalls),
@@ -241,13 +249,15 @@ func (t *Trace) NextID() EventID {
 	return EventID(t.nextID.Add(1))
 }
 
-// Calls returns all call events of the given kind. It copies; hot paths
-// should use ScanCalls instead.
+// Calls returns all call events of the given kind in one exactly-sized
+// copy (built from the bulk chunk scan); hot paths should use ScanCalls
+// instead.
 func (t *Trace) Calls(kind CallKind) []CallEvent {
-	if kind == KindEcall {
-		return t.Ecalls.Rows()
+	tab := t.Ecalls
+	if kind != KindEcall {
+		tab = t.Ocalls
 	}
-	return t.Ocalls.Rows()
+	return collect(tab)
 }
 
 // ScanCalls iterates all call events of the given kind in insertion order
@@ -277,8 +287,14 @@ func (t *Trace) TransitionCycles() vtime.Cycles {
 	return 0
 }
 
-// Save serialises the trace.
+// Save serialises the trace in the default (columnar binary) format.
 func (t *Trace) Save(w io.Writer) error { return t.db.Save(w) }
+
+// SaveWith serialises the trace with explicit format options — the
+// legacy gob format or per-chunk compression.
+func (t *Trace) SaveWith(w io.Writer, opts evstore.SaveOptions) error {
+	return t.db.SaveWith(w, opts)
+}
 
 // maxEventID scans every ID-carrying table without copying rows and
 // returns the highest event ID present.

@@ -6,6 +6,7 @@ import (
 
 	"sgxperf/internal/perf/analyzer"
 	"sgxperf/internal/perf/events"
+	"sgxperf/internal/pool"
 )
 
 // Counts are the raw event totals the collector has observed, per table.
@@ -70,21 +71,38 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	sort.Strings(names)
 
-	// Stats: the per-name duration multisets through the shared kernel,
-	// ordered as the analyser's overview.
+	// Stats: the per-name duration multisets through the shared kernels,
+	// one partition per name on the worker pool (the sorting inside
+	// StatsFromDurations dominates snapshot cost). Results land in
+	// per-name slots and are assembled in sorted-name order, so the
+	// output is identical to the serial loop.
+	type nameResult struct {
+		stats   analyzer.CallStats
+		ok      bool
+		moving  []analyzer.Finding
+		reorder []analyzer.Finding
+	}
+	res := make([]nameResult, len(names))
+	pool.ForEach(len(names), func(i int) {
+		na := c.perName[names[i]]
+		if st, ok := analyzer.StatsFromDurations(names[i], na.kind, na.durs, na.totalAEX); ok {
+			res[i].stats, res[i].ok = st, true
+			res[i].moving = appendMoving(nil, st, w)
+		}
+		res[i].reorder = analyzer.ReorderFindings(names[i], na.kind, na.reorder, w)
+	})
 	s.Stats = make([]analyzer.CallStats, 0, len(names))
-	for _, n := range names {
-		na := c.perName[n]
-		if st, ok := analyzer.StatsFromDurations(n, na.kind, na.durs, na.totalAEX); ok {
-			s.Findings = appendMoving(s.Findings, st, w)
-			s.Stats = append(s.Stats, st)
+	for i := range res {
+		if res[i].ok {
+			s.Findings = append(s.Findings, res[i].moving...)
+			s.Stats = append(s.Stats, res[i].stats)
 		}
 	}
 	analyzer.SortStats(s.Stats)
 
 	// Reordering: the accumulated direct-parent offset bands.
-	for _, n := range names {
-		s.Findings = append(s.Findings, analyzer.ReorderFindings(n, c.perName[n].kind, c.perName[n].reorder, w)...)
+	for i := range res {
+		s.Findings = append(s.Findings, res[i].reorder...)
 	}
 
 	// Merging: consecutive pairs within each indirect-parent group.

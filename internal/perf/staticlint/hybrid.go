@@ -8,6 +8,7 @@ import (
 	"sgxperf/internal/edl"
 	"sgxperf/internal/perf/analyzer"
 	"sgxperf/internal/perf/events"
+	"sgxperf/internal/pool"
 	"sgxperf/internal/sdk"
 )
 
@@ -87,7 +88,10 @@ func Hybrid(iface *edl.Interface, trace *events.Trace, opts Options) (*Report, e
 	for _, n := range counts {
 		total += n
 	}
-	for i := range r.Findings {
+	// Each finding's re-rank is independent (reads of the shared counts
+	// map, a write to its own slot), so the join runs on the worker pool;
+	// the StaticOnly collection stays serial to preserve its order.
+	pool.ForEach(len(r.Findings), func(i int) {
 		f := &r.Findings[i]
 		if f.Call == interfaceWide {
 			f.Observed = total
@@ -95,8 +99,10 @@ func Hybrid(iface *edl.Interface, trace *events.Trace, opts Options) (*Report, e
 			f.Observed = counts[f.Call]
 		}
 		f.HybridScore = f.Score * math.Log2(1+float64(f.Observed))
-		if f.Observed == 0 {
-			r.StaticOnly = append(r.StaticOnly, f.Call)
+	})
+	for i := range r.Findings {
+		if r.Findings[i].Observed == 0 {
+			r.StaticOnly = append(r.StaticOnly, r.Findings[i].Call)
 		}
 	}
 	sort.SliceStable(r.Findings, func(i, j int) bool {

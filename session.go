@@ -130,9 +130,16 @@ func (e *SessionEnclave) Call(ctx *Context, name string, args any) (any, error) 
 }
 
 // Analyze runs the post-mortem analysis over everything the session's
-// logger has recorded so far.
+// logger has recorded so far, on the parallel pipeline (the default;
+// see AnalyzerOptions.Serial for the reference pipeline).
 func (s *Session) Analyze() (*Report, error) {
-	a, err := analyzer.New(s.Logger.Trace(), analyzer.Options{})
+	return s.AnalyzeWith(AnalyzerOptions{})
+}
+
+// AnalyzeWith is Analyze with explicit analyser options — detector
+// weights, per-enclave dissection, or the serial reference pipeline.
+func (s *Session) AnalyzeWith(opts AnalyzerOptions) (*Report, error) {
+	a, err := analyzer.New(s.Logger.Trace(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("session: %w", err)
 	}

@@ -3,6 +3,7 @@ package sgxperf_test
 import (
 	"errors"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -123,6 +124,75 @@ func TestSessionQuickstart(t *testing.T) {
 	s.Close()
 	if !s.Logger.Detached() {
 		t.Fatal("session close did not detach the logger")
+	}
+}
+
+// TestSessionAnalyzeParallelMatchesSerial records a workload through a
+// Session and checks the default (parallel) analysis equals the serial
+// reference pipeline — both via Session.AnalyzeWith and via a
+// NewAnalyzer built on the session's trace.
+func TestSessionAnalyzeParallelMatchesSerial(t *testing.T) {
+	s, err := sgxperf.NewSession(
+		sgxperf.WithEDL(`
+			enclave {
+				trusted { public ecall_put(); public ecall_get(); };
+				untrusted { ocall_read(); ocall_write(); };
+			};
+		`),
+		sgxperf.WithOcallImpls(map[string]sgxperf.OcallFn{
+			"ocall_read":  func(ctx *sgxperf.Context, args any) (any, error) { return nil, nil },
+			"ocall_write": func(ctx *sgxperf.Context, args any) (any, error) { return nil, nil },
+		}),
+		sgxperf.WithLogger(sgxperf.WithWorkload("parallel-vs-serial"), sgxperf.WithAEX(sgxperf.AEXCount)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := s.NewContext("main")
+	enc, err := s.Enclave(ctx, sgxperf.EnclaveConfig{Name: "kv"},
+		map[string]sgxperf.TrustedFn{
+			"ecall_put": func(env *sgxperf.Env, args any) (any, error) {
+				return env.Ocall("ocall_write", nil)
+			},
+			"ecall_get": func(env *sgxperf.Env, args any) (any, error) {
+				if _, err := env.Ocall("ocall_read", nil); err != nil {
+					return nil, err
+				}
+				return env.Ocall("ocall_read", nil)
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		name := "ecall_put"
+		if i%3 == 0 {
+			name = "ecall_get"
+		}
+		if _, err := enc.Call(ctx, name, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	parallel, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := s.AnalyzeWith(sgxperf.AnalyzerOptions{Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("Session parallel report differs from the serial reference")
+	}
+	// Same equality through the standalone analyser on the session's trace.
+	a, err := sgxperf.NewAnalyzer(s.Logger.Trace(), sgxperf.AnalyzerOptions{Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Analyze(), parallel) {
+		t.Fatal("standalone serial analyser differs from the Session report")
 	}
 }
 
