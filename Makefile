@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench-contention bench-analyze
+.PHONY: build test vet lint race verify fuzz bench-contention bench-analyze
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,14 @@ verify: lint
 	$(GO) test -race ./internal/perf/... ./internal/evstore/... \
 		./internal/pool/... \
 		./internal/sgx/... ./internal/sdk/... ./internal/host/...
+
+# Short fuzz smoke over the two parser/codec boundaries that accept
+# untrusted bytes: the columnar trace codec round-trip and the EDL
+# parser. FUZZTIME bounds each target (CI uses the default).
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -fuzz=FuzzCodecRoundTrip -fuzztime=$(FUZZTIME) ./internal/evstore
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/edl
 
 # Re-measure logger recording throughput, chaining the previous results
 # in BENCH_results.json as the baseline for the speedup computation.

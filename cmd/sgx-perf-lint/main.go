@@ -3,11 +3,17 @@
 // switches to hybrid mode — static findings re-ranked by observed call
 // counts, with static-only and dynamic-only discrepancies flagged.
 //
+// With -source the concurrency dataflow pass joins in: the Go sources
+// under the given root are analysed for locks held across blocking
+// boundaries and lock-order cycles, and those findings merge with the
+// interface ones, priced from the same machine cost model.
+//
 // Usage:
 //
 //	sgx-perf-lint -edl enclave.edl
 //	sgx-perf-lint -workload securekeeper
 //	sgx-perf-lint -workload sqlite -trace trace.evdb
+//	sgx-perf-lint -workload contend -source . -source-dirs internal/workloads/contend
 //	sgx-perf-lint -edl enclave.edl -json
 package main
 
@@ -15,9 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"sgxperf"
 	"sgxperf/internal/edl"
+	"sgxperf/internal/workloads/contend"
 	"sgxperf/internal/workloads/keeper"
 	"sgxperf/internal/workloads/minidb"
 )
@@ -27,6 +35,7 @@ import (
 var bundledInterfaces = map[string]func() (*edl.Interface, error){
 	"securekeeper": keeper.Interface,
 	"sqlite":       minidb.Interface,
+	"contend":      contend.Interface,
 }
 
 func main() {
@@ -38,11 +47,13 @@ func main() {
 
 func run() error {
 	var (
-		workload  = flag.String("workload", "", "lint a bundled workload's interface (securekeeper, sqlite)")
+		workload  = flag.String("workload", "", "lint a bundled workload's interface (securekeeper, sqlite, contend)")
 		edlPath   = flag.String("edl", "", "lint the interface in this EDL file")
 		tracePath = flag.String("trace", "", "trace file for hybrid mode (rank findings by observed call counts)")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 		wideMin   = flag.Int("wide-surface", 0, "public-ecall count that flags a wide surface (0 = default)")
+		srcRoot   = flag.String("source", "", "also run the concurrency dataflow pass over the Go sources under this root")
+		srcDirs   = flag.String("source-dirs", "", "comma-separated root-relative directories limiting the source pass (default: the whole tree)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -85,7 +96,17 @@ func run() error {
 		return fmt.Errorf("need -workload, -edl or -trace")
 	}
 
-	opts := sgxperf.LintOptions{WideSurfaceMin: *wideMin}
+	opts := sgxperf.LintOptions{WideSurfaceMin: *wideMin, SourceRoot: *srcRoot}
+	if *srcDirs != "" {
+		if *srcRoot == "" {
+			return fmt.Errorf("-source-dirs needs -source")
+		}
+		for _, d := range strings.Split(*srcDirs, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				opts.SourceDirs = append(opts.SourceDirs, d)
+			}
+		}
+	}
 	var report *sgxperf.LintReport
 	if *tracePath != "" {
 		trace, err := sgxperf.LoadTrace(*tracePath)

@@ -7,6 +7,9 @@ import (
 	"testing"
 
 	"sgxperf"
+	"sgxperf/internal/host"
+	"sgxperf/internal/perf/logger"
+	"sgxperf/internal/workloads/contend"
 )
 
 // Regenerate the golden files after an intentional output change with
@@ -35,6 +38,73 @@ func TestGoldenReports(t *testing.T) {
 		}
 		compareGolden(t, name+".json", append(raw, '\n'))
 	}
+}
+
+// sourceOpts point the concurrency dataflow pass at the repository root
+// (two levels up from this command) scoped to the contend exhibit, the
+// configuration `sgx-perf-lint -workload contend -source ../..
+// -source-dirs internal/workloads/contend` uses.
+var sourceOpts = sgxperf.LintOptions{
+	SourceRoot: "../..",
+	SourceDirs: []string{"internal/workloads/contend"},
+}
+
+// TestGoldenSourceReport pins the static report when the source pass
+// joins in: the contend workload's boundary-sync finding (its update
+// ecall holds the counter mutex across the audit ocall) merges with the
+// interface findings.
+func TestGoldenSourceReport(t *testing.T) {
+	iface, err := contend.Interface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := sgxperf.StaticLint(iface, sourceOpts)
+	if len(report.Warnings) != 0 {
+		t.Fatalf("source pass warned: %v", report.Warnings)
+	}
+	compareGolden(t, "contend_source.txt", []byte(report.Render()))
+	raw, err := report.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "contend_source.json", append(raw, '\n'))
+}
+
+// TestGoldenHybridReport records one single-threaded contend run (fully
+// deterministic in virtual time: no lock contention, so no scheduling-
+// dependent sync ocalls) and pins the hybrid report: the boundary-sync
+// finding joined with the observed audit-ocall count and re-ranked.
+func TestGoldenHybridReport(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := logger.Attach(h, logger.Options{Workload: "contend"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := h.NewContext("main")
+	w, err := contend.New(h, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(contend.RunOptions{Threads: 1, OpsPerThread: 40}); err != nil {
+		t.Fatal(err)
+	}
+	iface, err := contend.Interface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sgxperf.HybridLint(iface, l.Trace(), sourceOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "contend_hybrid.txt", []byte(report.Render()))
+	raw, err := report.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "contend_hybrid.json", append(raw, '\n'))
 }
 
 func compareGolden(t *testing.T, name string, got []byte) {

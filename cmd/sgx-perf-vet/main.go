@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sgxperf/internal/lint"
@@ -42,11 +43,25 @@ func run() error {
 		return nil
 	}
 
-	diags, err := lint.Run(*root, analyzers)
+	n, err := vet(*root, *jsonOut, os.Stdout)
 	if err != nil {
 		return err
 	}
-	if *jsonOut {
+	if n > 0 {
+		return fmt.Errorf("%d diagnostic(s)", n)
+	}
+	return nil
+}
+
+// vet runs the full suite over the tree at root, writes the diagnostics
+// to w (plain lines, or JSON when jsonOut is set) and returns their
+// count.
+func vet(root string, jsonOut bool, w io.Writer) (int, error) {
+	diags, err := lint.Run(root, lint.Analyzers())
+	if err != nil {
+		return 0, err
+	}
+	if jsonOut {
 		type jsonDiag struct {
 			File     string `json:"file"`
 			Line     int    `json:"line"`
@@ -63,16 +78,13 @@ func run() error {
 		}
 		raw, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
-			return err
+			return 0, err
 		}
-		fmt.Println(string(raw))
+		fmt.Fprintln(w, string(raw))
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(w, d)
 		}
 	}
-	if len(diags) > 0 {
-		return fmt.Errorf("%d diagnostic(s)", len(diags))
-	}
-	return nil
+	return len(diags), nil
 }

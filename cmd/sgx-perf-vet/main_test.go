@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Regenerate the golden files after an intentional output change with
+//
+//	go test ./cmd/sgx-perf-vet -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// badRepo is a fixture tree seeding exactly one violation per analyzer:
+// a wall-clock read in a simulator package (vclock), a receiver mutex in
+// a //sgxperf:hotpath method (hotpath), an a→b/b→a acquisition inversion
+// (lockorder), a channel send under a held mutex (heldacross), and a
+// field accessed both atomically and plainly (atomicmix). It lives under
+// testdata so the repository's own lint walk skips it.
+const badRepo = "testdata/badrepo"
+
+// TestGoldenDiagnostics pins sgx-perf-vet's exact output — text and JSON
+// — over the seeded fixture. Diagnostics are sorted and deduplicated by
+// (file, line, analyzer), so the output is fully deterministic.
+func TestGoldenDiagnostics(t *testing.T) {
+	var text bytes.Buffer
+	n, err := vet(badRepo, false, &text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("diagnostics = %d, want 5 (one per analyzer):\n%s", n, text.String())
+	}
+	compareGolden(t, "badrepo.txt", text.Bytes())
+
+	var raw bytes.Buffer
+	if _, err := vet(badRepo, true, &raw); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "badrepo.json", raw.Bytes())
+}
+
+// TestEachAnalyzerFires double-checks the fixture seeds what it claims:
+// every analyzer in the suite contributes exactly one diagnostic.
+func TestEachAnalyzerFires(t *testing.T) {
+	var text bytes.Buffer
+	if _, err := vet(badRepo, false, &text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, a := range []string{"vclock", "hotpath", "lockorder", "heldacross", "atomicmix"} {
+		if got := strings.Count(out, ": "+a+": "); got != 1 {
+			t.Errorf("analyzer %s fired %d times, want 1:\n%s", a, got, out)
+		}
+	}
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("%s drifted from golden file.\n--- want\n%s\n--- got\n%s", name, want, got)
+	}
+}

@@ -1,0 +1,13 @@
+package app
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+}
+
+// bump updates the counter atomically…
+func (c *counter) bump() { atomic.AddInt64(&c.hits, 1) }
+
+// …but read loads it plainly: the atomicmix seed.
+func (c *counter) read() int64 { return c.hits }

@@ -1,0 +1,19 @@
+// Package app seeds one heldacross and one atomicmix violation for the
+// golden test.
+package app
+
+import "sync"
+
+type queue struct {
+	mu  sync.Mutex
+	out chan int
+	n   int
+}
+
+// push sends on the channel while still holding the queue mutex.
+func (q *queue) push(v int) {
+	q.mu.Lock()
+	q.n++
+	q.out <- v
+	q.mu.Unlock()
+}

@@ -1,0 +1,24 @@
+// Package kernel seeds one lockorder violation for the golden test: ab
+// acquires a then b, ba acquires b then a.
+package kernel
+
+import "sync"
+
+type core struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (c *core) ab() {
+	c.a.Lock()
+	c.b.Lock()
+	c.b.Unlock()
+	c.a.Unlock()
+}
+
+func (c *core) ba() {
+	c.b.Lock()
+	c.a.Lock()
+	c.a.Unlock()
+	c.b.Unlock()
+}

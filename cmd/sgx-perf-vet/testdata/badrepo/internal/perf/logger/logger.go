@@ -1,0 +1,20 @@
+// Package logger seeds one hotpath violation for the golden test: the
+// annotated method acquires its receiver's mutex.
+package logger
+
+import "sync"
+
+// Recorder is a stand-in event recorder.
+type Recorder struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Record is the per-event entry point.
+//
+//sgxperf:hotpath
+func (r *Recorder) Record() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}

@@ -1,0 +1,9 @@
+// Package sdk seeds one vclock violation for the golden test: a
+// simulator package reading the wall clock.
+package sdk
+
+import "time"
+
+// Stamp returns the host time — forbidden here; the simulator runs on
+// virtual time.
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -204,10 +204,10 @@ func ExampleRunWorkload() {
 }
 
 // ExampleCatalogue prints the problem classes: Table 1's six plus the
-// three the static interface analyser adds (reentrancy, boundary copies,
-// transition-bound calls).
+// four the static analysers add (reentrancy, boundary copies,
+// transition-bound calls, locks held across the boundary).
 func ExampleCatalogue() {
 	fmt.Println("problem classes:", len(sgxperf.Catalogue()))
 	// Output:
-	// problem classes: 9
+	// problem classes: 10
 }

@@ -1,0 +1,1029 @@
+// Typed intraprocedural dataflow engine: the shared machinery under the
+// lockorder, heldacross and staticlint boundary-sync analyses.
+//
+// The engine models three things:
+//
+//   - lock identity — every acquisition site is resolved through go/types
+//     to the declaring (package, struct, field) triple, so w.p.mapMu on
+//     two different instances is one lock, and the same field reached
+//     from two packages is still one lock;
+//   - the held-set lattice — a walk over each function body tracks the
+//     ordered set of locks held on every control-flow path, joining
+//     branches by intersection (must-hold), so a lock released on one arm
+//     of an if does not leak a false "held" fact past the join, and paths
+//     that return or panic drop out of the join entirely;
+//   - blocking-call summaries — a whole-repo fixpoint marks every
+//     function that directly or transitively reaches a blocking boundary
+//     (channel send/receive, select without default, worker-pool
+//     fan-out, ocall dispatch, SDK sync primitives), so "calls a helper
+//     that eventually ocalls" is caught without interprocedural held
+//     sets.
+//
+// Known approximations, chosen for zero false-positive pressure over
+// completeness: loop bodies are walked once (a lock leaked across a
+// back-edge is not tracked into the second iteration); function literals
+// that are not invoked where they are written are analysed as separate
+// roots with an empty held set (a closure run by pool.Do is charged to
+// the pool.Do boundary at the call site instead); and locks whose
+// identity cannot be resolved to a declaration (locals, aliases through
+// calls) participate in held tracking but never in the repo-wide order
+// graph.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// LockClass distinguishes the lock APIs the engine understands.
+type LockClass int
+
+const (
+	// LockSync is sync.Mutex / sync.RWMutex.
+	LockSync LockClass = iota
+	// LockSDK is the simulated in-enclave sdk.Mutex, whose contended
+	// path sleeps through an ocall (§2.3.2).
+	LockSDK
+)
+
+func (c LockClass) String() string {
+	if c == LockSDK {
+		return "sdk.Mutex"
+	}
+	return "sync mutex"
+}
+
+// Import paths of the repository packages the engine knows by name.
+const (
+	sdkPkgPath  = "sgxperf/internal/sdk"
+	poolPkgPath = "sgxperf/internal/pool"
+)
+
+// A LockID names one lock by declaration, not by instance: the declaring
+// package, the owning struct type ("" for package-level vars) and the
+// field or variable name. Locals and unresolvable lock expressions are
+// marked local and excluded from the cross-package order graph.
+type LockID struct {
+	Pkg   string
+	Owner string
+	Field string
+	Class LockClass
+	local bool
+}
+
+func (id LockID) String() string {
+	base := id.Field
+	if id.Owner != "" && !id.local {
+		base = id.Owner + "." + base
+	}
+	if id.Pkg != "" && !id.local {
+		base = path.Base(id.Pkg) + "." + base
+	}
+	return base
+}
+
+// heldLock is one entry of the held set: the lock plus where it was
+// acquired on this path.
+type heldLock struct {
+	id  LockID
+	pos token.Pos
+}
+
+// lockOp is one resolved acquisition or release.
+type lockOp struct {
+	id      LockID
+	acquire bool
+	read    bool // RLock/RUnlock
+}
+
+// boundaryHit is one blocking boundary reached during the walk.
+type boundaryHit struct {
+	pos  token.Pos
+	desc string
+	// ocall is the statically-known ocall name when the boundary is an
+	// ocall dispatch with a constant name argument.
+	ocall string
+	// condWait marks a condition-variable Wait, which by contract holds
+	// (and internally releases) exactly one lock: consumers skip the
+	// finding when a single lock is held, and flag only extra locks.
+	condWait bool
+}
+
+// dfFunc is one analysis root: a declared function or a function literal.
+type dfFunc struct {
+	pkg  *Package
+	name string
+	body *ast.BlockStmt
+}
+
+// funcSummary records whether calling a function may block, and why.
+type funcSummary struct {
+	display string
+	blocks  bool
+	reason  string
+	// callees lists resolved callees in source order, for the fixpoint.
+	callees []string
+}
+
+// blockingSeeds are the known blocking functions, by go/types FullName.
+var blockingSeeds = map[string]string{
+	"(*sync.WaitGroup).Wait":               "sync.WaitGroup.Wait",
+	"(*sync.Cond).Wait":                    "sync.Cond.Wait",
+	poolPkgPath + ".Do":                    "worker-pool fan-out (pool.Do)",
+	poolPkgPath + ".ForEach":               "worker-pool fan-out (pool.ForEach)",
+	"(*" + sdkPkgPath + ".Env).Ocall":      "ocall dispatch",
+	"(*" + sdkPkgPath + ".Env).OcallByID":  "ocall dispatch",
+	"(*" + sdkPkgPath + ".Mutex).Lock":     "sdk.Mutex.Lock, which sleeps via ocall when contended",
+	"(*" + sdkPkgPath + ".Mutex).Unlock":   "sdk.Mutex.Unlock, which wakes a sleeper via ocall",
+	"(*" + sdkPkgPath + ".Cond).Wait":      "sdk.Cond.Wait (sleep ocall)",
+	"(*" + sdkPkgPath + ".Cond).Signal":    "sdk.Cond.Signal (wake ocall)",
+	"(*" + sdkPkgPath + ".Cond).Broadcast": "sdk.Cond.Broadcast (wake ocall)",
+	"time.Sleep":                           "time.Sleep",
+}
+
+// ocallDispatchers are the seeds whose first argument names the ocall.
+var ocallDispatchers = map[string]bool{
+	"(*" + sdkPkgPath + ".Env).Ocall": true,
+}
+
+// condWaitSeeds are the boundaries with the condition-variable contract:
+// called with exactly one lock held, released internally while parked.
+var condWaitSeeds = map[string]bool{
+	"(*sync.Cond).Wait":               true,
+	"(*" + sdkPkgPath + ".Cond).Wait": true,
+}
+
+// engine drives the walk over one set of packages.
+type engine struct {
+	fset      *token.FileSet
+	summaries map[string]*funcSummary
+
+	// onAcquire fires when a lock is acquired with held non-empty; held
+	// is the set before the acquisition.
+	onAcquire func(fn *dfFunc, held []heldLock, op lockOp, pos token.Pos)
+	// onBoundary fires at every blocking boundary; held may be empty.
+	onBoundary func(fn *dfFunc, held []heldLock, b boundaryHit)
+}
+
+// newEngine builds summaries over every given package (the summary scope
+// should be the whole tree even when only some packages are walked).
+func newEngine(fset *token.FileSet, pkgs []*Package) *engine {
+	e := &engine{fset: fset}
+	e.summaries = buildSummaries(pkgs)
+	return e
+}
+
+// shortName compresses a go/types FullName for messages.
+func shortName(full string) string {
+	full = strings.ReplaceAll(full, "sgxperf/internal/", "")
+	return strings.ReplaceAll(full, "sgxperf/", "")
+}
+
+// walkPackage analyses every function body of one package.
+func (e *engine) walkPackage(pkg *Package) {
+	for _, fn := range collectFuncs(pkg) {
+		w := &walker{e: e, pkg: pkg, fn: fn}
+		w.block(fn.body.List, nil)
+	}
+}
+
+// collectFuncs returns the package's analysis roots in source order:
+// every declared function plus every function literal (literals start
+// with an empty held set; a literal invoked where it is written is
+// additionally walked inline by the caller's walk).
+func collectFuncs(pkg *Package) []*dfFunc {
+	var out []*dfFunc
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil {
+				if _, typ := receiver(fd); typ != "" {
+					name = typ + "." + name
+				}
+			}
+			out = append(out, &dfFunc{pkg: pkg, name: name, body: fd.Body})
+			outer := name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					out = append(out, &dfFunc{pkg: pkg, name: outer + " (func literal)", body: lit.Body})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// --- the held-set walker --------------------------------------------------
+
+type walker struct {
+	e   *engine
+	pkg *Package
+	fn  *dfFunc
+	// muteChan suppresses channel-op boundaries while walking the comm
+	// clauses of a select (the select itself is the boundary).
+	muteChan bool
+}
+
+func (w *walker) boundary(held []heldLock, pos token.Pos, desc, ocall string) {
+	if w.e.onBoundary != nil {
+		w.e.onBoundary(w.fn, held, boundaryHit{pos: pos, desc: desc, ocall: ocall})
+	}
+}
+
+func (w *walker) chanBoundary(held []heldLock, pos token.Pos, desc string) {
+	if !w.muteChan {
+		w.boundary(held, pos, desc, "")
+	}
+}
+
+func (w *walker) acquire(held []heldLock, op lockOp, pos token.Pos) []heldLock {
+	for _, h := range held {
+		if h.id == op.id {
+			return held // recursive RLock etc.: no new fact
+		}
+	}
+	if w.e.onAcquire != nil {
+		w.e.onAcquire(w.fn, held, op, pos)
+	}
+	return append(held[:len(held):len(held)], heldLock{id: op.id, pos: pos})
+}
+
+func release(held []heldLock, id LockID) []heldLock {
+	out := make([]heldLock, 0, len(held))
+	for _, h := range held {
+		if h.id != id {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// joinHeld intersects two non-terminated branch states, preserving a's
+// acquisition order (must-hold join).
+func joinHeld(a, b []heldLock) []heldLock {
+	out := make([]heldLock, 0, len(a))
+	for _, h := range a {
+		for _, g := range b {
+			if g.id == h.id {
+				out = append(out, h)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// block walks a statement list; the bool result is true when every path
+// through the list terminates (return, panic, branch).
+func (w *walker) block(list []ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = w.stmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *walker) stmt(s ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	switch s := s.(type) {
+	case nil:
+		return held, false
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanic(call, w.pkg.Info) {
+			for _, a := range call.Args {
+				held = w.expr(a, held)
+			}
+			return held, true
+		}
+		return w.expr(s.X, held), false
+	case *ast.SendStmt:
+		held = w.expr(s.Chan, held)
+		held = w.expr(s.Value, held)
+		w.chanBoundary(held, s.Arrow, "channel send")
+		return held, false
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			held = w.expr(r, held)
+		}
+		for _, l := range s.Lhs {
+			held = w.expr(l, held)
+		}
+		return held, false
+	case *ast.IncDecStmt:
+		return w.expr(s.X, held), false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						held = w.expr(v, held)
+					}
+				}
+			}
+		}
+		return held, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			held = w.expr(r, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto end this path as far as the enclosing
+		// block's join is concerned; the loop-level approximation is
+		// documented in the package comment.
+		return held, true
+	case *ast.BlockStmt:
+		return w.block(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		held, _ = w.stmt(s.Init, held)
+		held = w.expr(s.Cond, held)
+		thenOut, thenTerm := w.block(s.Body.List, held)
+		elseOut, elseTerm := held, false
+		if s.Else != nil {
+			elseOut, elseTerm = w.stmt(s.Else, held)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return joinHeld(thenOut, elseOut), false
+		}
+	case *ast.ForStmt:
+		held, _ = w.stmt(s.Init, held)
+		held = w.expr(s.Cond, held)
+		bodyOut, bodyTerm := w.block(s.Body.List, held)
+		if !bodyTerm {
+			bodyOut, _ = w.stmt(s.Post, bodyOut)
+			// Zero iterations (or the condition failing) keeps the entry
+			// state; otherwise the body's exit state flows out.
+			if s.Cond == nil {
+				// for{}: only break leaves; approximate with entry state.
+				return held, false
+			}
+			return joinHeld(held, bodyOut), false
+		}
+		return held, false
+	case *ast.RangeStmt:
+		held = w.expr(s.X, held)
+		if tv, ok := w.pkg.Info.Types[s.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				w.chanBoundary(held, s.Pos(), "channel receive (range)")
+			}
+		}
+		bodyOut, bodyTerm := w.block(s.Body.List, held)
+		if bodyTerm {
+			return held, false
+		}
+		return joinHeld(held, bodyOut), false
+	case *ast.SwitchStmt:
+		held, _ = w.stmt(s.Init, held)
+		held = w.expr(s.Tag, held)
+		return w.caseClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		held, _ = w.stmt(s.Init, held)
+		held, _ = w.stmt(s.Assign, held)
+		return w.caseClauses(s.Body, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.boundary(held, s.Pos(), "select", "")
+		}
+		prevMute := w.muteChan
+		w.muteChan = true
+		var outs [][]heldLock
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			armHeld, armTerm := w.stmt(cc.Comm, held)
+			w.muteChan = prevMute
+			if !armTerm {
+				armHeld, armTerm = w.block(cc.Body, armHeld)
+			}
+			w.muteChan = true
+			if !armTerm {
+				outs = append(outs, armHeld)
+			}
+		}
+		w.muteChan = prevMute
+		return joinAll(held, outs, true)
+	case *ast.DeferStmt:
+		// Arguments and the receiver are evaluated now; the call body
+		// runs at return time, when held-across facts no longer apply.
+		if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok {
+			held = w.expr(sel.X, held)
+		}
+		for _, a := range s.Call.Args {
+			held = w.expr(a, held)
+		}
+		return held, false
+	case *ast.GoStmt:
+		// The spawned body runs concurrently with an empty held set (it
+		// is analysed as a separate root); only the argument expressions
+		// evaluate here.
+		if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok {
+			held = w.expr(sel.X, held)
+		}
+		for _, a := range s.Call.Args {
+			held = w.expr(a, held)
+		}
+		return held, false
+	case *ast.EmptyStmt:
+		return held, false
+	default:
+		return held, false
+	}
+}
+
+// caseClauses joins the arms of a switch; a missing default keeps the
+// entry state as one possible outcome.
+func (w *walker) caseClauses(body *ast.BlockStmt, held []heldLock) ([]heldLock, bool) {
+	hasDefault := false
+	var outs [][]heldLock
+	allTerm := true
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		armHeld := held
+		for _, e := range cc.List {
+			armHeld = w.expr(e, armHeld)
+		}
+		armOut, armTerm := w.block(cc.Body, armHeld)
+		if !armTerm {
+			allTerm = false
+			outs = append(outs, armOut)
+		}
+	}
+	if !hasDefault {
+		return joinAll(held, outs, true)
+	}
+	if allTerm {
+		return held, true
+	}
+	return joinAll(held, outs, false)
+}
+
+// joinAll intersects the surviving branch states; withEntry adds the
+// fall-through (no branch taken) state.
+func joinAll(entry []heldLock, outs [][]heldLock, withEntry bool) ([]heldLock, bool) {
+	if withEntry {
+		outs = append(outs, entry)
+	}
+	if len(outs) == 0 {
+		return entry, true
+	}
+	state := outs[0]
+	for _, o := range outs[1:] {
+		state = joinHeld(state, o)
+	}
+	return state, false
+}
+
+func (w *walker) expr(e ast.Expr, held []heldLock) []heldLock {
+	switch e := e.(type) {
+	case nil:
+		return held
+	case *ast.CallExpr:
+		return w.call(e, held)
+	case *ast.UnaryExpr:
+		held = w.expr(e.X, held)
+		if e.Op == token.ARROW {
+			w.chanBoundary(held, e.Pos(), "channel receive")
+		}
+		return held
+	case *ast.BinaryExpr:
+		held = w.expr(e.X, held)
+		return w.expr(e.Y, held)
+	case *ast.ParenExpr:
+		return w.expr(e.X, held)
+	case *ast.SelectorExpr:
+		return w.expr(e.X, held)
+	case *ast.IndexExpr:
+		held = w.expr(e.X, held)
+		return w.expr(e.Index, held)
+	case *ast.IndexListExpr:
+		held = w.expr(e.X, held)
+		for _, i := range e.Indices {
+			held = w.expr(i, held)
+		}
+		return held
+	case *ast.SliceExpr:
+		held = w.expr(e.X, held)
+		held = w.expr(e.Low, held)
+		held = w.expr(e.High, held)
+		return w.expr(e.Max, held)
+	case *ast.StarExpr:
+		return w.expr(e.X, held)
+	case *ast.TypeAssertExpr:
+		return w.expr(e.X, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			held = w.expr(el, held)
+		}
+		return held
+	case *ast.KeyValueExpr:
+		return w.expr(e.Value, held)
+	case *ast.FuncLit:
+		// Analysed as a separate root with an empty held set.
+		return held
+	default:
+		return held
+	}
+}
+
+func (w *walker) call(call *ast.CallExpr, held []heldLock) []heldLock {
+	// Receiver and arguments evaluate before the call itself.
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		held = w.expr(fun.X, held)
+	case *ast.ParenExpr, *ast.ArrayType, *ast.MapType, *ast.ChanType:
+		// conversions; nothing to walk beyond args
+	}
+	for _, a := range call.Args {
+		held = w.expr(a, held)
+	}
+
+	if op, ok := w.resolveLockOp(call); ok {
+		if op.acquire {
+			if op.id.Class == LockSDK {
+				w.boundary(held, call.Pos(), blockingSeeds["(*"+sdkPkgPath+".Mutex).Lock"], "")
+			}
+			return w.acquire(held, op, call.Pos())
+		}
+		held = release(held, op.id)
+		if op.id.Class == LockSDK {
+			w.boundary(held, call.Pos(), blockingSeeds["(*"+sdkPkgPath+".Mutex).Unlock"], "")
+		}
+		return held
+	}
+
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		// Immediately-invoked literal: flows inline with the current held
+		// set (the separate empty-held root adds nothing new).
+		out, term := w.block(lit.Body.List, held)
+		if term {
+			return held
+		}
+		return out
+	}
+
+	if b, ok := w.callBoundary(call); ok {
+		b.pos = call.Pos()
+		if w.e.onBoundary != nil {
+			w.e.onBoundary(w.fn, held, b)
+		}
+	}
+	return held
+}
+
+// --- resolution helpers ---------------------------------------------------
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, _ := derefType(t).(*types.Named)
+	return n
+}
+
+// lockClassOf classifies a mutex-like named type.
+func lockClassOf(n *types.Named) (LockClass, bool) {
+	if n == nil || n.Obj().Pkg() == nil {
+		return 0, false
+	}
+	switch {
+	case n.Obj().Pkg().Path() == "sync" && (n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"):
+		return LockSync, true
+	case n.Obj().Pkg().Path() == sdkPkgPath && n.Obj().Name() == "Mutex":
+		return LockSDK, true
+	}
+	return 0, false
+}
+
+// resolveLockOp recognises Lock/RLock/Unlock/RUnlock calls on sync.Mutex,
+// sync.RWMutex and sdk.Mutex values (TryLock variants never block and
+// never pin an order, so they are ignored).
+func (w *walker) resolveLockOp(call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	info := w.pkg.Info
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return lockOp{}, false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return lockOp{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return lockOp{}, false
+	}
+	class, ok := lockClassOf(namedOf(sig.Recv().Type()))
+	if !ok {
+		return lockOp{}, false
+	}
+	var acquire, read bool
+	switch fn.Name() {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, read = true, true
+	case "Unlock":
+	case "RUnlock":
+		read = true
+	default:
+		return lockOp{}, false
+	}
+
+	var id LockID
+	if idx := selection.Index(); len(idx) > 1 {
+		// Promoted method: the mutex is an embedded field of sel.X's type.
+		id, ok = w.embeddedLockID(sel.X, idx[:len(idx)-1])
+		if !ok {
+			id = w.fallbackLockID(sel.X)
+		}
+	} else {
+		id = w.lockExprID(sel.X)
+	}
+	id.Class = class
+	return lockOp{id: id, acquire: acquire, read: read}, true
+}
+
+// embeddedLockID resolves the embedded-field chain of a promoted
+// Lock/Unlock call to the lock's declaration.
+func (w *walker) embeddedLockID(x ast.Expr, index []int) (LockID, bool) {
+	tv, ok := w.pkg.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return LockID{}, false
+	}
+	owner := namedOf(tv.Type)
+	if owner == nil {
+		return LockID{}, false
+	}
+	t := tv.Type
+	var names []string
+	var fieldPkg *types.Package
+	for _, i := range index {
+		st, ok := derefType(t).Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return LockID{}, false
+		}
+		f := st.Field(i)
+		names = append(names, f.Name())
+		fieldPkg = f.Pkg()
+		t = f.Type()
+	}
+	if fieldPkg == nil {
+		return LockID{}, false
+	}
+	return LockID{Pkg: fieldPkg.Path(), Owner: owner.Obj().Name(), Field: strings.Join(names, ".")}, true
+}
+
+// lockExprID resolves the expression denoting a lock to its declaration.
+func (w *walker) lockExprID(x ast.Expr) LockID {
+	info := w.pkg.Info
+	switch x := x.(type) {
+	case *ast.ParenExpr:
+		return w.lockExprID(x.X)
+	case *ast.StarExpr:
+		return w.lockExprID(x.X)
+	case *ast.SelectorExpr:
+		if sel := info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			f, ok := sel.Obj().(*types.Var)
+			if ok && f.Pkg() != nil {
+				owner := ""
+				if tv, ok := info.Types[x.X]; ok {
+					if n := namedOf(tv.Type); n != nil {
+						owner = n.Obj().Name()
+					}
+				}
+				return LockID{Pkg: f.Pkg().Path(), Owner: owner, Field: f.Name()}
+			}
+		}
+		// Package-qualified variable (pkg.Mu).
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return LockID{Pkg: v.Pkg().Path(), Field: v.Name()}
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() {
+				return LockID{Pkg: v.Pkg().Path(), Field: v.Name()}
+			}
+			return LockID{Pkg: v.Pkg().Path(), Owner: "local in " + w.fn.name, Field: v.Name(), local: true}
+		}
+	}
+	return w.fallbackLockID(x)
+}
+
+func (w *walker) fallbackLockID(x ast.Expr) LockID {
+	return LockID{Owner: "local in " + w.fn.name, Field: types.ExprString(x), local: true}
+}
+
+// resolveCallee returns the statically-known callee of a call, nil for
+// indirect calls, conversions and unresolved names.
+func resolveCallee(call *ast.CallExpr, info *types.Info) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// callBoundary classifies a call as a blocking boundary: a known seed or
+// a repo function whose summary says it transitively blocks.
+func (w *walker) callBoundary(call *ast.CallExpr) (boundaryHit, bool) {
+	fn := resolveCallee(call, w.pkg.Info)
+	if fn == nil {
+		return boundaryHit{}, false
+	}
+	full := fn.FullName()
+	if desc, ok := blockingSeeds[full]; ok {
+		b := boundaryHit{desc: desc, condWait: condWaitSeeds[full]}
+		if ocallDispatchers[full] {
+			b.ocall = constStringArg(call, w.pkg.Info)
+		}
+		return b, true
+	}
+	if s := w.e.summaries[full]; s != nil && s.blocks {
+		return boundaryHit{desc: fmt.Sprintf("call into %s, which may block (%s)", s.display, s.reason)}, true
+	}
+	return boundaryHit{}, false
+}
+
+// constStringArg extracts the first argument when it is a compile-time
+// string constant (a literal or a named constant like sdk.OcallThreadWait).
+func constStringArg(call *ast.CallExpr, info *types.Info) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	if tv, ok := info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value)
+	}
+	return ""
+}
+
+func isPanic(call *ast.CallExpr, info *types.Info) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin || info.Uses[id] == nil
+}
+
+// --- blocking summaries ---------------------------------------------------
+
+// buildSummaries computes, for every declared function in the given
+// packages, whether calling it may block, propagating through the call
+// graph to a fixpoint.
+func buildSummaries(pkgs []*Package) map[string]*funcSummary {
+	type pending struct {
+		sum  *funcSummary
+		pkg  *Package
+		body *ast.BlockStmt
+	}
+	summaries := make(map[string]*funcSummary)
+	var order []string
+	var all []pending
+	for _, pkg := range pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				full := obj.FullName()
+				sum := &funcSummary{display: shortName(full)}
+				summaries[full] = sum
+				order = append(order, full)
+				all = append(all, pending{sum: sum, pkg: pkg, body: fd.Body})
+			}
+		}
+	}
+
+	for _, p := range all {
+		scanDirectBlocking(p.pkg, p.body, p.sum)
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, full := range order {
+			sum := summaries[full]
+			if sum.blocks {
+				continue
+			}
+			for _, callee := range sum.callees {
+				if cs := summaries[callee]; cs != nil && cs.blocks {
+					sum.blocks = true
+					sum.reason = "calls " + cs.display
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return summaries
+}
+
+// scanDirectBlocking fills a summary's direct boundary facts and callee
+// list, skipping goroutine bodies (their blocking belongs to them).
+func scanDirectBlocking(pkg *Package, body *ast.BlockStmt, sum *funcSummary) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Spawning never blocks; arguments still evaluate here.
+			for _, a := range n.Call.Args {
+				ast.Inspect(a, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok {
+						noteCall(pkg, c, sum)
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.SendStmt:
+			noteBlock(sum, "sends on a channel")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				noteBlock(sum, "receives from a channel")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					noteBlock(sum, "ranges over a channel")
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				noteBlock(sum, "selects without a default")
+			}
+		case *ast.CallExpr:
+			noteCall(pkg, n, sum)
+		}
+		return true
+	})
+}
+
+func noteBlock(sum *funcSummary, reason string) {
+	if !sum.blocks {
+		sum.blocks = true
+		sum.reason = reason
+	}
+}
+
+func noteCall(pkg *Package, call *ast.CallExpr, sum *funcSummary) {
+	fn := resolveCallee(call, pkg.Info)
+	if fn == nil {
+		return
+	}
+	full := fn.FullName()
+	if desc, ok := blockingSeeds[full]; ok {
+		noteBlock(sum, "calls "+desc)
+		return
+	}
+	sum.callees = append(sum.callees, full)
+}
+
+// --- the exported sync analysis (reused by staticlint) --------------------
+
+// A HeldSite is one lock held across a blocking boundary.
+type HeldSite struct {
+	Lock     LockID
+	Class    LockClass
+	LockPos  token.Position
+	Pos      token.Position
+	Func     string
+	Boundary string
+	// Ocall is the boundary's statically-known ocall name, "" otherwise.
+	Ocall string
+}
+
+// A Cycle is one strongly-connected component of the lock-acquisition
+// order graph: a potential deadlock.
+type Cycle struct {
+	// Locks are the cycle's members, sorted by name.
+	Locks []LockID
+	// Edges describe the conflicting acquisitions, one line each.
+	Edges []string
+	// Pos is the earliest edge site, for positioning reports.
+	Pos token.Position
+
+	// reportPos is Pos as a token.Pos, for the lint driver's Reportf.
+	reportPos token.Pos
+}
+
+// A SyncReport aggregates the dataflow engine's raw findings for callers
+// outside the lint driver (the staticlint boundary-sync detector).
+type SyncReport struct {
+	Held   []HeldSite
+	Cycles []Cycle
+}
+
+// AnalyzeSync parses and type-checks the tree under root and runs the
+// held-across and lock-order analyses over the packages whose
+// root-relative directory starts with one of the given prefixes (all
+// packages when none are given). Suppression annotations are ignored:
+// this is the raw analysis for callers that price findings rather than
+// gate commits on them.
+func AnalyzeSync(root string, dirs []string) (*SyncReport, error) {
+	pkgs, fset, err := parseTree(root)
+	if err != nil {
+		return nil, err
+	}
+	typecheck(root, fset, pkgs)
+	scope := &Analyzer{Name: "sync", Packages: dirs}
+
+	report := &SyncReport{}
+	e := newEngine(fset, pkgs)
+	edges := newEdgeSet()
+	e.onBoundary = func(fn *dfFunc, held []heldLock, b boundaryHit) {
+		if len(held) == 0 || (b.condWait && len(held) == 1) {
+			return
+		}
+		for _, h := range held {
+			report.Held = append(report.Held, HeldSite{
+				Lock:     h.id,
+				Class:    h.id.Class,
+				LockPos:  fset.Position(h.pos),
+				Pos:      fset.Position(b.pos),
+				Func:     fn.name,
+				Boundary: b.desc,
+				Ocall:    b.ocall,
+			})
+		}
+	}
+	e.onAcquire = func(fn *dfFunc, held []heldLock, op lockOp, pos token.Pos) {
+		edges.add(fset, fn, held, op, pos)
+	}
+	for _, pkg := range pkgs {
+		if scope.applies(pkg.Dir) {
+			e.walkPackage(pkg)
+		}
+	}
+	report.Cycles = edges.cycles(fset)
+	return report, nil
+}

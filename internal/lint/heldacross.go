@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// HeldAcross flags any mutex — sync.Mutex, sync.RWMutex or the simulated
+// in-enclave sdk.Mutex — held across a blocking boundary: a channel send
+// or receive, a select without default, a worker-pool fan-out
+// (pool.Do/ForEach), an ocall dispatch, or a call into a function the
+// whole-repo summary says transitively blocks. A holder parked on any of
+// those stalls every contender of the lock; inside an enclave the paper
+// prices exactly this shape as sleep-ocall round trips (§2.3.2, §3.4).
+//
+// The held-set is tracked intraprocedurally with must-hold joins, so a
+// lock released on one branch is not reported at a boundary after the
+// join. Deliberate cases (a bounded send under a shard lock, say) carry
+// //sgxperf:allow(heldacross) with a one-line justification.
+var HeldAcross = &Analyzer{
+	Name: "heldacross",
+	Doc: "forbid holding a mutex across a blocking boundary (channel ops, " +
+		"pool fan-out, ocall dispatch, transitively-blocking calls)",
+	NeedTypes: true,
+	RunRepo:   runHeldAcross,
+}
+
+func runHeldAcross(p *RepoPass) error {
+	e := newEngine(p.Fset, p.Pkgs)
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var findings []finding
+	e.onBoundary = func(fn *dfFunc, held []heldLock, b boundaryHit) {
+		if b.condWait && len(held) == 1 {
+			// cond.Wait with exactly the cond's own lock held: correct by
+			// contract (Wait releases it while parked).
+			return
+		}
+		for _, h := range held {
+			acq := p.Fset.Position(h.pos)
+			what := b.desc
+			if b.ocall != "" {
+				what = fmt.Sprintf("%s (%q)", b.desc, b.ocall)
+			}
+			findings = append(findings, finding{
+				pos: b.pos,
+				msg: fmt.Sprintf("%s is held across %s in %s (acquired at line %d); release it before blocking, or justify with //sgxperf:allow(heldacross)",
+					h.id, what, fn.name, acq.Line),
+			})
+		}
+	}
+	for _, pkg := range p.Pkgs {
+		e.walkPackage(pkg)
+	}
+	for _, f := range findings {
+		p.Reportf(f.pos, "%s", f.msg)
+	}
+	return nil
+}

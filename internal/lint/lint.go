@@ -1,16 +1,31 @@
 // Package lint is a small static-analysis framework for the repository's
 // own invariants, mirroring the golang.org/x/tools go/analysis API shape
-// (Analyzer → Pass → Diagnostic) on the standard library's go/ast and
-// go/parser alone, so the tree stays dependency-free.
+// (Analyzer → Pass → Diagnostic) on the standard library's go/ast,
+// go/parser and go/types alone, so the tree stays dependency-free.
 //
-// Two invariants matter enough to machine-check here:
+// Five invariants matter enough to machine-check here:
 //
 //   - the simulator runs on virtual time, so wall-clock reads in
 //     simulator packages are bugs even when tests pass (see VirtualClock);
 //   - the logger's hot path is lock-free by design (one shard-local lock
 //     at most), so Logger-level mutex acquisition in a hot-path method is
 //     a regression even when the race detector stays quiet (see
-//     HotPathLocks).
+//     HotPathLocks);
+//   - locks must be acquired in one global order, so the whole-repo
+//     acquisition graph must stay acyclic (see LockOrder);
+//   - no mutex may be held across a blocking boundary — channel
+//     operations, worker-pool fan-outs, ocall dispatch — because a
+//     blocked holder stalls every contender, the exact shape the paper
+//     prices as sleep ocalls in §2.3.2/§3.4 (see HeldAcross);
+//   - a field is either atomic or lock-guarded, never both (see
+//     AtomicMix).
+//
+// The last three run on a typed intraprocedural dataflow engine
+// (dataflow.go) that tracks lock-held sets through control flow and
+// summarises which functions transitively block. Findings are
+// suppressible site-by-site with a justified //sgxperf:allow(name)
+// annotation (see typecheck.go); lock-order edges with an intentional
+// hierarchy carry //sgxperf:lockorder instead.
 //
 // The cmd/sgx-perf-vet driver runs every analyzer over the tree; `make
 // verify` runs the driver.
@@ -29,7 +44,7 @@ import (
 
 // Analyzers returns the full analyzer suite in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{VirtualClock, HotPathLocks}
+	return []*Analyzer{VirtualClock, HotPathLocks, LockOrder, HeldAcross, AtomicMix}
 }
 
 // An Analyzer describes one invariant check.
@@ -41,8 +56,16 @@ type Analyzer struct {
 	// Packages restricts the analyzer to packages whose root-relative
 	// directory has one of these prefixes. Empty means every package.
 	Packages []string
+	// NeedTypes requests go/types resolution for the whole tree before
+	// the analyzer runs (the dataflow analyzers set it).
+	NeedTypes bool
 	// Run inspects one package and reports diagnostics through the pass.
+	// Nil for repo-level analyzers.
 	Run func(*Pass) error
+	// RunRepo inspects every in-scope package at once — for analyses
+	// whose facts span packages, like the lock-acquisition-order graph.
+	// Nil for per-package analyzers.
+	RunRepo func(*RepoPass) error
 }
 
 // applies reports whether the analyzer covers the given package dir.
@@ -59,20 +82,52 @@ func (a *Analyzer) applies(relDir string) bool {
 	return false
 }
 
-// A Pass hands one parsed package to an analyzer.
+// A Pass hands one parsed (and possibly type-checked) package to an
+// analyzer.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
-	// Files are the package's non-test sources, sorted by filename.
+	// Pkg is the package under analysis; Files and Dir mirror its fields
+	// for the pre-types analyzers.
+	Pkg   *Package
 	Files []*ast.File
-	// Dir is the package directory relative to the analysis root.
-	Dir string
+	Dir   string
 
-	diags *[]Diagnostic
+	allows *allowSet
+	diags  *[]Diagnostic
 }
 
-// Reportf records a diagnostic at the given position.
+// Reportf records a diagnostic at the given position unless an
+// //sgxperf:allow(analyzer) annotation covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allows.allowed(p.Analyzer.Name, pos) {
+		return
+	}
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A RepoPass hands every in-scope package to a repo-level analyzer.
+type RepoPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkgs are the in-scope packages, sorted by Dir.
+	Pkgs []*Package
+
+	allows *allowSet
+	diags  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at the given position unless an
+// //sgxperf:allow(analyzer) annotation covers it.
+func (p *RepoPass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allows.allowed(p.Analyzer.Name, pos) {
+		return
+	}
 	position := p.Fset.Position(pos)
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      position,
@@ -94,38 +149,78 @@ func (d Diagnostic) String() string {
 }
 
 // Run parses every Go package under root and applies the analyzers,
-// returning the diagnostics sorted by position. Test files, testdata
-// trees and hidden directories are skipped; parse errors abort the run —
-// the build is broken anyway.
+// returning the diagnostics sorted and deduplicated by
+// (file, line, analyzer). Test files, testdata trees and hidden
+// directories are skipped; parse errors abort the run — the build is
+// broken anyway. Type errors never abort: checking is tolerant and
+// analyzers skip what they cannot resolve.
 func Run(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pkgs, fset, err := parseTree(root)
 	if err != nil {
 		return nil, err
 	}
-	dirs := make([]string, 0, len(pkgs))
-	for dir := range pkgs {
-		dirs = append(dirs, dir)
+	for _, a := range analyzers {
+		if a.NeedTypes {
+			typecheck(root, fset, pkgs)
+			break
+		}
 	}
-	sort.Strings(dirs)
+	allows := collectAllows(fset, pkgs)
 
 	var diags []Diagnostic
-	for _, dir := range dirs {
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			if !a.applies(dir) {
+			if a.Run == nil || !a.applies(pkg.Dir) {
 				continue
 			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     fset,
-				Files:    pkgs[dir],
-				Dir:      dir,
+				Pkg:      pkg,
+				Files:    pkg.Files,
+				Dir:      pkg.Dir,
+				allows:   allows,
 				diags:    &diags,
 			}
 			if err := a.Run(pass); err != nil {
-				return diags, fmt.Errorf("lint: %s on %s: %w", a.Name, dir, err)
+				return diags, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Dir, err)
 			}
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunRepo == nil {
+			continue
+		}
+		var scoped []*Package
+		for _, pkg := range pkgs {
+			if a.applies(pkg.Dir) {
+				scoped = append(scoped, pkg)
+			}
+		}
+		pass := &RepoPass{
+			Analyzer: a,
+			Fset:     fset,
+			Pkgs:     scoped,
+			allows:   allows,
+			diags:    &diags,
+		}
+		if err := a.RunRepo(pass); err != nil {
+			return diags, fmt.Errorf("lint: %s: %w", a.Name, err)
+		}
+	}
+
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	diags = append(diags, allows.problems(active)...)
+	return dedupe(diags), nil
+}
+
+// dedupe sorts diagnostics by position and collapses duplicates with the
+// same (file, line, analyzer) key, keeping the first message, so driver
+// output is deterministic across runs and usable as a golden file.
+func dedupe(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -134,16 +229,33 @@ func Run(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			prev := diags[i-1]
+			if prev.Pos.Filename == d.Pos.Filename && prev.Pos.Line == d.Pos.Line &&
+				prev.Analyzer == d.Analyzer {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // parseTree parses all non-test Go files under root, grouped by their
 // directory relative to root.
-func parseTree(root string) (map[string][]*ast.File, *token.FileSet, error) {
+func parseTree(root string) ([]*Package, *token.FileSet, error) {
 	fset := token.NewFileSet()
-	pkgs := make(map[string][]*ast.File)
+	byDir := make(map[string][]*ast.File)
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -167,16 +279,24 @@ func parseTree(root string) (map[string][]*ast.File, *token.FileSet, error) {
 		if err != nil {
 			return err
 		}
-		pkgs[rel] = append(pkgs[rel], file)
+		byDir[rel] = append(byDir[rel], file)
 		return nil
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, files := range pkgs {
+	dirs := make([]string, 0, len(byDir))
+	for dir := range byDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		files := byDir[dir]
 		sort.Slice(files, func(i, j int) bool {
 			return fset.Position(files[i].Package).Filename < fset.Position(files[j].Package).Filename
 		})
+		pkgs = append(pkgs, &Package{Dir: dir, Files: files})
 	}
 	return pkgs, fset, nil
 }

@@ -43,6 +43,9 @@ var VirtualClock = &Analyzer{
 		// time (timing belongs to the experiments layer).
 		"internal/pool",
 		"internal/evstore",
+		// Bundled workloads execute inside the simulator; a wall-clock
+		// read there would leak host scheduling into recorded traces.
+		"internal/workloads",
 	},
 	Run: runVirtualClock,
 }

@@ -730,6 +730,7 @@ func TestCatalogueMatchesTable1(t *testing.T) {
 			SolutionReduceCopies, SolutionSwitchless, SolutionMoveCaller,
 		},
 		ProblemTransitionBound: {SolutionSwitchless, SolutionBatch, SolutionDuplicate},
+		ProblemBoundarySync:    {SolutionReorder, SolutionHybridLock, SolutionLockFree},
 	}
 	if len(cat) != len(want) {
 		t.Fatalf("catalogue has %d problems, want %d", len(cat), len(want))

@@ -41,6 +41,13 @@ const (
 	// candidate set for switchless workers ("SGX Switchless Calls Made
 	// Configless").
 	ProblemTransitionBound
+	// ProblemBoundarySync flags enclave code that holds an in-enclave lock
+	// across an enclave transition or another blocking point: every thread
+	// that contends on the lock meanwhile leaves the enclave through the
+	// sleep/wake ocall pair (§3.4), so the critical section's cost is no
+	// longer bounded by the work inside it. Found statically by the
+	// concurrency dataflow analysis over the workload sources.
+	ProblemBoundarySync
 )
 
 // String names the problem as in the paper.
@@ -64,6 +71,8 @@ func (p Problem) String() string {
 		return "Expensive Boundary Copies"
 	case ProblemTransitionBound:
 		return "Transition-Bound Calls"
+	case ProblemBoundarySync:
+		return "Lock Held Across Enclave Boundary"
 	default:
 		return "Unknown"
 	}
@@ -167,6 +176,7 @@ func Catalogue() map[Problem][]Solution {
 			SolutionReduceCopies, SolutionSwitchless, SolutionMoveCaller,
 		},
 		ProblemTransitionBound: {SolutionSwitchless, SolutionBatch, SolutionDuplicate},
+		ProblemBoundarySync:    {SolutionReorder, SolutionHybridLock, SolutionLockFree},
 	}
 }
 

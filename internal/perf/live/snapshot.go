@@ -83,6 +83,7 @@ func (c *Collector) Snapshot() Snapshot {
 		reorder []analyzer.Finding
 	}
 	res := make([]nameResult, len(names))
+	//sgxperf:allow(heldacross) c.mu guards the aggregates being read; ForEach is bounded CPU work with an inline fallback, and no task touches the collector lock
 	pool.ForEach(len(names), func(i int) {
 		na := c.perName[names[i]]
 		if st, ok := analyzer.StatsFromDurations(names[i], na.kind, na.durs, na.totalAEX); ok {

@@ -1,0 +1,111 @@
+package staticlint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sgxperf/internal/lint"
+	"sgxperf/internal/perf/analyzer"
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/sdk"
+)
+
+// AnalyzeSource runs the concurrency dataflow analysis (internal/lint's
+// held-across and lock-order engines) over the Go sources under root and
+// converts its raw findings into the analyser's currency:
+//
+//   - every lock held across a blocking boundary becomes a
+//     ProblemBoundarySync finding priced from the machine model — each
+//     contending thread meanwhile sleeps through the wait/wake ocall
+//     pair, two full transitions (§2.3.2, §3.4);
+//   - every lock-order cycle becomes a ProblemSSC finding: the deadlock
+//     risk aside, inverted acquisition order is exactly the contention
+//     shape whose losers take the §3.4 sleep path.
+//
+// Suppression annotations in the sources are deliberately ignored here:
+// //sgxperf:allow gates the repository lint, while this pass prices the
+// pattern for the performance report regardless of intent.
+func AnalyzeSource(root string, dirs []string, opts Options) ([]analyzer.Finding, error) {
+	rep, err := lint.AnalyzeSync(root, dirs)
+	if err != nil {
+		return nil, fmt.Errorf("staticlint: source analysis: %w", err)
+	}
+	opts = opts.withDefaults()
+	// A contended acquisition whose holder is off blocking costs the
+	// sleeper the wait ocall and the waker's wake ocall: two round trips.
+	sleep := opts.Cost.Frequency.Duration(2 * opts.Cost.RoundTrip())
+
+	var out []analyzer.Finding
+	for _, h := range rep.Held {
+		boundary := h.Boundary
+		if h.Ocall != "" {
+			boundary = fmt.Sprintf("%s (%q)", h.Boundary, h.Ocall)
+		}
+		f := analyzer.Finding{
+			Problem: analyzer.ProblemBoundarySync,
+			Call:    syncCallName(h),
+			Kind:    events.KindOcall,
+			Partner: h.Lock.String(),
+			Evidence: fmt.Sprintf(
+				"%s holds %s across %s at %s (acquired line %d); every thread contending meanwhile sleeps through the wait/wake ocall pair, ≈%v per contended acquisition (§3.4)",
+				h.Func, h.Lock, boundary, relPos(root, h.Pos), h.LockPos.Line,
+				sleep.Round(10*time.Nanosecond)),
+			Solutions:    []analyzer.Solution{analyzer.SolutionReorder, analyzer.SolutionHybridLock, analyzer.SolutionLockFree},
+			SecurityNote: "the blocking callee runs with the lock-protected invariant mid-update; verify it cannot re-enter the enclave",
+			Score:        2, // the sleep path costs two transitions per loser
+		}
+		if h.Ocall != "" {
+			f.Score++ // a witnessed ocall dispatch blocks unconditionally
+		}
+		out = append(out, f)
+	}
+	for _, c := range rep.Cycles {
+		names := make([]string, len(c.Locks))
+		for i, l := range c.Locks {
+			names[i] = l.String()
+		}
+		edges := strings.Join(c.Edges, "; ")
+		if root != "" {
+			edges = strings.ReplaceAll(edges, root+string(filepath.Separator), "")
+		}
+		out = append(out, analyzer.Finding{
+			Problem: analyzer.ProblemSSC,
+			Call:    names[0],
+			Kind:    events.KindOcall,
+			Partner: names[len(names)-1],
+			Evidence: fmt.Sprintf(
+				"lock-order cycle between %s — a potential deadlock, and contended either way: %s",
+				strings.Join(names, " and "), edges),
+			Solutions: []analyzer.Solution{analyzer.SolutionLockFree, analyzer.SolutionHybridLock},
+			Score:     float64(len(c.Locks)),
+		})
+	}
+	return out, nil
+}
+
+// syncCallName picks the trace-joinable call name for a held site: the
+// witnessed ocall when the dispatch is static, else the SDK's sleep ocall
+// for an sdk.Mutex (that is what contenders record), else the lock name.
+func syncCallName(h lint.HeldSite) string {
+	switch {
+	case h.Ocall != "":
+		return h.Ocall
+	case h.Class == lint.LockSDK:
+		return sdk.OcallThreadWait
+	default:
+		return h.Lock.String()
+	}
+}
+
+// relPos renders a position with its filename relative to root, so
+// reports are stable across checkouts.
+func relPos(root string, p token.Position) string {
+	s := p.String()
+	if root == "" {
+		return s
+	}
+	return strings.TrimPrefix(s, root+string(filepath.Separator))
+}

@@ -1,0 +1,132 @@
+package staticlint
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sgxperf/internal/host"
+	"sgxperf/internal/perf/analyzer"
+	"sgxperf/internal/perf/logger"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/workloads/contend"
+)
+
+const repoRoot = "../../.."
+
+// contendDirs scopes the source pass to the exhibit workload.
+var contendDirs = []string{"internal/workloads/contend"}
+
+func TestAnalyzeSourcePricesContendExhibit(t *testing.T) {
+	findings, err := AnalyzeSource(repoRoot, contendDirs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *analyzer.Finding
+	for i := range findings {
+		if findings[i].Problem == analyzer.ProblemBoundarySync {
+			hit = &findings[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no boundary-sync finding over %v: %+v", contendDirs, findings)
+	}
+	// The dispatch is a static string, so the finding joins the trace by
+	// the audit ocall's name.
+	if hit.Call != contend.OcallAuditLog {
+		t.Errorf("Call = %q, want %q", hit.Call, contend.OcallAuditLog)
+	}
+	if !strings.Contains(hit.Partner, "state.mu") {
+		t.Errorf("Partner = %q, want the contended lock state.mu", hit.Partner)
+	}
+	if !strings.Contains(hit.Evidence, "handleAdd") {
+		t.Errorf("evidence does not name the holding function: %q", hit.Evidence)
+	}
+	// The price must be the machine model's sleep path: the wait/wake
+	// ocall pair, two round trips.
+	cost := sgx.DefaultCostModel(sgx.MitigationNone)
+	sleep := cost.Frequency.Duration(2 * cost.RoundTrip()).Round(10 * time.Nanosecond)
+	if !strings.Contains(hit.Evidence, sleep.String()) {
+		t.Errorf("evidence %q does not carry the sleep-ocall price %v", hit.Evidence, sleep)
+	}
+	// Solutions follow the catalogue entry.
+	want := analyzer.Catalogue()[analyzer.ProblemBoundarySync]
+	if len(hit.Solutions) != len(want) {
+		t.Fatalf("solutions %v, want %v", hit.Solutions, want)
+	}
+	for i := range want {
+		if hit.Solutions[i] != want[i] {
+			t.Fatalf("solutions %v, want %v", hit.Solutions, want)
+		}
+	}
+	// The well-behaved sibling must not be flagged.
+	for _, f := range findings {
+		if strings.Contains(f.Evidence, "handleRead") {
+			t.Errorf("handleRead flagged: %+v", f)
+		}
+	}
+}
+
+func TestStaticMergesSourceFindings(t *testing.T) {
+	iface, err := contend.Interface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Static(iface, Options{SourceRoot: repoRoot, SourceDirs: contendDirs})
+	found := false
+	for _, f := range r.Findings {
+		if f.Problem == analyzer.ProblemBoundarySync {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("static report missing the boundary-sync finding: %+v", r.Findings)
+	}
+	// A bad root degrades to a warning, not an error.
+	r = Static(iface, Options{SourceRoot: "/nonexistent-sgxperf-root"})
+	if len(r.Warnings) == 0 {
+		t.Error("unreadable SourceRoot produced no warning")
+	}
+}
+
+func TestHybridReRanksBoundarySync(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := logger.Attach(h, logger.Options{Workload: "contend"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := h.NewContext("main")
+	w, err := contend.New(h, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(contend.RunOptions{Threads: 4, OpsPerThread: 25}); err != nil {
+		t.Fatal(err)
+	}
+	iface, err := contend.Interface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Hybrid(iface, l.Trace(), Options{SourceRoot: repoRoot, SourceDirs: contendDirs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range r.Findings {
+		if f.Problem != analyzer.ProblemBoundarySync {
+			continue
+		}
+		if f.Observed == 0 {
+			t.Fatalf("boundary-sync finding not joined with the trace: %+v", f)
+		}
+		if f.HybridScore <= f.Score {
+			t.Fatalf("hybrid score %v did not amplify static score %v over %d observations",
+				f.HybridScore, f.Score, f.Observed)
+		}
+		return
+	}
+	t.Fatalf("hybrid report missing the boundary-sync finding")
+}

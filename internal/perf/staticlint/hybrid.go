@@ -36,15 +36,27 @@ type DynamicOnly struct {
 }
 
 // Static produces a Report from the interface alone — findings with no
-// workload run.
+// workload run. When Options.SourceRoot is set, the concurrency dataflow
+// pass over the workload sources contributes its findings too, merged
+// and sorted with the interface ones; a source-analysis failure degrades
+// to a report warning rather than an error.
 func Static(iface *edl.Interface, opts Options) *Report {
 	r := &Report{Source: SourceStatic, Summary: summarise(iface)}
-	for _, f := range Analyze(iface, opts) {
+	findings := Analyze(iface, opts)
+	if opts.SourceRoot != "" {
+		src, err := AnalyzeSource(opts.SourceRoot, opts.SourceDirs, opts)
+		if err != nil {
+			r.Warnings = append(r.Warnings, err.Error())
+		}
+		findings = append(findings, src...)
+		analyzer.SortFindings(findings)
+	}
+	for _, f := range findings {
 		r.Findings = append(r.Findings, RankedFinding{Finding: f})
 	}
 	if iface != nil {
 		if warnings, err := iface.Validate(); err == nil {
-			r.Warnings = warnings
+			r.Warnings = append(r.Warnings, warnings...)
 		}
 	}
 	return r

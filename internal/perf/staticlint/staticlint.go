@@ -48,6 +48,16 @@ type Options struct {
 	// candidates (default 1): calls that marshal almost nothing profit most
 	// from a worker thread instead of a transition.
 	SwitchlessMaxParams int
+
+	// SourceRoot, when non-empty, adds the concurrency dataflow pass over
+	// the Go sources rooted there (AnalyzeSource): locks held across
+	// blocking boundaries and lock-order cycles join the interface
+	// findings, priced from the same cost model.
+	SourceRoot string
+
+	// SourceDirs restricts the source pass to packages under these
+	// root-relative directory prefixes (the whole tree when empty).
+	SourceDirs []string
 }
 
 // withDefaults fills unset options.

@@ -1,0 +1,260 @@
+// Package contend is a deliberately mis-synchronised workload: a shared
+// counter enclave whose update ecall holds the global in-enclave mutex
+// across an audit-log ocall. That is the §3.4 anti-pattern the
+// boundary-sync detector exists to price — while the holder is outside
+// the enclave, every contending thread sleeps through the wait/wake
+// ocall pair, so the critical section's cost is the transition budget of
+// the audit call, not the few hundred nanoseconds of counter work inside
+// it. The pattern is annotated for the repository lint (the exhibit is
+// intentional) but the staticlint source pass ignores suppressions and
+// keeps reporting it, which is the point.
+package contend
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/workloads"
+)
+
+// The enclave interface: two counter ecalls and the audit-log ocall the
+// update path issues while holding the counter lock.
+const (
+	EcallAdd      = "sgx_ecall_counter_add"
+	EcallRead     = "sgx_ecall_counter_read"
+	OcallAuditLog = "ocall_audit_log"
+)
+
+// In-enclave work costs: the counter update itself is tiny, which is
+// what makes holding the lock across the ocall so lopsided.
+const (
+	costCounterOp = 300 * time.Nanosecond
+	costAuditFmt  = 200 * time.Nanosecond
+	// costAuditWrite is the untrusted append-to-log work, long enough
+	// that contenders pile up behind the held lock.
+	costAuditWrite = 2 * time.Microsecond
+)
+
+// addInput is the argument of EcallAdd.
+type addInput struct {
+	Key   string
+	Delta int64
+}
+
+// CopyInBytes implements sdk.Copied.
+func (a *addInput) CopyInBytes() int { return len(a.Key) + 8 }
+
+// state is the trusted counter table, guarded by one global SDK mutex —
+// the contention point.
+type state struct {
+	mu       sdk.Mutex
+	counters map[string]int64
+	// tableMu is the Go-level guard for the simulation's own memory
+	// safety; it charges no virtual time.
+	tableMu sync.Mutex
+}
+
+// Workload is one configured counter enclave.
+type Workload struct {
+	h       *host.Host
+	app     *sdk.AppEnclave
+	proxies map[string]sdk.Proxy
+	s       *state
+}
+
+// Interface builds the counter EDL interface.
+func Interface() (*edl.Interface, error) {
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall(EcallAdd, true,
+		edl.Param{Name: "key", Dir: edl.DirIn, IsString: true},
+		edl.Param{Name: "delta"}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddEcall(EcallRead, true,
+		edl.Param{Name: "key", Dir: edl.DirIn, IsString: true}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallAuditLog, nil,
+		edl.Param{Name: "line", Dir: edl.DirIn, IsString: true}); err != nil {
+		return nil, err
+	}
+	return iface, nil
+}
+
+// New builds the counter enclave.
+func New(h *host.Host, ctx *sgx.Context) (*Workload, error) {
+	w := &Workload{h: h, s: &state{counters: make(map[string]int64)}}
+	iface, err := Interface()
+	if err != nil {
+		return nil, err
+	}
+	impl := map[string]sdk.TrustedFn{
+		EcallAdd:  w.handleAdd,
+		EcallRead: w.handleRead,
+	}
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{
+		Name:       "contend",
+		CodeBytes:  8 * sgx.PageSize,
+		HeapBytes:  32 * sgx.PageSize,
+		StackBytes: 4 * sgx.PageSize,
+		NumTCS:     16,
+	}, iface, impl)
+	if err != nil {
+		return nil, fmt.Errorf("contend: %w", err)
+	}
+	ocalls := map[string]sdk.OcallFn{
+		OcallAuditLog: func(ctx *sgx.Context, args any) (any, error) {
+			ctx.Compute(costAuditWrite)
+			return nil, nil
+		},
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, ocalls)
+	if err != nil {
+		return nil, err
+	}
+	w.app = app
+	w.proxies = sdk.Proxies(app, h.Proc, otab)
+	return w, nil
+}
+
+// handleAdd updates one counter and writes the audit line — while still
+// holding the table lock, which is the exhibit: the audit ocall leaves
+// the enclave mid-critical-section, and every thread contending on
+// s.mu meanwhile sleeps through the §3.4 wait/wake ocall pair.
+func (w *Workload) handleAdd(env *sdk.Env, args any) (any, error) {
+	a, ok := args.(*addInput)
+	if !ok {
+		return nil, fmt.Errorf("contend: bad addInput %T", args)
+	}
+	if err := w.s.mu.Lock(env); err != nil {
+		return nil, err
+	}
+	env.Compute(costCounterOp)
+	w.s.tableMu.Lock()
+	w.s.counters[a.Key] += a.Delta
+	total := w.s.counters[a.Key]
+	w.s.tableMu.Unlock()
+	env.Compute(costAuditFmt)
+	//sgxperf:allow(heldacross) deliberate §3.4 exhibit: the audit ocall under s.mu is the pattern the boundary-sync detector prices; Run's contention depends on it
+	if _, err := env.Ocall(OcallAuditLog, a.Key); err != nil {
+		_ = w.s.mu.Unlock(env)
+		return nil, err
+	}
+	if err := w.s.mu.Unlock(env); err != nil {
+		return nil, err
+	}
+	return total, nil
+}
+
+// handleRead returns one counter's value; it holds the lock only for the
+// table access, releasing before returning — the well-behaved sibling.
+func (w *Workload) handleRead(env *sdk.Env, args any) (any, error) {
+	a, ok := args.(*addInput)
+	if !ok {
+		return nil, fmt.Errorf("contend: bad addInput %T", args)
+	}
+	if err := w.s.mu.Lock(env); err != nil {
+		return nil, err
+	}
+	env.Compute(costCounterOp)
+	w.s.tableMu.Lock()
+	total := w.s.counters[a.Key]
+	w.s.tableMu.Unlock()
+	if err := w.s.mu.Unlock(env); err != nil {
+		return nil, err
+	}
+	return total, nil
+}
+
+// Add invokes the update ecall from untrusted code.
+func (w *Workload) Add(ctx *sgx.Context, key string, delta int64) (int64, error) {
+	res, err := w.proxies[EcallAdd](ctx, &addInput{Key: key, Delta: delta})
+	if err != nil {
+		return 0, err
+	}
+	n, _ := res.(int64)
+	return n, nil
+}
+
+// Read invokes the read ecall from untrusted code.
+func (w *Workload) Read(ctx *sgx.Context, key string) (int64, error) {
+	res, err := w.proxies[EcallRead](ctx, &addInput{Key: key})
+	if err != nil {
+		return 0, err
+	}
+	n, _ := res.(int64)
+	return n, nil
+}
+
+// Enclave returns the counter enclave.
+func (w *Workload) Enclave() *sgx.Enclave { return w.app.Enclave() }
+
+// RunOptions configures a contention run.
+type RunOptions struct {
+	// Threads is the number of concurrently updating threads (default 4).
+	Threads int
+	// OpsPerThread is the update count per thread (default 50).
+	OpsPerThread int
+}
+
+// Run hammers one counter from every thread: because handleAdd holds the
+// lock across the audit ocall, the run records sync ocalls in direct
+// proportion to the audit traffic.
+func (w *Workload) Run(opts RunOptions) (workloads.Result, error) {
+	if opts.Threads <= 0 {
+		opts.Threads = 4
+	}
+	if opts.OpsPerThread <= 0 {
+		opts.OpsPerThread = 50
+	}
+	var (
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		runErr error
+	)
+	start := make(chan struct{})
+	for i := 0; i < opts.Threads; i++ {
+		i := i
+		wg.Add(1)
+		if err := w.h.Spawn(fmt.Sprintf("contender-%d", i), func(ctx *sgx.Context) {
+			defer wg.Done()
+			<-start
+			for op := 0; op < opts.OpsPerThread; op++ {
+				if _, err := w.Add(ctx, "hits", 1); err != nil {
+					errMu.Lock()
+					runErr = err
+					errMu.Unlock()
+					return
+				}
+				if op%8 == 7 {
+					if _, err := w.Read(ctx, "hits"); err != nil {
+						errMu.Lock()
+						runErr = err
+						errMu.Unlock()
+						return
+					}
+				}
+			}
+		}); err != nil {
+			return workloads.Result{}, err
+		}
+	}
+	close(start)
+	wg.Wait()
+	w.h.Wait()
+	if runErr != nil {
+		return workloads.Result{}, fmt.Errorf("contend: %w", runErr)
+	}
+	total := opts.Threads * opts.OpsPerThread
+	return workloads.Result{
+		Workload: "contend",
+		Variant:  "audit-under-lock",
+		Ops:      total,
+		Extra:    map[string]float64{"threads": float64(opts.Threads)},
+	}, nil
+}

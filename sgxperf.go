@@ -189,6 +189,7 @@ const (
 	ProblemReentrancy          = analyzer.ProblemReentrancy
 	ProblemLargeCopies         = analyzer.ProblemLargeCopies
 	ProblemTransitionBound     = analyzer.ProblemTransitionBound
+	ProblemBoundarySync        = analyzer.ProblemBoundarySync
 )
 
 // StaticLint runs the static interface analysis: findings from the EDL

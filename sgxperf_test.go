@@ -284,9 +284,10 @@ func TestRunWorkloadWithWorkingSet(t *testing.T) {
 }
 
 func TestCatalogueAndWeightsExposed(t *testing.T) {
-	// Table 1's six problem classes plus the three static interface
-	// classes (reentrancy, boundary copies, transition-bound calls).
-	if len(sgxperf.Catalogue()) != 9 {
+	// Table 1's six problem classes plus the four static classes
+	// (reentrancy, boundary copies, transition-bound calls, locks held
+	// across the boundary).
+	if len(sgxperf.Catalogue()) != 10 {
 		t.Fatal("problem catalogue incomplete")
 	}
 	w := sgxperf.DefaultWeights()
