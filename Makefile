@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify fuzz bench-contention bench-analyze
+.PHONY: build test vet lint race verify fuzz bench-contention bench-analyze bench-switchless
 
 build:
 	$(GO) build ./...
@@ -60,3 +60,11 @@ bench-contention:
 bench-analyze:
 	GOMAXPROCS=8 $(GO) run ./cmd/sgx-perf-bench -exp analyze -repeats 5 \
 		-json BENCH_results.json
+
+# Run the closed switchless loop (baseline → lint → auto-config →
+# re-measure) and merge the outcome into BENCH_results.json under the
+# "switchless" key; the bench exits non-zero unless the auto-configured
+# run beats the 1.5x speedup bar with identical results and a converged
+# scheduler.
+bench-switchless:
+	$(GO) run ./cmd/sgx-perf-bench -exp switchless -json BENCH_results.json

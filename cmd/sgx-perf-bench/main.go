@@ -29,7 +29,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, transitions, table2, fig5, fig6-sqlite, fig6-libressl, fig78, ws-glamdring, ablation-lock, ablation-paging, ablation-switchless, contention, live, analyze")
+		exp      = flag.String("exp", "all", "experiment: all, transitions, table2, fig5, fig6-sqlite, fig6-libressl, fig78, ws-glamdring, ablation-lock, ablation-paging, ablation-switchless, switchless, contention, live, analyze")
 		requests = flag.Int("requests", 1000, "fig5: HTTP GET count")
 		inserts  = flag.Int("inserts", 2000, "fig6-sqlite: insert count")
 		signs    = flag.Int("signs", 5, "fig6-libressl: signatures per variant")
@@ -41,8 +41,10 @@ func run() error {
 		jsonOut  = flag.String("json", "", "contention/live: write machine-readable results to this file")
 		baseline = flag.String("baseline", "", "contention: previous -json output to compute speedups against")
 		analyzeN = flag.Int("analyze-ops", 50000, "analyze: synthetic trace size in top-level calls")
-		liveView = flag.Bool("live", false, "shorthand for -exp live: monitor the SecureKeeper run with streaming snapshots")
-		interval = flag.Duration("interval", 200*time.Millisecond, "live: wall-clock delay between streamed snapshots")
+
+		switchlessOps = flag.Int("switchless-ops", 400, "switchless: transition-bound calls per caller thread")
+		liveView      = flag.Bool("live", false, "shorthand for -exp live: monitor the SecureKeeper run with streaming snapshots")
+		interval      = flag.Duration("interval", 200*time.Millisecond, "live: wall-clock delay between streamed snapshots")
 	)
 	flag.Parse()
 	if *liveView {
@@ -126,6 +128,21 @@ func run() error {
 				return err
 			}
 			fmt.Println(experiments.RenderSwitchless(rows))
+		case "switchless":
+			res, err := experiments.RunSwitchlessLoop(0, *switchlessOps)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderSwitchlessLoop(res))
+			if err := checkSwitchlessLoop(res); err != nil {
+				return err
+			}
+			if *jsonOut != "" {
+				if err := mergeJSONKey(*jsonOut, "switchless", res); err != nil {
+					return err
+				}
+				fmt.Printf("switchless results merged into %s\n\n", *jsonOut)
+			}
 		case "live":
 			view, err := experiments.RunLive(*duration, *interval, func(t experiments.LiveTick) {
 				fmt.Printf("[t+%v] +%d call events\n%s\n",
@@ -213,13 +230,39 @@ func run() error {
 	for _, name := range []string{
 		"transitions", "table2", "fig5", "fig6-sqlite", "fig6-libressl",
 		"fig78", "ws-glamdring", "ablation-lock", "ablation-paging",
-		"ablation-switchless", "contention", "live", "analyze",
+		"ablation-switchless", "switchless", "contention", "live", "analyze",
 	} {
 		start := time.Now()
 		if err := runOne(name); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Printf("[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// checkSwitchlessLoop enforces the closed loop's acceptance criteria:
+// the optimisation must come from the analyser, actually pay off, leave
+// the workload's results untouched, and settle on a stable worker count.
+func checkSwitchlessLoop(res *experiments.SwitchlessLoopResult) error {
+	if !res.LintFoundTransitionBound {
+		return fmt.Errorf("switchless: lint did not flag the transition-bound interface")
+	}
+	if res.ConfigSource != "staticlint" {
+		return fmt.Errorf("switchless: config source %q, want \"staticlint\"", res.ConfigSource)
+	}
+	if res.SwitchlessChecksum != res.BaselineChecksum {
+		return fmt.Errorf("switchless: results diverge: baseline checksum %d, switchless %d",
+			res.BaselineChecksum, res.SwitchlessChecksum)
+	}
+	if res.Speedup < 1.5 {
+		return fmt.Errorf("switchless: speedup %.2fx below the 1.5x bar", res.Speedup)
+	}
+	if !res.Converged {
+		return fmt.Errorf("switchless: scheduler did not converge (worker count still moving in the final epochs)")
+	}
+	if res.TraceSwless.Served == 0 {
+		return fmt.Errorf("switchless: trace shows no served switchless events — the observability fix regressed")
 	}
 	return nil
 }

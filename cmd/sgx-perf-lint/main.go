@@ -15,6 +15,11 @@
 //	sgx-perf-lint -workload sqlite -trace trace.evdb
 //	sgx-perf-lint -workload contend -source . -source-dirs internal/workloads/contend
 //	sgx-perf-lint -edl enclave.edl -json
+//	sgx-perf-lint -workload securekeeper -switchless-config > switchless.json
+//
+// -switchless-config turns the Transition-Bound Calls findings into the
+// machine-readable configuration sgxperf.WithSwitchless consumes,
+// closing the lint → config → re-measure loop from the command line.
 package main
 
 import (
@@ -54,6 +59,7 @@ func run() error {
 		wideMin   = flag.Int("wide-surface", 0, "public-ecall count that flags a wide surface (0 = default)")
 		srcRoot   = flag.String("source", "", "also run the concurrency dataflow pass over the Go sources under this root")
 		srcDirs   = flag.String("source-dirs", "", "comma-separated root-relative directories limiting the source pass (default: the whole tree)")
+		slConfig  = flag.Bool("switchless-config", false, "emit the machine-readable switchless configuration derived from the Transition-Bound Calls findings instead of the report")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -107,6 +113,22 @@ func run() error {
 			}
 		}
 	}
+	if *slConfig {
+		if iface == nil {
+			return fmt.Errorf("-switchless-config needs -workload or -edl")
+		}
+		cfg := sgxperf.SwitchlessConfigFrom(iface, opts)
+		if cfg == nil {
+			return fmt.Errorf("no transition-bound calls in the interface; nothing to route switchless")
+		}
+		raw, err := cfg.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Print(string(raw))
+		return nil
+	}
+
 	var report *sgxperf.LintReport
 	if *tracePath != "" {
 		trace, err := sgxperf.LoadTrace(*tracePath)

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"sgxperf"
@@ -37,6 +38,37 @@ func TestGoldenReports(t *testing.T) {
 			t.Fatalf("%s json: %v", name, err)
 		}
 		compareGolden(t, name+".json", append(raw, '\n'))
+	}
+}
+
+// TestGoldenSwitchlessConfig pins the machine-readable switchless
+// configuration `-switchless-config` emits for the bundled SecureKeeper
+// interface, and proves it survives the JSON round-trip the
+// lint → config → re-measure hand-off depends on.
+func TestGoldenSwitchlessConfig(t *testing.T) {
+	iface, err := bundledInterfaces["securekeeper"]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sgxperf.SwitchlessConfigFrom(iface, sgxperf.LintOptions{})
+	if cfg == nil {
+		t.Fatal("SecureKeeper is transition-bound; expected a switchless configuration")
+	}
+	if cfg.Source != "staticlint" {
+		t.Fatalf("config source = %q, want staticlint", cfg.Source)
+	}
+	raw, err := cfg.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "securekeeper_switchless.json", raw)
+
+	parsed, err := sgxperf.ParseSwitchlessConfig(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, cfg) {
+		t.Fatalf("config changed across the JSON round-trip:\n emitted %+v\n parsed  %+v", cfg, parsed)
 	}
 }
 

@@ -39,6 +39,11 @@ var HotPathLocks = &Analyzer{
 		"internal/evstore",
 		"internal/perf/events",
 		"internal/perf/analyzer",
+		// The switchless submit/collect path runs once per routed call and
+		// must stay lock-free: Switchless.tuneMu is tuner-only state, and a
+		// hot-path acquisition would serialise every caller through the
+		// epoch bookkeeping.
+		"internal/sdk",
 		// Simulator core and workloads honour the directive when present
 		// (annotations are optional there — see requireAnnotations).
 		"internal/kernel",
@@ -57,6 +62,7 @@ var requireAnnotations = []string{
 	"internal/evstore",
 	"internal/perf/events",
 	"internal/perf/analyzer",
+	"internal/sdk",
 }
 
 // lockMethods are the sync.Mutex/RWMutex methods that acquire (or juggle)

@@ -311,11 +311,12 @@ func (a *Analyzer) Analyze() *Report {
 // runs to completion before the next starts, in a fixed order.
 func (a *Analyzer) analyzeSerial() *Report {
 	r := &Report{
-		Workload:  a.workload(),
-		Stats:     a.AllStats(),
-		Graph:     a.CallGraph(),
-		Paging:    a.PagingSummary(),
-		WakeGraph: a.WakeGraph(),
+		Workload:   a.workload(),
+		Stats:      a.AllStats(),
+		Graph:      a.CallGraph(),
+		Paging:     a.PagingSummary(),
+		WakeGraph:  a.WakeGraph(),
+		Switchless: a.SwitchlessSummary(),
 	}
 	r.Findings = append(r.Findings, a.DetectMoving()...)
 	r.Findings = append(r.Findings, a.DetectReordering()...)

@@ -58,6 +58,7 @@ func (a *Analyzer) analyzeParallel() *Report {
 		graph    *CallGraph
 		paging   PagingStats
 		wake     []WakeEdge
+		sless    SwitchlessStats
 		sscF     []Finding
 		security []SecurityHint
 	)
@@ -65,6 +66,7 @@ func (a *Analyzer) analyzeParallel() *Report {
 		func() { graph = a.CallGraph() },
 		func() { paging = a.pagingSummaryIndexed() },
 		func() { wake = a.wakeGraphSharded() },
+		func() { sless = a.switchlessSummarySharded() },
 		func() { sscF = a.DetectSSC() },
 		func() { security = a.SecurityHints() },
 		func() {
@@ -76,10 +78,11 @@ func (a *Analyzer) analyzeParallel() *Report {
 
 	// Deterministic merge, mirroring the serial pipeline's order exactly.
 	r := &Report{
-		Workload:  a.workload(),
-		Graph:     graph,
-		Paging:    paging,
-		WakeGraph: wake,
+		Workload:   a.workload(),
+		Graph:      graph,
+		Paging:     paging,
+		WakeGraph:  wake,
+		Switchless: sless,
 	}
 	r.Stats = make([]CallStats, 0, len(a.perNames))
 	for i := range res {

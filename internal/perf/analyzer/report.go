@@ -14,7 +14,10 @@ type Report struct {
 	Security  []SecurityHint
 	Paging    PagingStats
 	WakeGraph []WakeEdge
-	Graph     *CallGraph
+	// Switchless summarises the switchless runtime's synthetic events —
+	// calls that bypass the interposable paths entirely.
+	Switchless SwitchlessStats
+	Graph      *CallGraph
 }
 
 // TotalCalls sums recorded executions over all calls.
@@ -94,6 +97,16 @@ func (r *Report) Render() string {
 			r.Paging.PageIns, r.Paging.PageOuts, r.Paging.DuringCalls)
 		for region, n := range r.Paging.ByRegion {
 			fmt.Fprintf(&b, "    %-8s %d\n", region, n)
+		}
+		b.WriteString("\n")
+	}
+
+	if r.Switchless.Served+r.Switchless.Fallbacks > 0 {
+		fmt.Fprintf(&b, "-- switchless calls --\n%d served by workers, %d fell back to transitions\n",
+			r.Switchless.Served, r.Switchless.Fallbacks)
+		for _, c := range r.Switchless.Calls {
+			fmt.Fprintf(&b, "    %-40s %5s %8d served %6d fallback  avg wait %s\n",
+				truncate(c.Name, 40), c.Kind, c.Served, c.Fallbacks, short(c.AvgWait))
 		}
 		b.WriteString("\n")
 	}

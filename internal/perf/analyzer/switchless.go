@@ -1,0 +1,132 @@
+package analyzer
+
+import (
+	"sort"
+	"time"
+
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/pool"
+	"sgxperf/internal/vtime"
+)
+
+// SwitchlessCallStats summarises one call name's switchless activity.
+type SwitchlessCallStats struct {
+	Name string
+	Kind events.CallKind
+	// Served counts calls serviced by a pool worker, Fallbacks calls
+	// that took the regular transition path because the queue was full.
+	Served    int
+	Fallbacks int
+	// AvgWait is the mean submit→collect latency of served calls.
+	AvgWait time.Duration
+}
+
+// SwitchlessStats summarises the switchless runtime's activity in a
+// trace: the served/fallback totals the blind-spot fix makes visible.
+type SwitchlessStats struct {
+	Served    int
+	Fallbacks int
+	// Calls holds the per-name rows, sorted by name.
+	Calls []SwitchlessCallStats
+}
+
+// SwitchlessAgg is the integer accumulator behind SwitchlessCallStats.
+// Every pipeline — serial, chunk-sharded parallel, and the live
+// collector — folds events into the same accumulator and renders it
+// with SwitchlessStatsFrom, so their outputs are identical by
+// construction (integer sums commute).
+type SwitchlessAgg struct {
+	Kind       events.CallKind
+	Served     int
+	Fallbacks  int
+	WaitCycles vtime.Cycles
+}
+
+// SwitchlessFold folds one event into a per-name aggregate map.
+func SwitchlessFold(agg map[string]*SwitchlessAgg, ev *events.SwitchlessEvent) {
+	a := agg[ev.Name]
+	if a == nil {
+		a = &SwitchlessAgg{Kind: ev.Kind}
+		agg[ev.Name] = a
+	}
+	if ev.Fallback {
+		a.Fallbacks++
+		return
+	}
+	a.Served++
+	a.WaitCycles += ev.End - ev.Start
+}
+
+// SwitchlessStatsFrom renders per-name aggregates into the final stats.
+// Only integer arithmetic (the mean is an integer cycle division), so
+// identical aggregates give identical stats regardless of fold order.
+func SwitchlessStatsFrom(agg map[string]*SwitchlessAgg, freq vtime.Frequency) SwitchlessStats {
+	var out SwitchlessStats
+	names := make([]string, 0, len(agg))
+	for n := range agg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := agg[n]
+		out.Served += a.Served
+		out.Fallbacks += a.Fallbacks
+		row := SwitchlessCallStats{Name: n, Kind: a.Kind, Served: a.Served, Fallbacks: a.Fallbacks}
+		if a.Served > 0 {
+			row.AvgWait = freq.Duration(a.WaitCycles / vtime.Cycles(a.Served))
+		}
+		out.Calls = append(out.Calls, row)
+	}
+	return out
+}
+
+// SwitchlessSummary aggregates the trace's switchless events — the
+// serial reference kernel.
+func (a *Analyzer) SwitchlessSummary() SwitchlessStats {
+	agg := make(map[string]*SwitchlessAgg)
+	a.trace.Switchless.Scan(func(_ int, ev events.SwitchlessEvent) bool {
+		SwitchlessFold(agg, &ev)
+		return true
+	})
+	return SwitchlessStatsFrom(agg, a.trace.Frequency())
+}
+
+// switchlessSummarySharded computes the same stats with the table
+// sharded by storage chunk; per-name sums are integers, so the merged
+// aggregates equal the serial kernel's exactly.
+//
+//sgxperf:hotpath
+func (a *Analyzer) switchlessSummarySharded() SwitchlessStats {
+	var chunks [][]events.SwitchlessEvent
+	a.trace.Switchless.ScanChunks(func(rows []events.SwitchlessEvent) bool {
+		if len(rows) > 0 {
+			chunks = append(chunks, rows)
+		}
+		return true
+	})
+	if len(chunks) == 0 {
+		return SwitchlessStatsFrom(nil, a.trace.Frequency())
+	}
+	parts := make([]map[string]*SwitchlessAgg, len(chunks))
+	pool.ForEach(len(chunks), func(ci int) {
+		agg := make(map[string]*SwitchlessAgg)
+		for i := range chunks[ci] {
+			SwitchlessFold(agg, &chunks[ci][i])
+		}
+		parts[ci] = agg
+	})
+	merged := make(map[string]*SwitchlessAgg)
+	for _, part := range parts {
+		for name, p := range part {
+			m := merged[name]
+			if m == nil {
+				merged[name] = p
+				continue
+			}
+			m.Served += p.Served
+			m.Fallbacks += p.Fallbacks
+			m.WaitCycles += p.WaitCycles
+		}
+	}
+	return SwitchlessStatsFrom(merged, a.trace.Frequency())
+}

@@ -63,6 +63,10 @@ func (t *Trace) Canonicalize() {
 		keys = append(keys, key{e.Thread, e.ID})
 		return true
 	})
+	t.Switchless.Scan(func(_ int, e SwitchlessEvent) bool {
+		keys = append(keys, key{e.Thread, e.ID})
+		return true
+	})
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].thread != keys[j].thread {
 			return keys[i].thread < keys[j].thread
@@ -117,6 +121,13 @@ func (t *Trace) Canonicalize() {
 	}
 	sort.Slice(syncs, func(i, j int) bool { return syncs[i].ID < syncs[j].ID })
 	t.Syncs.Replace(syncs)
+
+	switchless := collect(t.Switchless)
+	for i := range switchless {
+		switchless[i].ID = ref(switchless[i].ID)
+	}
+	sort.Slice(switchless, func(i, j int) bool { return switchless[i].ID < switchless[j].ID })
+	t.Switchless.Replace(switchless)
 
 	threads := collect(t.Threads)
 	sort.Slice(threads, func(i, j int) bool {

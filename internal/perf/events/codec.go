@@ -295,6 +295,100 @@ func (c syncCodec) Decode(d *evstore.Decoder, n int) []SyncEvent {
 	return rows
 }
 
+type switchlessCodec struct{}
+
+//sgxperf:hotpath
+func (c switchlessCodec) Encode(e *evstore.Encoder, rows []SwitchlessEvent) {
+	prev := int64(0)
+	for i := range rows {
+		e.Varint(int64(rows[i].ID) - prev)
+		prev = int64(rows[i].ID)
+	}
+	for i := range rows {
+		e.Uvarint(uint64(rows[i].Kind))
+	}
+	for i := range rows {
+		e.Uvarint(uint64(rows[i].Enclave))
+	}
+	for i := range rows {
+		e.Varint(int64(rows[i].Thread))
+	}
+	for i := range rows {
+		e.Varint(int64(rows[i].CallID))
+	}
+	for i := range rows {
+		e.String(rows[i].Name)
+	}
+	prev = 0
+	for i := range rows {
+		e.Varint(int64(rows[i].Start) - prev)
+		prev = int64(rows[i].Start)
+	}
+	for i := range rows {
+		e.Varint(int64(rows[i].End - rows[i].Start))
+	}
+	for i := range rows {
+		e.Varint(int64(rows[i].Worker))
+	}
+	for i := range rows {
+		b := uint64(0)
+		if rows[i].Fallback {
+			b = 1
+		}
+		e.Uvarint(b)
+	}
+	for i := range rows {
+		b := uint64(0)
+		if rows[i].Err {
+			b = 1
+		}
+		e.Uvarint(b)
+	}
+}
+
+//sgxperf:hotpath
+func (c switchlessCodec) Decode(d *evstore.Decoder, n int) []SwitchlessEvent {
+	rows := make([]SwitchlessEvent, n)
+	prev := int64(0)
+	for i := range rows {
+		prev += d.Varint()
+		rows[i].ID = EventID(prev)
+	}
+	for i := range rows {
+		rows[i].Kind = CallKind(d.Uvarint())
+	}
+	for i := range rows {
+		rows[i].Enclave = sgx.EnclaveID(d.Uvarint())
+	}
+	for i := range rows {
+		rows[i].Thread = sgx.ThreadID(d.Varint())
+	}
+	for i := range rows {
+		rows[i].CallID = int(d.Varint())
+	}
+	for i := range rows {
+		rows[i].Name = d.String()
+	}
+	prev = 0
+	for i := range rows {
+		prev += d.Varint()
+		rows[i].Start = vtime.Cycles(prev)
+	}
+	for i := range rows {
+		rows[i].End = rows[i].Start + vtime.Cycles(d.Varint())
+	}
+	for i := range rows {
+		rows[i].Worker = sgx.ThreadID(d.Varint())
+	}
+	for i := range rows {
+		rows[i].Fallback = d.Uvarint() != 0
+	}
+	for i := range rows {
+		rows[i].Err = d.Uvarint() != 0
+	}
+	return rows
+}
+
 type threadCodec struct{}
 
 //sgxperf:hotpath

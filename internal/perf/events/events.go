@@ -152,6 +152,36 @@ type SyncEvent struct {
 	Call EventID
 }
 
+// SwitchlessEvent is one call served by the switchless runtime (or its
+// fallback to the regular transition path). Switchless calls bypass
+// sgx_ecall and the ocall table, so interposition alone cannot see them
+// (§6 discusses the blind spot); the runtime cooperates by emitting
+// these synthetic events through the logger's observer hook.
+type SwitchlessEvent struct {
+	ID      EventID
+	Kind    CallKind
+	Enclave sgx.EnclaveID
+	// Thread is the calling thread (the one that submitted the request).
+	Thread sgx.ThreadID
+	CallID int
+	Name   string
+	// Start is the caller's submit time, End its collect time — the full
+	// queue round-trip as the caller observes it.
+	Start vtime.Cycles
+	End   vtime.Cycles
+	// Worker is the pool thread that serviced the request, or 0 when the
+	// call fell back to the regular transition path.
+	Worker sgx.ThreadID
+	// Fallback records that the queue was full and the call took the
+	// regular sgx_ecall / ocall-table path instead.
+	Fallback bool
+	// Err records whether the call returned an error.
+	Err bool
+}
+
+// Duration returns End-Start in cycles.
+func (e SwitchlessEvent) Duration() vtime.Cycles { return e.End - e.Start }
+
 // ThreadEvent records a thread observed by the logger (via the shadowed
 // pthread_create, §4).
 type ThreadEvent struct {
@@ -189,6 +219,9 @@ type Trace struct {
 	Syncs    *evstore.Table[SyncEvent]
 	Threads  *evstore.Table[ThreadEvent]
 	Enclaves *evstore.Table[EnclaveMeta]
+	// Switchless holds the synthetic events the switchless runtime emits;
+	// registered last so older traces remain loadable by older schemas.
+	Switchless *evstore.Table[SwitchlessEvent]
 
 	db     *evstore.DB
 	nextID atomic.Int64
@@ -201,6 +234,7 @@ type Trace struct {
 func (t *Trace) SetReadFlush(flush func()) {
 	for _, tab := range []interface{ SetReadHook(func()) }{
 		t.Ecalls, t.Ocalls, t.AEXs, t.Paging, t.Syncs, t.Threads, t.Enclaves,
+		t.Switchless,
 	} {
 		tab.SetReadHook(flush)
 	}
@@ -209,15 +243,16 @@ func (t *Trace) SetReadFlush(flush func()) {
 // NewTrace creates an empty trace with its schema registered.
 func NewTrace() (*Trace, error) {
 	t := &Trace{
-		Meta:     evstore.NewTable[TraceMeta]("meta"),
-		Ecalls:   evstore.NewTable[CallEvent]("ecalls"),
-		Ocalls:   evstore.NewTable[CallEvent]("ocalls"),
-		AEXs:     evstore.NewTable[AEXEvent]("aexs"),
-		Paging:   evstore.NewTable[PagingEvent]("paging"),
-		Syncs:    evstore.NewTable[SyncEvent]("syncs"),
-		Threads:  evstore.NewTable[ThreadEvent]("threads"),
-		Enclaves: evstore.NewTable[EnclaveMeta]("enclaves"),
-		db:       evstore.NewDB(),
+		Meta:       evstore.NewTable[TraceMeta]("meta"),
+		Ecalls:     evstore.NewTable[CallEvent]("ecalls"),
+		Ocalls:     evstore.NewTable[CallEvent]("ocalls"),
+		AEXs:       evstore.NewTable[AEXEvent]("aexs"),
+		Paging:     evstore.NewTable[PagingEvent]("paging"),
+		Syncs:      evstore.NewTable[SyncEvent]("syncs"),
+		Threads:    evstore.NewTable[ThreadEvent]("threads"),
+		Enclaves:   evstore.NewTable[EnclaveMeta]("enclaves"),
+		Switchless: evstore.NewTable[SwitchlessEvent]("switchless"),
+		db:         evstore.NewDB(),
 	}
 	// Columnar codecs for the high-volume tables (see codec.go); Meta and
 	// Enclaves intentionally stay on the gob fallback.
@@ -227,6 +262,7 @@ func NewTrace() (*Trace, error) {
 	t.Paging.SetCodec(pagingCodec{})
 	t.Syncs.SetCodec(syncCodec{})
 	t.Threads.SetCodec(threadCodec{})
+	t.Switchless.SetCodec(switchlessCodec{})
 	for _, err := range []error{
 		evstore.Register(t.db, t.Meta),
 		evstore.Register(t.db, t.Ecalls),
@@ -236,6 +272,7 @@ func NewTrace() (*Trace, error) {
 		evstore.Register(t.db, t.Syncs),
 		evstore.Register(t.db, t.Threads),
 		evstore.Register(t.db, t.Enclaves),
+		evstore.Register(t.db, t.Switchless),
 	} {
 		if err != nil {
 			return nil, fmt.Errorf("events: %w", err)
@@ -310,6 +347,7 @@ func (t *Trace) maxEventID() EventID {
 	t.AEXs.Scan(func(_ int, e AEXEvent) bool { bump(e.ID); return true })
 	t.Paging.Scan(func(_ int, e PagingEvent) bool { bump(e.ID); return true })
 	t.Syncs.Scan(func(_ int, e SyncEvent) bool { bump(e.ID); return true })
+	t.Switchless.Scan(func(_ int, e SwitchlessEvent) bool { bump(e.ID); return true })
 	return maxID
 }
 

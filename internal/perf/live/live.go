@@ -73,6 +73,7 @@ type batch struct {
 	syncs          []events.SyncEvent
 	aexs           []events.AEXEvent
 	paging         []events.PagingEvent
+	switchless     []events.SwitchlessEvent
 }
 
 // intake is the queue between the table subscribers (producers, on the
@@ -154,8 +155,8 @@ type Collector struct {
 	// mu guards every aggregate below and serialises catch-up processing.
 	mu sync.Mutex
 
-	seen                                  int64 // events processed, all tables
-	nEcalls, nOcalls, nSyncs, nAEX, nPage int
+	seen                                         int64 // events processed, all tables
+	nEcalls, nOcalls, nSyncs, nAEX, nPage, nSwls int
 
 	perName         map[string]*nameAgg
 	arrived         map[events.EventID]arrivedCall
@@ -165,6 +166,7 @@ type Collector struct {
 	syncAgg      analyzer.SyncAgg
 	pendingWakes map[events.EventID]int
 	wakeAgg      map[[2]int64]int
+	switchless   map[string]*analyzer.SwitchlessAgg
 
 	paging        analyzer.PagingStats
 	cover         map[sgx.ThreadID]*coverSet
@@ -204,6 +206,7 @@ func Attach(l *logger.Logger, opts Options) (*Collector, error) {
 		groups:          make(map[groupKey][]groupMember),
 		pendingWakes:    make(map[events.EventID]int),
 		wakeAgg:         make(map[[2]int64]int),
+		switchless:      make(map[string]*analyzer.SwitchlessAgg),
 		cover:           make(map[sgx.ThreadID]*coverSet),
 		pendingPaging:   make(map[sgx.ThreadID][]vtime.Cycles),
 	}
@@ -225,6 +228,7 @@ func Attach(l *logger.Logger, opts Options) (*Collector, error) {
 		tr.Syncs.Subscribe(func(rows []events.SyncEvent) { c.in.push(batch{syncs: rows}) }, true),
 		tr.AEXs.Subscribe(func(rows []events.AEXEvent) { c.in.push(batch{aexs: rows}) }, true),
 		tr.Paging.Subscribe(func(rows []events.PagingEvent) { c.in.push(batch{paging: rows}) }, true),
+		tr.Switchless.Subscribe(func(rows []events.SwitchlessEvent) { c.in.push(batch{switchless: rows}) }, true),
 	)
 	return c, nil
 }
@@ -321,6 +325,12 @@ func (c *Collector) processLocked(b batch) {
 		for i := range b.paging {
 			c.pageRing.add(b.paging[i].Time)
 			c.addPaging(&b.paging[i])
+		}
+	case b.switchless != nil:
+		c.seen += int64(len(b.switchless))
+		c.nSwls += len(b.switchless)
+		for i := range b.switchless {
+			analyzer.SwitchlessFold(c.switchless, &b.switchless[i])
 		}
 	}
 }

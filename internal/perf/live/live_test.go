@@ -151,6 +151,9 @@ func checkEquivalence(t *testing.T, snap live.Snapshot, l *logger.Logger, opts a
 	if !reflect.DeepEqual(snap.WakeGraph, rep.WakeGraph) {
 		t.Errorf("wake graph diverges:\nlive: %+v\npost: %+v", snap.WakeGraph, rep.WakeGraph)
 	}
+	if !reflect.DeepEqual(snap.Switchless, rep.Switchless) {
+		t.Errorf("switchless stats diverge:\nlive: %+v\npost: %+v", snap.Switchless, rep.Switchless)
+	}
 }
 
 // TestLiveEqualsPostMortem is the golden test of the streaming engine:

@@ -11,11 +11,12 @@ import (
 
 // Counts are the raw event totals the collector has observed, per table.
 type Counts struct {
-	Ecalls int `json:"ecalls"`
-	Ocalls int `json:"ocalls"`
-	Syncs  int `json:"syncs"`
-	AEXs   int `json:"aexs"`
-	Paging int `json:"paging"`
+	Ecalls     int `json:"ecalls"`
+	Ocalls     int `json:"ocalls"`
+	Syncs      int `json:"syncs"`
+	AEXs       int `json:"aexs"`
+	Paging     int `json:"paging"`
+	Switchless int `json:"switchless"`
 }
 
 // Rates are sliding-window event rates in events per second of virtual
@@ -37,10 +38,11 @@ type Snapshot struct {
 	Counts   Counts `json:"counts"`
 	Rates    Rates  `json:"rates"`
 
-	Stats     []analyzer.CallStats `json:"stats"`
-	Findings  []analyzer.Finding   `json:"findings"`
-	Paging    analyzer.PagingStats `json:"paging_summary"`
-	WakeGraph []analyzer.WakeEdge  `json:"wake_graph"`
+	Stats      []analyzer.CallStats     `json:"stats"`
+	Findings   []analyzer.Finding       `json:"findings"`
+	Paging     analyzer.PagingStats     `json:"paging_summary"`
+	WakeGraph  []analyzer.WakeEdge      `json:"wake_graph"`
+	Switchless analyzer.SwitchlessStats `json:"switchless"`
 }
 
 // Snapshot computes the current view from the incremental aggregates by
@@ -55,7 +57,7 @@ func (c *Collector) Snapshot() Snapshot {
 
 	s := Snapshot{
 		Workload: c.workload,
-		Counts:   Counts{Ecalls: c.nEcalls, Ocalls: c.nOcalls, Syncs: c.nSyncs, AEXs: c.nAEX, Paging: c.nPage},
+		Counts:   Counts{Ecalls: c.nEcalls, Ocalls: c.nOcalls, Syncs: c.nSyncs, AEXs: c.nAEX, Paging: c.nPage, Switchless: c.nSwls},
 		Rates: Rates{
 			Window: c.opts.Window,
 			Ecalls: c.ecallRing.rate(c.freq),
@@ -148,6 +150,7 @@ func (c *Collector) Snapshot() Snapshot {
 
 	analyzer.SortFindings(s.Findings)
 	s.WakeGraph = analyzer.WakeEdges(c.wakeAgg)
+	s.Switchless = analyzer.SwitchlessStatsFrom(c.switchless, c.freq)
 	return s
 }
 

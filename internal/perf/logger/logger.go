@@ -94,13 +94,14 @@ type stubPair struct {
 // to the database. The stack holds entries by value so pushing a call
 // allocates nothing in steady state.
 type shard struct {
-	mu     sync.Mutex
-	stack  []stackEntry
-	ecalls []events.CallEvent
-	ocalls []events.CallEvent
-	syncs  []events.SyncEvent
-	aexs   []events.AEXEvent
-	paging []events.PagingEvent
+	mu         sync.Mutex
+	stack      []stackEntry
+	ecalls     []events.CallEvent
+	ocalls     []events.CallEvent
+	syncs      []events.SyncEvent
+	aexs       []events.AEXEvent
+	paging     []events.PagingEvent
+	switchless []events.SwitchlessEvent
 }
 
 // Logger is an attached sgx-perf event logger.
@@ -249,6 +250,11 @@ func Attach(h *host.Host, opts Options) (*Logger, error) {
 		l.prevAEP = h.Machine.PatchAEP(l.aep)
 		l.aepPatched = true
 	}
+	// Switchless calls bypass both sgx_ecall and the ocall table, so
+	// interposition alone never sees them (§6). The URTS exposes a
+	// cooperative observer hook; registering here closes that blind spot
+	// with synthetic switchless events.
+	h.URTS.SetSwitchlessObserver(l.onSwitchless)
 
 	l.enabled.Store(true)
 	return l, nil
@@ -354,6 +360,11 @@ func (l *Logger) flushShardLocked(sh *shard) {
 		sh.paging = sh.paging[:0]
 		dirty++
 	}
+	if len(sh.switchless) > 0 {
+		l.trace.Switchless.BatchInsert(sh.switchless)
+		sh.switchless = sh.switchless[:0]
+		dirty++
+	}
 	if dirty > 0 {
 		l.pending.Add(int64(-dirty))
 	}
@@ -398,6 +409,7 @@ func (l *Logger) StubBuilds() int64 { return l.stubBuilds.Load() }
 // pass-through.
 func (l *Logger) Detach() {
 	l.enabled.Store(false)
+	l.h.URTS.SetSwitchlessObserver(nil)
 	for _, d := range l.detachKprobes {
 		d()
 	}
@@ -717,6 +729,47 @@ func (l *Logger) aep(ctx *sgx.Context, info sgx.AEXInfo) {
 		}
 	}
 	l.prevAEP(ctx, info)
+}
+
+// onSwitchless converts one switchless runtime record into a synthetic
+// trace event, buffered in the calling thread's shard. The record
+// arrives on the caller's goroutine at collect time, so the shard and
+// ordering discipline match the regular call events. No probe cost is
+// charged: the runtime reports cooperatively, there is no interposed
+// stub on this path.
+//
+//sgxperf:hotpath
+func (l *Logger) onSwitchless(rec sdk.SwitchlessRecord) {
+	if !l.enabled.Load() {
+		return
+	}
+	kind := events.KindOcall
+	if rec.Ecall {
+		kind = events.KindEcall
+	}
+	ev := events.SwitchlessEvent{
+		ID:       l.trace.NextID(),
+		Kind:     kind,
+		Enclave:  rec.Enclave,
+		Thread:   rec.Caller,
+		CallID:   rec.CallID,
+		Name:     rec.Name,
+		Start:    rec.Start,
+		End:      rec.End,
+		Worker:   rec.Worker,
+		Fallback: rec.Fallback,
+		Err:      rec.Err,
+	}
+	sh := l.shard(rec.Caller)
+	sh.mu.Lock()
+	sh.switchless = append(sh.switchless, ev)
+	if len(sh.switchless) == 1 {
+		l.pending.Add(1)
+	}
+	if len(sh.switchless) >= l.opts.FlushEvery {
+		l.flushShardLocked(sh)
+	}
+	sh.mu.Unlock()
 }
 
 // onPaging converts a driver kprobe hit into a paging event (§4.1.5). The

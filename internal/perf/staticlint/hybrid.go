@@ -92,6 +92,18 @@ func Hybrid(iface *edl.Interface, trace *events.Trace, opts Options) (*Report, e
 	}
 	trace.Ecalls.Scan(scan)
 	trace.Ocalls.Scan(scan)
+	// Switchless-served executions never reach the call tables (the worker
+	// pool bypasses the interposable paths), so the synthetic events are
+	// the only evidence they ran; fold them in so the re-rank sees them.
+	// Fallback records are excluded — those calls took the regular path and
+	// are already counted above.
+	trace.Switchless.Scan(func(_ int, e events.SwitchlessEvent) bool {
+		if !e.Fallback {
+			counts[e.Name]++
+			kinds[e.Name] = e.Kind
+		}
+		return true
+	})
 
 	// Join: every finding learns its observed count and hybrid score.
 	// Interface-wide findings (Call = "(interface)") and group findings

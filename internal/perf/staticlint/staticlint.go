@@ -399,16 +399,7 @@ func detectMergeShape(iface *edl.Interface, opts Options) []analyzer.Finding {
 // supplies its candidate set).
 func detectSwitchless(iface *edl.Interface, opts Options) []analyzer.Finding {
 	transition := opts.Cost.Frequency.Duration(opts.Cost.RoundTrip())
-	var names []string
-	for _, o := range iface.Ocalls() {
-		if len(o.Params) > opts.SwitchlessMaxParams || len(o.Allow) > 0 {
-			continue
-		}
-		if o.HasUserCheck() || sdk.IsSyncOcall(o.Name) {
-			continue
-		}
-		names = append(names, o.Name)
-	}
+	names := switchlessOcallCandidates(iface, opts)
 	if len(names) == 0 {
 		return nil
 	}

@@ -64,6 +64,16 @@ func (e *Env) OcallByID(id int, args any) (any, error) {
 }
 
 func (e *Env) ocall(decl *edl.Func, args any) (any, error) {
+	// A routed ocall takes the switchless queue: an untrusted worker runs
+	// it while this thread stays inside the enclave, skipping the
+	// EEXIT/EENTER round trip and the dispatch. handled=false (name not
+	// routed, queue full, runtime stopped) falls through to the regular
+	// transition path below.
+	if sl := e.app.sl.Load(); sl != nil {
+		if res, err, handled := sl.ocallSwitchless(e.ctx, decl, args); handled {
+			return res, err
+		}
+	}
 	tab := e.app.table()
 	if tab == nil || decl.ID >= len(tab.Funcs) || tab.Funcs[decl.ID] == nil {
 		return nil, fmt.Errorf("%w: %s has no table entry", ErrInvalidOcall, decl.Name)

@@ -62,6 +62,10 @@ type AppEnclave struct {
 	// injection point for the logger's stub table (Fig. 3). Atomic: every
 	// ecall saves it and the logger swaps it concurrently.
 	savedTable atomic.Pointer[OcallTable]
+	// sl is the active auto-configured switchless runtime, if any; the
+	// TRTS ocall path consults it to route configured ocalls through the
+	// untrusted worker pool instead of the transition path.
+	sl atomic.Pointer[Switchless]
 }
 
 // Enclave returns the underlying hardware enclave.
@@ -76,6 +80,14 @@ func (a *AppEnclave) Interface() *edl.Interface { return a.iface }
 func (a *AppEnclave) saveTable(t *OcallTable) { a.savedTable.Store(t) }
 
 func (a *AppEnclave) table() *OcallTable { return a.savedTable.Load() }
+
+func (a *AppEnclave) setSwitchless(s *Switchless) bool { return a.sl.CompareAndSwap(nil, s) }
+
+func (a *AppEnclave) clearSwitchless(s *Switchless) { a.sl.CompareAndSwap(s, nil) }
+
+// Switchless returns the enclave's active auto-configured switchless
+// runtime, or nil.
+func (a *AppEnclave) Switchless() *Switchless { return a.sl.Load() }
 
 func (a *AppEnclave) trustedFn(id int) (TrustedFn, bool) {
 	if id < 0 || id >= len(a.trusted) {
@@ -130,6 +142,12 @@ type URTS struct {
 	// TRTS consults to enforce allow lists. Thread-local storage makes the
 	// per-ecall consult lock- and hash-free.
 	inflightKey sgx.TLSKey
+
+	// slObserver is the registered switchless observer, if any: the
+	// cooperative visibility hook the switchless runtime reports every
+	// served call and fallback through, since those calls bypass the
+	// interposable sgx_ecall / ocall-table paths entirely.
+	slObserver atomic.Pointer[SwitchlessObserver]
 
 	// Dispatch costs pre-converted to cycles at construction (the machine
 	// frequency is fixed), sparing a float conversion on every call.
@@ -221,6 +239,25 @@ func (u *URTS) AppEnclaveFor(eid sgx.EnclaveID) (*AppEnclave, bool) {
 
 // Machine returns the machine this runtime drives.
 func (u *URTS) Machine() *sgx.Machine { return u.machine }
+
+// SetSwitchlessObserver registers fn to receive one record per
+// switchless call (served or fallback); nil unregisters. A preloaded
+// logger installs its trace emitter here at attach time.
+func (u *URTS) SetSwitchlessObserver(fn SwitchlessObserver) {
+	if fn == nil {
+		u.slObserver.Store(nil)
+		return
+	}
+	u.slObserver.Store(&fn)
+}
+
+//sgxperf:hotpath
+func (u *URTS) switchlessObserver() SwitchlessObserver {
+	if p := u.slObserver.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 func (u *URTS) eventFor(tid sgx.ThreadID) *uevent {
 	if v, ok := u.events.Load(tid); ok {

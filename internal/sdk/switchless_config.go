@@ -1,0 +1,73 @@
+package sdk
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SwitchlessConfig selects which interface functions run switchless and
+// bounds the self-tuning scheduler. The static analyzer emits one from
+// its Transition-Bound Calls findings (Source "staticlint"), closing the
+// paper's find→optimise→re-measure loop; hand-written configurations
+// work the same way.
+type SwitchlessConfig struct {
+	// Source records who produced the configuration ("staticlint",
+	// "manual", ...), so measurements can prove their provenance.
+	Source string `json:"source"`
+	// Ecalls and Ocalls are the function names routed through the
+	// switchless queues. Non-public ecalls, allow-listed ocalls and SDK
+	// sync ocalls are ignored: they cannot run on a detached worker.
+	Ecalls []string `json:"ecalls"`
+	Ocalls []string `json:"ocalls,omitempty"`
+	// MinWorkers and MaxWorkers bound each pool; the scheduler starts at
+	// MinWorkers and never grows past MaxWorkers (or the free TCSs, for
+	// the trusted pool).
+	MinWorkers int `json:"min_workers"`
+	MaxWorkers int `json:"max_workers"`
+	// QueueDepth bounds in-flight requests per worker queue; when every
+	// worker's queue is full the call falls back to the regular
+	// transition path.
+	QueueDepth int `json:"queue_depth"`
+	// EpochCalls is the scheduler period: every EpochCalls-th submission
+	// to a pool runs one scaling decision.
+	EpochCalls int `json:"epoch_calls"`
+}
+
+// withDefaults fills unset fields with the runtime defaults.
+func (c SwitchlessConfig) withDefaults() SwitchlessConfig {
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = 1
+	}
+	if c.MaxWorkers < c.MinWorkers {
+		c.MaxWorkers = c.MinWorkers
+		if c.MaxWorkers < 8 {
+			c.MaxWorkers = 8
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.EpochCalls <= 0 {
+		c.EpochCalls = 64
+	}
+	return c
+}
+
+// JSON renders the configuration as indented JSON.
+func (c SwitchlessConfig) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("sdk: switchless config: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseSwitchlessConfig parses a configuration produced by JSON (or by
+// `sgx-perf-lint -switchless-config`).
+func ParseSwitchlessConfig(b []byte) (*SwitchlessConfig, error) {
+	var c SwitchlessConfig
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("sdk: switchless config: %w", err)
+	}
+	return &c, nil
+}

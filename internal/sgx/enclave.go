@@ -77,8 +77,13 @@ type Enclave struct {
 
 	// tcsFree is a bitmap of free TCS slots (bit i set ⇔ slot i free),
 	// managed with CAS so concurrent EENTERs never serialise on a mutex.
-	tcsFree   []atomic.Uint64
-	tcsPages  []*Page
+	tcsFree  []atomic.Uint64
+	tcsPages []*Page
+	// tcsBound/tcsPeak account for dynamically bound TCSs: the current
+	// gauge and its high-water mark, so runtimes that grow and retire
+	// worker threads (switchless pools) can report peak TCS pressure.
+	tcsBound  atomic.Int64
+	tcsPeak   atomic.Int64
 	destroyed atomic.Bool
 
 	mu       sync.Mutex
@@ -233,6 +238,13 @@ func (e *Enclave) acquireTCS() (int, bool) {
 			}
 			bit := bits.Len64(v) - 1
 			if e.tcsFree[w].CompareAndSwap(v, v&^(1<<bit)) {
+				n := e.tcsBound.Add(1)
+				for {
+					p := e.tcsPeak.Load()
+					if n <= p || e.tcsPeak.CompareAndSwap(p, n) {
+						break
+					}
+				}
 				return w*64 + bit, true
 			}
 			retry = true
@@ -251,10 +263,18 @@ func (e *Enclave) releaseTCS(slot int) {
 	for {
 		v := w.Load()
 		if w.CompareAndSwap(v, v|mask) {
+			e.tcsBound.Add(-1)
 			return
 		}
 	}
 }
+
+// BoundTCS returns the number of currently bound TCS slots.
+func (e *Enclave) BoundTCS() int { return int(e.tcsBound.Load()) }
+
+// PeakTCS returns the high-water mark of simultaneously bound TCS slots
+// over the enclave's lifetime.
+func (e *Enclave) PeakTCS() int { return int(e.tcsPeak.Load()) }
 
 // FreeTCS returns the number of currently unbound TCS slots.
 func (e *Enclave) FreeTCS() int {

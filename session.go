@@ -28,6 +28,11 @@ type Session struct {
 	// Warnings are the EDL parser's non-fatal diagnostics, if WithEDL was
 	// used.
 	Warnings []string
+
+	switchless *sdk.SwitchlessConfig
+	// enclaves tracks enclaves with a running switchless runtime, so
+	// Close can stop them.
+	enclaves []*SessionEnclave
 }
 
 // SessionOption configures NewSession.
@@ -39,6 +44,7 @@ type sessionConfig struct {
 	edl        string
 	hasEDL     bool
 	ocallImpls map[string]OcallFn
+	switchless *sdk.SwitchlessConfig
 }
 
 // WithEDL declares the enclave interface from EDL source. Without it the
@@ -52,6 +58,16 @@ func WithEDL(src string) SessionOption {
 // the interface's untrusted functions.
 func WithOcallImpls(impls map[string]OcallFn) SessionOption {
 	return func(c *sessionConfig) { c.ocallImpls = impls }
+}
+
+// WithSwitchless applies a switchless runtime configuration — typically
+// emitted by the static analyzer (SwitchlessConfigFrom, or
+// `sgx-perf-lint -switchless-config`) — to every enclave the session
+// creates: calls the configuration routes run on self-tuning worker
+// pools instead of crossing the enclave boundary. A nil configuration
+// is ignored.
+func WithSwitchless(cfg *sdk.SwitchlessConfig) SessionOption {
+	return func(c *sessionConfig) { c.switchless = cfg }
 }
 
 // WithHost forwards options to the underlying NewHost call.
@@ -79,7 +95,7 @@ func NewSession(opts ...SessionOption) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("session: %w", err)
 	}
-	s := &Session{Host: h, Logger: l}
+	s := &Session{Host: h, Logger: l, switchless: cfg.switchless}
 	if cfg.hasEDL {
 		iface, warnings, err := edl.Parse(cfg.edl)
 		if err != nil {
@@ -105,28 +121,66 @@ func (s *Session) NewContext(name string) *Context { return s.Host.NewContext(na
 type SessionEnclave struct {
 	App     *AppEnclave
 	Proxies map[string]Proxy
+	// Switchless is the enclave's self-tuning switchless runtime, non-nil
+	// when the session was built WithSwitchless. Call routes configured
+	// ecalls through it automatically; it is stopped by Stop (or
+	// Session.Close).
+	Switchless *sdk.Switchless
+
+	session *Session
 }
 
 // Enclave builds an enclave against the session's interface and returns
-// it with its proxies.
+// it with its proxies. With a switchless configuration on the session,
+// the enclave's self-tuning runtime is started here and ocalls to
+// configured names are routed through it from the first call.
 func (s *Session) Enclave(ctx *Context, cfg EnclaveConfig, trusted map[string]TrustedFn) (*SessionEnclave, error) {
 	app, err := s.Host.URTS.CreateEnclave(ctx, cfg, s.Interface, trusted)
 	if err != nil {
 		return nil, fmt.Errorf("session: enclave %q: %w", cfg.Name, err)
 	}
-	return &SessionEnclave{
+	e := &SessionEnclave{
 		App:     app,
 		Proxies: sdk.Proxies(app, s.Host.Proc, s.Ocalls),
-	}, nil
+		session: s,
+	}
+	if s.switchless != nil {
+		// The raw ocall table, deliberately: switchless workers bypass the
+		// logger's stub interposition (the blind spot the synthetic trace
+		// events compensate for).
+		sl, err := s.Host.URTS.StartSwitchlessAuto(app, *s.switchless, s.Ocalls)
+		if err != nil {
+			return nil, fmt.Errorf("session: enclave %q: %w", cfg.Name, err)
+		}
+		e.Switchless = sl
+		s.enclaves = append(s.enclaves, e)
+	}
+	return e, nil
 }
 
-// Call invokes one of the enclave's public ecalls by name.
+// Call invokes one of the enclave's public ecalls by name. Ecalls the
+// session's switchless configuration routes go through the worker pool
+// (falling back to the regular transition path when its queue is full);
+// everything else takes the regular proxy.
 func (e *SessionEnclave) Call(ctx *Context, name string, args any) (any, error) {
+	if e.Switchless != nil && e.Switchless.RoutesEcall(name) {
+		if f, ok := e.session.Interface.Lookup(name); ok {
+			return e.Switchless.Call(ctx, f.ID, e.session.Ocalls, args)
+		}
+	}
 	p, ok := e.Proxies[name]
 	if !ok {
 		return nil, fmt.Errorf("session: no ecall proxy %q", name)
 	}
 	return p(ctx, args)
+}
+
+// Stop shuts down the enclave's switchless runtime, if any: workers are
+// joined and later Calls take the regular transition path. Idempotent.
+func (e *SessionEnclave) Stop() {
+	if e.Switchless != nil {
+		e.Switchless.Stop()
+	}
 }
 
 // Analyze runs the post-mortem analysis over everything the session's
@@ -169,5 +223,11 @@ func (s *Session) Live(opts LiveOptions) (*LiveCollector, error) {
 	return live.Attach(s.Logger, opts)
 }
 
-// Close detaches the logger; the recorded trace stays readable.
-func (s *Session) Close() { s.Logger.Detach() }
+// Close stops any switchless runtimes the session started and detaches
+// the logger; the recorded trace stays readable.
+func (s *Session) Close() {
+	for _, e := range s.enclaves {
+		e.Stop()
+	}
+	s.Logger.Detach()
+}

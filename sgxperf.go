@@ -91,6 +91,20 @@ type (
 	EnclaveMutex = sdk.Mutex
 	// EnclaveCond is the SDK's in-enclave condition variable.
 	EnclaveCond = sdk.Cond
+	// Switchless is the self-tuning switchless call runtime: worker pools
+	// servicing ecall/ocall queues without enclave transitions, resized
+	// per epoch from observed fallback rate and queue occupancy.
+	Switchless = sdk.Switchless
+	// SwitchlessConfig selects which calls run switchless and bounds the
+	// scheduler; the static analyzer emits one from its Transition-Bound
+	// Calls findings.
+	SwitchlessConfig = sdk.SwitchlessConfig
+	// EpochDecision is one scaling decision of the switchless scheduler.
+	EpochDecision = sdk.EpochDecision
+	// BatchCall is one entry of a batched switchless submission.
+	BatchCall = sdk.BatchCall
+	// BatchResult is one result of a batched switchless submission.
+	BatchResult = sdk.BatchResult
 	// Interface is a parsed EDL enclave interface.
 	Interface = edl.Interface
 	// EDLParam is one declared parameter with pointer annotations.
@@ -151,6 +165,9 @@ type (
 	// RankedFinding is a static finding with its trace-observed execution
 	// count and hybrid rank.
 	RankedFinding = staticlint.RankedFinding
+	// SwitchlessStats summarises a trace's switchless activity (served vs
+	// fallback counts), as reported by the analyser and live snapshots.
+	SwitchlessStats = analyzer.SwitchlessStats
 )
 
 // Sentinel errors of the public surface; match with errors.Is through
@@ -205,6 +222,20 @@ func StaticLint(iface *Interface, opts LintOptions) *LintReport {
 // the EDL embedded in the trace.
 func HybridLint(iface *Interface, t *Trace, opts LintOptions) (*LintReport, error) {
 	return staticlint.Hybrid(iface, t, opts)
+}
+
+// SwitchlessConfigFrom derives a switchless runtime configuration from
+// an interface, using the same candidate logic as the lint's
+// Transition-Bound Calls detector; nil when nothing qualifies. Feed the
+// result to WithSwitchless to close the lint→config→re-measure loop.
+func SwitchlessConfigFrom(iface *Interface, opts LintOptions) *SwitchlessConfig {
+	return staticlint.SwitchlessConfigFrom(iface, opts)
+}
+
+// ParseSwitchlessConfig parses a JSON switchless configuration (as
+// written by SwitchlessConfig.JSON or `sgx-perf-lint -switchless-config`).
+func ParseSwitchlessConfig(b []byte) (*SwitchlessConfig, error) {
+	return sdk.ParseSwitchlessConfig(b)
 }
 
 // NewHost builds a simulated SGX host.
