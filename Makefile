@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify fuzz bench-contention bench-analyze bench-switchless
+.PHONY: build test vet lint race verify fuzz bench-contention bench-analyze bench-switchless bench-serve serve-smoke
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ lint: vet
 # sync primitives only surface when both run raced.
 race:
 	$(GO) test -race ./internal/perf/... ./internal/evstore/... \
-		./internal/pool/... \
+		./internal/pool/... ./internal/serve/... \
 		./internal/sgx/... ./internal/sdk/... ./internal/host/...
 
 # verify is the documented check for this repo: lint (go vet + the
@@ -37,7 +37,7 @@ verify: lint
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/perf/... ./internal/evstore/... \
-		./internal/pool/... \
+		./internal/pool/... ./internal/serve/... \
 		./internal/sgx/... ./internal/sdk/... ./internal/host/...
 
 # Short fuzz smoke over the two parser/codec boundaries that accept
@@ -68,3 +68,18 @@ bench-analyze:
 # scheduler.
 bench-switchless:
 	$(GO) run ./cmd/sgx-perf-bench -exp switchless -json BENCH_results.json
+
+# Benchmark the always-on analysis service: 8 concurrent sessions, cold
+# vs warm report latency through the artifact cache, sustained request
+# throughput and append invalidation, merging the outcome into
+# BENCH_results.json under the "serve" key. The bench exits non-zero
+# unless the served report matches the offline analyser byte-for-byte,
+# warm requests beat cold by ≥ 5x and an append reuses cached windows.
+bench-serve:
+	$(GO) run ./cmd/sgx-perf-bench -exp serve -json BENCH_results.json
+
+# End-to-end daemon smoke: build the binaries, record a trace, boot
+# sgx-perf-serve on a free port, upload the trace over HTTP and check
+# GET /v1/report is byte-identical to offline `sgx-perf-analyze -json`.
+serve-smoke:
+	./scripts/serve_smoke.sh

@@ -8,6 +8,11 @@
 //	sgx-perf-analyze trace.evdb
 //	sgx-perf-analyze -dot graph.dot -hist sgx_ecall_SSL_read trace.evdb
 //	sgx-perf-analyze -edl enclave.edl trace.evdb
+//	sgx-perf-analyze -json trace.evdb
+//
+// -json emits the report as an api/v1 wire document in the canonical
+// serialisation — byte-for-byte what sgx-perf-serve answers on
+// GET /v1/traces/{id}/report for the same trace.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"sgxperf"
+	apiv1 "sgxperf/api/v1"
 	"sgxperf/internal/perf/analyzer"
 )
 
@@ -38,6 +44,7 @@ func run() error {
 		csvDir  = flag.String("csv-dir", "", "write stats.csv (plus histogram/scatter CSVs and gnuplot scripts for -hist/-scatter) into this directory")
 		compare = flag.String("compare", "", "second trace file: print a before/after comparison (the §5.2 optimise-and-remeasure workflow)")
 		enclave = flag.Uint64("enclave", 0, "restrict the analysis to one enclave ID (0 = all)")
+		jsonOut = flag.Bool("json", false, "emit the report as an api/v1 JSON document instead of text")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -80,6 +87,14 @@ func run() error {
 		return nil
 	}
 	report := a.Analyze()
+	if *jsonOut {
+		raw, err := apiv1.Marshal(apiv1.FromReport(report))
+		if err != nil {
+			return err
+		}
+		fmt.Print(string(raw))
+		return nil
+	}
 	fmt.Print(report.Render())
 
 	if *dotOut != "" {

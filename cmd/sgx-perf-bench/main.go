@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	apiv1 "sgxperf/api/v1"
 	"sgxperf/internal/experiments"
 )
 
@@ -29,7 +30,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, transitions, table2, fig5, fig6-sqlite, fig6-libressl, fig78, ws-glamdring, ablation-lock, ablation-paging, ablation-switchless, switchless, contention, live, analyze")
+		exp      = flag.String("exp", "all", "experiment: all, transitions, table2, fig5, fig6-sqlite, fig6-libressl, fig78, ws-glamdring, ablation-lock, ablation-paging, ablation-switchless, switchless, contention, live, analyze, serve")
 		requests = flag.Int("requests", 1000, "fig5: HTTP GET count")
 		inserts  = flag.Int("inserts", 2000, "fig6-sqlite: insert count")
 		signs    = flag.Int("signs", 5, "fig6-libressl: signatures per variant")
@@ -38,11 +39,15 @@ func run() error {
 		dotOut   = flag.String("dot", "", "fig5: also write the call graph to this DOT file")
 		ops      = flag.Int("ops", 20000, "contention: ecalls per thread")
 		repeats  = flag.Int("repeats", 5, "contention: sweep repetitions (median is reported)")
-		jsonOut  = flag.String("json", "", "contention/live: write machine-readable results to this file")
+		jsonOut  = flag.String("json", "", "contention/live/serve: write machine-readable results to this file")
+		jsonOld  = flag.Bool("json-legacy", false, "with -json: write the live results in the pre-api/v1 shape")
 		baseline = flag.String("baseline", "", "contention: previous -json output to compute speedups against")
 		analyzeN = flag.Int("analyze-ops", 50000, "analyze: synthetic trace size in top-level calls")
 
 		switchlessOps = flag.Int("switchless-ops", 400, "switchless: transition-bound calls per caller thread")
+		serveSessions = flag.Int("serve-sessions", 0, "serve: concurrent analysis sessions (0 = default 8)")
+		serveOps      = flag.Int("serve-ops", 0, "serve: calls per session trace (0 = default)")
+		serveReqs     = flag.Int("serve-requests", 0, "serve: warm report requests per session in the throughput phase (0 = default)")
 		liveView      = flag.Bool("live", false, "shorthand for -exp live: monitor the SecureKeeper run with streaming snapshots")
 		interval      = flag.Duration("interval", 200*time.Millisecond, "live: wall-clock delay between streamed snapshots")
 	)
@@ -154,10 +159,35 @@ func run() error {
 			}
 			fmt.Println(experiments.RenderLiveRun(view))
 			if *jsonOut != "" {
-				if err := writeJSON(*jsonOut, view); err != nil {
+				if *jsonOld {
+					if err := writeJSON(*jsonOut, view); err != nil {
+						return err
+					}
+				} else if err := writeWireJSON(*jsonOut, liveResultsWire{
+					SchemaVersion: apiv1.Version,
+					DurationNs:    int64(view.Duration),
+					Ticks:         view.Ticks,
+					EventsSeen:    view.EventsSeen,
+					Final:         apiv1.FromSnapshot(&view.Final),
+				}); err != nil {
 					return err
 				}
 				fmt.Printf("live results written to %s\n\n", *jsonOut)
+			}
+		case "serve":
+			res, err := experiments.RunServeBench(*serveSessions, *serveOps, *serveReqs)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderServe(res))
+			if err := checkServe(res); err != nil {
+				return err
+			}
+			if *jsonOut != "" {
+				if err := mergeJSONKey(*jsonOut, "serve", res); err != nil {
+					return err
+				}
+				fmt.Printf("serve results merged into %s\n\n", *jsonOut)
 			}
 		case "contention":
 			rows, err := experiments.RunLoggerContentionMedian(*ops, *repeats)
@@ -231,6 +261,7 @@ func run() error {
 		"transitions", "table2", "fig5", "fig6-sqlite", "fig6-libressl",
 		"fig78", "ws-glamdring", "ablation-lock", "ablation-paging",
 		"ablation-switchless", "switchless", "contention", "live", "analyze",
+		"serve",
 	} {
 		start := time.Now()
 		if err := runOne(name); err != nil {
@@ -263,6 +294,31 @@ func checkSwitchlessLoop(res *experiments.SwitchlessLoopResult) error {
 	}
 	if res.TraceSwless.Served == 0 {
 		return fmt.Errorf("switchless: trace shows no served switchless events — the observability fix regressed")
+	}
+	return nil
+}
+
+// checkServe enforces the always-on service's acceptance criteria: the
+// served report must match the offline analyser exactly, the run must
+// exercise real concurrency, the artifact cache must make warm requests
+// at least 5x faster than cold ones, and an append must invalidate only
+// the tail of the windowed statistics.
+func checkServe(res *experiments.ServeResult) error {
+	if !res.ServedEqualsOffline {
+		return fmt.Errorf("serve: served report diverges from the offline analyser")
+	}
+	if res.Sessions < 8 {
+		return fmt.Errorf("serve: only %d concurrent sessions, want >= 8", res.Sessions)
+	}
+	if res.WarmSpeedup < 5 {
+		return fmt.Errorf("serve: warm/cold speedup %.1fx below the 5x bar", res.WarmSpeedup)
+	}
+	if res.AppendWindowsReused < 1 || res.AppendWindowsComputed < 1 {
+		return fmt.Errorf("serve: append recomputed %d and reused %d windows — incremental invalidation regressed",
+			res.AppendWindowsComputed, res.AppendWindowsReused)
+	}
+	if res.AppendWindowsComputed >= res.AppendWindowsTotal {
+		return fmt.Errorf("serve: append recomputed all %d windows — nothing was reused", res.AppendWindowsTotal)
 	}
 	return nil
 }
@@ -351,6 +407,27 @@ func mergeJSONKey(path, key string, v any) error {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// liveResultsWire is the api/v1 form of -exp live -json: run totals
+// plus the final snapshot as the shared LiveSnapshot wire type
+// (-json-legacy keeps the old internal-type shape).
+type liveResultsWire struct {
+	SchemaVersion int                 `json:"schema_version"`
+	DurationNs    int64               `json:"duration_ns"`
+	Ticks         int                 `json:"ticks"`
+	EventsSeen    int64               `json:"events_seen"`
+	Final         *apiv1.LiveSnapshot `json:"final"`
+}
+
+// writeWireJSON writes an api/v1 document in the canonical
+// serialisation.
+func writeWireJSON(path string, v any) error {
+	data, err := apiv1.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func writeJSON(path string, v any) error {

@@ -17,6 +17,10 @@
 //	sgx-perf-lint -edl enclave.edl -json
 //	sgx-perf-lint -workload securekeeper -switchless-config > switchless.json
 //
+// -json emits the report as an api/v1 wire document (the schema shared
+// with sgx-perf-serve's /v1/traces/{id}/lint endpoint); -json-legacy
+// keeps the pre-api/v1 shape for older consumers.
+//
 // -switchless-config turns the Transition-Bound Calls findings into the
 // machine-readable configuration sgxperf.WithSwitchless consumes,
 // closing the lint → config → re-measure loop from the command line.
@@ -29,6 +33,7 @@ import (
 	"strings"
 
 	"sgxperf"
+	apiv1 "sgxperf/api/v1"
 	"sgxperf/internal/edl"
 	"sgxperf/internal/workloads/contend"
 	"sgxperf/internal/workloads/keeper"
@@ -55,7 +60,8 @@ func run() error {
 		workload  = flag.String("workload", "", "lint a bundled workload's interface (securekeeper, sqlite, contend)")
 		edlPath   = flag.String("edl", "", "lint the interface in this EDL file")
 		tracePath = flag.String("trace", "", "trace file for hybrid mode (rank findings by observed call counts)")
-		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		jsonOut   = flag.Bool("json", false, "emit the report as an api/v1 JSON document")
+		jsonOld   = flag.Bool("json-legacy", false, "emit the report in the pre-api/v1 JSON shape")
 		wideMin   = flag.Int("wide-surface", 0, "public-ecall count that flags a wide surface (0 = default)")
 		srcRoot   = flag.String("source", "", "also run the concurrency dataflow pass over the Go sources under this root")
 		srcDirs   = flag.String("source-dirs", "", "comma-separated root-relative directories limiting the source pass (default: the whole tree)")
@@ -142,14 +148,23 @@ func run() error {
 		report = sgxperf.StaticLint(iface, opts)
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut && *jsonOld:
+		return fmt.Errorf("-json and -json-legacy are mutually exclusive")
+	case *jsonOut:
+		raw, err := apiv1.Marshal(apiv1.FromLintReport(report))
+		if err != nil {
+			return err
+		}
+		fmt.Print(string(raw))
+	case *jsonOld:
 		raw, err := report.MarshalJSON()
 		if err != nil {
 			return err
 		}
 		fmt.Println(string(raw))
-		return nil
+	default:
+		fmt.Print(report.Render())
 	}
-	fmt.Print(report.Render())
 	return nil
 }

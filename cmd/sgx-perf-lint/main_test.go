@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"sgxperf"
+	apiv1 "sgxperf/api/v1"
 	"sgxperf/internal/host"
 	"sgxperf/internal/perf/logger"
 	"sgxperf/internal/workloads/contend"
@@ -33,11 +34,19 @@ func TestGoldenReports(t *testing.T) {
 		text := report.Render()
 		compareGolden(t, name+".txt", []byte(text))
 
+		// The .json goldens pin the -json-legacy shape; the .api.json ones
+		// pin the api/v1 document -json now emits.
 		raw, err := report.MarshalJSON()
 		if err != nil {
 			t.Fatalf("%s json: %v", name, err)
 		}
 		compareGolden(t, name+".json", append(raw, '\n'))
+
+		wire, err := apiv1.Marshal(apiv1.FromLintReport(report))
+		if err != nil {
+			t.Fatalf("%s api json: %v", name, err)
+		}
+		compareGolden(t, name+".api.json", wire)
 	}
 }
 
@@ -100,6 +109,11 @@ func TestGoldenSourceReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	compareGolden(t, "contend_source.json", append(raw, '\n'))
+	wire, err := apiv1.Marshal(apiv1.FromLintReport(report))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "contend_source.api.json", wire)
 }
 
 // TestGoldenHybridReport records one single-threaded contend run (fully
@@ -137,6 +151,11 @@ func TestGoldenHybridReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	compareGolden(t, "contend_hybrid.json", append(raw, '\n'))
+	wire, err := apiv1.Marshal(apiv1.FromLintReport(report))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "contend_hybrid.api.json", wire)
 }
 
 func compareGolden(t *testing.T, name string, got []byte) {

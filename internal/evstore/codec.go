@@ -428,6 +428,7 @@ func (t *Table[T]) readBinary(r *binTableReader) error {
 	t.mu.Lock()
 	t.chunks = nil
 	t.length = 0
+	t.invalidateHashesLocked()
 	t.mu.Unlock()
 
 	// Stream a window of chunks at a time: sequential reads, parallel

@@ -52,6 +52,12 @@ type Table[T any] struct {
 	// the write lock, so notification needs no extra synchronisation and a
 	// table with no subscribers pays only a nil-slice check.
 	subs []*subscriber[T]
+
+	// hashed caches ChunkHashes results for full (immutable) chunks;
+	// hashGen invalidates the cache on the rewrite paths (Replace, Reset,
+	// load). Both guarded by mu.
+	hashed  []uint64
+	hashGen uint64
 }
 
 // subscriber is one registered insert tap. The indirection lets cancel
@@ -324,6 +330,7 @@ func (t *Table[T]) Replace(rows []T) {
 	defer t.mu.Unlock()
 	t.chunks = nil
 	t.length = 0
+	t.invalidateHashesLocked()
 	t.appendLocked(rows)
 }
 
@@ -348,6 +355,7 @@ func (t *Table[T]) Reset() {
 	defer t.mu.Unlock()
 	t.chunks = nil
 	t.length = 0
+	t.invalidateHashesLocked()
 }
 
 // table is the untyped view the DB uses for serialisation.
@@ -377,6 +385,7 @@ func (t *Table[T]) decodeRows(dec *gob.Decoder) error {
 	defer t.mu.Unlock()
 	t.chunks = nil
 	t.length = 0
+	t.invalidateHashesLocked()
 	t.appendLocked(rows)
 	return nil
 }

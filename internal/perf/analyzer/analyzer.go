@@ -7,6 +7,7 @@
 package analyzer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -301,30 +302,57 @@ func (a *Analyzer) kindOf(name string) events.CallKind {
 // pipeline's on any trace (see parallel.go for the determinism
 // argument).
 func (a *Analyzer) Analyze() *Report {
-	if a.opts.Serial {
-		return a.analyzeSerial()
+	r, _ := a.AnalyzeContext(context.Background())
+	return r
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation: long
+// analyses stop claiming new work once ctx is done and the call returns
+// ctx.Err() with a nil report. Cancellation is observed between
+// kernels and between pool partitions, never mid-partition, so an
+// uncancelled AnalyzeContext produces exactly Analyze's report — the
+// deterministic-merge guarantee is unchanged.
+func (a *Analyzer) AnalyzeContext(ctx context.Context) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return a.analyzeParallel()
+	var r *Report
+	if a.opts.Serial {
+		r = a.analyzeSerial(ctx)
+	} else {
+		r = a.analyzeParallel(ctx)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // analyzeSerial is the single-threaded reference pipeline: each kernel
 // runs to completion before the next starts, in a fixed order.
-func (a *Analyzer) analyzeSerial() *Report {
-	r := &Report{
-		Workload:   a.workload(),
-		Stats:      a.AllStats(),
-		Graph:      a.CallGraph(),
-		Paging:     a.PagingSummary(),
-		WakeGraph:  a.WakeGraph(),
-		Switchless: a.SwitchlessSummary(),
+// Cancellation is checked between kernels.
+func (a *Analyzer) analyzeSerial(ctx context.Context) *Report {
+	r := &Report{Workload: a.workload()}
+	steps := []func(){
+		func() { r.Stats = a.AllStats() },
+		func() { r.Graph = a.CallGraph() },
+		func() { r.Paging = a.PagingSummary() },
+		func() { r.WakeGraph = a.WakeGraph() },
+		func() { r.Switchless = a.SwitchlessSummary() },
+		func() { r.Findings = append(r.Findings, a.DetectMoving()...) },
+		func() { r.Findings = append(r.Findings, a.DetectReordering()...) },
+		func() { r.Findings = append(r.Findings, a.DetectMerging()...) },
+		func() { r.Findings = append(r.Findings, a.DetectSSC()...) },
+		func() { r.Findings = append(r.Findings, a.DetectPaging()...) },
+		func() { SortFindings(r.Findings) },
+		func() { r.Security = a.SecurityHints() },
 	}
-	r.Findings = append(r.Findings, a.DetectMoving()...)
-	r.Findings = append(r.Findings, a.DetectReordering()...)
-	r.Findings = append(r.Findings, a.DetectMerging()...)
-	r.Findings = append(r.Findings, a.DetectSSC()...)
-	r.Findings = append(r.Findings, a.DetectPaging()...)
-	SortFindings(r.Findings)
-	r.Security = a.SecurityHints()
+	for _, step := range steps {
+		if ctx.Err() != nil {
+			return nil
+		}
+		step()
+	}
 	return r
 }
 

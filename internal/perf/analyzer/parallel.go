@@ -29,6 +29,7 @@ package analyzer
 // contains the event", so the counts agree.
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -51,8 +52,10 @@ type nameResult struct {
 }
 
 // analyzeParallel produces the full report with every kernel running
-// concurrently on the shared pool.
-func (a *Analyzer) analyzeParallel() *Report {
+// concurrently on the shared pool. Cancellation is observed between
+// kernels and between per-name partitions: a cancelled run returns nil
+// instead of assembling a partial report.
+func (a *Analyzer) analyzeParallel(ctx context.Context) *Report {
 	var (
 		res      = make([]nameResult, len(a.perNames))
 		graph    *CallGraph
@@ -62,19 +65,29 @@ func (a *Analyzer) analyzeParallel() *Report {
 		sscF     []Finding
 		security []SecurityHint
 	)
+	live := func(f func()) func() {
+		return func() {
+			if ctx.Err() == nil {
+				f()
+			}
+		}
+	}
 	pool.Do(
-		func() { graph = a.CallGraph() },
-		func() { paging = a.pagingSummaryIndexed() },
-		func() { wake = a.wakeGraphSharded() },
-		func() { sless = a.switchlessSummarySharded() },
-		func() { sscF = a.DetectSSC() },
-		func() { security = a.SecurityHints() },
+		live(func() { graph = a.CallGraph() }),
+		live(func() { paging = a.pagingSummaryIndexed() }),
+		live(func() { wake = a.wakeGraphSharded() }),
+		live(func() { sless = a.switchlessSummarySharded() }),
+		live(func() { sscF = a.DetectSSC() }),
+		live(func() { security = a.SecurityHints() }),
 		func() {
-			pool.ForEach(len(a.perNames), func(i int) {
+			pool.ForEachCtx(ctx, len(a.perNames), func(i int) {
 				res[i] = a.nameKernels(a.perNames[i])
 			})
 		},
 	)
+	if ctx.Err() != nil {
+		return nil
+	}
 
 	// Deterministic merge, mirroring the serial pipeline's order exactly.
 	r := &Report{

@@ -1,0 +1,55 @@
+package events
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// ChunkHashes returns the per-table chunk content hashes, keyed by table
+// name. The evstore tables are append-only and every chunk but the last
+// is immutable, so after an append only each table's trailing hash can
+// differ — the property the serve daemon's artifact cache keys windows
+// on.
+func (t *Trace) ChunkHashes() map[string][]uint64 {
+	return map[string][]uint64{
+		"meta":       t.Meta.ChunkHashes(),
+		"ecalls":     t.Ecalls.ChunkHashes(),
+		"ocalls":     t.Ocalls.ChunkHashes(),
+		"aexs":       t.AEXs.ChunkHashes(),
+		"paging":     t.Paging.ChunkHashes(),
+		"syncs":      t.Syncs.ChunkHashes(),
+		"threads":    t.Threads.ChunkHashes(),
+		"enclaves":   t.Enclaves.ChunkHashes(),
+		"switchless": t.Switchless.ChunkHashes(),
+	}
+}
+
+// traceTableOrder fixes the fold order of ContentKey: schema
+// registration order, so the key is stable across processes.
+var traceTableOrder = []string{
+	"meta", "ecalls", "ocalls", "aexs", "paging", "syncs", "threads",
+	"enclaves", "switchless",
+}
+
+// ContentKey condenses every table's chunk hashes into one hex string:
+// the content-addressed identity of the trace. Two traces holding equal
+// events have equal keys however the events arrived; appending any
+// event changes the key. The serve daemon uses it to cache full-report
+// artifacts.
+func (t *Trace) ContentKey() string {
+	hashes := t.ChunkHashes()
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, name := range traceTableOrder {
+		h.Write([]byte(name))
+		chunks := hashes[name]
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(chunks)))
+		h.Write(buf[:])
+		for _, c := range chunks {
+			binary.LittleEndian.PutUint64(buf[:], c)
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

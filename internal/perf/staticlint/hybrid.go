@@ -1,6 +1,7 @@
 package staticlint
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -68,6 +69,17 @@ func Static(iface *edl.Interface, opts Options) *Report {
 // does not declare are listed as dynamic-only. The trace must be non-nil;
 // a nil interface falls back to the EDL embedded in the trace.
 func Hybrid(iface *edl.Interface, trace *events.Trace, opts Options) (*Report, error) {
+	return HybridContext(context.Background(), iface, trace, opts)
+}
+
+// HybridContext is Hybrid with cooperative cancellation: the trace scan
+// and the pool-parallel re-rank stop once ctx is done and the call
+// returns ctx.Err() with a nil report. An uncancelled HybridContext
+// produces exactly Hybrid's report.
+func HybridContext(ctx context.Context, iface *edl.Interface, trace *events.Trace, opts Options) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if trace == nil {
 		return nil, fmt.Errorf("staticlint: %w", analyzer.ErrNoTrace)
 	}
@@ -88,7 +100,7 @@ func Hybrid(iface *edl.Interface, trace *events.Trace, opts Options) (*Report, e
 	scan := func(_ int, e events.CallEvent) bool {
 		counts[e.Name]++
 		kinds[e.Name] = e.Kind
-		return true
+		return ctx.Err() == nil
 	}
 	trace.Ecalls.Scan(scan)
 	trace.Ocalls.Scan(scan)
@@ -115,7 +127,7 @@ func Hybrid(iface *edl.Interface, trace *events.Trace, opts Options) (*Report, e
 	// Each finding's re-rank is independent (reads of the shared counts
 	// map, a write to its own slot), so the join runs on the worker pool;
 	// the StaticOnly collection stays serial to preserve its order.
-	pool.ForEach(len(r.Findings), func(i int) {
+	pool.ForEachCtx(ctx, len(r.Findings), func(i int) {
 		f := &r.Findings[i]
 		if f.Call == interfaceWide {
 			f.Observed = total
@@ -159,6 +171,9 @@ func Hybrid(iface *edl.Interface, trace *events.Trace, opts Options) (*Report, e
 			d.Note = "SDK sync ocall, added to every interface at enclave creation"
 		}
 		r.DynamicOnly = append(r.DynamicOnly, d)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return r, nil
 }

@@ -1,0 +1,69 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCtxUncancelled proves an uncancelled ForEachCtx behaves
+// exactly like ForEach: every index processed exactly once, nil error.
+func TestForEachCtxUncancelled(t *testing.T) {
+	const n = 10_000
+	seen := make([]atomic.Int32, n)
+	if err := ForEachCtx(context.Background(), n, func(i int) {
+		seen[i].Add(1)
+	}); err != nil {
+		t.Fatalf("ForEachCtx = %v", err)
+	}
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("index %d processed %d times", i, got)
+		}
+	}
+}
+
+// TestForEachCtxPreCancelled proves a done context runs no work.
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 1000, func(int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d indexes ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+// TestForEachCtxMidRunCancel cancels from inside the first processed
+// index: workers must stop claiming new indexes, so only a small
+// prefix of the range runs (at most one in-flight index per worker).
+func TestForEachCtxMidRunCancel(t *testing.T) {
+	const n = 1 << 20
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, n, func(int) {
+		ran.Add(1)
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Every worker observes the cancellation before its next claim, so
+	// at most Size indexes (the in-flight ones) completed.
+	if got := ran.Load(); got > int64(Size()) {
+		t.Fatalf("%d indexes ran after cancellation (pool size %d)", got, Size())
+	}
+}
+
+// TestForEachCtxZero covers the n<=0 fast path.
+func TestForEachCtxZero(t *testing.T) {
+	if err := ForEachCtx(context.Background(), 0, func(int) {
+		t.Error("fn called for empty range")
+	}); err != nil {
+		t.Fatalf("ForEachCtx(0) = %v", err)
+	}
+}

@@ -17,6 +17,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -97,4 +98,42 @@ func ForEach(n int, fn func(i int)) {
 		tasks[w] = drain
 	}
 	Do(tasks...)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: workers stop
+// claiming new indexes once ctx is done and the call returns ctx.Err().
+// An index that has started always runs to completion — cancellation is
+// observed between indexes, never mid-task — so on a nil return every
+// index was processed exactly once, and on a non-nil return no index is
+// left half-done. The scheduling (atomic-counter work stealing over at
+// most Size workers, inline fallback) is identical to ForEach, and an
+// uncancelled ForEachCtx produces exactly ForEach's effects.
+func ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := Size()
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	drain := func() {
+		for ctx.Err() == nil {
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	if workers <= 1 {
+		drain()
+		return ctx.Err()
+	}
+	tasks := make([]func(), workers)
+	for w := range tasks {
+		tasks[w] = drain
+	}
+	Do(tasks...)
+	return ctx.Err()
 }

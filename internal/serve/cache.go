@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	apiv1 "sgxperf/api/v1"
+)
+
+// defaultCacheCapacity bounds the artifact cache when Options leaves
+// CacheCapacity zero. Entries are whole analysis artifacts (reports,
+// lint reports, stats windows), so a few hundred is plenty for many
+// concurrently served traces.
+const defaultCacheCapacity = 512
+
+// ArtifactCache is the server's content-addressed artifact store: an
+// LRU map from artifact key (derived from trace chunk hashes, see
+// server.go) to the computed artifact, with single-flight coalescing so
+// concurrent requests for the same missing key run one computation and
+// share its result.
+//
+// Artifacts stored here are shared between requests and must be treated
+// as immutable by every reader.
+type ArtifactCache struct {
+	capacity int
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[string]*flight
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// cacheEntry is one resident artifact (the lru list's element value).
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// flight is one in-progress computation; waiters block on done and then
+// read val/err, which are written exactly once before done is closed.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewArtifactCache returns a cache bounded to capacity entries
+// (capacity <= 0 selects the default).
+func NewArtifactCache(capacity int) *ArtifactCache {
+	if capacity <= 0 {
+		capacity = defaultCacheCapacity
+	}
+	return &ArtifactCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// GetOrCompute returns the cached artifact for key, or runs compute,
+// caches its result and returns it. Concurrent callers with the same
+// missing key coalesce onto one compute call. hit reports whether the
+// value came from the cache. Errors are returned to every coalesced
+// caller and are never cached, so a later request retries.
+func (c *ArtifactCache) GetOrCompute(key string, compute func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		<-f.done
+		return f.val, false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	f.val, f.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		el := c.lru.PushFront(&cacheEntry{key: key, val: f.val})
+		c.entries[key] = el
+		for c.lru.Len() > c.capacity {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.evictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// Len returns the number of resident artifacts.
+func (c *ArtifactCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Metrics returns the cache's wire-form counters.
+func (c *ArtifactCache) Metrics() apiv1.CacheMetrics {
+	return apiv1.CacheMetrics{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Entries:   c.Len(),
+		Evictions: c.evictions.Load(),
+	}
+}

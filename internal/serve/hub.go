@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// hub is a per-trace change broadcaster: a monotonic sequence number
+// bumped on every upload/append, and a channel that is closed and
+// replaced on each bump so any number of subscribers (SSE streams,
+// long-polls) can wait for "anything past seq N" without the hub
+// tracking them individually.
+type hub struct {
+	mu      sync.Mutex
+	seq     uint64
+	changed chan struct{}
+}
+
+func newHub() *hub {
+	return &hub{changed: make(chan struct{})}
+}
+
+// bump advances the sequence number and wakes every current waiter.
+func (h *hub) bump() {
+	h.mu.Lock()
+	h.seq++
+	close(h.changed)
+	h.changed = make(chan struct{})
+	h.mu.Unlock()
+}
+
+// current returns the current sequence number.
+func (h *hub) current() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
+}
+
+// wait blocks until the sequence number exceeds after (returning the
+// new value) or ctx is done (returning the last seen value and
+// ctx.Err()).
+func (h *hub) wait(ctx context.Context, after uint64) (uint64, error) {
+	for {
+		h.mu.Lock()
+		seq := h.seq
+		ch := h.changed
+		h.mu.Unlock()
+		if seq > after {
+			return seq, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return seq, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestHubWaitWakesAllSubscribers proves one bump releases every waiter
+// with the new sequence number.
+func TestHubWaitWakesAllSubscribers(t *testing.T) {
+	h := newHub()
+	h.bump() // seq 1
+	const subs = 16
+	var wg sync.WaitGroup
+	got := make([]uint64, subs)
+	for i := 0; i < subs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seq, err := h.wait(context.Background(), 1)
+			if err != nil {
+				t.Errorf("sub %d: %v", i, err)
+			}
+			got[i] = seq
+		}(i)
+	}
+	h.bump() // seq 2
+	wg.Wait()
+	for i, seq := range got {
+		if seq != 2 {
+			t.Errorf("sub %d woke at seq %d, want 2", i, seq)
+		}
+	}
+}
+
+// TestHubWaitPastSeqReturnsImmediately proves a stale cursor does not
+// block.
+func TestHubWaitPastSeqReturnsImmediately(t *testing.T) {
+	h := newHub()
+	h.bump()
+	h.bump()
+	seq, err := h.wait(context.Background(), 0)
+	if err != nil || seq != 2 {
+		t.Fatalf("wait(0) = (%d, %v), want (2, nil)", seq, err)
+	}
+}
+
+// TestHubWaitCancel proves a cancelled waiter unblocks with ctx.Err().
+func TestHubWaitCancel(t *testing.T) {
+	h := newHub()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := h.wait(ctx, 0)
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"sgxperf/internal/evstore"
+	"sgxperf/internal/perf/analyzer"
+	"sgxperf/internal/perf/logger"
+)
+
+// Sentinel errors the serve layer itself produces. Like the rest of the
+// repository's sentinels they are tested with errors.Is; handlers wrap
+// them with request context.
+var (
+	// ErrNotFound reports a trace ID that is not registered.
+	ErrNotFound = errors.New("serve: trace not found")
+	// ErrDuplicate reports an upload under an already-registered ID.
+	ErrDuplicate = errors.New("serve: trace id already registered")
+	// ErrBadRequest reports a malformed request (bad ID, bad query
+	// parameter, unreadable body).
+	ErrBadRequest = errors.New("serve: bad request")
+	// errConcurrentAppend reports that a trace was appended to while an
+	// artifact was being computed against its previous content key; the
+	// computation is discarded and retried against the new key. It only
+	// escapes to a client when the trace is appended to faster than it
+	// can be analysed.
+	errConcurrentAppend = errors.New("serve: trace changed during analysis")
+)
+
+// statusTable is the single place mapping the repository's sentinel
+// errors onto HTTP status codes. Handlers funnel every error through
+// StatusOf, so adding a sentinel here is the whole job of giving it a
+// wire status.
+var statusTable = []struct {
+	err    error
+	status int
+}{
+	{ErrNotFound, http.StatusNotFound},
+	{ErrDuplicate, http.StatusConflict},
+	{ErrBadRequest, http.StatusBadRequest},
+	// An analysis was requested but there is no trace behind it (nil
+	// trace, or a logger detached before its trace was taken): the
+	// request names a resource that cannot be analysed.
+	{analyzer.ErrNoTrace, http.StatusUnprocessableEntity},
+	// The logger backing a session was detached; the resource exists but
+	// is in a conflicting state.
+	{logger.ErrDetached, http.StatusConflict},
+	// The uploaded body is not a valid evstore stream.
+	{evstore.ErrCorrupt, http.StatusBadRequest},
+	{errConcurrentAppend, http.StatusServiceUnavailable},
+	{context.DeadlineExceeded, http.StatusGatewayTimeout},
+	{context.Canceled, http.StatusServiceUnavailable},
+}
+
+// StatusOf resolves an error to its HTTP status code via the sentinel
+// table (using errors.Is, so wrapped sentinels match); unknown errors
+// are internal server errors.
+func StatusOf(err error) int {
+	for _, e := range statusTable {
+		if errors.Is(err, e.err) {
+			return e.status
+		}
+	}
+	return http.StatusInternalServerError
+}

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"sgxperf/internal/evstore"
+	"sgxperf/internal/perf/analyzer"
+	"sgxperf/internal/perf/logger"
+)
+
+// TestStatusOf pins the sentinel → HTTP status table, including through
+// wrapping (handlers always wrap sentinels with request context).
+func TestStatusOf(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+	}{
+		{ErrNotFound, http.StatusNotFound},
+		{ErrDuplicate, http.StatusConflict},
+		{ErrBadRequest, http.StatusBadRequest},
+		{analyzer.ErrNoTrace, http.StatusUnprocessableEntity},
+		{logger.ErrDetached, http.StatusConflict},
+		{evstore.ErrCorrupt, http.StatusBadRequest},
+		{errConcurrentAppend, http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, http.StatusServiceUnavailable},
+	}
+	for _, c := range cases {
+		if got := StatusOf(c.err); got != c.status {
+			t.Errorf("StatusOf(%v) = %d, want %d", c.err, got, c.status)
+		}
+		wrapped := fmt.Errorf("handler: %w", fmt.Errorf("inner: %w", c.err))
+		if got := StatusOf(wrapped); got != c.status {
+			t.Errorf("StatusOf(wrapped %v) = %d, want %d", c.err, got, c.status)
+		}
+	}
+	if got := StatusOf(errors.New("mystery")); got != http.StatusInternalServerError {
+		t.Errorf("unknown error = %d, want 500", got)
+	}
+}
+
+// TestSentinelsAreErrorsIsCompatible proves the repo's analysis
+// sentinels survive the session-layer wrapping the serve handlers see.
+func TestSentinelsAreErrorsIsCompatible(t *testing.T) {
+	err := fmt.Errorf("session: %w", fmt.Errorf("analyzer: %w", analyzer.ErrNoTrace))
+	if !errors.Is(err, analyzer.ErrNoTrace) {
+		t.Fatal("wrapped ErrNoTrace lost its identity")
+	}
+	if StatusOf(err) != http.StatusUnprocessableEntity {
+		t.Fatalf("wrapped ErrNoTrace maps to %d", StatusOf(err))
+	}
+}

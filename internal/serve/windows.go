@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sgxperf/internal/evstore"
+	"sgxperf/internal/perf/analyzer"
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/vtime"
+)
+
+// The windowed statistics engine behind GET /v1/traces/{id}/stats.
+//
+// Window i covers chunk i of the ecall table and chunk i of the ocall
+// table. The evstore is append-only and every chunk but the last is
+// full and immutable, so after an append only each table's tail chunk
+// hash changes: every full window's artifact stays valid in the cache
+// and a re-request recomputes nothing but the tail window. The artifact
+// holds the per-call transition-adjusted duration multisets — exactly
+// what analyzer.StatsFromDurations consumes — so the assembled result
+// is reflect.DeepEqual to the full analyser's Report.Stats.
+
+// windowArtifact is the cached intermediate for one chunk window.
+// Cached artifacts are shared between requests: assembly copies the
+// duration slices and never mutates them in place.
+type windowArtifact struct {
+	names []string // sorted
+	calls map[string]*windowCall
+}
+
+// windowCall accumulates one call name within a window.
+type windowCall struct {
+	kind events.CallKind
+	durs []time.Duration
+	aex  int
+}
+
+// chunkAt snapshots chunk i of a table (nil when the table has fewer
+// chunks). The returned slice is the store's own chunk with its length
+// pinned; chunks only ever grow in place, so the snapshot stays valid
+// after the scan.
+func chunkAt[T any](t *evstore.Table[T], i int) []T {
+	var out []T
+	j := 0
+	t.ScanChunks(func(rows []T) bool {
+		if j == i {
+			out = rows
+			return false
+		}
+		j++
+		return true
+	})
+	return out
+}
+
+// hashAt returns the i-th chunk hash and whether the table has an i-th
+// chunk.
+func hashAt(hashes []uint64, i int) (uint64, bool) {
+	if i < 0 || i >= len(hashes) {
+		return 0, false
+	}
+	return hashes[i], true
+}
+
+// windowCacheKey is the artifact-cache key of one window: the content
+// hashes of both chunks plus everything the computation depends on
+// (window index, enclave filter, clock frequency and transition cost).
+// Trace identity is deliberately absent — identical chunks share
+// artifacts across traces.
+func windowCacheKey(i int, eh, oh uint64, ePresent, oPresent bool, enclave sgx.EnclaveID, freq vtime.Frequency, trans vtime.Cycles) string {
+	hx := func(h uint64, present bool) string {
+		if !present {
+			return "-"
+		}
+		return fmt.Sprintf("%016x", h)
+	}
+	return fmt.Sprintf("window|%d|e%s|o%s|n%d|f%g|t%d",
+		i, hx(eh, ePresent), hx(oh, oPresent), enclave, float64(freq), int64(trans))
+}
+
+// computeWindow builds the artifact for window i: per-call duration
+// multisets with the same adjustment the analyser applies in prepare()
+// (ecalls lose the transition round-trip, clamped at zero; ocall
+// timestamps already exclude transitions).
+func computeWindow(tr *events.Trace, i int, enclave sgx.EnclaveID, freq vtime.Frequency, trans vtime.Cycles) *windowArtifact {
+	w := &windowArtifact{calls: make(map[string]*windowCall)}
+	add := func(name string, kind events.CallKind, d time.Duration, aex int) {
+		c, ok := w.calls[name]
+		if !ok {
+			c = &windowCall{kind: kind}
+			w.calls[name] = c
+			w.names = append(w.names, name)
+		}
+		c.durs = append(c.durs, d)
+		c.aex += aex
+	}
+	for _, e := range chunkAt(tr.Ecalls, i) {
+		if enclave != 0 && e.Enclave != enclave {
+			continue
+		}
+		adj := freq.Duration(e.Duration() - trans)
+		if adj < 0 {
+			adj = 0
+		}
+		add(e.Name, e.Kind, adj, e.AEXCount)
+	}
+	for _, o := range chunkAt(tr.Ocalls, i) {
+		if enclave != 0 && o.Enclave != enclave {
+			continue
+		}
+		add(o.Name, o.Kind, freq.Duration(o.Duration()), o.AEXCount)
+	}
+	sort.Strings(w.names)
+	return w
+}
+
+// assembleStats merges window artifacts into the final per-call
+// statistics. Durations are concatenated into fresh slices
+// (StatsFromDurations sorts its input in place and the artifacts are
+// shared), names are visited in sorted order and the result is sorted
+// with the analyser's own comparator — the exact construction
+// AllStats performs, so the two are reflect.DeepEqual.
+func assembleStats(windows []*windowArtifact) []analyzer.CallStats {
+	totals := make(map[string]*windowCall)
+	var names []string
+	for _, w := range windows {
+		for _, name := range w.names {
+			wc := w.calls[name]
+			t, ok := totals[name]
+			if !ok {
+				t = &windowCall{kind: wc.kind}
+				totals[name] = t
+				names = append(names, name)
+			}
+			t.durs = append(t.durs, wc.durs...)
+			t.aex += wc.aex
+		}
+	}
+	sort.Strings(names)
+	out := make([]analyzer.CallStats, 0, len(names))
+	for _, name := range names {
+		t := totals[name]
+		if s, ok := analyzer.StatsFromDurations(name, t.kind, t.durs, t.aex); ok {
+			out = append(out, s)
+		}
+	}
+	analyzer.SortStats(out)
+	return out
+}

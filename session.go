@@ -1,6 +1,7 @@
 package sgxperf
 
 import (
+	"context"
 	"fmt"
 
 	"sgxperf/internal/edl"
@@ -193,11 +194,24 @@ func (s *Session) Analyze() (*Report, error) {
 // AnalyzeWith is Analyze with explicit analyser options — detector
 // weights, per-enclave dissection, or the serial reference pipeline.
 func (s *Session) AnalyzeWith(opts AnalyzerOptions) (*Report, error) {
+	return s.AnalyzeContext(context.Background(), opts)
+}
+
+// AnalyzeContext is AnalyzeWith with cooperative cancellation, for
+// callers — server handlers, deadline-bound batch jobs — that may need
+// to abandon a long analysis. Cancellation is observed between analysis
+// kernels and pool partitions; a cancelled run returns ctx.Err(). An
+// uncancelled AnalyzeContext produces exactly AnalyzeWith's report.
+func (s *Session) AnalyzeContext(ctx context.Context, opts AnalyzerOptions) (*Report, error) {
 	a, err := analyzer.New(s.Logger.Trace(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("session: %w", err)
 	}
-	return a.Analyze(), nil
+	r, err := a.AnalyzeContext(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	return r, nil
 }
 
 // Lint runs the static interface analysis over the session's interface:
@@ -210,7 +224,14 @@ func (s *Session) Lint(opts LintOptions) *LintReport {
 // logger has recorded so far, ranking them by observed call counts and
 // flagging static-only and dynamic-only discrepancies.
 func (s *Session) LintHybrid(opts LintOptions) (*LintReport, error) {
-	r, err := staticlint.Hybrid(s.Interface, s.Logger.Trace(), opts)
+	return s.LintHybridContext(context.Background(), opts)
+}
+
+// LintHybridContext is LintHybrid with cooperative cancellation; a
+// cancelled run returns ctx.Err(). An uncancelled LintHybridContext
+// produces exactly LintHybrid's report.
+func (s *Session) LintHybridContext(ctx context.Context, opts LintOptions) (*LintReport, error) {
+	r, err := staticlint.HybridContext(ctx, s.Interface, s.Logger.Trace(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("session: %w", err)
 	}

@@ -34,6 +34,7 @@
 package sgxperf
 
 import (
+	"context"
 	"fmt"
 
 	"sgxperf/internal/edl"
@@ -287,6 +288,24 @@ func Analyze(t *Trace) (*Report, error) {
 		return nil, err
 	}
 	return a.Analyze(), nil
+}
+
+// AnalyzeWithContext is Analyze with explicit options and cooperative
+// cancellation: long analyses stop between kernels and pool partitions
+// once ctx is done and the call returns ctx.Err(). An uncancelled call
+// produces exactly the report of Analyze / Analyzer.Analyze with the
+// same options.
+func AnalyzeWithContext(ctx context.Context, t *Trace, opts AnalyzerOptions) (*Report, error) {
+	a, err := analyzer.New(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	return a.AnalyzeContext(ctx)
+}
+
+// HybridLintContext is HybridLint with cooperative cancellation.
+func HybridLintContext(ctx context.Context, iface *Interface, t *Trace, opts LintOptions) (*LintReport, error) {
+	return staticlint.HybridContext(ctx, iface, t, opts)
 }
 
 // MustAnalyze is Analyze for contexts where the trace is known-good.
