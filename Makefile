@@ -12,8 +12,10 @@ vet:
 	$(GO) vet ./...
 
 # lint runs go vet plus the repository's own analyzer suite
-# (cmd/sgx-perf-vet): the virtual-clock invariant for simulator packages
-# and the lock-free hot-path invariant for the logger.
+# (cmd/sgx-perf-vet): the virtual-clock and lock-free hot-path
+# invariants, the concurrency dataflow checks (lock order, held-across,
+# atomic mixing) and the interprocedural boundary checks (transition
+# amplification, double fetch, pointer escape).
 lint: vet
 	$(GO) run ./cmd/sgx-perf-vet
 
@@ -24,11 +26,14 @@ lint: vet
 # concurrency-sensitive packages; run their suites under the race
 # detector, together with the simulator layers they drive (machine, SDK
 # runtime, host) — lock-ordering bugs between the logger and the SDK
-# sync primitives only surface when both run raced.
+# sync primitives only surface when both run raced. RACE_PKGS is the one
+# place that list lives; race and verify share it.
+RACE_PKGS = ./internal/perf/... ./internal/evstore/... \
+	./internal/pool/... ./internal/serve/... \
+	./internal/sgx/... ./internal/sdk/... ./internal/host/...
+
 race:
-	$(GO) test -race ./internal/perf/... ./internal/evstore/... \
-		./internal/pool/... ./internal/serve/... \
-		./internal/sgx/... ./internal/sdk/... ./internal/host/...
+	$(GO) test -race $(RACE_PKGS)
 
 # verify is the documented check for this repo: lint (go vet + the
 # custom analyzers) + the tier-1 gate (build + full test suite, see
@@ -36,9 +41,7 @@ race:
 verify: lint
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/perf/... ./internal/evstore/... \
-		./internal/pool/... ./internal/serve/... \
-		./internal/sgx/... ./internal/sdk/... ./internal/host/...
+	$(GO) test -race $(RACE_PKGS)
 
 # Short fuzz smoke over the two parser/codec boundaries that accept
 # untrusted bytes: the columnar trace codec round-trip and the EDL

@@ -1,6 +1,9 @@
 package apiv1
 
 import (
+	"path/filepath"
+
+	"sgxperf/internal/lint"
 	"sgxperf/internal/perf/analyzer"
 	"sgxperf/internal/perf/live"
 	"sgxperf/internal/perf/staticlint"
@@ -90,6 +93,34 @@ func FromLintReport(r *staticlint.Report) *LintReport {
 	for _, d := range r.DynamicOnly {
 		out.DynamicOnly = append(out.DynamicOnly, DynamicOnly{
 			Name: d.Name, Kind: d.Kind.String(), Count: d.Count, Note: d.Note,
+		})
+	}
+	for _, p := range r.Predicted {
+		out.Predicted = append(out.Predicted, EntryPrediction{
+			Ecall: p.Ecall, Handler: p.Handler, Predicted: p.Predicted,
+			LoopUnknown: p.LoopUnknown, Conditional: p.Conditional,
+			Observed: p.Observed, Invocations: p.Invocations, Verdict: p.Verdict,
+		})
+	}
+	return out
+}
+
+// FromDiagnostics converts the repository lint suite's diagnostics to
+// the sgx-perf-vet wire form.
+func FromDiagnostics(root string, analyzers []string, diags []lint.Diagnostic) *VetReport {
+	out := &VetReport{
+		SchemaVersion: Version,
+		Root:          root,
+		Analyzers:     analyzers,
+		Diagnostics:   make([]VetDiagnostic, 0, len(diags)),
+	}
+	for _, d := range diags {
+		out.Diagnostics = append(out.Diagnostics, VetDiagnostic{
+			File:     filepath.ToSlash(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
 		})
 	}
 	return out

@@ -223,6 +223,25 @@ type DynamicOnly struct {
 	Note  string `json:"note,omitempty"`
 }
 
+// EntryPrediction is the interprocedural transition estimate for one
+// ecall entry point: expected ocall dispatches per invocation, joined
+// in hybrid reports with what the trace recorded.
+type EntryPrediction struct {
+	Ecall     string `json:"ecall"`
+	Handler   string `json:"handler"`
+	Predicted int    `json:"predicted"`
+	// LoopUnknown marks a lower bound (a loop trip count the analysis
+	// could not resolve); Conditional marks branch-guarded dispatches.
+	LoopUnknown bool `json:"loop_unknown,omitempty"`
+	Conditional bool `json:"conditional,omitempty"`
+	// Observed is the mean non-sync ocall dispatches per recorded
+	// invocation; Verdict is "agree", "over-predicted",
+	// "under-predicted", "loop-unknown" or "not-executed" (hybrid only).
+	Observed    float64 `json:"observed,omitempty"`
+	Invocations int     `json:"invocations,omitempty"`
+	Verdict     string  `json:"verdict,omitempty"`
+}
+
 // LintReport is the static interface analysis, optionally joined with a
 // recorded trace ("hybrid").
 type LintReport struct {
@@ -233,7 +252,29 @@ type LintReport struct {
 	Findings      []LintFinding `json:"findings"`
 	StaticOnly    []string      `json:"static_only,omitempty"`
 	DynamicOnly   []DynamicOnly `json:"dynamic_only,omitempty"`
-	Warnings      []string      `json:"warnings,omitempty"`
+	// Predicted holds the per-entry transition estimates of
+	// source-aware reports.
+	Predicted []EntryPrediction `json:"predicted,omitempty"`
+	Warnings  []string          `json:"warnings,omitempty"`
+}
+
+// VetDiagnostic is one repository-lint finding from the sgx-perf-vet
+// analyzer suite.
+type VetDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// VetReport is the output of sgx-perf-vet -json: every diagnostic the
+// repository's own analyzer suite produced.
+type VetReport struct {
+	SchemaVersion int             `json:"schema_version"`
+	Root          string          `json:"root"`
+	Analyzers     []string        `json:"analyzers"`
+	Diagnostics   []VetDiagnostic `json:"diagnostics"`
 }
 
 // EpochDecision is one self-tuning switchless scheduler decision.

@@ -35,6 +35,7 @@ import (
 	"sgxperf"
 	apiv1 "sgxperf/api/v1"
 	"sgxperf/internal/edl"
+	"sgxperf/internal/workloads/amplify"
 	"sgxperf/internal/workloads/contend"
 	"sgxperf/internal/workloads/keeper"
 	"sgxperf/internal/workloads/minidb"
@@ -46,6 +47,7 @@ var bundledInterfaces = map[string]func() (*edl.Interface, error){
 	"securekeeper": keeper.Interface,
 	"sqlite":       minidb.Interface,
 	"contend":      contend.Interface,
+	"amplify":      amplify.Interface,
 }
 
 func main() {
@@ -57,7 +59,7 @@ func main() {
 
 func run() error {
 	var (
-		workload  = flag.String("workload", "", "lint a bundled workload's interface (securekeeper, sqlite, contend)")
+		workload  = flag.String("workload", "", "lint a bundled workload's interface (securekeeper, sqlite, contend, amplify)")
 		edlPath   = flag.String("edl", "", "lint the interface in this EDL file")
 		tracePath = flag.String("trace", "", "trace file for hybrid mode (rank findings by observed call counts)")
 		jsonOut   = flag.Bool("json", false, "emit the report as an api/v1 JSON document")

@@ -5,12 +5,14 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"sgxperf"
 	apiv1 "sgxperf/api/v1"
 	"sgxperf/internal/host"
 	"sgxperf/internal/perf/logger"
+	"sgxperf/internal/workloads/amplify"
 	"sgxperf/internal/workloads/contend"
 )
 
@@ -156,6 +158,107 @@ func TestGoldenHybridReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	compareGolden(t, "contend_hybrid.api.json", wire)
+}
+
+// amplifyOpts scope the source pass to the amplify exhibit, the
+// configuration `sgx-perf-lint -workload amplify -source ../..
+// -source-dirs internal/workloads/amplify` uses.
+var amplifyOpts = sgxperf.LintOptions{
+	SourceRoot: "../..",
+	SourceDirs: []string{"internal/workloads/amplify"},
+}
+
+// TestGoldenAmplifySourceReport pins the static report for the
+// chatty-boundary exhibit: the interprocedural pass contributes a
+// Loop-Amplified Transitions finding (8 put-chunk ocalls per flush),
+// two Boundary Data Hazards (the Len double fetch and the table pointer
+// escape), and the per-entry transition predictions.
+func TestGoldenAmplifySourceReport(t *testing.T) {
+	iface, err := amplify.Interface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := sgxperf.StaticLint(iface, amplifyOpts)
+	// The exhibit deliberately declares its table parameter user_check,
+	// so exactly that EDL warning — and nothing from the source pass —
+	// is expected.
+	if len(report.Warnings) != 1 || !strings.Contains(report.Warnings[0], "user_check") {
+		t.Fatalf("source pass warned: %v", report.Warnings)
+	}
+	if !report.HasProblem(sgxperf.ProblemTransitionAmplification) {
+		t.Error("expected a Loop-Amplified Transitions finding")
+	}
+	if !report.HasProblem(sgxperf.ProblemBoundaryDataHazard) {
+		t.Error("expected Boundary Data Hazard findings")
+	}
+	compareGolden(t, "amplify_source.txt", []byte(report.Render()))
+	raw, err := report.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "amplify_source.json", append(raw, '\n'))
+	wire, err := apiv1.Marshal(apiv1.FromLintReport(report))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "amplify_source.api.json", wire)
+}
+
+// TestGoldenAmplifyHybridReport records one single-threaded amplify run
+// (fully deterministic in virtual time) and pins the hybrid report with
+// its predicted-vs-observed section: flush's 8-ocall prediction agrees
+// with the trace exactly, the two single-dispatch handlers agree, and
+// the branch-guarded spill — predicted 1, never executed under the
+// default run — is flagged as over-predicted.
+func TestGoldenAmplifyHybridReport(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := logger.Attach(h, logger.Options{Workload: "amplify"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := h.NewContext("main")
+	w, err := amplify.New(h, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(amplify.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	iface, err := amplify.Interface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sgxperf.HybridLint(iface, l.Trace(), amplifyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := make(map[string]string)
+	for _, p := range report.Predicted {
+		verdicts[p.Ecall] = p.Verdict
+	}
+	want := map[string]string{
+		amplify.EcallFlush:        "agree",
+		amplify.EcallCheckedWrite: "agree",
+		amplify.EcallShare:        "agree",
+		amplify.EcallMaybe:        "over-predicted",
+	}
+	if !reflect.DeepEqual(verdicts, want) {
+		t.Errorf("prediction verdicts = %v, want %v", verdicts, want)
+	}
+	compareGolden(t, "amplify_hybrid.txt", []byte(report.Render()))
+	raw, err := report.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "amplify_hybrid.json", append(raw, '\n'))
+	wire, err := apiv1.Marshal(apiv1.FromLintReport(report))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "amplify_hybrid.api.json", wire)
 }
 
 func compareGolden(t *testing.T, name string, got []byte) {

@@ -22,7 +22,7 @@
 //	POST /v1/traces/{id}/append        append a delta trace stream
 //	GET  /v1/traces/{id}/report        full analyser report (?enclave=N)
 //	GET  /v1/traces/{id}/stats         windowed incremental statistics
-//	GET  /v1/traces/{id}/lint          hybrid lint report (embedded EDL)
+//	GET  /v1/traces/{id}/lint          hybrid lint report (embedded EDL; ?source=1 adds the source passes)
 //	GET  /v1/traces/{id}/snapshot      live snapshot; ?seq=N long-polls for a change
 //	GET  /v1/traces/{id}/live          server-sent-events snapshot stream
 //	GET  /v1/report[?trace=ID]         report alias (sole trace when unambiguous)
@@ -62,14 +62,26 @@ func run() error {
 		cacheCap = flag.Int("cache", 0, "artifact cache capacity in entries (0 = default)")
 		maxMB    = flag.Int64("max-upload-mb", 0, "upload/append body limit in MiB (0 = default 256)")
 		poll     = flag.Duration("poll-timeout", 0, "long-poll wait bound (0 = default 25s)")
+		srcRoot  = flag.String("source-root", "", "enable ?source=1 lint requests: run the source passes over the Go tree at this root")
+		srcDirs  = flag.String("source-dirs", "", "comma-separated root-relative directories limiting the source passes (default: the whole tree)")
 	)
 	flag.Parse()
+	if *srcDirs != "" && *srcRoot == "" {
+		return fmt.Errorf("-source-dirs needs -source-root")
+	}
 
-	s := serve.New(serve.Options{
+	opts := serve.Options{
 		CacheCapacity:  *cacheCap,
 		MaxUploadBytes: *maxMB << 20,
 		PollTimeout:    *poll,
-	})
+		SourceRoot:     *srcRoot,
+	}
+	for _, d := range strings.Split(*srcDirs, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			opts.SourceDirs = append(opts.SourceDirs, d)
+		}
+	}
+	s := serve.New(opts)
 
 	// Positional arguments are trace files to pre-register, each under
 	// its basename (sans extension).

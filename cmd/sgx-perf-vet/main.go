@@ -11,12 +11,12 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	apiv1 "sgxperf/api/v1"
 	"sgxperf/internal/lint"
 )
 
@@ -54,33 +54,24 @@ func run() error {
 }
 
 // vet runs the full suite over the tree at root, writes the diagnostics
-// to w (plain lines, or JSON when jsonOut is set) and returns their
-// count.
+// to w (plain lines, or an api/v1 vet document when jsonOut is set) and
+// returns their count.
 func vet(root string, jsonOut bool, w io.Writer) (int, error) {
-	diags, err := lint.Run(root, lint.Analyzers())
+	analyzers := lint.Analyzers()
+	diags, err := lint.Run(root, analyzers)
 	if err != nil {
 		return 0, err
 	}
 	if jsonOut {
-		type jsonDiag struct {
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Column   int    `json:"column"`
-			Analyzer string `json:"analyzer"`
-			Message  string `json:"message"`
+		names := make([]string, len(analyzers))
+		for i, a := range analyzers {
+			names[i] = a.Name
 		}
-		out := make([]jsonDiag, len(diags))
-		for i, d := range diags {
-			out[i] = jsonDiag{
-				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
-				Analyzer: d.Analyzer, Message: d.Message,
-			}
-		}
-		raw, err := json.MarshalIndent(out, "", "  ")
+		raw, err := apiv1.Marshal(apiv1.FromDiagnostics(root, names, diags))
 		if err != nil {
 			return 0, err
 		}
-		fmt.Fprintln(w, string(raw))
+		fmt.Fprint(w, string(raw))
 	} else {
 		for _, d := range diags {
 			fmt.Fprintln(w, d)

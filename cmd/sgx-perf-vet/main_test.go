@@ -17,9 +17,12 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 // badRepo is a fixture tree seeding exactly one violation per analyzer:
 // a wall-clock read in a simulator package (vclock), a receiver mutex in
 // a //sgxperf:hotpath method (hotpath), an a→b/b→a acquisition inversion
-// (lockorder), a channel send under a held mutex (heldacross), and a
-// field accessed both atomically and plainly (atomicmix). It lives under
-// testdata so the repository's own lint walk skips it.
+// (lockorder), a channel send under a held mutex (heldacross), a field
+// accessed both atomically and plainly (atomicmix), an ocall dispatched
+// inside a loop (transamp), a boundary-buffer value re-read after a
+// crossing (doublefetch), and an enclave pointer passed to an ocall
+// (ptrescape). It lives under testdata so the repository's own lint walk
+// skips it.
 const badRepo = "testdata/badrepo"
 
 // TestGoldenDiagnostics pins sgx-perf-vet's exact output — text and JSON
@@ -31,8 +34,8 @@ func TestGoldenDiagnostics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 5 {
-		t.Errorf("diagnostics = %d, want 5 (one per analyzer):\n%s", n, text.String())
+	if n != 8 {
+		t.Errorf("diagnostics = %d, want 8 (one per analyzer):\n%s", n, text.String())
 	}
 	compareGolden(t, "badrepo.txt", text.Bytes())
 
@@ -51,7 +54,7 @@ func TestEachAnalyzerFires(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := text.String()
-	for _, a := range []string{"vclock", "hotpath", "lockorder", "heldacross", "atomicmix"} {
+	for _, a := range []string{"vclock", "hotpath", "lockorder", "heldacross", "atomicmix", "transamp", "doublefetch", "ptrescape"} {
 		if got := strings.Count(out, ": "+a+": "); got != 1 {
 			t.Errorf("analyzer %s fired %d times, want 1:\n%s", a, got, out)
 		}

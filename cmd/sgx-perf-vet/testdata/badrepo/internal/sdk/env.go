@@ -1,0 +1,11 @@
+// env.go stubs the dispatch surface the interprocedural analyzers
+// classify by name: fixture handlers call Env.Ocall exactly like real
+// enclave code calls the sgxperf SDK, so transamp, doublefetch and
+// ptrescape exercise their production code paths over this tree.
+package sdk
+
+// Env is the trusted runtime handle handlers receive.
+type Env struct{}
+
+// Ocall dispatches an ocall by name.
+func (e *Env) Ocall(name string, args any) (any, error) { return nil, nil }

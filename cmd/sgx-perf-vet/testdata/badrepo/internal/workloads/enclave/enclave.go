@@ -1,0 +1,53 @@
+// Package enclave seeds one violation for each interprocedural
+// analyzer: a loop-amplified ocall (transamp), a boundary-buffer value
+// re-read after a crossing (doublefetch), and an enclave pointer handed
+// to the untrusted side (ptrescape).
+package enclave
+
+import "lintfixture/internal/sdk"
+
+// req is the boundary argument shape handlers downcast to.
+type req struct {
+	Len  int
+	Data string
+}
+
+type handler struct {
+	table   [4]uint64
+	written int
+}
+
+// flushAll dispatches once per chunk instead of batching — the transamp
+// seed.
+func (h *handler) flushAll(env *sdk.Env) error {
+	for i := 0; i < 8; i++ {
+		if _, err := env.Ocall("ocall_put_chunk", i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handlePut validates the length, crosses the boundary, then trusts the
+// shared buffer again — the doublefetch seed.
+func (h *handler) handlePut(env *sdk.Env, args any) (any, error) {
+	a, ok := args.(*req)
+	if !ok {
+		return nil, nil
+	}
+	if a.Len > 64 {
+		return nil, nil
+	}
+	if _, err := env.Ocall("ocall_append_log", a.Data); err != nil {
+		return nil, err
+	}
+	h.written += a.Len
+	return nil, nil
+}
+
+// share hands the untrusted side the address of enclave state — the
+// ptrescape seed.
+func (h *handler) share(env *sdk.Env) error {
+	_, err := env.Ocall("ocall_register_table", &h.table)
+	return err
+}

@@ -204,10 +204,11 @@ func ExampleRunWorkload() {
 }
 
 // ExampleCatalogue prints the problem classes: Table 1's six plus the
-// four the static analysers add (reentrancy, boundary copies,
-// transition-bound calls, locks held across the boundary).
+// six the static analysers add (reentrancy, boundary copies,
+// transition-bound calls, locks held across the boundary,
+// loop-amplified transitions, boundary data hazards).
 func ExampleCatalogue() {
 	fmt.Println("problem classes:", len(sgxperf.Catalogue()))
 	// Output:
-	// problem classes: 10
+	// problem classes: 12
 }

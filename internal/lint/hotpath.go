@@ -49,6 +49,12 @@ var HotPathLocks = &Analyzer{
 		"internal/kernel",
 		"internal/vtime",
 		"internal/workloads",
+		// The serve daemon's artifact computations and the wire codecs
+		// run per-request on the worker pool; annotations are optional
+		// here too, but a //sgxperf:hotpath method that appears must stay
+		// lock-free.
+		"internal/serve",
+		"api/v1",
 	},
 	Run: runHotPathLocks,
 }

@@ -3,7 +3,7 @@
 // (Analyzer → Pass → Diagnostic) on the standard library's go/ast,
 // go/parser and go/types alone, so the tree stays dependency-free.
 //
-// Five invariants matter enough to machine-check here:
+// Eight invariants matter enough to machine-check here:
 //
 //   - the simulator runs on virtual time, so wall-clock reads in
 //     simulator packages are bugs even when tests pass (see VirtualClock);
@@ -18,14 +18,25 @@
 //     blocked holder stalls every contender, the exact shape the paper
 //     prices as sleep ocalls in §2.3.2/§3.4 (see HeldAcross);
 //   - a field is either atomic or lock-guarded, never both (see
-//     AtomicMix).
+//     AtomicMix);
+//   - no ocall dispatch inside a loop, directly or through a callee
+//     that transitively dispatches — transitions multiply by the trip
+//     count, the amplification §6 fixes by batching (see TransAmp);
+//   - an ecall handler reads each boundary-buffer expression on one
+//     side of an ocall crossing only — a re-read after the crossing is
+//     the §3.6 TOCTOU shape (see DoubleFetchCheck);
+//   - no enclave pointer escapes through an ocall argument (see
+//     PtrEscapeCheck).
 //
-// The last three run on a typed intraprocedural dataflow engine
-// (dataflow.go) that tracks lock-held sets through control flow and
-// summarises which functions transitively block. Findings are
-// suppressible site-by-site with a justified //sgxperf:allow(name)
-// annotation (see typecheck.go); lock-order edges with an intentional
-// hierarchy carry //sgxperf:lockorder instead.
+// The lockorder/heldacross/atomicmix trio runs on a typed
+// intraprocedural dataflow engine (dataflow.go) that tracks lock-held
+// sets through control flow and summarises which functions transitively
+// block; the last three run on the interprocedural call-graph layer
+// above it (interproc.go), whose per-function summaries also power the
+// staticlint transition predictor. Findings are suppressible
+// site-by-site with a justified //sgxperf:allow(name) annotation (see
+// typecheck.go); lock-order edges with an intentional hierarchy carry
+// //sgxperf:lockorder instead.
 //
 // The cmd/sgx-perf-vet driver runs every analyzer over the tree; `make
 // verify` runs the driver.
@@ -44,7 +55,10 @@ import (
 
 // Analyzers returns the full analyzer suite in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{VirtualClock, HotPathLocks, LockOrder, HeldAcross, AtomicMix}
+	return []*Analyzer{
+		VirtualClock, HotPathLocks, LockOrder, HeldAcross, AtomicMix,
+		TransAmp, DoubleFetchCheck, PtrEscapeCheck,
+	}
 }
 
 // An Analyzer describes one invariant check.

@@ -245,9 +245,19 @@ func TestRunAbortsOnParseError(t *testing.T) {
 
 // TestRepositoryIsClean runs the full analyzer suite over this repository:
 // the invariants the analyzers encode must hold on the tree that ships
-// them.
+// them. The roster is pinned first, so a silently dropped analyzer can
+// never make this test pass vacuously.
 func TestRepositoryIsClean(t *testing.T) {
-	diags, err := Run("../..", Analyzers())
+	want := []string{"vclock", "hotpath", "lockorder", "heldacross", "atomicmix", "transamp", "doublefetch", "ptrescape"}
+	suite := Analyzers()
+	var names []string
+	for _, a := range suite {
+		names = append(names, a.Name)
+	}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Fatalf("analyzer suite = %v, want %v", names, want)
+	}
+	diags, err := Run("../..", suite)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,6 +46,13 @@ var VirtualClock = &Analyzer{
 		// Bundled workloads execute inside the simulator; a wall-clock
 		// read there would leak host scheduling into recorded traces.
 		"internal/workloads",
+		// The serve daemon replays and re-analyses recorded virtual-time
+		// traces; wall-clock reads belong to its HTTP plumbing (timeouts,
+		// pollers) which lives behind time.Duration options, not in the
+		// artifact computations this scope guards. The wire layer is pure
+		// serialisation and may not observe time at all.
+		"internal/serve",
+		"api/v1",
 	},
 	Run: runVirtualClock,
 }

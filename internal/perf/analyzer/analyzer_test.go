@@ -731,6 +731,10 @@ func TestCatalogueMatchesTable1(t *testing.T) {
 		},
 		ProblemTransitionBound: {SolutionSwitchless, SolutionBatch, SolutionDuplicate},
 		ProblemBoundarySync:    {SolutionReorder, SolutionHybridLock, SolutionLockFree},
+		ProblemTransitionAmplification: {
+			SolutionBatch, SolutionSwitchless, SolutionMoveCaller,
+		},
+		ProblemBoundaryDataHazard: {SolutionCheckPointers, SolutionReduceCopies},
 	}
 	if len(cat) != len(want) {
 		t.Fatalf("catalogue has %d problems, want %d", len(cat), len(want))

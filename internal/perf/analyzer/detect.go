@@ -48,6 +48,18 @@ const (
 	// longer bounded by the work inside it. Found statically by the
 	// concurrency dataflow analysis over the workload sources.
 	ProblemBoundarySync
+	// ProblemTransitionAmplification flags an ocall dispatch reached
+	// inside a loop — directly or through a callee that transitively
+	// dispatches — so the per-transition round trip (§3.1) multiplies by
+	// the loop trip count. Found statically by the interprocedural
+	// call-graph analysis; the fix is §6's: batch the buffer, cross once.
+	ProblemTransitionAmplification
+	// ProblemBoundaryDataHazard flags untrusted-shared data misuse at
+	// the boundary (§3.6): an ecall handler re-reading a boundary-buffer
+	// expression after an ocall crossing (TOCTOU double fetch), or an
+	// enclave pointer escaping through an ocall argument. Found
+	// statically by the interprocedural call-graph analysis.
+	ProblemBoundaryDataHazard
 )
 
 // String names the problem as in the paper.
@@ -73,6 +85,10 @@ func (p Problem) String() string {
 		return "Transition-Bound Calls"
 	case ProblemBoundarySync:
 		return "Lock Held Across Enclave Boundary"
+	case ProblemTransitionAmplification:
+		return "Loop-Amplified Transitions"
+	case ProblemBoundaryDataHazard:
+		return "Boundary Data Hazard"
 	default:
 		return "Unknown"
 	}
@@ -177,6 +193,10 @@ func Catalogue() map[Problem][]Solution {
 		},
 		ProblemTransitionBound: {SolutionSwitchless, SolutionBatch, SolutionDuplicate},
 		ProblemBoundarySync:    {SolutionReorder, SolutionHybridLock, SolutionLockFree},
+		ProblemTransitionAmplification: {
+			SolutionBatch, SolutionSwitchless, SolutionMoveCaller,
+		},
+		ProblemBoundaryDataHazard: {SolutionCheckPointers, SolutionReduceCopies},
 	}
 }
 

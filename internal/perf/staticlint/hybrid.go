@@ -50,6 +50,12 @@ func Static(iface *edl.Interface, opts Options) *Report {
 			r.Warnings = append(r.Warnings, err.Error())
 		}
 		findings = append(findings, src...)
+		inter, preds, err := analyzeInterproc(opts.SourceRoot, opts.SourceDirs, opts)
+		if err != nil {
+			r.Warnings = append(r.Warnings, err.Error())
+		}
+		findings = append(findings, inter...)
+		r.Predicted = preds
 		analyzer.SortFindings(findings)
 	}
 	for _, f := range findings {
@@ -172,6 +178,10 @@ func HybridContext(ctx context.Context, iface *edl.Interface, trace *events.Trac
 		}
 		r.DynamicOnly = append(r.DynamicOnly, d)
 	}
+	// Predicted vs observed: the static per-entry transition estimates
+	// against what the trace actually recorded (§6's validation loop).
+	joinPredictions(r.Predicted, trace)
+
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -80,6 +80,10 @@ type Report struct {
 	// DynamicOnly lists calls the trace observed that the interface does
 	// not declare (hybrid reports only).
 	DynamicOnly []DynamicOnly
+	// Predicted holds the interprocedural per-entry transition
+	// estimates (source-aware reports only); hybrid reports fill the
+	// observed side and the verdict.
+	Predicted []Prediction
 	// Warnings are the interface's own Validate warnings.
 	Warnings []string
 }
@@ -155,6 +159,27 @@ func (r *Report) Render() string {
 		}
 		b.WriteByte('\n')
 	}
+	for i, p := range r.Predicted {
+		if i == 0 {
+			b.WriteString("\npredicted transitions per entry point (ocall dispatches per invocation):\n")
+		}
+		fmt.Fprintf(&b, "    %s (%s): predicted %d", p.Ecall, p.Handler, p.Predicted)
+		if p.LoopUnknown {
+			b.WriteString(" (lower bound: loop trip unknown)")
+		}
+		if p.Conditional {
+			b.WriteString(" (includes branch-guarded dispatches)")
+		}
+		if r.Source == SourceHybrid {
+			if p.Verdict == "not-executed" {
+				b.WriteString(" — not executed")
+			} else {
+				fmt.Fprintf(&b, " — observed %.2f over %d invocation%s: %s",
+					p.Observed, p.Invocations, plural(p.Invocations), p.Verdict)
+			}
+		}
+		b.WriteByte('\n')
+	}
 	for i, w := range r.Warnings {
 		if i == 0 {
 			b.WriteString("\ninterface warnings:\n")
@@ -185,6 +210,17 @@ type jsonDynamicOnly struct {
 	Note  string `json:"note,omitempty"`
 }
 
+type jsonPrediction struct {
+	Ecall       string  `json:"ecall"`
+	Handler     string  `json:"handler"`
+	Predicted   int     `json:"predicted"`
+	LoopUnknown bool    `json:"loop_unknown,omitempty"`
+	Conditional bool    `json:"conditional,omitempty"`
+	Observed    float64 `json:"observed,omitempty"`
+	Invocations int     `json:"invocations,omitempty"`
+	Verdict     string  `json:"verdict,omitempty"`
+}
+
 type jsonReport struct {
 	Workload    string            `json:"workload,omitempty"`
 	Source      string            `json:"source"`
@@ -192,6 +228,7 @@ type jsonReport struct {
 	Findings    []jsonFinding     `json:"findings"`
 	StaticOnly  []string          `json:"static_only,omitempty"`
 	DynamicOnly []jsonDynamicOnly `json:"dynamic_only,omitempty"`
+	Predicted   []jsonPrediction  `json:"predicted,omitempty"`
 	Warnings    []string          `json:"warnings,omitempty"`
 }
 
@@ -225,6 +262,13 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 	for _, d := range r.DynamicOnly {
 		out.DynamicOnly = append(out.DynamicOnly, jsonDynamicOnly{
 			Name: d.Name, Kind: d.Kind.String(), Count: d.Count, Note: d.Note,
+		})
+	}
+	for _, p := range r.Predicted {
+		out.Predicted = append(out.Predicted, jsonPrediction{
+			Ecall: p.Ecall, Handler: p.Handler, Predicted: p.Predicted,
+			LoopUnknown: p.LoopUnknown, Conditional: p.Conditional,
+			Observed: p.Observed, Invocations: p.Invocations, Verdict: p.Verdict,
 		})
 	}
 	out.Warnings = r.Warnings

@@ -63,6 +63,7 @@ func (m *Mutex) Lock(env *Env) error {
 		m.waiters = append(m.waiters, self)
 		m.mu.Unlock()
 		// Sleep outside the enclave (the first of the two transitions).
+		//sgxperf:allow(transamp) sleep-retry loop: exactly one wait ocall per park/wake round, the §3.4 shape itself, not amplification
 		if _, err := env.Ocall(OcallThreadWait, WaitEventArgs{Self: self}); err != nil {
 			return fmt.Errorf("sdk: mutex sleep: %w", err)
 		}

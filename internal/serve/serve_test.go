@@ -364,6 +364,52 @@ func TestLintEndpoint(t *testing.T) {
 	}
 }
 
+// TestSourceLintEndpoint proves ?source=1 runs the source passes under
+// the daemon's configured root: the report gains per-entry transition
+// predictions (every entry "not-executed" — the synthetic trace has
+// none of the exhibit's ecalls) and caches separately from the plain
+// lint artifact.
+func TestSourceLintEndpoint(t *testing.T) {
+	s := New(Options{
+		SourceRoot: "../..",
+		SourceDirs: []string{"internal/workloads/amplify"},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	upload(t, ts, "l", synthTrace(t, 100))
+
+	status, raw := doReq(t, "GET", ts.URL+"/v1/traces/l/lint?source=1", nil)
+	if status != http.StatusOK {
+		t.Fatalf("source lint: status %d: %s", status, raw)
+	}
+	var doc apiv1.LintReport
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Predicted) == 0 {
+		t.Fatal("source lint: no per-entry predictions; the source pass did not run")
+	}
+	for _, p := range doc.Predicted {
+		if p.Verdict != "not-executed" {
+			t.Errorf("entry %s: verdict %q, want not-executed (trace has no such ecall)", p.Ecall, p.Verdict)
+		}
+	}
+
+	// The plain variant must come from its own cache slot, without the
+	// source pass's predictions.
+	status, raw = doReq(t, "GET", ts.URL+"/v1/traces/l/lint", nil)
+	if status != http.StatusOK {
+		t.Fatalf("plain lint: status %d: %s", status, raw)
+	}
+	var plain apiv1.LintReport
+	if err := json.Unmarshal(raw, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Predicted) != 0 {
+		t.Fatalf("plain lint gained predictions %v; the source artifact leaked across cache keys", plain.Predicted)
+	}
+}
+
 // TestErrorStatuses drives each sentinel through the HTTP surface.
 func TestErrorStatuses(t *testing.T) {
 	_, ts := newTestServer(t)
@@ -384,6 +430,8 @@ func TestErrorStatuses(t *testing.T) {
 		{"bad enclave param", "GET", "/v1/traces/dup/report?enclave=x", nil, http.StatusBadRequest},
 		{"append to unknown", "POST", "/v1/traces/nope/append", traceBytes(t, synthTrace(t, 5)), http.StatusNotFound},
 		{"report alias ambiguous", "GET", "/v1/report?trace=ghost", nil, http.StatusNotFound},
+		{"source lint unconfigured", "GET", "/v1/traces/dup/lint?source=1", nil, http.StatusUnprocessableEntity},
+		{"bad source param", "GET", "/v1/traces/dup/lint?source=x", nil, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		status, raw := doReq(t, c.method, ts.URL+c.path, c.body)

@@ -40,6 +40,15 @@ type Options struct {
 	// PollTimeout bounds how long a long-poll waits for a change before
 	// answering with the unchanged snapshot (0 = 25s).
 	PollTimeout time.Duration
+	// SourceRoot, when set, enables the source-aware lint path
+	// (?source=1 on /v1/traces/{id}/lint): the interprocedural and
+	// concurrency dataflow passes run over the Go tree at this root and
+	// their findings — plus the per-entry transition predictions — join
+	// the interface report.
+	SourceRoot string
+	// SourceDirs limits the source passes to these root-relative
+	// directories (empty = the whole tree).
+	SourceDirs []string
 }
 
 // maxArtifactAttempts bounds the optimistic-concurrency retry loop: an
@@ -212,13 +221,22 @@ func (s *Server) reportArtifact(ctx context.Context, e *traceEntry, enclave sgx.
 
 // lintArtifact returns the trace's hybrid lint report (static findings
 // from the EDL embedded in the trace, re-ranked by observed traffic),
-// cached by content key like reportArtifact.
-func (s *Server) lintArtifact(ctx context.Context, e *traceEntry) (*apiv1.LintReport, bool, error) {
-	keyOf := func() string { return "lint|" + e.trace.ContentKey() }
+// cached by content key like reportArtifact. With src set the source
+// passes join in under the server's configured root; the artifact is
+// cached under its own key so the two variants never collide.
+func (s *Server) lintArtifact(ctx context.Context, e *traceEntry, src bool) (*apiv1.LintReport, bool, error) {
+	prefix := "lint|"
+	var opts staticlint.Options
+	if src {
+		prefix = "lint+src|"
+		opts.SourceRoot = s.opts.SourceRoot
+		opts.SourceDirs = s.opts.SourceDirs
+	}
+	keyOf := func() string { return prefix + e.trace.ContentKey() }
 	for attempt := 0; ; attempt++ {
 		key := keyOf()
 		v, hit, err := s.cache.GetOrCompute(key, func() (any, error) {
-			rep, err := staticlint.HybridContext(ctx, nil, e.trace, staticlint.Options{})
+			rep, err := staticlint.HybridContext(ctx, nil, e.trace, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -520,13 +538,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeDoc(w, http.StatusOK, doc)
 }
 
+// handleLint serves the hybrid lint report. ?source=1 asks for the
+// source-aware variant; it is answerable only when the daemon was
+// started with a source root.
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	e, err := s.lookup(r)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	rep, _, err := s.lintArtifact(r.Context(), e)
+	src, err := uintParam(r, "source")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if src != 0 && s.opts.SourceRoot == "" {
+		writeError(w, fmt.Errorf("%w: pass -source-root when starting the daemon", ErrNoSource))
+		return
+	}
+	rep, _, err := s.lintArtifact(r.Context(), e, src != 0)
 	if err != nil {
 		writeError(w, err)
 		return

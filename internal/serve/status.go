@@ -21,6 +21,10 @@ var (
 	// ErrBadRequest reports a malformed request (bad ID, bad query
 	// parameter, unreadable body).
 	ErrBadRequest = errors.New("serve: bad request")
+	// ErrNoSource reports a ?source=1 lint request against a daemon that
+	// was started without a source root: the variant exists but this
+	// deployment cannot compute it.
+	ErrNoSource = errors.New("serve: source analysis not configured")
 	// errConcurrentAppend reports that a trace was appended to while an
 	// artifact was being computed against its previous content key; the
 	// computation is discarded and retried against the new key. It only
@@ -44,6 +48,10 @@ var statusTable = []struct {
 	// trace, or a logger detached before its trace was taken): the
 	// request names a resource that cannot be analysed.
 	{analyzer.ErrNoTrace, http.StatusUnprocessableEntity},
+	// The source-aware lint variant was requested but the daemon has no
+	// source root: the resource exists, the representation cannot be
+	// produced.
+	{ErrNoSource, http.StatusUnprocessableEntity},
 	// The logger backing a session was detached; the resource exists but
 	// is in a conflicting state.
 	{logger.ErrDetached, http.StatusConflict},

@@ -1,0 +1,360 @@
+// Package amplify is a deliberately chatty-boundary workload: a small
+// storage enclave that commits, in one interface, the three sins the
+// interprocedural analysis exists to catch. Its flush ecall dispatches
+// one ocall per chunk inside a counted loop (transition amplification —
+// the §3.1 round trip × 8 per invocation that §6 fixes by batching);
+// its checked-write ecall validates a boundary-buffer length, crosses
+// the boundary, and trusts the same field again (the §3.6 TOCTOU double
+// fetch); and its share ecall hands the address of its in-enclave table
+// to the untrusted side through an ocall argument (a pointer escape).
+// A fourth, branch-guarded spill ocall never fires under the default
+// run, so the hybrid predicted-vs-observed section has one deliberate
+// over-prediction to flag. Every sin is annotated for the repository
+// lint (the exhibit is intentional) but the staticlint source pass
+// ignores suppressions and keeps pricing them, which is the point.
+package amplify
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/workloads"
+)
+
+// The enclave interface: four ecalls, each exhibiting one boundary
+// shape, and the ocalls they dispatch.
+const (
+	EcallFlush        = "sgx_ecall_flush"
+	EcallCheckedWrite = "sgx_ecall_checked_write"
+	EcallShare        = "sgx_ecall_share_table"
+	EcallMaybe        = "sgx_ecall_maybe_spill"
+	OcallPutChunk     = "ocall_put_chunk"
+	OcallLog          = "ocall_append_log"
+	OcallRegister     = "ocall_register_table"
+	OcallSpill        = "ocall_spill"
+)
+
+// chunksPerFlush is the static amplification factor: the flush loop
+// dispatches exactly this many put-chunk ocalls per invocation, which
+// is what the interprocedural prediction must report.
+const chunksPerFlush = 8
+
+// maxWrite bounds the checked write's declared length; spillThreshold
+// is the branch guard the default run never exceeds.
+const (
+	maxWrite       = 64
+	spillThreshold = 1 << 10
+)
+
+// In-enclave work costs (virtual time).
+const (
+	costChunkPrep  = 400 * time.Nanosecond
+	costWriteCheck = 250 * time.Nanosecond
+	costShare      = 300 * time.Nanosecond
+	// Untrusted-side costs of the ocall implementations.
+	costChunkStore = 1500 * time.Nanosecond
+	costLogAppend  = 600 * time.Nanosecond
+)
+
+// writeInput is the argument of EcallCheckedWrite: the boundary buffer
+// whose Len field the handler double-fetches.
+type writeInput struct {
+	Len  int
+	Data string
+}
+
+// CopyInBytes implements sdk.Copied.
+func (a *writeInput) CopyInBytes() int { return len(a.Data) + 8 }
+
+// state is the trusted side: a tiny chunk table and the write counter
+// the double fetch corrupts when the untrusted side races the buffer.
+type state struct {
+	table   [4]uint64
+	written int
+	// mu is the Go-level guard for the simulation's own memory safety
+	// when the driver runs threaded; it charges no virtual time.
+	mu sync.Mutex
+}
+
+// Workload is one configured storage enclave.
+type Workload struct {
+	h       *host.Host
+	app     *sdk.AppEnclave
+	proxies map[string]sdk.Proxy
+	s       *state
+}
+
+// Interface builds the storage EDL interface. The register ocall takes
+// the table as a user_check pointer — the untrusted side keeps it,
+// which is exactly what the pointer-escape analysis prices.
+func Interface() (*edl.Interface, error) {
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall(EcallFlush, true,
+		edl.Param{Name: "chunks"}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddEcall(EcallCheckedWrite, true,
+		edl.Param{Name: "len"},
+		edl.Param{Name: "data", Dir: edl.DirIn, IsString: true}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddEcall(EcallShare, true); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddEcall(EcallMaybe, true,
+		edl.Param{Name: "n"}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallPutChunk, nil,
+		edl.Param{Name: "chunk"}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallLog, nil,
+		edl.Param{Name: "line", Dir: edl.DirIn, IsString: true}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallRegister, nil,
+		edl.Param{Name: "table", Dir: edl.DirUserCheck}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallSpill, nil,
+		edl.Param{Name: "n"}); err != nil {
+		return nil, err
+	}
+	return iface, nil
+}
+
+// New builds the storage enclave.
+func New(h *host.Host, ctx *sgx.Context) (*Workload, error) {
+	w := &Workload{h: h, s: &state{}}
+	iface, err := Interface()
+	if err != nil {
+		return nil, err
+	}
+	impl := map[string]sdk.TrustedFn{
+		EcallFlush:        w.handleFlush,
+		EcallCheckedWrite: w.handleCheckedWrite,
+		EcallShare:        w.handleShare,
+		EcallMaybe:        w.handleMaybe,
+	}
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{
+		Name:       "amplify",
+		CodeBytes:  8 * sgx.PageSize,
+		HeapBytes:  32 * sgx.PageSize,
+		StackBytes: 4 * sgx.PageSize,
+		NumTCS:     8,
+	}, iface, impl)
+	if err != nil {
+		return nil, fmt.Errorf("amplify: %w", err)
+	}
+	ocalls := map[string]sdk.OcallFn{
+		OcallPutChunk: func(ctx *sgx.Context, args any) (any, error) {
+			ctx.Compute(costChunkStore)
+			return nil, nil
+		},
+		OcallLog: func(ctx *sgx.Context, args any) (any, error) {
+			ctx.Compute(costLogAppend)
+			return nil, nil
+		},
+		OcallRegister: func(ctx *sgx.Context, args any) (any, error) {
+			return nil, nil
+		},
+		OcallSpill: func(ctx *sgx.Context, args any) (any, error) {
+			ctx.Compute(costChunkStore)
+			return nil, nil
+		},
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, ocalls)
+	if err != nil {
+		return nil, err
+	}
+	w.app = app
+	w.proxies = sdk.Proxies(app, h.Proc, otab)
+	return w, nil
+}
+
+// handleFlush writes the table out chunk by chunk: one ocall per chunk,
+// eight per invocation — the §3.1 amplification the batching solution
+// collapses to a single crossing.
+func (w *Workload) handleFlush(env *sdk.Env, args any) (any, error) {
+	for i := 0; i < chunksPerFlush; i++ {
+		env.Compute(costChunkPrep)
+		//sgxperf:allow(transamp) deliberate exhibit: the per-chunk ocall storm is the finding the interprocedural analysis demo reproduces
+		if _, err := env.Ocall(OcallPutChunk, i); err != nil {
+			return nil, err
+		}
+	}
+	return chunksPerFlush, nil
+}
+
+// handleCheckedWrite validates the declared length, logs the write
+// through an ocall, then trusts the same boundary field again — the
+// §3.6 double fetch: the untrusted side shares the buffer and can
+// change Len between the validation and the use.
+func (w *Workload) handleCheckedWrite(env *sdk.Env, args any) (any, error) {
+	a, ok := args.(*writeInput)
+	if !ok {
+		return nil, fmt.Errorf("amplify: bad writeInput %T", args)
+	}
+	if a.Len > maxWrite {
+		return nil, fmt.Errorf("amplify: write of %d exceeds %d", a.Len, maxWrite)
+	}
+	env.Compute(costWriteCheck)
+	if _, err := env.Ocall(OcallLog, a.Data); err != nil {
+		return nil, err
+	}
+	w.s.mu.Lock()
+	//sgxperf:allow(doublefetch) deliberate exhibit: re-reading a.Len after the log ocall is the TOCTOU the interprocedural analysis demo reproduces
+	w.s.written += a.Len
+	w.s.mu.Unlock()
+	return a.Len, nil
+}
+
+// handleShare registers the in-enclave chunk table with the untrusted
+// side — by address. The pointer outlives the call: every later access
+// through it bypasses the boundary copy discipline.
+func (w *Workload) handleShare(env *sdk.Env, args any) (any, error) {
+	env.Compute(costShare)
+	//sgxperf:allow(ptrescape) deliberate exhibit: handing out &w.s.table is the pointer escape the interprocedural analysis demo reproduces
+	if _, err := env.Ocall(OcallRegister, &w.s.table); err != nil {
+		return nil, err
+	}
+	return len(w.s.table), nil
+}
+
+// handleMaybe spills to untrusted storage only past the threshold; the
+// default run never reaches it, so the static (conditional) prediction
+// of one dispatch deliberately over-predicts the observed zero.
+func (w *Workload) handleMaybe(env *sdk.Env, args any) (any, error) {
+	n, ok := args.(int)
+	if !ok {
+		return nil, fmt.Errorf("amplify: bad spill arg %T", args)
+	}
+	env.Compute(costWriteCheck)
+	if n > spillThreshold {
+		return env.Ocall(OcallSpill, n)
+	}
+	return n, nil
+}
+
+// Flush invokes the chunk-flush ecall from untrusted code.
+func (w *Workload) Flush(ctx *sgx.Context) (int, error) {
+	res, err := w.proxies[EcallFlush](ctx, nil)
+	if err != nil {
+		return 0, err
+	}
+	n, _ := res.(int)
+	return n, nil
+}
+
+// Write invokes the checked-write ecall from untrusted code.
+func (w *Workload) Write(ctx *sgx.Context, data string) (int, error) {
+	res, err := w.proxies[EcallCheckedWrite](ctx, &writeInput{Len: len(data), Data: data})
+	if err != nil {
+		return 0, err
+	}
+	n, _ := res.(int)
+	return n, nil
+}
+
+// Share invokes the table-registration ecall from untrusted code.
+func (w *Workload) Share(ctx *sgx.Context) error {
+	_, err := w.proxies[EcallShare](ctx, nil)
+	return err
+}
+
+// Maybe invokes the guarded-spill ecall from untrusted code.
+func (w *Workload) Maybe(ctx *sgx.Context, n int) error {
+	_, err := w.proxies[EcallMaybe](ctx, n)
+	return err
+}
+
+// Written returns the trusted write counter.
+func (w *Workload) Written() int {
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	return w.s.written
+}
+
+// Enclave returns the storage enclave.
+func (w *Workload) Enclave() *sgx.Enclave { return w.app.Enclave() }
+
+// RunOptions configures a run.
+type RunOptions struct {
+	// Flushes is the number of flush ecalls (default 5, each
+	// dispatching chunksPerFlush put-chunk ocalls).
+	Flushes int
+	// Writes is the number of checked writes (default 16).
+	Writes int
+	// Maybes is the number of guarded-spill calls, all under the
+	// threshold (default 8).
+	Maybes int
+}
+
+// Run drives the exhibit single-threaded so hybrid reports are
+// deterministic: every flush amplifies into chunksPerFlush transitions,
+// every write logs once, the table is shared once, and the spill guard
+// never fires.
+func (w *Workload) Run(opts RunOptions) (workloads.Result, error) {
+	if opts.Flushes <= 0 {
+		opts.Flushes = 5
+	}
+	if opts.Writes <= 0 {
+		opts.Writes = 16
+	}
+	if opts.Maybes <= 0 {
+		opts.Maybes = 8
+	}
+	var (
+		wg     sync.WaitGroup
+		runErr error
+	)
+	wg.Add(1)
+	if err := w.h.Spawn("amplify-driver", func(ctx *sgx.Context) {
+		defer wg.Done()
+		runErr = w.drive(ctx, opts)
+	}); err != nil {
+		return workloads.Result{}, err
+	}
+	wg.Wait()
+	w.h.Wait()
+	if runErr != nil {
+		return workloads.Result{}, fmt.Errorf("amplify: %w", runErr)
+	}
+	return workloads.Result{
+		Workload: "amplify",
+		Variant:  "chatty-boundary",
+		Ops:      opts.Flushes + opts.Writes + opts.Maybes + 1,
+		Extra: map[string]float64{
+			"flushes":          float64(opts.Flushes),
+			"chunks_per_flush": chunksPerFlush,
+		},
+	}, nil
+}
+
+func (w *Workload) drive(ctx *sgx.Context, opts RunOptions) error {
+	if err := w.Share(ctx); err != nil {
+		return err
+	}
+	for i := 0; i < opts.Writes; i++ {
+		if _, err := w.Write(ctx, fmt.Sprintf("rec-%02d", i)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < opts.Flushes; i++ {
+		if _, err := w.Flush(ctx); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < opts.Maybes; i++ {
+		if err := w.Maybe(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -420,6 +420,7 @@ func (w *Workload) connect(env *sdk.Env, sid int) (any, error) {
 		return nil, err
 	}
 	for i := 0; i < debugPrintsPerConnect; i++ {
+		//sgxperf:allow(transamp) deliberate exhibit: SecureKeeper's §5.1 per-connect debug-print storm is the finding the analyzer demo reproduces
 		if _, err := env.Ocall("ocall_print_debug", nil); err != nil {
 			return nil, err
 		}

@@ -208,6 +208,12 @@ const (
 	ProblemLargeCopies         = analyzer.ProblemLargeCopies
 	ProblemTransitionBound     = analyzer.ProblemTransitionBound
 	ProblemBoundarySync        = analyzer.ProblemBoundarySync
+
+	// ProblemTransitionAmplification and ProblemBoundaryDataHazard come
+	// from the interprocedural source analysis (loops around ocall
+	// dispatch; double fetches and pointer escapes at the boundary).
+	ProblemTransitionAmplification = analyzer.ProblemTransitionAmplification
+	ProblemBoundaryDataHazard      = analyzer.ProblemBoundaryDataHazard
 )
 
 // StaticLint runs the static interface analysis: findings from the EDL

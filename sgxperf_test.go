@@ -284,10 +284,11 @@ func TestRunWorkloadWithWorkingSet(t *testing.T) {
 }
 
 func TestCatalogueAndWeightsExposed(t *testing.T) {
-	// Table 1's six problem classes plus the four static classes
+	// Table 1's six problem classes plus the six static classes
 	// (reentrancy, boundary copies, transition-bound calls, locks held
-	// across the boundary).
-	if len(sgxperf.Catalogue()) != 10 {
+	// across the boundary, loop-amplified transitions, boundary data
+	// hazards).
+	if len(sgxperf.Catalogue()) != 12 {
 		t.Fatal("problem catalogue incomplete")
 	}
 	w := sgxperf.DefaultWeights()

@@ -7,6 +7,7 @@ import (
 
 	"sgxperf/internal/perf/logger"
 	"sgxperf/internal/workloads"
+	"sgxperf/internal/workloads/amplify"
 	"sgxperf/internal/workloads/glamdring"
 	"sgxperf/internal/workloads/keeper"
 	"sgxperf/internal/workloads/minidb"
@@ -46,9 +47,11 @@ type WorkloadRun struct {
 	SteadyPages  int
 }
 
-// Workloads lists the evaluation workloads by name.
+// Workloads lists the evaluation workloads by name. The paper's four
+// studies plus the amplify exhibit — the chatty-boundary workload the
+// interprocedural lint pass predicts and the hybrid report verifies.
 func Workloads() []string {
-	out := []string{"talos", "securekeeper", "sqlite", "glamdring"}
+	out := []string{"talos", "securekeeper", "sqlite", "glamdring", "amplify"}
 	sort.Strings(out)
 	return out
 }
@@ -64,6 +67,8 @@ func WorkloadVariants(name string) ([]string, error) {
 		return []string{"native", "enclave", "merged"}, nil
 	case "glamdring":
 		return []string{"native", "enclave", "optimized", "switchless"}, nil
+	case "amplify":
+		return []string{"chatty-boundary"}, nil
 	default:
 		return nil, fmt.Errorf("sgxperf: unknown workload %q (have %v)", name, Workloads())
 	}
@@ -142,6 +147,18 @@ func RunWorkload(name string, opts WorkloadOptions) (*WorkloadRun, error) {
 		defer w.Close() // stops switchless workers, a no-op otherwise
 		enclave = w.Enclave()
 		run = func(ctx *Context) (WorkloadResult, error) { return w.Run(ctx, runOpts) }
+	case "amplify":
+		w, err := amplify.New(h, ctx)
+		if err != nil {
+			return nil, err
+		}
+		enclave = w.Enclave()
+		run = func(ctx *Context) (WorkloadResult, error) {
+			// Ops scales the checked writes; flush/spill counts keep
+			// their deterministic defaults so the predicted-vs-observed
+			// arithmetic stays recognisable.
+			return w.Run(amplify.RunOptions{Writes: opts.Ops})
+		}
 	default:
 		return nil, fmt.Errorf("sgxperf: unknown workload %q (have %v)", name, Workloads())
 	}
