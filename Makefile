@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify fuzz bench-contention bench-analyze bench-switchless bench-serve serve-smoke
+.PHONY: build test vet lint race verify fuzz bench-contention bench-analyze bench-switchless bench-serve bench-outofcore serve-smoke
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ lint: vet
 # sync primitives only surface when both run raced. RACE_PKGS is the one
 # place that list lives; race and verify share it.
 RACE_PKGS = ./internal/perf/... ./internal/evstore/... \
-	./internal/pool/... ./internal/serve/... \
+	./internal/pool/... ./internal/serve/... ./internal/experiments/... \
 	./internal/sgx/... ./internal/sdk/... ./internal/host/...
 
 race:
@@ -80,6 +80,18 @@ bench-switchless:
 # warm requests beat cold by ≥ 5x and an append reuses cached windows.
 bench-serve:
 	$(GO) run ./cmd/sgx-perf-bench -exp serve -json BENCH_results.json
+
+# Price the out-of-core streaming analysis against the resident path on
+# the same on-disk trace, merging the outcome into BENCH_results.json
+# under the "outofcore" key. The bench exits non-zero unless the
+# streaming report is byte-identical to the resident one, peak heap
+# drops by ≥ 3x and the streaming peak stays under an absolute 64 MiB
+# bound regardless of trace size. OUTOFCORE_OPS overrides the synthetic
+# trace size (0 = the experiment's default).
+OUTOFCORE_OPS ?= 0
+bench-outofcore:
+	$(GO) run ./cmd/sgx-perf-bench -exp outofcore \
+		-outofcore-ops $(OUTOFCORE_OPS) -json BENCH_results.json
 
 # End-to-end daemon smoke: build the binaries, record a trace, boot
 # sgx-perf-serve on a free port, upload the trace over HTTP and check

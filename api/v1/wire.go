@@ -327,21 +327,36 @@ type StatsReport struct {
 	WindowsReused   int `json:"windows_reused"`
 }
 
-// CacheMetrics are the artifact cache's counters.
+// CacheMetrics are the artifact cache's counters. Bytes is the
+// estimated resident size of every cached artifact, accounted at insert
+// and eviction time.
 type CacheMetrics struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Coalesced uint64 `json:"coalesced"`
 	Entries   int    `json:"entries"`
+	Bytes     uint64 `json:"bytes"`
 	Evictions uint64 `json:"evictions"`
+}
+
+// MemoryMetrics is the server's memory gauge set: a runtime.MemStats
+// snapshot plus the peak live heap the server has observed across its
+// analysis work, so the streaming fold's bounded-memory claim is
+// observable in production rather than only in the bench.
+type MemoryMetrics struct {
+	HeapAllocBytes     uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes       uint64 `json:"heap_sys_bytes"`
+	PeakHeapAllocBytes uint64 `json:"peak_heap_alloc_bytes"`
+	NumGC              uint32 `json:"num_gc"`
 }
 
 // ServerMetrics is the response of GET /v1/metrics.
 type ServerMetrics struct {
-	SchemaVersion int          `json:"schema_version"`
-	Traces        int          `json:"traces"`
-	Cache         CacheMetrics `json:"cache"`
-	Requests      uint64       `json:"requests"`
+	SchemaVersion int           `json:"schema_version"`
+	Traces        int           `json:"traces"`
+	Cache         CacheMetrics  `json:"cache"`
+	Memory        MemoryMetrics `json:"memory"`
+	Requests      uint64        `json:"requests"`
 }
 
 // Error is the JSON error body every non-2xx serve response carries.

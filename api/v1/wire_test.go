@@ -126,7 +126,11 @@ func TestRoundTrip(t *testing.T) {
 		},
 		"metrics": &ServerMetrics{
 			SchemaVersion: Version, Traces: 2,
-			Cache:    CacheMetrics{Hits: 5, Misses: 2, Coalesced: 1, Entries: 2, Evictions: 0},
+			Cache: CacheMetrics{Hits: 5, Misses: 2, Coalesced: 1, Entries: 2, Bytes: 4096, Evictions: 0},
+			Memory: MemoryMetrics{
+				HeapAllocBytes: 1 << 20, HeapSysBytes: 4 << 20,
+				PeakHeapAllocBytes: 2 << 20, NumGC: 3,
+			},
 			Requests: 9,
 		},
 		"error": &Error{SchemaVersion: Version, Status: 404, Error: "no such trace"},

@@ -13,6 +13,14 @@
 // -json emits the report as an api/v1 wire document in the canonical
 // serialisation — byte-for-byte what sgx-perf-serve answers on
 // GET /v1/traces/{id}/report for the same trace.
+//
+// -stream analyses the trace through the out-of-core streaming fold:
+// the file is read chunk-by-chunk and memory stays bounded by the chunk
+// size, not the trace size, so traces larger than RAM analyse fine. The
+// report is identical to the resident path's; the trace must be saved
+// in stream order (sgx-perf-log emits it; an unsorted file is
+// rejected). Event-level flags (-hist, -scatter, -csv-dir, -compare)
+// need the resident event set and do not combine with -stream.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"sgxperf"
 	apiv1 "sgxperf/api/v1"
 	"sgxperf/internal/perf/analyzer"
+	"sgxperf/internal/perf/events"
 )
 
 func main() {
@@ -45,30 +54,34 @@ func run() error {
 		compare = flag.String("compare", "", "second trace file: print a before/after comparison (the §5.2 optimise-and-remeasure workflow)")
 		enclave = flag.Uint64("enclave", 0, "restrict the analysis to one enclave ID (0 = all)")
 		jsonOut = flag.Bool("json", false, "emit the report as an api/v1 JSON document instead of text")
+		stream  = flag.Bool("stream", false, "analyse out-of-core: read the trace chunk-by-chunk with bounded memory (for traces larger than RAM)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		return fmt.Errorf("expected exactly one trace file argument")
 	}
+	opts := sgxperf.AnalyzerOptions{Enclave: sgxperf.EnclaveID(*enclave)}
+	if *stream {
+		for name, set := range map[string]bool{
+			"-hist": *histFor != "", "-scatter": *scatFor != "",
+			"-csv-dir": *csvDir != "", "-compare": *compare != "",
+		} {
+			if set {
+				return fmt.Errorf("%s needs the resident event set and cannot combine with -stream", name)
+			}
+		}
+		if err := loadEDL(*edlPath, &opts); err != nil {
+			return err
+		}
+		return runStream(flag.Arg(0), opts, *jsonOut, *dotOut)
+	}
 	trace, err := sgxperf.LoadTrace(flag.Arg(0))
 	if err != nil {
 		return err
 	}
-	opts := sgxperf.AnalyzerOptions{Enclave: sgxperf.EnclaveID(*enclave)}
-	if *edlPath != "" {
-		src, err := os.ReadFile(*edlPath)
-		if err != nil {
-			return err
-		}
-		iface, warnings, err := sgxperf.ParseEDL(string(src))
-		if err != nil {
-			return fmt.Errorf("parse %s: %w", *edlPath, err)
-		}
-		for _, w := range warnings {
-			fmt.Fprintln(os.Stderr, "edl warning:", w)
-		}
-		opts.Interface = iface
+	if err := loadEDL(*edlPath, &opts); err != nil {
+		return err
 	}
 	a, err := sgxperf.NewAnalyzer(trace, opts)
 	if err != nil {
@@ -167,6 +180,61 @@ func run() error {
 		for _, p := range pts {
 			fmt.Printf("%v\t%v\n", p.T, p.Dur)
 		}
+	}
+	return nil
+}
+
+// loadEDL reads and parses an -edl file into opts (no-op when the flag
+// is empty, which selects the EDL embedded in the trace).
+func loadEDL(path string, opts *sgxperf.AnalyzerOptions) error {
+	if path == "" {
+		return nil
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	iface, warnings, err := sgxperf.ParseEDL(string(src))
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "edl warning:", w)
+	}
+	opts.Interface = iface
+	return nil
+}
+
+// runStream is the -stream path: the trace file is analysed through
+// the bounded-memory fold without ever loading its tables.
+func runStream(path string, opts sgxperf.AnalyzerOptions, jsonOut bool, dotOut string) error {
+	st, err := events.OpenStreamTrace(path)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	src, err := analyzer.NewStreamTraceSource(st)
+	if err != nil {
+		return err
+	}
+	report, err := analyzer.AnalyzeStream(src, opts)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		raw, err := apiv1.Marshal(apiv1.FromReport(report))
+		if err != nil {
+			return err
+		}
+		fmt.Print(string(raw))
+		return nil
+	}
+	fmt.Print(report.Render())
+	if dotOut != "" {
+		if err := os.WriteFile(dotOut, []byte(report.Graph.DOT()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("call graph written to %s (render with: dot -Tpdf)\n", dotOut)
 	}
 	return nil
 }

@@ -30,7 +30,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, transitions, table2, fig5, fig6-sqlite, fig6-libressl, fig78, ws-glamdring, ablation-lock, ablation-paging, ablation-switchless, switchless, contention, live, analyze, serve")
+		exp      = flag.String("exp", "all", "experiment: all, transitions, table2, fig5, fig6-sqlite, fig6-libressl, fig78, ws-glamdring, ablation-lock, ablation-paging, ablation-switchless, switchless, contention, live, analyze, serve, outofcore")
 		requests = flag.Int("requests", 1000, "fig5: HTTP GET count")
 		inserts  = flag.Int("inserts", 2000, "fig6-sqlite: insert count")
 		signs    = flag.Int("signs", 5, "fig6-libressl: signatures per variant")
@@ -43,6 +43,7 @@ func run() error {
 		jsonOld  = flag.Bool("json-legacy", false, "with -json: write the live results in the pre-api/v1 shape")
 		baseline = flag.String("baseline", "", "contention: previous -json output to compute speedups against")
 		analyzeN = flag.Int("analyze-ops", 50000, "analyze: synthetic trace size in top-level calls")
+		oocOps   = flag.Int("outofcore-ops", 0, "outofcore: synthetic trace size in top-level calls (0 = default; raise to push the resident path past RAM)")
 
 		switchlessOps = flag.Int("switchless-ops", 400, "switchless: transition-bound calls per caller thread")
 		serveSessions = flag.Int("serve-sessions", 0, "serve: concurrent analysis sessions (0 = default 8)")
@@ -248,6 +249,21 @@ func run() error {
 				}
 				fmt.Printf("analyze results merged into %s\n\n", *jsonOut)
 			}
+		case "outofcore":
+			res, err := experiments.RunOutOfCore(*oocOps)
+			if err != nil {
+				return err
+			}
+			if err := checkOutOfCore(res); err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderOutOfCore(res))
+			if *jsonOut != "" {
+				if err := mergeJSONKey(*jsonOut, "outofcore", res); err != nil {
+					return err
+				}
+				fmt.Printf("outofcore results merged into %s\n\n", *jsonOut)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -261,7 +277,7 @@ func run() error {
 		"transitions", "table2", "fig5", "fig6-sqlite", "fig6-libressl",
 		"fig78", "ws-glamdring", "ablation-lock", "ablation-paging",
 		"ablation-switchless", "switchless", "contention", "live", "analyze",
-		"serve",
+		"serve", "outofcore",
 	} {
 		start := time.Now()
 		if err := runOne(name); err != nil {
@@ -319,6 +335,27 @@ func checkServe(res *experiments.ServeResult) error {
 	}
 	if res.AppendWindowsComputed >= res.AppendWindowsTotal {
 		return fmt.Errorf("serve: append recomputed all %d windows — nothing was reused", res.AppendWindowsTotal)
+	}
+	return nil
+}
+
+// checkOutOfCore enforces the streaming pipeline's acceptance criteria:
+// the out-of-core report must be byte-identical to the resident one,
+// and peak memory must sit at the chunk-window scale — far below the
+// resident path (which holds every table) and below an absolute ceiling
+// that does not grow with the trace (chunk size x a handful of cursors,
+// plus aggregate state and GC slack).
+func checkOutOfCore(res *experiments.OutOfCoreResult) error {
+	if !res.StreamEqualsResident {
+		return fmt.Errorf("outofcore: streaming report diverges from resident")
+	}
+	if res.PeakReduction < 3 {
+		return fmt.Errorf("outofcore: peak memory reduction %.1fx below the 3x bar (resident %d B, stream %d B)",
+			res.PeakReduction, res.ResidentPeakBytes, res.StreamPeakBytes)
+	}
+	if limit := uint64(64 << 20); res.StreamPeakBytes > limit {
+		return fmt.Errorf("outofcore: streaming peak %d B exceeds the %d B chunk-window budget",
+			res.StreamPeakBytes, limit)
 	}
 	return nil
 }

@@ -41,8 +41,13 @@ import (
 )
 
 // magicBinary identifies the columnar format; the trailing byte is the
-// format version.
-const magicBinary = "sgxperf-evc\x02"
+// format version. Version 2 is the index-less layout; version 3 appends
+// the chunk index and footer described in stream.go. Both versions load;
+// Save writes version 3.
+const (
+	magicBinary   = "sgxperf-evc\x02"
+	magicBinaryV3 = "sgxperf-evc\x03"
+)
 
 // Format selects the on-disk representation for SaveWith.
 type Format int
@@ -316,27 +321,40 @@ func (t *Table[T]) encodeChunkPayload(rows []T) ([]byte, byte, error) {
 	return buf.Bytes(), codecGob, nil
 }
 
+// tableIndex is one table's slice of the v3 chunk index (stream.go),
+// collected while writeBinary emits the table.
+type tableIndex struct {
+	name      string
+	codecByte byte
+	rows      int
+	chunks    []ChunkInfo
+}
+
 // writeBinary serialises the table: header, then each chunk encoded (and
 // optionally compressed) in parallel on the shared pool and written in
-// order.
-func (t *Table[T]) writeBinary(w io.Writer, opts SaveOptions) error {
+// order. The returned index records each chunk's file offset, row count
+// and pre-compression content hash for the v3 chunk index.
+func (t *Table[T]) writeBinary(w *countingWriter, opts SaveOptions) (tableIndex, error) {
 	chunks, total := t.chunkSnapshot()
 
-	head := binary.AppendUvarint(nil, uint64(len(t.name)))
-	head = append(head, t.name...)
 	codecByte := byte(codecGob)
 	if t.codec != nil {
 		codecByte = codecColumnar
 	}
+	idx := tableIndex{name: t.name, codecByte: codecByte, rows: total}
+
+	head := binary.AppendUvarint(nil, uint64(len(t.name)))
+	head = append(head, t.name...)
 	head = append(head, codecByte)
 	head = binary.AppendUvarint(head, uint64(total))
 	head = binary.AppendUvarint(head, uint64(len(chunks)))
 	if _, err := w.Write(head); err != nil {
-		return err
+		return idx, err
 	}
 
 	payloads := make([][]byte, len(chunks))
 	flags := make([]byte, len(chunks))
+	hashes := make([]uint64, len(chunks))
 	errs := make([]error, len(chunks))
 	pool.ForEach(len(chunks), func(i int) {
 		p, _, err := t.encodeChunkPayload(chunks[i])
@@ -344,6 +362,7 @@ func (t *Table[T]) writeBinary(w io.Writer, opts SaveOptions) error {
 			errs[i] = err
 			return
 		}
+		hashes[i] = hashChunkPayload(codecByte, p)
 		if opts.Compress {
 			var buf bytes.Buffer
 			fw, err := flate.NewWriter(&buf, flate.BestSpeed)
@@ -365,23 +384,38 @@ func (t *Table[T]) writeBinary(w io.Writer, opts SaveOptions) error {
 	})
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("chunk %d: %w", i, err)
+			return idx, fmt.Errorf("chunk %d: %w", i, err)
 		}
 	}
 
+	idx.chunks = make([]ChunkInfo, len(chunks))
 	var chead []byte
 	for i, p := range payloads {
+		idx.chunks[i] = ChunkInfo{Offset: w.n, Rows: len(chunks[i]), Hash: hashes[i]}
 		chead = binary.AppendUvarint(chead[:0], uint64(len(chunks[i])))
 		chead = append(chead, flags[i])
 		chead = binary.AppendUvarint(chead, uint64(len(p)))
 		if _, err := w.Write(chead); err != nil {
-			return err
+			return idx, err
 		}
 		if _, err := w.Write(p); err != nil {
-			return err
+			return idx, err
 		}
 	}
-	return nil
+	return idx, nil
+}
+
+// countingWriter tracks the absolute file offset so writeBinary can
+// record chunk offsets for the index.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // ---------------------------------------------------------------------
@@ -396,33 +430,38 @@ type rawChunk struct {
 }
 
 // binTableReader carries the streaming state the DB loader hands each
-// table.
+// table. pos, when set, reports the absolute file offset consumed so far
+// so readBinary can record per-chunk marks for the v3 index validation.
 type binTableReader struct {
-	br *countingReader
+	br  *countingReader
+	pos func() int64
 }
 
-func (t *Table[T]) readBinary(r *binTableReader) error {
+func (t *Table[T]) readBinary(r *binTableReader) (tableIndex, error) {
+	idx := tableIndex{name: t.name}
 	codecByte, err := r.br.readByte()
 	if err != nil {
-		return err
+		return idx, err
 	}
+	idx.codecByte = codecByte
 	switch codecByte {
 	case codecColumnar:
 		if t.codec == nil {
-			return corruptf("table %q was written with a columnar codec but none is registered", t.name)
+			return idx, corruptf("table %q was written with a columnar codec but none is registered", t.name)
 		}
 	case codecGob:
 		// Decodable regardless of registration.
 	default:
-		return corruptf("table %q: unknown codec %d", t.name, codecByte)
+		return idx, corruptf("table %q: unknown codec %d", t.name, codecByte)
 	}
 	total, err := r.br.readUvarint(maxDecodeRows)
 	if err != nil {
-		return err
+		return idx, err
 	}
+	idx.rows = int(total)
 	nchunks, err := r.br.readUvarint(maxDecodeRows)
 	if err != nil {
-		return err
+		return idx, err
 	}
 
 	t.mu.Lock()
@@ -445,9 +484,13 @@ func (t *Table[T]) readBinary(r *binTableReader) error {
 			n = window
 		}
 		raws := make([]rawChunk, n)
+		offs := make([]int64, n)
 		for i := 0; i < n; i++ {
+			if r.pos != nil {
+				offs[i] = r.pos()
+			}
 			if raws[i], err = r.br.readChunk(); err != nil {
-				return fmt.Errorf("table %q chunk %d: %w", t.name, done+i, err)
+				return idx, fmt.Errorf("table %q chunk %d: %w", t.name, done+i, err)
 			}
 		}
 		rows := make([][]T, n)
@@ -457,64 +500,83 @@ func (t *Table[T]) readBinary(r *binTableReader) error {
 		})
 		for i := 0; i < n; i++ {
 			if errs[i] != nil {
-				return fmt.Errorf("table %q chunk %d: %w", t.name, done+i, errs[i])
+				return idx, fmt.Errorf("table %q chunk %d: %w", t.name, done+i, errs[i])
 			}
 			decoded += len(rows[i])
 			if decoded > int(total) {
-				return corruptf("table %q: more rows than declared (%d > %d)", t.name, decoded, total)
+				return idx, corruptf("table %q: more rows than declared (%d > %d)", t.name, decoded, total)
+			}
+			if r.pos != nil {
+				idx.chunks = append(idx.chunks, ChunkInfo{Offset: offs[i], Rows: len(rows[i])})
 			}
 			t.appendQuiet(rows[i])
 		}
 		done += n
 	}
 	if decoded != int(total) {
-		return corruptf("table %q: %d rows decoded, header declared %d", t.name, decoded, total)
+		return idx, corruptf("table %q: %d rows decoded, header declared %d", t.name, decoded, total)
 	}
-	return nil
+	return idx, nil
 }
 
-// decodeChunk inflates and decodes one raw chunk.
-func (t *Table[T]) decodeChunk(rc rawChunk, codecByte byte) ([]T, error) {
-	payload := rc.payload
-	if rc.flags&chunkFlagFlate != 0 {
-		fr := flate.NewReader(bytes.NewReader(payload))
-		inflated, err := io.ReadAll(io.LimitReader(fr, maxDecodeChunkLen+1))
-		if err != nil {
-			return nil, corruptf("inflate: %v", err)
-		}
-		if len(inflated) > maxDecodeChunkLen {
-			return nil, corruptf("inflated chunk exceeds %d bytes", maxDecodeChunkLen)
-		}
-		payload = inflated
+// inflateChunk undoes the optional per-chunk flate compression,
+// returning the pre-compression payload bytes.
+func inflateChunk(rc rawChunk) ([]byte, error) {
+	if rc.flags&chunkFlagFlate == 0 {
+		return rc.payload, nil
 	}
+	fr := flate.NewReader(bytes.NewReader(rc.payload))
+	inflated, err := io.ReadAll(io.LimitReader(fr, maxDecodeChunkLen+1))
+	if err != nil {
+		return nil, corruptf("inflate: %v", err)
+	}
+	if len(inflated) > maxDecodeChunkLen {
+		return nil, corruptf("inflated chunk exceeds %d bytes", maxDecodeChunkLen)
+	}
+	return inflated, nil
+}
+
+// decodeChunkPayload decodes one pre-compression chunk payload into
+// rows — the shared core of the resident loader and the stream cursors.
+// codec may be nil only for gob chunks.
+func decodeChunkPayload[T any](codec RowCodec[T], codecByte byte, payload []byte, nrows int) ([]T, error) {
 	if codecByte == codecGob {
 		var rows []T
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rows); err != nil {
 			return nil, corruptf("gob chunk: %v", err)
 		}
-		if len(rows) != rc.nrows {
-			return nil, corruptf("gob chunk decoded %d rows, header declared %d", len(rows), rc.nrows)
+		if len(rows) != nrows {
+			return nil, corruptf("gob chunk decoded %d rows, header declared %d", len(rows), nrows)
 		}
 		return rows, nil
 	}
 	// Every columnar row occupies at least one payload byte, so a row
 	// count above the payload size is corrupt — reject it before the
 	// RowCodec allocates the row slice.
-	if rc.nrows > len(payload) {
-		return nil, corruptf("%d rows declared in a %d-byte payload", rc.nrows, len(payload))
+	if nrows > len(payload) {
+		return nil, corruptf("%d rows declared in a %d-byte payload", nrows, len(payload))
 	}
-	d, err := newDecoder(payload, rc.nrows)
+	d, err := newDecoder(payload, nrows)
 	if err != nil {
 		return nil, err
 	}
-	rows := t.codec.Decode(d, rc.nrows)
+	rows := codec.Decode(d, nrows)
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	if len(rows) != rc.nrows {
-		return nil, corruptf("codec decoded %d rows, header declared %d", len(rows), rc.nrows)
+	if len(rows) != nrows {
+		return nil, corruptf("codec decoded %d rows, header declared %d", len(rows), nrows)
 	}
 	return rows, nil
+}
+
+// decodeChunk inflates and decodes one raw chunk.
+func (t *Table[T]) decodeChunk(rc rawChunk, codecByte byte) ([]T, error) {
+	payload, err := inflateChunk(rc)
+	if err != nil {
+		return nil, err
+	}
+	return decodeChunkPayload(t.codec, codecByte, payload, rc.nrows)
 }
 
 // appendQuiet appends decoded rows without notifying subscribers — the
@@ -615,33 +677,54 @@ func (f byteReaderFunc) ReadByte() (byte, error) { return f() }
 // ---------------------------------------------------------------------
 // DB-level save/load.
 
-// saveBinary writes the columnar format. Caller holds db.mu.
+// saveBinary writes the columnar format (version 3: table data followed
+// by the chunk index and footer, see stream.go). Caller holds db.mu.
 func (db *DB) saveBinary(w io.Writer, opts SaveOptions) error {
-	if _, err := io.WriteString(w, magicBinary); err != nil {
+	cw := &countingWriter{w: w}
+	if _, err := io.WriteString(cw, magicBinaryV3); err != nil {
 		return fmt.Errorf("evstore: header: %w", err)
 	}
 	head := binary.AppendUvarint(nil, uint64(len(db.tables)))
-	if _, err := w.Write(head); err != nil {
+	if _, err := cw.Write(head); err != nil {
 		return fmt.Errorf("evstore: header: %w", err)
 	}
+	index := make([]tableIndex, 0, len(db.tables))
 	for _, t := range db.tables {
-		if err := t.writeBinary(w, opts); err != nil {
+		idx, err := t.writeBinary(cw, opts)
+		if err != nil {
 			return fmt.Errorf("evstore: table %q: %w", t.Name(), err)
 		}
+		index = append(index, idx)
+	}
+	indexOff := cw.n
+	blob := appendStreamIndex(nil, index)
+	blob = binary.LittleEndian.AppendUint64(blob, uint64(indexOff))
+	blob = append(blob, indexMagic...)
+	if _, err := cw.Write(blob); err != nil {
+		return fmt.Errorf("evstore: index: %w", err)
 	}
 	return nil
 }
 
 // loadBinary reads the columnar format; r is positioned just past the
-// magic.
-func (db *DB) loadBinary(r io.Reader) error {
-	cr := &countingReader{r: r}
+// magic. For v3 files the trailing chunk index and footer are read and
+// cross-checked against the tables actually decoded, so a truncated or
+// structurally inconsistent file always errors even on this sequential
+// path.
+func (db *DB) loadBinary(r io.Reader, v3 bool) error {
+	src := &countedSource{r: r, n: int64(len(magicBinary))}
+	cr := &countingReader{r: src}
 	ntables, err := cr.readUvarint(maxDecodeTables)
 	if err != nil {
 		return fmt.Errorf("evstore: header: %w", err)
 	}
 	if int(ntables) != len(db.tables) {
 		return fmt.Errorf("evstore: file has %d tables, schema has %d", ntables, len(db.tables))
+	}
+	marks := make([]tableIndex, 0, len(db.tables))
+	btr := &binTableReader{br: cr}
+	if v3 {
+		btr.pos = func() int64 { return src.n }
 	}
 	for i, t := range db.tables {
 		name, err := cr.readString(maxDecodeName)
@@ -651,9 +734,63 @@ func (db *DB) loadBinary(r io.Reader) error {
 		if name != t.Name() {
 			return fmt.Errorf("evstore: table %d is %q in file, %q in schema", i, name, t.Name())
 		}
-		if err := t.readBinary(&binTableReader{br: cr}); err != nil {
+		idx, err := t.readBinary(btr)
+		if err != nil {
 			return fmt.Errorf("evstore: table %q: %w", name, err)
 		}
+		marks = append(marks, idx)
+	}
+	if !v3 {
+		return nil
+	}
+	return validateStreamIndex(cr, src.n, marks)
+}
+
+// validateStreamIndex reads a v3 file's index block and footer off the
+// sequential stream and checks them against the tables just decoded.
+// Chunk hashes are carried, not recomputed — the structural cross-check
+// is what guarantees truncations cannot pass silently.
+func validateStreamIndex(cr *countingReader, indexOff int64, marks []tableIndex) error {
+	tables, err := parseStreamIndex(byteReaderAdapter{cr}, indexOff)
+	if err != nil {
+		return fmt.Errorf("evstore: %w", err)
+	}
+	if len(tables) != len(marks) {
+		return corruptf("index describes %d tables, file holds %d", len(tables), len(marks))
+	}
+	for i, ti := range tables {
+		m := marks[i]
+		if ti.name != m.name || ti.codecByte != m.codecByte || ti.rows != m.rows || len(ti.chunks) != len(m.chunks) {
+			return corruptf("index entry for table %q does not match its data", m.name)
+		}
+		for j, c := range ti.chunks {
+			if c.Offset != m.chunks[j].Offset || c.Rows != m.chunks[j].Rows {
+				return corruptf("index entry for table %q chunk %d does not match its data", m.name, j)
+			}
+		}
+	}
+	foot, err := cr.readN(footerSize)
+	if err != nil {
+		return fmt.Errorf("evstore: footer: %w", err)
+	}
+	if int64(binary.LittleEndian.Uint64(foot[:8])) != indexOff || string(foot[8:]) != indexMagic {
+		return corruptf("footer does not match index position")
 	}
 	return nil
+}
+
+// byteReaderAdapter re-exposes a countingReader as a plain io.Reader so
+// parseStreamIndex can run over the sequential load stream.
+type byteReaderAdapter struct{ cr *countingReader }
+
+func (a byteReaderAdapter) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	b, err := a.cr.readByte()
+	if err != nil {
+		return 0, err
+	}
+	p[0] = b
+	return 1, nil
 }

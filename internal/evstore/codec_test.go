@@ -207,10 +207,12 @@ func TestCorruptErrorsAreErrCorrupt(t *testing.T) {
 	}
 }
 
-// FuzzCodecRoundTrip drives two properties at once: (1) a database built
-// from fuzz-derived rows survives encode→decode bit-for-bit in both
-// formats, and (2) Load over the raw fuzz bytes themselves returns an
-// error or succeeds but never panics.
+// FuzzCodecRoundTrip drives three properties at once: (1) a database
+// built from fuzz-derived rows survives encode→decode bit-for-bit in
+// both formats — through Load and through the streaming chunk cursors,
+// which must agree; (2) Load over the raw fuzz bytes themselves returns
+// an error or succeeds but never panics; and (3) the same holds for
+// opening the raw bytes as a stream and draining its cursors.
 func FuzzCodecRoundTrip(f *testing.F) {
 	f.Add([]byte{}, false)
 	f.Add([]byte("hello world, this is seed data for rows"), true)
@@ -234,6 +236,16 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		// Property 2: arbitrary bytes never panic the loader.
 		raw, _, _ := testDB(t)
 		_ = raw.Load(bytes.NewReader(data))
+
+		// Property 3: arbitrary bytes never panic the stream path either
+		// — open, cursor creation and chunk decode all error cleanly.
+		if sr, err := NewStreamReader(bytes.NewReader(data), int64(len(data))); err == nil {
+			for _, name := range sr.TableNames() {
+				if cur, err := NewStreamCursor[rec](sr, name, recCodec{}); err == nil {
+					_, _ = drain(cur)
+				}
+			}
+		}
 
 		// Property 1: rows derived from the fuzz input round-trip exactly.
 		src, recs, extra := testDB(t)
@@ -263,6 +275,21 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			}
 			if !reflect.DeepEqual(extra.Rows(), dextra.Rows()) {
 				t.Fatalf("format=%d: extra did not round-trip", format)
+			}
+			if format != FormatBinary {
+				continue
+			}
+			// Property 1, streaming side: the chunk cursors over the
+			// same valid save must deliver exactly the resident rows.
+			sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+			if err != nil {
+				t.Fatalf("stream open of a valid save: %v", err)
+			}
+			if got := drainTable[rec](t, sr, "recs", recCodec{}); !rowsEqual(got, recs.Rows()) {
+				t.Fatalf("streamed recs diverge from resident rows")
+			}
+			if got := drainTable[aux](t, sr, "extra", nil); !rowsEqual(got, extra.Rows()) {
+				t.Fatalf("streamed extra diverges from resident rows")
 			}
 		}
 	})

@@ -313,6 +313,31 @@ func (t *Table[T]) ScanChunks(yield func(rows []T) bool) {
 	}
 }
 
+// NumChunks returns the number of storage chunks currently backing the
+// table. Chunks only ever grow in place (the store is append-only), so a
+// chunk index obtained here stays valid for ChunkAt.
+func (t *Table[T]) NumChunks() int {
+	t.notifyRead()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.chunks)
+}
+
+// ChunkAt returns storage chunk i as a read-only slice in O(1) — the
+// random-access companion to ScanChunks for chunk-windowed readers. The
+// returned slice is capped at its current length; rows appended after
+// the call extend the chunk but never rewrite the returned prefix.
+func (t *Table[T]) ChunkAt(i int) []T {
+	t.notifyRead()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if i < 0 || i >= len(t.chunks) {
+		panic(fmt.Sprintf("evstore: chunk %d out of range [0,%d)", i, len(t.chunks)))
+	}
+	c := t.chunks[i]
+	return c[:len(c):len(c)]
+}
+
 // OrderedBy returns a copy of all rows sorted by less.
 func (t *Table[T]) OrderedBy(less func(a, b T) bool) []T {
 	out := t.Rows()
@@ -363,8 +388,8 @@ type table interface {
 	Name() string
 	encodeRows(enc *gob.Encoder) error
 	decodeRows(dec *gob.Decoder) error
-	writeBinary(w io.Writer, opts SaveOptions) error
-	readBinary(r *binTableReader) error
+	writeBinary(w *countingWriter, opts SaveOptions) (tableIndex, error)
+	readBinary(r *binTableReader) (tableIndex, error)
 }
 
 func (t *Table[T]) encodeRows(enc *gob.Encoder) error {
@@ -475,26 +500,36 @@ func (db *DB) saveGob(w io.Writer) error {
 	return nil
 }
 
-// Load restores table contents from r. The registered schema must match
-// the one the file was written with. Both the columnar binary format and
-// the legacy gob format are accepted; the magic bytes decide.
+// Load restores table contents from r, materialising every table into
+// memory — it is the resident read path. The registered schema must
+// match the one the file was written with. Binary format versions 2 and
+// 3 and the legacy gob format are accepted; the magic bytes decide.
+// Binary files decode chunk-by-chunk (a window at a time, so transient
+// memory stays bounded even though the tables end up resident); callers
+// that only need a chunk-at-a-time pass over a saved file should use
+// OpenStream and cursors instead of loading at all.
 func (db *DB) Load(r io.Reader) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	br := bufio.NewReaderSize(r, 1<<16)
 	peek, err := br.Peek(len(magicBinary))
-	if err == nil && string(peek) == magicBinary {
+	if err == nil && (string(peek) == magicBinary || string(peek) == magicBinaryV3) {
+		v3 := string(peek) == magicBinaryV3
 		if _, err := br.Discard(len(magicBinary)); err != nil {
 			return fmt.Errorf("evstore: header: %w", err)
 		}
-		return db.loadBinary(br)
+		return db.loadBinary(br, v3)
 	}
 	// Not the binary magic (or too short to hold it): try the legacy gob
 	// format, which produces its own error on garbage.
 	return db.loadGob(br)
 }
 
-// loadGob reads the legacy gob format. Caller holds db.mu.
+// loadGob reads the legacy gob format. Caller holds db.mu. Gob is one
+// monolithic reflection stream with no chunk boundaries, so this path
+// necessarily decodes the whole file into memory at once — there is no
+// streaming equivalent; migrate to the binary format (re-Save) to get
+// chunked loads and OpenStream access.
 func (db *DB) loadGob(r io.Reader) error {
 	dec := gob.NewDecoder(r)
 	var h header

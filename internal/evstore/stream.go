@@ -1,0 +1,447 @@
+package evstore
+
+// The out-of-core read path. Format v3 ("sgxperf-evc\x03") extends the
+// chunked columnar codec with a chunk index appended after the table
+// data:
+//
+//	file   := magic | uvarint(#tables) | table* | index | footer
+//	index  := uvarint(#tables) | tindex*
+//	tindex := str(name) | byte(codec) | uvarint(#rows) |
+//	          uvarint(#chunks) | centry*
+//	centry := uvarint(file offset of chunk header) | uvarint(#rows) |
+//	          8-byte LE FNV-1a chunk hash
+//	footer := 8-byte LE file offset of index | "sgxEVIDX"
+//
+// The per-chunk hash is exactly Table.hashChunk's: FNV-1a over the codec
+// byte and the pre-compression payload. That identity is what lets a
+// reader compute Trace.ContentKey — and an artifact cache reuse
+// chunk-keyed work — without decoding a single row.
+//
+// StreamReader opens a saved file through the index and hands out
+// per-table StreamCursors that decode one chunk at a time, reusing
+// rawChunk, decodeChunk's inflate/decode core and the sticky-error
+// Decoder. Nothing is materialised beyond the chunk in hand, so a
+// multi-GiB trace streams through O(chunk) memory. Files written by
+// format v2 carry no index; OpenStream builds one by scanning the chunk
+// headers once (hashing payloads as it goes), which reads the file
+// sequentially but still holds only one chunk at a time.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+)
+
+// indexMagic terminates a v3 file; the preceding 8 bytes locate the
+// index block.
+const indexMagic = "sgxEVIDX"
+
+// footerSize is the fixed byte size of the v3 footer.
+const footerSize = 8 + len(indexMagic)
+
+// ChunkInfo describes one chunk of a streamed table: where it lives in
+// the file, how many rows it decodes to, and its content hash (FNV-1a
+// over the codec byte and the pre-compression payload — identical to
+// Table.ChunkHashes).
+type ChunkInfo struct {
+	Offset int64
+	Rows   int
+	Hash   uint64
+}
+
+// streamTable is the per-table slice of the chunk index.
+type streamTable struct {
+	name      string
+	codecByte byte
+	rows      int
+	chunks    []ChunkInfo
+}
+
+// StreamReader iterates a saved binary trace file chunk-by-chunk without
+// materialising tables. It is safe for concurrent cursor reads: the
+// underlying reader is an io.ReaderAt and the index is immutable after
+// open.
+type StreamReader struct {
+	r      io.ReaderAt
+	size   int64
+	closer io.Closer
+	tables []*streamTable
+	byName map[string]*streamTable
+}
+
+// OpenStream opens the trace file at path for streaming reads.
+func OpenStream(path string) (*StreamReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("evstore: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("evstore: %w", err)
+	}
+	sr, err := NewStreamReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sr.closer = f
+	return sr, nil
+}
+
+// NewStreamReader builds a StreamReader over size bytes of r. Format v3
+// files are opened through their index; v2 files get an index built by
+// one sequential scan of the chunk headers. The legacy gob format cannot
+// be streamed (it is one monolithic reflection stream) — load it fully
+// with DB.Load instead.
+func NewStreamReader(r io.ReaderAt, size int64) (*StreamReader, error) {
+	magic := make([]byte, len(magicBinaryV3))
+	if _, err := io.ReadFull(io.NewSectionReader(r, 0, size), magic); err != nil {
+		return nil, corruptf("reading magic: %v", err)
+	}
+	sr := &StreamReader{r: r, size: size}
+	switch string(magic) {
+	case magicBinaryV3:
+		if err := sr.openIndexed(); err != nil {
+			return nil, err
+		}
+	case magicBinary:
+		if err := sr.scanIndex(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, corruptf("not a streamable trace (magic %q); gob-format traces must be fully loaded with Load", magic)
+	}
+	sr.byName = make(map[string]*streamTable, len(sr.tables))
+	for _, t := range sr.tables {
+		if _, dup := sr.byName[t.name]; dup {
+			return nil, corruptf("duplicate table %q in index", t.name)
+		}
+		sr.byName[t.name] = t
+	}
+	return sr, nil
+}
+
+// openIndexed reads a v3 file's footer and index block.
+func (sr *StreamReader) openIndexed() error {
+	if sr.size < int64(len(magicBinaryV3)+footerSize) {
+		return corruptf("file of %d bytes cannot hold a v3 footer", sr.size)
+	}
+	foot := make([]byte, footerSize)
+	if _, err := io.ReadFull(io.NewSectionReader(sr.r, sr.size-int64(footerSize), int64(footerSize)), foot); err != nil {
+		return corruptf("reading footer: %v", err)
+	}
+	if string(foot[8:]) != indexMagic {
+		return corruptf("bad index magic %q", foot[8:])
+	}
+	off := int64(binary.LittleEndian.Uint64(foot[:8]))
+	if off < int64(len(magicBinaryV3)) || off >= sr.size-int64(footerSize) {
+		return corruptf("index offset %d outside file of %d bytes", off, sr.size)
+	}
+	blob := make([]byte, sr.size-int64(footerSize)-off)
+	if _, err := io.ReadFull(io.NewSectionReader(sr.r, off, int64(len(blob))), blob); err != nil {
+		return corruptf("reading index: %v", err)
+	}
+	tables, err := parseStreamIndex(bytes.NewReader(blob), off)
+	if err != nil {
+		return err
+	}
+	sr.tables = tables
+	return nil
+}
+
+// parseStreamIndex decodes an index block. dataEnd bounds the chunk
+// offsets: every chunk must start before the index does.
+func parseStreamIndex(r io.Reader, dataEnd int64) ([]*streamTable, error) {
+	cr := &countingReader{r: r}
+	ntables, err := cr.readUvarint(maxDecodeTables)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	tables := make([]*streamTable, 0, ntables)
+	prevEnd := int64(len(magicBinaryV3))
+	for i := 0; i < int(ntables); i++ {
+		t := &streamTable{}
+		if t.name, err = cr.readString(maxDecodeName); err != nil {
+			return nil, fmt.Errorf("index table %d: %w", i, err)
+		}
+		if t.codecByte, err = cr.readByte(); err != nil {
+			return nil, corruptf("index table %q: truncated codec: %v", t.name, err)
+		}
+		rows, err := cr.readUvarint(maxDecodeRows)
+		if err != nil {
+			return nil, fmt.Errorf("index table %q: %w", t.name, err)
+		}
+		t.rows = int(rows)
+		nchunks, err := cr.readUvarint(maxDecodeRows)
+		if err != nil {
+			return nil, fmt.Errorf("index table %q: %w", t.name, err)
+		}
+		sum := 0
+		t.chunks = make([]ChunkInfo, 0, nchunks)
+		for j := 0; j < int(nchunks); j++ {
+			off, err := cr.readUvarint(uint64(dataEnd))
+			if err != nil {
+				return nil, fmt.Errorf("index table %q chunk %d: %w", t.name, j, err)
+			}
+			crows, err := cr.readUvarint(maxDecodeRows)
+			if err != nil {
+				return nil, fmt.Errorf("index table %q chunk %d: %w", t.name, j, err)
+			}
+			hb, err := cr.readN(8)
+			if err != nil {
+				return nil, fmt.Errorf("index table %q chunk %d: %w", t.name, j, err)
+			}
+			if int64(off) < prevEnd {
+				return nil, corruptf("index table %q chunk %d: offset %d is not monotone", t.name, j, off)
+			}
+			prevEnd = int64(off)
+			sum += int(crows)
+			t.chunks = append(t.chunks, ChunkInfo{
+				Offset: int64(off),
+				Rows:   int(crows),
+				Hash:   binary.LittleEndian.Uint64(hb),
+			})
+		}
+		if sum != t.rows {
+			return nil, corruptf("index table %q: chunk rows sum to %d, header declares %d", t.name, sum, t.rows)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// appendStreamIndex serialises the index block for saveBinary.
+func appendStreamIndex(buf []byte, tables []tableIndex) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(tables)))
+	for _, t := range tables {
+		buf = binary.AppendUvarint(buf, uint64(len(t.name)))
+		buf = append(buf, t.name...)
+		buf = append(buf, t.codecByte)
+		buf = binary.AppendUvarint(buf, uint64(t.rows))
+		buf = binary.AppendUvarint(buf, uint64(len(t.chunks)))
+		for _, c := range t.chunks {
+			buf = binary.AppendUvarint(buf, uint64(c.Offset))
+			buf = binary.AppendUvarint(buf, uint64(c.Rows))
+			buf = binary.LittleEndian.AppendUint64(buf, c.Hash)
+		}
+	}
+	return buf
+}
+
+// scanIndex builds the index for a v2 file by reading every chunk header
+// (and payload, to hash it) once, front to back. Memory stays bounded by
+// one chunk.
+func (sr *StreamReader) scanIndex() error {
+	src := &countedSource{r: bufio.NewReaderSize(io.NewSectionReader(sr.r, int64(len(magicBinary)), sr.size-int64(len(magicBinary))), 1<<16), n: int64(len(magicBinary))}
+	cr := &countingReader{r: src}
+	ntables, err := cr.readUvarint(maxDecodeTables)
+	if err != nil {
+		return fmt.Errorf("evstore: header: %w", err)
+	}
+	for i := 0; i < int(ntables); i++ {
+		t := &streamTable{}
+		if t.name, err = cr.readString(maxDecodeName); err != nil {
+			return fmt.Errorf("evstore: table %d: %w", i, err)
+		}
+		if t.codecByte, err = cr.readByte(); err != nil {
+			return corruptf("table %q: truncated codec: %v", t.name, err)
+		}
+		total, err := cr.readUvarint(maxDecodeRows)
+		if err != nil {
+			return fmt.Errorf("evstore: table %q: %w", t.name, err)
+		}
+		t.rows = int(total)
+		nchunks, err := cr.readUvarint(maxDecodeRows)
+		if err != nil {
+			return fmt.Errorf("evstore: table %q: %w", t.name, err)
+		}
+		sum := 0
+		for j := 0; j < int(nchunks); j++ {
+			off := src.n
+			rc, err := cr.readChunk()
+			if err != nil {
+				return fmt.Errorf("evstore: table %q chunk %d: %w", t.name, j, err)
+			}
+			payload, err := inflateChunk(rc)
+			if err != nil {
+				return fmt.Errorf("evstore: table %q chunk %d: %w", t.name, j, err)
+			}
+			sum += rc.nrows
+			t.chunks = append(t.chunks, ChunkInfo{
+				Offset: off,
+				Rows:   rc.nrows,
+				Hash:   hashChunkPayload(t.codecByte, payload),
+			})
+		}
+		if sum != t.rows {
+			return corruptf("table %q: chunk rows sum to %d, header declares %d", t.name, sum, t.rows)
+		}
+		sr.tables = append(sr.tables, t)
+	}
+	return nil
+}
+
+// hashChunkPayload is the chunk content hash: FNV-1a over the codec byte
+// and the pre-compression payload — byte-identical to Table.hashChunk on
+// the rows the payload decodes to.
+func hashChunkPayload(codecByte byte, payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{codecByte})
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// Close releases the underlying file, when the reader owns one.
+func (sr *StreamReader) Close() error {
+	if sr.closer != nil {
+		return sr.closer.Close()
+	}
+	return nil
+}
+
+// TableNames lists the file's tables in file order.
+func (sr *StreamReader) TableNames() []string {
+	out := make([]string, len(sr.tables))
+	for i, t := range sr.tables {
+		out[i] = t.name
+	}
+	return out
+}
+
+// Rows returns the named table's total row count, or ok=false when the
+// file has no such table.
+func (sr *StreamReader) Rows(name string) (int, bool) {
+	t, ok := sr.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return t.rows, true
+}
+
+// ChunkHashes returns the named table's per-chunk content hashes —
+// identical to Table.ChunkHashes over the loaded rows — or nil when the
+// file has no such table.
+func (sr *StreamReader) ChunkHashes(name string) []uint64 {
+	t, ok := sr.byName[name]
+	if !ok {
+		return nil
+	}
+	out := make([]uint64, len(t.chunks))
+	for i, c := range t.chunks {
+		out[i] = c.Hash
+	}
+	return out
+}
+
+// Chunks returns the named table's chunk descriptors.
+func (sr *StreamReader) Chunks(name string) []ChunkInfo {
+	t, ok := sr.byName[name]
+	if !ok {
+		return nil
+	}
+	return append([]ChunkInfo(nil), t.chunks...)
+}
+
+// StreamCursor iterates one table's chunks in order, decoding each with
+// the table's RowCodec. A cursor holds at most one decoded chunk's rows;
+// cursors over the same StreamReader are independent, so one table can be
+// read by several goroutines each holding its own cursor.
+type StreamCursor[T any] struct {
+	sr    *StreamReader
+	t     *streamTable
+	codec RowCodec[T]
+	next  int
+}
+
+// NewStreamCursor opens a cursor over the named table. codec must match
+// the codec registered when the table was written: a columnar table
+// needs the RowCodec, a gob table accepts nil.
+func NewStreamCursor[T any](sr *StreamReader, name string, codec RowCodec[T]) (*StreamCursor[T], error) {
+	t, ok := sr.byName[name]
+	if !ok {
+		return nil, corruptf("no table %q in stream (have %v)", name, sr.TableNames())
+	}
+	switch t.codecByte {
+	case codecColumnar:
+		if codec == nil {
+			return nil, corruptf("table %q was written with a columnar codec but none was supplied", name)
+		}
+	case codecGob:
+		// Decodable regardless of codec.
+	default:
+		return nil, corruptf("table %q: unknown codec %d", name, t.codecByte)
+	}
+	return &StreamCursor[T]{sr: sr, t: t, codec: codec}, nil
+}
+
+// NumChunks returns the number of chunks the cursor iterates.
+func (c *StreamCursor[T]) NumChunks() int { return len(c.t.chunks) }
+
+// Rows returns the table's total row count.
+func (c *StreamCursor[T]) Rows() int { return c.t.rows }
+
+// Seek positions the cursor so the next Next returns chunk i.
+func (c *StreamCursor[T]) Seek(i int) error {
+	if i < 0 || i > len(c.t.chunks) {
+		return corruptf("seek to chunk %d of table %q with %d chunks", i, c.t.name, len(c.t.chunks))
+	}
+	c.next = i
+	return nil
+}
+
+// Next decodes and returns the next chunk's rows, or (nil, nil) after the
+// last chunk. The decoded payload is verified against the index's chunk
+// hash, so silent mid-stream corruption surfaces as ErrCorrupt rather
+// than as wrong rows.
+func (c *StreamCursor[T]) Next() ([]T, error) {
+	if c.next >= len(c.t.chunks) {
+		return nil, nil
+	}
+	i := c.next
+	c.next++
+	rows, err := readChunkAt(c.sr, c.t, i, c.codec)
+	if err != nil {
+		return nil, fmt.Errorf("evstore: table %q chunk %d: %w", c.t.name, i, err)
+	}
+	return rows, nil
+}
+
+// readChunkAt reads, verifies and decodes one indexed chunk.
+func readChunkAt[T any](sr *StreamReader, t *streamTable, i int, codec RowCodec[T]) ([]T, error) {
+	info := t.chunks[i]
+	sect := io.NewSectionReader(sr.r, info.Offset, sr.size-info.Offset)
+	cr := &countingReader{r: bufio.NewReaderSize(sect, 32<<10)}
+	rc, err := cr.readChunk()
+	if err != nil {
+		return nil, err
+	}
+	if rc.nrows != info.Rows {
+		return nil, corruptf("chunk header declares %d rows, index %d", rc.nrows, info.Rows)
+	}
+	payload, err := inflateChunk(rc)
+	if err != nil {
+		return nil, err
+	}
+	if h := hashChunkPayload(t.codecByte, payload); h != info.Hash {
+		return nil, corruptf("chunk hash %016x does not match index hash %016x", h, info.Hash)
+	}
+	return decodeChunkPayload(codec, t.codecByte, payload, rc.nrows)
+}
+
+// countedSource counts the bytes consumed from an underlying reader —
+// the offset bookkeeping for sequential scans of unindexed files.
+type countedSource struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countedSource) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

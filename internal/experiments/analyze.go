@@ -114,13 +114,23 @@ func SynthAnalysisTrace(nOps int) (*events.Trace, error) {
 		for k, nested := 0, rng.intn(3); k < nested; k++ {
 			oid := nextID()
 			odur := int64(20 + rng.intn(200))
+			oend := at + odur
+			// Nested calls stay inside their parent's span, as the SDK
+			// produces them — also the streaming fold's nesting
+			// precondition.
+			if oend > start+dur {
+				oend = start + dur
+			}
+			if oend <= at {
+				break
+			}
 			ocalls = append(ocalls, events.CallEvent{
 				ID: oid, Kind: events.KindOcall, Enclave: enclave,
 				Thread: sgx.ThreadID(thread), Name: onames[rng.intn(len(onames))],
-				Start: vtime.Cycles(at), End: vtime.Cycles(at + odur),
+				Start: vtime.Cycles(at), End: vtime.Cycles(oend),
 				Parent: eid,
 			})
-			at += odur + int64(rng.intn(40))
+			at = oend + int64(rng.intn(40))
 			if rng.intn(4) == 0 {
 				kind := events.SyncSleep
 				var targets []sgx.ThreadID

@@ -67,8 +67,16 @@ func (a *Analyzer) CallGraph() *CallGraph {
 	for k, n := range agg {
 		g.Edges = append(g.Edges, GraphEdge{From: k.from, To: k.to, Count: n, Indirect: k.indirect})
 	}
-	sort.Slice(g.Edges, func(i, j int) bool {
-		a, b := g.Edges[i], g.Edges[j]
+	sortGraphEdges(g.Edges)
+	return g
+}
+
+// sortGraphEdges fixes the edge order of a rendered graph: by (From,
+// To), direct before indirect. Shared by the resident builder and the
+// streaming fold's assembly.
+func sortGraphEdges(edges []GraphEdge) {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
 		if a.From != b.From {
 			return a.From < b.From
 		}
@@ -77,7 +85,6 @@ func (a *Analyzer) CallGraph() *CallGraph {
 		}
 		return !a.Indirect && b.Indirect
 	})
-	return g
 }
 
 // Node returns the named node, if present.

@@ -1,0 +1,653 @@
+package analyzer
+
+// The streaming fold: the analyser's per-table scans re-expressed as a
+// single merge sweep over time-ordered ecall/ocall/paging chunks with
+// carry state bounded by O(open calls + threads), independent of trace
+// length. The sweep feeds the same aggregate shapes the resident
+// detectors use (ReorderAgg, MergeAgg, MergePair, graph edge counts,
+// per-name duration histograms), so AssembleReport renders a Report
+// that is reflect.DeepEqual to the resident pipeline's.
+//
+// Preconditions. The fold requires the stream-sorted layout
+// events.StreamSort produces — ecalls and ocalls each globally sorted
+// by (Start, ID), paging by (Time, ID) — and verifies it as it sweeps,
+// returning ErrUnsorted otherwise. Direct-parent resolution assumes
+// proper nesting: a call's direct parent spans the call, so the parent
+// is still open when the child starts. Traces whose Parent links break
+// that (a parent that ended before its child started) resolve fewer
+// direct parents than the resident analyser's global ID index would.
+//
+// Carry bounds. The open-call map and per-thread maxEnd are O(threads)
+// for nested traces. Indirect-parent group slots are evicted when their
+// parent call closes; only top-level groups (one per thread × kind) and
+// groups under parents outside the enclave filter persist for the whole
+// sweep.
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/vtime"
+)
+
+// ErrUnsorted reports that a streamed table is not in the stream-sorted
+// layout (events.StreamSort) the fold requires. Callers fall back to
+// resident analysis.
+var ErrUnsorted = errors.New("analyzer: trace tables are not stream-sorted")
+
+// ChunkSeq supplies one table's rows chunk-by-chunk with random access,
+// so window recomputation can re-read only the chunks it needs. Both a
+// resident evstore table and a stream cursor satisfy it (see source.go).
+type ChunkSeq[T any] interface {
+	NumChunks() int
+	Chunk(i int) ([]T, error)
+}
+
+// FoldConfig carries the trace-wide constants of one fold.
+type FoldConfig struct {
+	Weights    Weights
+	Freq       vtime.Frequency
+	Transition vtime.Cycles
+	Enclave    sgx.EnclaveID
+	// SyncRefs maps a call event ID to the number of wake sync events
+	// carried by that ocall (from PrescanSyncs). The sweep resolves
+	// SyncAgg.ShortWakes from it without keeping call durations around.
+	SyncRefs map[events.EventID]int
+}
+
+// FoldInput bundles the three time-ordered feeds of one fold.
+type FoldInput struct {
+	Ecalls ChunkSeq[events.CallEvent]
+	Ocalls ChunkSeq[events.CallEvent]
+	Paging ChunkSeq[events.PagingEvent]
+}
+
+// foldPos is a resume position inside a ChunkSeq.
+type foldPos struct {
+	chunk, row int
+}
+
+type callKey struct {
+	start vtime.Cycles
+	id    events.EventID
+}
+
+func (k callKey) less(o callKey) bool {
+	if k.start != o.start {
+		return k.start < o.start
+	}
+	return k.id < o.id
+}
+
+type openCall struct {
+	name       string
+	start, end vtime.Cycles
+}
+
+// foldGroup mirrors the resident indirect-parent group key: successive
+// calls of one (thread, kind, direct parent) group link as indirect
+// parent and child.
+type foldGroup struct {
+	thread int64
+	kind   events.CallKind
+	parent events.EventID
+}
+
+type groupPrev struct {
+	name string
+	end  vtime.Cycles
+}
+
+// FoldCarry is the cross-chunk state of a fold: cursor resume
+// positions, monotonicity watermarks, the open-call set, the
+// indirect-parent group slots and the per-thread latest call end. Its
+// size is bounded by the number of concurrently open calls and threads,
+// never by trace length.
+type FoldCarry struct {
+	ePos, oPos, pPos   foldPos
+	lastCall, lastPage callKey
+	seenCall, seenPage bool
+
+	open     map[events.EventID]openCall
+	groups   map[foldGroup]groupPrev
+	groupsOf map[events.EventID][]foldGroup
+	maxEnd   map[sgx.ThreadID]vtime.Cycles
+}
+
+// NewFoldCarry returns the empty carry a fold starts from.
+func NewFoldCarry() *FoldCarry {
+	return &FoldCarry{
+		open:     make(map[events.EventID]openCall),
+		groups:   make(map[foldGroup]groupPrev),
+		groupsOf: make(map[events.EventID][]foldGroup),
+		maxEnd:   make(map[sgx.ThreadID]vtime.Cycles),
+	}
+}
+
+// Clone deep-copies the carry so a cached carry-out can seed the next
+// window without aliasing.
+func (c *FoldCarry) Clone() *FoldCarry {
+	out := &FoldCarry{
+		ePos: c.ePos, oPos: c.oPos, pPos: c.pPos,
+		lastCall: c.lastCall, lastPage: c.lastPage,
+		seenCall: c.seenCall, seenPage: c.seenPage,
+		open:     make(map[events.EventID]openCall, len(c.open)),
+		groups:   make(map[foldGroup]groupPrev, len(c.groups)),
+		groupsOf: make(map[events.EventID][]foldGroup, len(c.groupsOf)),
+		maxEnd:   make(map[sgx.ThreadID]vtime.Cycles, len(c.maxEnd)),
+	}
+	for k, v := range c.open {
+		out.open[k] = v
+	}
+	for k, v := range c.groups {
+		out.groups[k] = v
+	}
+	for k, v := range c.groupsOf {
+		out.groupsOf[k] = append([]foldGroup(nil), v...)
+	}
+	for k, v := range c.maxEnd {
+		out.maxEnd[k] = v
+	}
+	return out
+}
+
+// Hash digests the carry's semantic content (positions, watermarks,
+// open calls, group slots, thread watermarks) in a sorted, deterministic
+// order, so equal carries — however produced — hash equally. The serve
+// daemon chains it into window cache keys.
+func (c *FoldCarry) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	ws := func(s string) {
+		wi(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	for _, p := range []foldPos{c.ePos, c.oPos, c.pPos} {
+		wi(int64(p.chunk))
+		wi(int64(p.row))
+	}
+	for _, k := range []callKey{c.lastCall, c.lastPage} {
+		wi(int64(k.start))
+		wi(int64(k.id))
+	}
+	wi(int64(boolInt(c.seenCall)))
+	wi(int64(boolInt(c.seenPage)))
+
+	ids := make([]events.EventID, 0, len(c.open))
+	for id := range c.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	wi(int64(len(ids)))
+	for _, id := range ids {
+		oc := c.open[id]
+		wi(int64(id))
+		ws(oc.name)
+		wi(int64(oc.start))
+		wi(int64(oc.end))
+	}
+
+	gks := make([]foldGroup, 0, len(c.groups))
+	for k := range c.groups {
+		gks = append(gks, k)
+	}
+	sort.Slice(gks, func(i, j int) bool {
+		a, b := gks[i], gks[j]
+		if a.thread != b.thread {
+			return a.thread < b.thread
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.parent < b.parent
+	})
+	wi(int64(len(gks)))
+	for _, k := range gks {
+		wi(k.thread)
+		wi(int64(k.kind))
+		wi(int64(k.parent))
+		p := c.groups[k]
+		ws(p.name)
+		wi(int64(p.end))
+	}
+
+	ths := make([]sgx.ThreadID, 0, len(c.maxEnd))
+	for t := range c.maxEnd {
+		ths = append(ths, t)
+	}
+	sort.Slice(ths, func(i, j int) bool { return ths[i] < ths[j] })
+	wi(int64(len(ths)))
+	for _, t := range ths {
+		wi(int64(t))
+		wi(int64(c.maxEnd[t]))
+	}
+	return h.Sum64()
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// evict drops open calls that ended before pos, and with each the group
+// slots keyed under it: a closed parent can have no further children
+// under proper nesting, so the slots are dead.
+func (c *FoldCarry) evict(pos vtime.Cycles) {
+	for id, oc := range c.open {
+		if oc.end < pos {
+			delete(c.open, id)
+			for _, gk := range c.groupsOf[id] {
+				delete(c.groups, gk)
+			}
+			delete(c.groupsOf, id)
+		}
+	}
+}
+
+// GraphKey identifies one call-graph edge: direct (solid) or indirect
+// (dashed) parenthood from one call name to another.
+type GraphKey struct {
+	From, To string
+	Indirect bool
+}
+
+// NameAgg accumulates one call name's streaming aggregates: the
+// duration multiset as a histogram (bounded by distinct durations, not
+// executions), the AEX total, and the first-occurrence kind and call ID
+// the call graph reports.
+type NameAgg struct {
+	Kind     events.CallKind
+	CallID   int
+	Count    int
+	TotalAEX int
+	Hist     map[time.Duration]int
+}
+
+// PagingAgg accumulates the paging summary counters.
+type PagingAgg struct {
+	PageIns, PageOuts, DuringCalls int
+	ByRegion                       map[string]int
+}
+
+// PrivateAgg accumulates one ecall name's make-private evidence.
+type PrivateAgg struct {
+	// TopLevel records that at least one execution had no direct parent.
+	TopLevel bool
+	// Parents are the resolved direct-parent names.
+	Parents map[string]bool
+}
+
+// FoldDelta is one window's (or one whole sweep's) aggregate output.
+// Deltas merge associatively in window order; a merged delta equals the
+// delta of the concatenated input.
+type FoldDelta struct {
+	Names      map[string]*NameAgg
+	Reorder    map[string]*ReorderAgg
+	Merge      map[MergePair]*MergeAgg
+	Edges      map[GraphKey]int
+	Paging     PagingAgg
+	ShortWakes int
+	Private    map[string]*PrivateAgg
+	Observed   map[string]map[string]bool
+}
+
+// NewFoldDelta returns an empty delta.
+func NewFoldDelta() *FoldDelta {
+	return &FoldDelta{
+		Names:    make(map[string]*NameAgg),
+		Reorder:  make(map[string]*ReorderAgg),
+		Merge:    make(map[MergePair]*MergeAgg),
+		Edges:    make(map[GraphKey]int),
+		Paging:   PagingAgg{ByRegion: make(map[string]int)},
+		Private:  make(map[string]*PrivateAgg),
+		Observed: make(map[string]map[string]bool),
+	}
+}
+
+func (d *FoldDelta) name(ev *events.CallEvent) *NameAgg {
+	na := d.Names[ev.Name]
+	if na == nil {
+		na = &NameAgg{Kind: ev.Kind, CallID: ev.CallID, Hist: make(map[time.Duration]int)}
+		d.Names[ev.Name] = na
+	}
+	return na
+}
+
+func (d *FoldDelta) reorder(name string) *ReorderAgg {
+	g := d.Reorder[name]
+	if g == nil {
+		g = &ReorderAgg{}
+		d.Reorder[name] = g
+	}
+	return g
+}
+
+func (d *FoldDelta) merge(k MergePair) *MergeAgg {
+	g := d.Merge[k]
+	if g == nil {
+		g = &MergeAgg{}
+		d.Merge[k] = g
+	}
+	return g
+}
+
+func (d *FoldDelta) private(name string) *PrivateAgg {
+	p := d.Private[name]
+	if p == nil {
+		p = &PrivateAgg{Parents: make(map[string]bool)}
+		d.Private[name] = p
+	}
+	return p
+}
+
+func (d *FoldDelta) observed(parent string) map[string]bool {
+	s := d.Observed[parent]
+	if s == nil {
+		s = make(map[string]bool)
+		d.Observed[parent] = s
+	}
+	return s
+}
+
+// MergeFrom folds a later window's delta into this one. Window order
+// matters only for the first-occurrence fields of NameAgg.
+func (d *FoldDelta) MergeFrom(o *FoldDelta) {
+	for name, na := range o.Names {
+		mine := d.Names[name]
+		if mine == nil {
+			mine = &NameAgg{Kind: na.Kind, CallID: na.CallID, Hist: make(map[time.Duration]int)}
+			d.Names[name] = mine
+		}
+		mine.Count += na.Count
+		mine.TotalAEX += na.TotalAEX
+		for dur, n := range na.Hist {
+			mine.Hist[dur] += n
+		}
+	}
+	for name, g := range o.Reorder {
+		mine := d.reorder(name)
+		mine.Total += g.Total
+		mine.S10 += g.S10
+		mine.S20 += g.S20
+		mine.E10 += g.E10
+		mine.E20 += g.E20
+	}
+	for k, g := range o.Merge {
+		mine := d.merge(k)
+		mine.Count += g.Count
+		mine.G1 += g.G1
+		mine.G5 += g.G5
+		mine.G10 += g.G10
+		mine.G20 += g.G20
+	}
+	for k, n := range o.Edges {
+		d.Edges[k] += n
+	}
+	d.Paging.PageIns += o.Paging.PageIns
+	d.Paging.PageOuts += o.Paging.PageOuts
+	d.Paging.DuringCalls += o.Paging.DuringCalls
+	for r, n := range o.Paging.ByRegion {
+		d.Paging.ByRegion[r] += n
+	}
+	d.ShortWakes += o.ShortWakes
+	for name, p := range o.Private {
+		mine := d.private(name)
+		mine.TopLevel = mine.TopLevel || p.TopLevel
+		for pn := range p.Parents {
+			mine.Parents[pn] = true
+		}
+	}
+	for parent, set := range o.Observed {
+		mine := d.observed(parent)
+		for n := range set {
+			mine[n] = true
+		}
+	}
+}
+
+// seqCursor walks one ChunkSeq from a resume position, holding at most
+// one chunk resident.
+type seqCursor[T any] struct {
+	seq        ChunkSeq[T]
+	n          int
+	chunk, row int
+	buf        []T
+	loaded     bool
+}
+
+func newSeqCursor[T any](seq ChunkSeq[T], pos foldPos) *seqCursor[T] {
+	return &seqCursor[T]{seq: seq, n: seq.NumChunks(), chunk: pos.chunk, row: pos.row}
+}
+
+// head returns the current row without consuming it, or nil at EOF.
+func (c *seqCursor[T]) head() (*T, error) {
+	for c.chunk < c.n {
+		if !c.loaded {
+			buf, err := c.seq.Chunk(c.chunk)
+			if err != nil {
+				return nil, err
+			}
+			c.buf = buf
+			c.loaded = true
+		}
+		if c.row < len(c.buf) {
+			return &c.buf[c.row], nil
+		}
+		c.chunk++
+		c.row = 0
+		c.buf = nil
+		c.loaded = false
+	}
+	return nil, nil
+}
+
+func (c *seqCursor[T]) pop() { c.row++ }
+
+func (c *seqCursor[T]) pos() foldPos { return foldPos{c.chunk, c.row} }
+
+// WindowBound returns the exclusive time bound of window k: the
+// earliest first-row Start of the two call tables' chunk k+1. Events at
+// or after the bound belong to later windows. ok=false means neither
+// table has a chunk k+1, so window k is the final one.
+func WindowBound(in FoldInput, k int) (vtime.Cycles, bool, error) {
+	var bound vtime.Cycles
+	ok := false
+	for _, seq := range []ChunkSeq[events.CallEvent]{in.Ecalls, in.Ocalls} {
+		if seq == nil || k+1 >= seq.NumChunks() {
+			continue
+		}
+		rows, err := seq.Chunk(k + 1)
+		if err != nil {
+			return 0, false, err
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		if !ok || rows[0].Start < bound {
+			bound = rows[0].Start
+			ok = true
+		}
+	}
+	return bound, ok, nil
+}
+
+// FoldWindow runs the merge sweep from carry's resume positions up to
+// (but excluding) events at or after bound, or to end of data when
+// final is set. It returns the window's delta and the carry-out; the
+// carry-in is not mutated. The carry-out is canonical for (carry-in,
+// consumed events): open calls ending before the bound are evicted, so
+// its Hash depends only on semantic content.
+func FoldWindow(cfg *FoldConfig, carryIn *FoldCarry, in FoldInput, bound vtime.Cycles, final bool) (*FoldDelta, *FoldCarry, error) {
+	carry := carryIn.Clone()
+	delta := NewFoldDelta()
+
+	ec := newSeqCursor[events.CallEvent](in.Ecalls, carry.ePos)
+	oc := newSeqCursor[events.CallEvent](in.Ocalls, carry.oPos)
+	pc := newSeqCursor[events.PagingEvent](in.Paging, carry.pPos)
+
+	for {
+		e, err := ec.head()
+		if err != nil {
+			return nil, nil, err
+		}
+		o, err := oc.head()
+		if err != nil {
+			return nil, nil, err
+		}
+		// Pick the earlier call head by (Start, ID) — the resident
+		// prepare() sort order.
+		var call *events.CallEvent
+		var fromE bool
+		switch {
+		case e != nil && o != nil:
+			if (callKey{e.Start, e.ID}).less(callKey{o.Start, o.ID}) {
+				call, fromE = e, true
+			} else {
+				call, fromE = o, false
+			}
+		case e != nil:
+			call, fromE = e, true
+		case o != nil:
+			call, fromE = o, false
+		}
+		if call != nil && !final && call.Start >= bound {
+			call = nil
+		}
+
+		p, err := pc.head()
+		if err != nil {
+			return nil, nil, err
+		}
+		if p != nil && !final && p.Time >= bound {
+			p = nil
+		}
+
+		// Paging events interleave after calls sharing their timestamp:
+		// the resident DuringCalls test is Start <= Time, inclusive.
+		if p != nil && (call == nil || p.Time < call.Start) {
+			k := callKey{p.Time, p.ID}
+			if carry.seenPage && !carry.lastPage.less(k) {
+				return nil, nil, ErrUnsorted
+			}
+			carry.lastPage, carry.seenPage = k, true
+			if p.Kind == events.PageIn {
+				delta.Paging.PageIns++
+			} else {
+				delta.Paging.PageOuts++
+			}
+			delta.Paging.ByRegion[p.PageKind]++
+			if me, ok := carry.maxEnd[p.Thread]; ok && me >= p.Time {
+				delta.Paging.DuringCalls++
+			}
+			pc.pop()
+			continue
+		}
+		if call == nil {
+			break
+		}
+
+		k := callKey{call.Start, call.ID}
+		if carry.seenCall && !carry.lastCall.less(k) {
+			return nil, nil, ErrUnsorted
+		}
+		carry.lastCall, carry.seenCall = k, true
+		if cfg.Enclave != 0 && call.Enclave != cfg.Enclave {
+			if fromE {
+				ec.pop()
+			} else {
+				oc.pop()
+			}
+			continue
+		}
+
+		carry.evict(call.Start)
+		foldCall(cfg, carry, delta, call)
+		if fromE {
+			ec.pop()
+		} else {
+			oc.pop()
+		}
+	}
+
+	if !final {
+		carry.evict(bound)
+	}
+	carry.ePos, carry.oPos, carry.pPos = ec.pos(), oc.pos(), pc.pos()
+	return delta, carry, nil
+}
+
+// foldCall folds one in-filter call into the delta and carry.
+func foldCall(cfg *FoldConfig, carry *FoldCarry, delta *FoldDelta, call *events.CallEvent) {
+	var adjusted time.Duration
+	if call.Kind == events.KindEcall {
+		adjusted = cfg.Freq.Duration(call.Duration() - cfg.Transition)
+		if adjusted < 0 {
+			adjusted = 0
+		}
+	} else {
+		adjusted = cfg.Freq.Duration(call.Duration())
+	}
+
+	na := delta.name(call)
+	na.Count++
+	na.TotalAEX += call.AEXCount
+	na.Hist[adjusted]++
+
+	if n := cfg.SyncRefs[call.ID]; n > 0 && adjusted < cfg.Weights.SyncShortLimit {
+		delta.ShortWakes += n
+	}
+
+	var parentName string
+	hasDirect := false
+	if call.Parent != events.NoEvent {
+		if p, ok := carry.open[call.Parent]; ok {
+			hasDirect = true
+			parentName = p.name
+			offStart := cfg.Freq.Duration(call.Start - p.start)
+			offEnd := cfg.Freq.Duration(p.end - call.End)
+			delta.reorder(call.Name).Add(offStart, offEnd)
+			delta.Edges[GraphKey{From: p.name, To: call.Name}]++
+			if call.Kind == events.KindEcall {
+				delta.observed(p.name)[call.Name] = true
+			}
+		}
+	}
+	// Tracked for every instance regardless of kind: the resident
+	// make-private scan walks all of a name's instances and gates on the
+	// name's first-occurrence kind only at render time.
+	pa := delta.private(call.Name)
+	if call.Parent == events.NoEvent {
+		pa.TopLevel = true
+	} else if hasDirect {
+		pa.Parents[parentName] = true
+	}
+
+	gk := foldGroup{thread: int64(call.Thread), kind: call.Kind, parent: call.Parent}
+	if prev, ok := carry.groups[gk]; ok {
+		gap := cfg.Freq.Duration(call.Start - prev.end)
+		if gap < 0 {
+			gap = 0
+		}
+		delta.merge(MergePair{Parent: prev.name, Child: call.Name}).Add(gap)
+		delta.Edges[GraphKey{From: prev.name, To: call.Name, Indirect: true}]++
+	} else if call.Parent != events.NoEvent {
+		carry.groupsOf[call.Parent] = append(carry.groupsOf[call.Parent], gk)
+	}
+	carry.groups[gk] = groupPrev{name: call.Name, end: call.End}
+
+	carry.open[call.ID] = openCall{name: call.Name, start: call.Start, end: call.End}
+	if call.End > carry.maxEnd[call.Thread] {
+		carry.maxEnd[call.Thread] = call.End
+	}
+}

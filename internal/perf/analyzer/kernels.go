@@ -64,6 +64,85 @@ func StatsFromDurations(name string, kind events.CallKind, durs []time.Duration,
 	return s, true
 }
 
+// StatsFromHistogram computes the same statistics as StatsFromDurations
+// from a duration→count histogram — the bounded-memory representation
+// the streaming fold carries. The float accumulations replay the exact
+// per-execution addition sequence StatsFromDurations performs over the
+// sorted multiset (one add per execution, ascending), so the two
+// kernels return bit-identical CallStats for equal multisets.
+func StatsFromHistogram(name string, kind events.CallKind, hist map[time.Duration]int, totalAEX int) (CallStats, bool) {
+	n := 0
+	for _, k := range hist {
+		n += k
+	}
+	if n == 0 {
+		return CallStats{}, false
+	}
+	durs := make([]time.Duration, 0, len(hist))
+	for d := range hist {
+		durs = append(durs, d)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+
+	s := CallStats{Name: name, Kind: kind, Count: n, TotalAEX: totalAEX}
+	var sum float64
+	for _, d := range durs {
+		for i := 0; i < hist[d]; i++ {
+			sum += float64(d)
+		}
+		k := float64(hist[d])
+		switch {
+		case d < time.Microsecond:
+			s.FracBelow1us += k
+			fallthrough
+		case d < 5*time.Microsecond:
+			s.FracBelow5us += k
+			fallthrough
+		case d < 10*time.Microsecond:
+			s.FracBelow10us += k
+		}
+	}
+	fn := float64(n)
+	s.FracBelow1us /= fn
+	s.FracBelow5us /= fn
+	s.FracBelow10us /= fn
+
+	s.Min, s.Max = durs[0], durs[len(durs)-1]
+	s.Mean = time.Duration(sum / fn)
+
+	rank := func(p float64) time.Duration {
+		r := int(math.Ceil(p*fn)) - 1
+		if r < 0 {
+			r = 0
+		}
+		if r >= n {
+			r = n - 1
+		}
+		cum := 0
+		for _, d := range durs {
+			cum += hist[d]
+			if r < cum {
+				return d
+			}
+		}
+		return durs[len(durs)-1]
+	}
+	s.Median = rank(0.50)
+	s.P90 = rank(0.90)
+	s.P95 = rank(0.95)
+	s.P99 = rank(0.99)
+
+	var varSum float64
+	for _, d := range durs {
+		diff := float64(d) - float64(s.Mean)
+		for i := 0; i < hist[d]; i++ {
+			varSum += diff * diff
+		}
+	}
+	s.Std = time.Duration(math.Sqrt(varSum / fn))
+	return s, true
+}
+
 // SortStats orders a stats overview by descending execution count,
 // preserving the existing (name-sorted) order among equals — the §4.3.1
 // overview ordering.

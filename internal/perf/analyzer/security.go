@@ -97,17 +97,22 @@ func (a *Analyzer) privateCandidates() []SecurityHint {
 		if !allNested || len(calls) == 0 {
 			continue
 		}
-		names := sortedKeys(parentOcalls)
-		out = append(out, SecurityHint{
-			Kind:  HintMakePrivate,
-			Call:  name,
-			Names: names,
-			Text: fmt.Sprintf(
-				"ecall %s was only issued during ocalls; declare it private and allow it from: %v (workload-dependent)",
-				name, names),
-		})
+		out = append(out, makePrivateHint(name, sortedKeys(parentOcalls)))
 	}
 	return out
+}
+
+// makePrivateHint renders one make-private hint; shared by the resident
+// scan and the streaming fold's assembly.
+func makePrivateHint(name string, parents []string) SecurityHint {
+	return SecurityHint{
+		Kind:  HintMakePrivate,
+		Call:  name,
+		Names: parents,
+		Text: fmt.Sprintf(
+			"ecall %s was only issued during ocalls; declare it private and allow it from: %v (workload-dependent)",
+			name, parents),
+	}
 }
 
 // allowHints compares declared allow lists with the ecalls actually issued
@@ -134,8 +139,16 @@ func (a *Analyzer) allowHints() []SecurityHint {
 		}
 		observed[pn][c.ev.Name] = true
 	}
+	return allowHintsFrom(a.iface, observed, func(name string) int { return len(a.byName[name]) })
+}
+
+// allowHintsFrom renders the allow-list hints from the observed
+// ocall→ecall nesting sets; shared by the resident scan and the
+// streaming fold's assembly. totalOf reports a call name's execution
+// count so undeclared-but-unexercised ocalls are not judged.
+func allowHintsFrom(iface *edl.Interface, observed map[string]map[string]bool, totalOf func(string) int) []SecurityHint {
 	var out []SecurityHint
-	if a.iface == nil {
+	if iface == nil {
 		for _, ocall := range sortedKeys2(observed) {
 			set := sortedKeys(observed[ocall])
 			out = append(out, SecurityHint{
@@ -147,12 +160,12 @@ func (a *Analyzer) allowHints() []SecurityHint {
 		}
 		return out
 	}
-	for _, o := range a.iface.Ocalls() {
+	for _, o := range iface.Ocalls() {
 		if len(o.Allow) == 0 {
 			continue
 		}
 		// Only judge ocalls the workload exercised.
-		if len(a.byName[o.Name]) == 0 {
+		if totalOf(o.Name) == 0 {
 			continue
 		}
 		var removable []string
@@ -180,7 +193,13 @@ func (a *Analyzer) allowHints() []SecurityHint {
 // userCheckHints highlights calls with user_check pointers so developers
 // re-verify their pointer handling (§3.6).
 func (a *Analyzer) userCheckHints() []SecurityHint {
-	if a.iface == nil {
+	return userCheckHintsFor(a.iface)
+}
+
+// userCheckHintsFor derives the user_check hints from the interface
+// alone; shared by the resident scan and the streaming fold's assembly.
+func userCheckHintsFor(iface *edl.Interface) []SecurityHint {
+	if iface == nil {
 		return nil
 	}
 	var out []SecurityHint
@@ -203,10 +222,10 @@ func (a *Analyzer) userCheckHints() []SecurityHint {
 				f.Kind, f.Name, params),
 		})
 	}
-	for _, f := range a.iface.Ecalls() {
+	for _, f := range iface.Ecalls() {
 		flag(f)
 	}
-	for _, f := range a.iface.Ocalls() {
+	for _, f := range iface.Ocalls() {
 		flag(f)
 	}
 	return out

@@ -1,0 +1,189 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/evstore"
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/vtime"
+)
+
+// StreamSource feeds the streaming fold. It abstracts over where the
+// chunks come from: resident evstore tables (NewTraceSource) or a saved
+// trace file read chunk-by-chunk (NewStreamTraceSource). Only the
+// header tables are materialised; everything else is pulled one chunk
+// at a time by the fold.
+type StreamSource struct {
+	Workload   string
+	Enclaves   []events.EnclaveMeta
+	Freq       vtime.Frequency
+	Transition vtime.Cycles
+
+	Ecalls     ChunkSeq[events.CallEvent]
+	Ocalls     ChunkSeq[events.CallEvent]
+	Paging     ChunkSeq[events.PagingEvent]
+	Syncs      ChunkSeq[events.SyncEvent]
+	Switchless ChunkSeq[events.SwitchlessEvent]
+}
+
+// tableSeq adapts a resident evstore table to ChunkSeq.
+type tableSeq[T any] struct{ t *evstore.Table[T] }
+
+func (s tableSeq[T]) NumChunks() int           { return s.t.NumChunks() }
+func (s tableSeq[T]) Chunk(i int) ([]T, error) { return s.t.ChunkAt(i), nil }
+
+// TableSeq exposes a resident table as a fold feed.
+func TableSeq[T any](t *evstore.Table[T]) ChunkSeq[T] { return tableSeq[T]{t} }
+
+// cursorSeq adapts an evstore stream cursor to ChunkSeq. Chunk seeks,
+// so out-of-order window recomputation re-reads only what it needs.
+type cursorSeq[T any] struct{ c *evstore.StreamCursor[T] }
+
+func (s cursorSeq[T]) NumChunks() int { return s.c.NumChunks() }
+
+func (s cursorSeq[T]) Chunk(i int) ([]T, error) {
+	if err := s.c.Seek(i); err != nil {
+		return nil, err
+	}
+	rows, err := s.c.Next()
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		return nil, fmt.Errorf("analyzer: chunk %d out of range", i)
+	}
+	return rows, nil
+}
+
+// CursorSeq exposes a stream cursor as a fold feed.
+func CursorSeq[T any](c *evstore.StreamCursor[T]) ChunkSeq[T] { return cursorSeq[T]{c} }
+
+// NewTraceSource feeds the fold from a resident trace's tables. The
+// order-sensitive tables must be stream-sorted (events.StreamSort);
+// otherwise AnalyzeStream returns ErrUnsorted.
+func NewTraceSource(t *events.Trace) *StreamSource {
+	var enclaves []events.EnclaveMeta
+	t.Enclaves.Scan(func(_ int, m events.EnclaveMeta) bool {
+		enclaves = append(enclaves, m)
+		return true
+	})
+	workload := ""
+	if t.Meta.Len() > 0 {
+		workload = t.Meta.At(0).Workload
+	}
+	return &StreamSource{
+		Workload:   workload,
+		Enclaves:   enclaves,
+		Freq:       t.Frequency(),
+		Transition: t.TransitionCycles(),
+		Ecalls:     TableSeq(t.Ecalls),
+		Ocalls:     TableSeq(t.Ocalls),
+		Paging:     TableSeq(t.Paging),
+		Syncs:      TableSeq(t.Syncs),
+		Switchless: TableSeq(t.Switchless),
+	}
+}
+
+// NewStreamTraceSource feeds the fold from a saved trace file without
+// loading it: each table is an on-demand chunk cursor.
+func NewStreamTraceSource(st *events.StreamTrace) (*StreamSource, error) {
+	ec, err := st.Ecalls()
+	if err != nil {
+		return nil, err
+	}
+	oc, err := st.Ocalls()
+	if err != nil {
+		return nil, err
+	}
+	pc, err := st.Paging()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := st.Syncs()
+	if err != nil {
+		return nil, err
+	}
+	wc, err := st.Switchless()
+	if err != nil {
+		return nil, err
+	}
+	return &StreamSource{
+		Workload:   st.Workload(),
+		Enclaves:   st.Enclaves(),
+		Freq:       st.Frequency(),
+		Transition: st.TransitionCycles(),
+		Ecalls:     CursorSeq(ec),
+		Ocalls:     CursorSeq(oc),
+		Paging:     CursorSeq(pc),
+		Syncs:      CursorSeq(sc),
+		Switchless: CursorSeq(wc),
+	}, nil
+}
+
+// Interface recovers the enclave interface embedded in the source's
+// enclave descriptors (the first parseable EDL), or nil.
+func (src *StreamSource) Interface() *edl.Interface {
+	return interfaceFromMetas(src.Enclaves)
+}
+
+// interfaceFromMetas recovers the first parseable embedded EDL, the
+// streaming counterpart of interfaceFromTrace.
+func interfaceFromMetas(metas []events.EnclaveMeta) *edl.Interface {
+	for _, meta := range metas {
+		if meta.EDL == "" {
+			continue
+		}
+		if iface, _, err := edl.Parse(meta.EDL); err == nil {
+			return iface
+		}
+	}
+	return nil
+}
+
+// AnalyzeStream analyses a trace through the bounded-memory fold:
+// one order-free prescan over syncs and switchless, then a single merge
+// sweep over the time-ordered ecall/ocall/paging chunks. Memory stays
+// O(chunk size + open calls + threads) however long the trace is. The
+// report is reflect.DeepEqual to New(trace, opts).Analyze() on the same
+// events (see TestAnalyzeStreamingMatchesResident). Returns ErrUnsorted
+// when the order-sensitive tables are not stream-sorted.
+func AnalyzeStream(src *StreamSource, opts Options) (*Report, error) {
+	if src == nil {
+		return nil, fmt.Errorf("analyzer: %w", ErrNoTrace)
+	}
+	if opts.Weights == (Weights{}) {
+		opts.Weights = DefaultWeights()
+	}
+	iface := opts.Interface
+	if iface == nil {
+		iface = interfaceFromMetas(src.Enclaves)
+	}
+
+	pre, err := PrescanSyncs(src.Syncs)
+	if err != nil {
+		return nil, err
+	}
+	swAgg, err := FoldSwitchless(src.Switchless)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := &FoldConfig{
+		Weights:    opts.Weights,
+		Freq:       src.Freq,
+		Transition: src.Transition,
+		Enclave:    opts.Enclave,
+		SyncRefs:   pre.Refs,
+	}
+	delta, _, err := FoldWindow(cfg, NewFoldCarry(), FoldInput{
+		Ecalls: src.Ecalls,
+		Ocalls: src.Ocalls,
+		Paging: src.Paging,
+	}, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	sw := SwitchlessStatsFrom(swAgg, src.Freq)
+	return AssembleReport(src.Workload, cfg, delta, pre, sw, iface), nil
+}

@@ -39,11 +39,18 @@ var traceTableOrder = []string{
 // artifacts.
 func (t *Trace) ContentKey() string {
 	hashes := t.ChunkHashes()
+	return contentKeyFrom(func(name string) []uint64 { return hashes[name] })
+}
+
+// contentKeyFrom is the shared fold behind Trace.ContentKey and
+// StreamTrace.ContentKey: both identities must agree so the serve
+// daemon and the out-of-core CLI address the same cache entries.
+func contentKeyFrom(hashes func(name string) []uint64) string {
 	h := fnv.New64a()
 	var buf [8]byte
 	for _, name := range traceTableOrder {
 		h.Write([]byte(name))
-		chunks := hashes[name]
+		chunks := hashes(name)
 		binary.LittleEndian.PutUint64(buf[:], uint64(len(chunks)))
 		h.Write(buf[:])
 		for _, c := range chunks {

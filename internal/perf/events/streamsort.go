@@ -1,0 +1,28 @@
+package events
+
+import "sgxperf/internal/evstore"
+
+// StreamSort rewrites the trace's order-sensitive tables into the
+// stream-sorted layout the streaming analyzer fold requires: ecalls and
+// ocalls each globally sorted by (Start, ID), paging by (Time, ID). The
+// remaining tables are order-free for the fold and are left untouched.
+// Call it before Save when the trace is destined for out-of-core
+// analysis; resident analysis is order-insensitive either way.
+func StreamSort(t *Trace) {
+	sortCalls := func(tbl *evstore.Table[CallEvent]) {
+		tbl.Replace(tbl.OrderedBy(func(a, b CallEvent) bool {
+			if a.Start != b.Start {
+				return a.Start < b.Start
+			}
+			return a.ID < b.ID
+		}))
+	}
+	sortCalls(t.Ecalls)
+	sortCalls(t.Ocalls)
+	t.Paging.Replace(t.Paging.OrderedBy(func(a, b PagingEvent) bool {
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		return a.ID < b.ID
+	}))
+}

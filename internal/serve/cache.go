@@ -29,6 +29,7 @@ type ArtifactCache struct {
 	entries  map[string]*list.Element
 	lru      *list.List // front = most recently used
 	inflight map[string]*flight
+	bytes    uint64 // estimated resident artifact bytes (see size.go)
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -38,8 +39,9 @@ type ArtifactCache struct {
 
 // cacheEntry is one resident artifact (the lru list's element value).
 type cacheEntry struct {
-	key string
-	val any
+	key   string
+	val   any
+	bytes uint64
 }
 
 // flight is one in-progress computation; waiters block on done and then
@@ -91,15 +93,22 @@ func (c *ArtifactCache) GetOrCompute(key string, compute func() (any, error)) (v
 
 	f.val, f.err = compute()
 
+	var size uint64
+	if f.err == nil {
+		size = artifactBytes(f.val) // priced outside the lock
+	}
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if f.err == nil {
-		el := c.lru.PushFront(&cacheEntry{key: key, val: f.val})
+		el := c.lru.PushFront(&cacheEntry{key: key, val: f.val, bytes: size})
 		c.entries[key] = el
+		c.bytes += size
 		for c.lru.Len() > c.capacity {
 			oldest := c.lru.Back()
 			c.lru.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			ent := oldest.Value.(*cacheEntry)
+			delete(c.entries, ent.key)
+			c.bytes -= ent.bytes
 			c.evictions.Add(1)
 		}
 	}
@@ -115,13 +124,24 @@ func (c *ArtifactCache) Len() int {
 	return c.lru.Len()
 }
 
+// Bytes returns the estimated resident size of every cached artifact.
+func (c *ArtifactCache) Bytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
 // Metrics returns the cache's wire-form counters.
 func (c *ArtifactCache) Metrics() apiv1.CacheMetrics {
+	c.mu.Lock()
+	entries, bytes := c.lru.Len(), c.bytes
+	c.mu.Unlock()
 	return apiv1.CacheMetrics{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Coalesced: c.coalesced.Load(),
-		Entries:   c.Len(),
+		Entries:   entries,
+		Bytes:     bytes,
 		Evictions: c.evictions.Load(),
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -340,6 +341,91 @@ func TestStatsWindowsIncremental(t *testing.T) {
 	}
 }
 
+// TestReportWindowsIncremental proves the windowed full-report engine:
+// the complete report — statistics, detector findings, call graph,
+// security hints — served after an append replays every frozen fold
+// window from the cache and recomputes only the tail, while staying
+// byte-identical to the offline analyser on the appended trace.
+func TestReportWindowsIncremental(t *testing.T) {
+	_, ts := newTestServer(t)
+	tr := synthTrace(t, 1500) // two ecall chunks: multi-window from the start
+	upload(t, ts, "rw", tr)
+
+	getReport := func() ([]byte, [3]int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/traces/rw/report")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("report: status %d: %s", resp.StatusCode, raw)
+		}
+		var wc [3]int
+		for i, h := range []string{"Sgxperf-Windows-Total", "Sgxperf-Windows-Computed", "Sgxperf-Windows-Reused"} {
+			v, err := strconv.Atoi(resp.Header.Get(h))
+			if err != nil {
+				t.Fatalf("header %s = %q: %v", h, resp.Header.Get(h), err)
+			}
+			wc[i] = v
+		}
+		return raw, wc
+	}
+	offline := func() []byte {
+		t.Helper()
+		a, err := analyzer.New(tr, analyzer.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := apiv1.Marshal(apiv1.FromReport(a.Analyze()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	nWin := tr.Ecalls.NumChunks()
+	if nWin < 2 {
+		t.Fatalf("want a multi-chunk trace, got %d ecall chunks", nWin)
+	}
+	cold, wc := getReport()
+	if wc != [3]int{nWin, nWin, 0} {
+		t.Fatalf("cold report windows = %v, want all %d computed", wc, nWin)
+	}
+	if !bytes.Equal(cold, offline()) {
+		t.Fatal("cold windowed report differs from the offline analyser's")
+	}
+
+	if _, wc = getReport(); wc != [3]int{nWin, 0, nWin} {
+		t.Fatalf("warm report windows = %v, want all %d reused", wc, nWin)
+	}
+
+	// Append enough sorted events to fill the tail ecall chunk and spill
+	// into a new one: the frozen windows replay from the cache; only the
+	// grown tail chunk's window and the new final window are refolded.
+	delta := deltaTrace(t, 700, 3_000)
+	if status, raw := doReq(t, "POST", ts.URL+"/v1/traces/rw/append", traceBytes(t, delta)); status != http.StatusOK {
+		t.Fatalf("append: status %d: %s", status, raw)
+	}
+	appendTrace(tr, delta) // mirror locally for the offline reference
+
+	grown := tr.Ecalls.NumChunks()
+	if grown != nWin+1 {
+		t.Fatalf("append grew the ecall table to %d chunks, want %d", grown, nWin+1)
+	}
+	tail, wc := getReport()
+	if wc != [3]int{grown, 2, grown - 2} {
+		t.Fatalf("post-append report windows = %v, want 2 computed / %d reused", wc, grown-2)
+	}
+	if !bytes.Equal(tail, offline()) {
+		t.Fatal("post-append windowed report differs from the offline analyser's")
+	}
+}
+
 // TestLintEndpoint proves the hybrid lint artifact serves the EDL
 // embedded in the trace.
 func TestLintEndpoint(t *testing.T) {
@@ -482,6 +568,46 @@ func TestTraceListing(t *testing.T) {
 	}
 }
 
+// TestMetricsMemoryGauges proves /v1/metrics carries the memory gauge
+// set: a live runtime.MemStats snapshot, the peak heap observed across
+// analysis work, and the artifact cache's estimated resident bytes —
+// the production-observable side of the bounded-memory claim.
+func TestMetricsMemoryGauges(t *testing.T) {
+	_, ts := newTestServer(t)
+	upload(t, ts, "m", synthTrace(t, 500))
+
+	// A cold report populates the artifact cache and samples the peak.
+	if status, raw := doReq(t, "GET", ts.URL+"/v1/traces/m/report", nil); status != http.StatusOK {
+		t.Fatalf("report: status %d body %s", status, raw)
+	}
+
+	status, raw := doReq(t, "GET", ts.URL+"/v1/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d body %s", status, raw)
+	}
+	var m apiv1.ServerMetrics
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Memory.HeapAllocBytes == 0 {
+		t.Error("heap_alloc_bytes = 0, want a live MemStats snapshot")
+	}
+	if m.Memory.HeapSysBytes < m.Memory.HeapAllocBytes {
+		t.Errorf("heap_sys_bytes %d < heap_alloc_bytes %d",
+			m.Memory.HeapSysBytes, m.Memory.HeapAllocBytes)
+	}
+	// The metrics read itself folds into the peak, so the gauge is
+	// never below the snapshot it ships with.
+	if m.Memory.PeakHeapAllocBytes < m.Memory.HeapAllocBytes {
+		t.Errorf("peak_heap_alloc_bytes %d < heap_alloc_bytes %d",
+			m.Memory.PeakHeapAllocBytes, m.Memory.HeapAllocBytes)
+	}
+	if m.Cache.Entries == 0 || m.Cache.Bytes == 0 {
+		t.Errorf("cache after a cold report = %d entries / %d bytes, want both > 0",
+			m.Cache.Entries, m.Cache.Bytes)
+	}
+}
+
 // TestLongPollSnapshot proves ?seq= long-polling: a poll past the
 // current sequence blocks until an append bumps it.
 func TestLongPollSnapshot(t *testing.T) {
@@ -617,6 +743,15 @@ func TestSSEStream(t *testing.T) {
 // clients requesting the same cold report must coalesce onto one
 // analysis and all receive identical bytes.
 func TestConcurrentReportRequests(t *testing.T) {
+	// Baseline: how many artifact computations one cold report request
+	// costs (the report entry plus its fold-window intermediates).
+	sOne, tsOne := newTestServer(t)
+	upload(t, tsOne, "cc", synthTrace(t, 400))
+	if status, _ := doReq(t, "GET", tsOne.URL+"/v1/traces/cc/report", nil); status != http.StatusOK {
+		t.Fatalf("baseline report: status %d", status)
+	}
+	coldMisses := sOne.cache.Metrics().Misses
+
 	s, ts := newTestServer(t)
 	upload(t, ts, "cc", synthTrace(t, 400))
 
@@ -644,7 +779,9 @@ func TestConcurrentReportRequests(t *testing.T) {
 			t.Fatalf("client %d saw a different report", i)
 		}
 	}
-	if m := s.cache.Metrics(); m.Misses != 1 {
-		t.Fatalf("cold concurrent requests ran %d analyses, want 1 (metrics %+v)", m.Misses, m)
+	// Concurrency must not multiply work: the 12 cold requests coalesce
+	// onto exactly the computations one cold request performs.
+	if m := s.cache.Metrics(); m.Misses != coldMisses {
+		t.Fatalf("cold concurrent requests ran %d computations, want %d (metrics %+v)", m.Misses, coldMisses, m)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/http"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -67,7 +68,25 @@ type Server struct {
 	nextID int
 
 	requests atomic.Uint64
+	peakHeap atomic.Uint64
 	mux      *http.ServeMux
+}
+
+// noteHeap samples the live heap into the peak gauge and returns the
+// snapshot. It is called where the heap actually crests — after cold
+// report computations — and on each metrics read, rather than on every
+// request: ReadMemStats briefly stops the world, so pricing it per
+// request would tax the hot cached path for a gauge that only moves
+// when analysis work runs.
+func (s *Server) noteHeap() runtime.MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for {
+		old := s.peakHeap.Load()
+		if ms.HeapAlloc <= old || s.peakHeap.CompareAndSwap(old, ms.HeapAlloc) {
+			return ms
+		}
+	}
 }
 
 // traceEntry is one registered trace. The trace's tables are internally
@@ -183,40 +202,75 @@ func retryable(ctx context.Context, err error, attempt int) bool {
 		errors.Is(err, context.DeadlineExceeded)
 }
 
+// reportEntry is the cached full-report artifact: the wire report plus
+// how many fold windows its computation replayed versus folded fresh
+// (zero-valued when the monolithic path produced it).
+type reportEntry struct {
+	rep     *apiv1.Report
+	windows windowCounts
+}
+
 // reportArtifact returns the trace's full wire report, cached by
-// content key. Concurrency is optimistic: the key is computed before
-// the analysis and revalidated after; since the store is append-only,
-// an unchanged key proves the analysis saw exactly the keyed content,
-// and a changed one discards the run (nothing is cached) and retries
-// under the new key.
-func (s *Server) reportArtifact(ctx context.Context, e *traceEntry, enclave sgx.EnclaveID) (*apiv1.Report, bool, error) {
+// content key. Stream-sorted traces are computed through the windowed
+// fold (foldedReport), so even a cold content key after an append
+// refolds only the tail windows; unsorted uploads run the monolithic
+// resident analysis. Concurrency is optimistic: the key is computed
+// before the analysis and revalidated after; since the store is
+// append-only, an unchanged key proves the analysis saw exactly the
+// keyed content, and a changed one discards the run (nothing is cached)
+// and retries under the new key.
+func (s *Server) reportArtifact(ctx context.Context, e *traceEntry, enclave sgx.EnclaveID) (*apiv1.Report, windowCounts, bool, error) {
 	keyOf := func() string {
 		return fmt.Sprintf("report|%s|%d", e.trace.ContentKey(), enclave)
 	}
 	for attempt := 0; ; attempt++ {
 		key := keyOf()
 		v, hit, err := s.cache.GetOrCompute(key, func() (any, error) {
-			a, err := analyzer.New(e.trace, analyzer.Options{Enclave: enclave})
-			if err != nil {
-				return nil, err
+			rep, wc, err := s.foldedReport(ctx, e, enclave)
+			if errors.Is(err, analyzer.ErrUnsorted) {
+				rep, err = s.monolithicReport(ctx, e, enclave)
+				wc = windowCounts{}
 			}
-			rep, err := a.AnalyzeContext(ctx)
 			if err != nil {
 				return nil, err
 			}
 			if keyOf() != key {
 				return nil, errConcurrentAppend
 			}
-			return apiv1.FromReport(rep), nil
+			return &reportEntry{rep: rep, windows: wc}, nil
 		})
 		if err == nil {
-			return v.(*apiv1.Report), hit, nil
+			ent := v.(*reportEntry)
+			wc := ent.windows
+			if hit {
+				// A resident artifact answered without touching the
+				// window layer at all.
+				wc.computed = 0
+				wc.reused = wc.total
+			} else {
+				s.noteHeap() // a fresh analysis is where the heap crests
+			}
+			return ent.rep, wc, hit, nil
 		}
 		if retryable(ctx, err, attempt) {
 			continue
 		}
-		return nil, false, err
+		return nil, windowCounts{}, false, err
 	}
+}
+
+// monolithicReport is the resident full analysis, for traces the
+// streaming fold cannot window (not stream-sorted).
+func (s *Server) monolithicReport(ctx context.Context, e *traceEntry, enclave sgx.EnclaveID) (*apiv1.Report, error) {
+	a, err := analyzer.New(e.trace, analyzer.Options{Enclave: enclave})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := a.AnalyzeContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return apiv1.FromReport(rep), nil
 }
 
 // lintArtifact returns the trace's hybrid lint report (static findings
@@ -343,7 +397,7 @@ func hashesEqual(a, b []uint64) bool {
 // sliding clock window, which an uploaded trace does not have.
 func (s *Server) snapshotDoc(ctx context.Context, e *traceEntry) (*apiv1.LiveSnapshot, error) {
 	seq := e.hub.current()
-	rep, _, err := s.reportArtifact(ctx, e, 0)
+	rep, _, _, err := s.reportArtifact(ctx, e, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -511,11 +565,17 @@ func (s *Server) serveReport(w http.ResponseWriter, r *http.Request, e *traceEnt
 		writeError(w, err)
 		return
 	}
-	rep, _, err := s.reportArtifact(r.Context(), e, enclave)
+	rep, wc, _, err := s.reportArtifact(r.Context(), e, enclave)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	// The wire document is byte-identical either way; the fold-window
+	// replay accounting rides in headers (all zero on the monolithic
+	// path for unsorted traces).
+	w.Header().Set("Sgxperf-Windows-Total", strconv.Itoa(wc.total))
+	w.Header().Set("Sgxperf-Windows-Computed", strconv.Itoa(wc.computed))
+	w.Header().Set("Sgxperf-Windows-Reused", strconv.Itoa(wc.reused))
 	writeDoc(w, http.StatusOK, rep)
 }
 
@@ -638,11 +698,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.traces)
 	s.mu.RUnlock()
+	ms := s.noteHeap()
 	writeDoc(w, http.StatusOK, apiv1.ServerMetrics{
 		SchemaVersion: apiv1.Version,
 		Traces:        n,
 		Cache:         s.cache.Metrics(),
-		Requests:      s.requests.Load(),
+		Memory: apiv1.MemoryMetrics{
+			HeapAllocBytes:     ms.HeapAlloc,
+			HeapSysBytes:       ms.HeapSys,
+			PeakHeapAllocBytes: s.peakHeap.Load(),
+			NumGC:              ms.NumGC,
+		},
+		Requests: s.requests.Load(),
 	})
 }
 

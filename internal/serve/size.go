@@ -1,0 +1,117 @@
+package serve
+
+import "reflect"
+
+// artifactBytes estimates the resident heap size of a cached artifact
+// by walking it with reflection: the value's own storage plus
+// everything it references (slice backing arrays, map entries, string
+// bytes, pointed-to structs). The walk runs once per cold cache insert
+// — never on the hit path — and prices the cache's memory footprint for
+// the /v1/metrics gauges. It is an estimate: shared sub-objects are
+// counted once (cycles and aliasing are tracked by pointer), map bucket
+// overhead is approximated, and channels/funcs count as their header
+// only.
+func artifactBytes(v any) uint64 {
+	if v == nil {
+		return 0
+	}
+	rv := reflect.ValueOf(v)
+	return uint64(rv.Type().Size()) + heapRefs(rv, make(map[uintptr]bool))
+}
+
+// mapEntryOverhead approximates the runtime's per-entry bucket cost
+// beyond the key and value storage themselves.
+const mapEntryOverhead = 16
+
+// heapRefs returns the bytes v references beyond its own inline
+// storage (which the container — a struct's Size, a slice's element
+// stride — has already accounted for).
+func heapRefs(v reflect.Value, seen map[uintptr]bool) uint64 {
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() || seen[v.Pointer()] {
+			return 0
+		}
+		seen[v.Pointer()] = true
+		elem := v.Elem()
+		return uint64(elem.Type().Size()) + heapRefs(elem, seen)
+	case reflect.Interface:
+		if v.IsNil() {
+			return 0
+		}
+		elem := v.Elem()
+		return uint64(elem.Type().Size()) + heapRefs(elem, seen)
+	case reflect.String:
+		return uint64(v.Len())
+	case reflect.Slice:
+		if v.IsNil() || (v.Cap() > 0 && seen[v.Pointer()]) {
+			return 0
+		}
+		if v.Cap() > 0 {
+			seen[v.Pointer()] = true
+		}
+		n := uint64(v.Cap()) * uint64(v.Type().Elem().Size())
+		if typeHasRefs(v.Type().Elem()) {
+			for i := 0; i < v.Len(); i++ {
+				n += heapRefs(v.Index(i), seen)
+			}
+		}
+		return n
+	case reflect.Array:
+		if !typeHasRefs(v.Type().Elem()) {
+			return 0
+		}
+		var n uint64
+		for i := 0; i < v.Len(); i++ {
+			n += heapRefs(v.Index(i), seen)
+		}
+		return n
+	case reflect.Map:
+		if v.IsNil() || seen[v.Pointer()] {
+			return 0
+		}
+		seen[v.Pointer()] = true
+		kt, vt := v.Type().Key(), v.Type().Elem()
+		n := uint64(v.Len()) * (uint64(kt.Size()) + uint64(vt.Size()) + mapEntryOverhead)
+		if typeHasRefs(kt) || typeHasRefs(vt) {
+			it := v.MapRange()
+			for it.Next() {
+				n += heapRefs(it.Key(), seen) + heapRefs(it.Value(), seen)
+			}
+		}
+		return n
+	case reflect.Struct:
+		var n uint64
+		for i := 0; i < v.NumField(); i++ {
+			if typeHasRefs(v.Type().Field(i).Type) {
+				n += heapRefs(v.Field(i), seen)
+			}
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// typeHasRefs reports whether values of t can reference heap memory
+// beyond their inline storage — the guard that lets the walk skip the
+// per-element loop over scalar slices (histogram buckets, chunk-hash
+// arrays) that dominate the artifacts.
+func typeHasRefs(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Pointer, reflect.Interface, reflect.String,
+		reflect.Slice, reflect.Map:
+		return true
+	case reflect.Array:
+		return typeHasRefs(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if typeHasRefs(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

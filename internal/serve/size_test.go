@@ -1,0 +1,34 @@
+package serve
+
+import "testing"
+
+// TestArtifactBytes pins the estimator's accounting on the shapes the
+// cache actually holds: backing arrays priced by capacity, strings by
+// length, shared and cyclic references counted once.
+func TestArtifactBytes(t *testing.T) {
+	if got := artifactBytes(nil); got != 0 {
+		t.Errorf("nil = %d, want 0", got)
+	}
+	buf := make([]byte, 100, 256)
+	if got := artifactBytes(buf); got < 256 || got > 256+64 {
+		t.Errorf("[]byte cap 256 = %d, want ≈256 + header", got)
+	}
+	type node struct {
+		name string
+		vals []uint64
+		next *node
+	}
+	a := &node{name: "a", vals: make([]uint64, 1000)}
+	a.next = a // cycle must terminate and count the node once
+	got := artifactBytes(a)
+	if got < 8000 {
+		t.Errorf("cyclic node with 1000 uint64s = %d, want ≥ 8000", got)
+	}
+	if got > 8000+512 {
+		t.Errorf("cyclic node = %d, cycle was double-counted", got)
+	}
+	m := map[string]*node{"x": a, "y": a} // shared pointee counted once
+	if got2 := artifactBytes(m); got2 > got+512 {
+		t.Errorf("map sharing one node = %d vs node %d, pointee double-counted", got2, got)
+	}
+}
