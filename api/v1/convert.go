@@ -102,6 +102,18 @@ func FromLintReport(r *staticlint.Report) *LintReport {
 			Observed: p.Observed, Invocations: p.Invocations, Verdict: p.Verdict,
 		})
 	}
+	for _, fl := range r.Flows {
+		wf := LintFlow{
+			Source: fl.Source, Sink: fl.Sink, SinkKind: fl.SinkKind,
+			Call: fl.Call, Func: fl.Func, Pos: fl.Pos,
+			Bytes: fl.Bytes, Price: fl.Price, Observed: fl.Observed,
+			Chain: make([]FlowStep, 0, len(fl.Chain)),
+		}
+		for _, h := range fl.Chain {
+			wf.Chain = append(wf.Chain, FlowStep{Pos: h.Pos, Note: h.Note})
+		}
+		out.Flows = append(out.Flows, wf)
+	}
 	return out
 }
 

@@ -242,6 +242,36 @@ type EntryPrediction struct {
 	Verdict     string  `json:"verdict,omitempty"`
 }
 
+// A FlowStep is one hop of a secret-flow witness chain.
+type FlowStep struct {
+	Pos  string `json:"pos"`
+	Note string `json:"note"`
+}
+
+// LintFlow is one secret-flow witness of the taint analysis: an
+// enclave-confidential value reaching a boundary sink without sealing,
+// with the full source→…→sink path.
+type LintFlow struct {
+	Source string `json:"source"`
+	Sink   string `json:"sink"`
+	// SinkKind is "ocall-arg", "out-param", "user_check" or
+	// "boundary-write".
+	SinkKind string `json:"sink_kind"`
+	// Call is the joinable wire name — the ocall for argument sinks,
+	// the enclosing handler's ecall for buffer-write sinks.
+	Call string `json:"call,omitempty"`
+	Func string `json:"func"`
+	Pos  string `json:"pos"`
+	// Bytes is the static size of the leaked value (0 when runtime
+	// sized); Price the modelled copy cost of one crossing.
+	Bytes int    `json:"bytes,omitempty"`
+	Price string `json:"price,omitempty"`
+	// Observed is how often Call executed in the joined trace (hybrid
+	// reports only).
+	Observed int        `json:"observed,omitempty"`
+	Chain    []FlowStep `json:"chain"`
+}
+
 // LintReport is the static interface analysis, optionally joined with a
 // recorded trace ("hybrid").
 type LintReport struct {
@@ -255,7 +285,10 @@ type LintReport struct {
 	// Predicted holds the per-entry transition estimates of
 	// source-aware reports.
 	Predicted []EntryPrediction `json:"predicted,omitempty"`
-	Warnings  []string          `json:"warnings,omitempty"`
+	// Flows holds the secret-flow witnesses of the taint analysis
+	// (source-aware reports).
+	Flows    []LintFlow `json:"flows,omitempty"`
+	Warnings []string   `json:"warnings,omitempty"`
 }
 
 // VetDiagnostic is one repository-lint finding from the sgx-perf-vet

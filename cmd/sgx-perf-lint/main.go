@@ -38,6 +38,7 @@ import (
 	"sgxperf/internal/workloads/amplify"
 	"sgxperf/internal/workloads/contend"
 	"sgxperf/internal/workloads/keeper"
+	"sgxperf/internal/workloads/leaky"
 	"sgxperf/internal/workloads/minidb"
 )
 
@@ -48,6 +49,7 @@ var bundledInterfaces = map[string]func() (*edl.Interface, error){
 	"sqlite":       minidb.Interface,
 	"contend":      contend.Interface,
 	"amplify":      amplify.Interface,
+	"leaky":        leaky.Interface,
 }
 
 func main() {
@@ -59,7 +61,7 @@ func main() {
 
 func run() error {
 	var (
-		workload  = flag.String("workload", "", "lint a bundled workload's interface (securekeeper, sqlite, contend, amplify)")
+		workload  = flag.String("workload", "", "lint a bundled workload's interface (securekeeper, sqlite, contend, amplify, leaky)")
 		edlPath   = flag.String("edl", "", "lint the interface in this EDL file")
 		tracePath = flag.String("trace", "", "trace file for hybrid mode (rank findings by observed call counts)")
 		jsonOut   = flag.Bool("json", false, "emit the report as an api/v1 JSON document")

@@ -14,6 +14,7 @@ import (
 	"sgxperf/internal/perf/logger"
 	"sgxperf/internal/workloads/amplify"
 	"sgxperf/internal/workloads/contend"
+	"sgxperf/internal/workloads/leaky"
 )
 
 // Regenerate the golden files after an intentional output change with
@@ -259,6 +260,107 @@ func TestGoldenAmplifyHybridReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	compareGolden(t, "amplify_hybrid.api.json", wire)
+}
+
+// leakyOpts scope the source pass to the leaky exhibit, the
+// configuration `sgx-perf-lint -workload leaky -source ../..
+// -source-dirs internal/workloads/leaky` uses.
+var leakyOpts = sgxperf.LintOptions{
+	SourceRoot: "../..",
+	SourceDirs: []string{"internal/workloads/leaky"},
+}
+
+// TestGoldenLeakySourceReport pins the static report for the
+// secret-flow exhibit: the taint pass contributes the unsealed
+// master-key flow (with its source→sink witness chain) and the three
+// direction mismatches, while the sealed backup flow stays silent —
+// no flow in the report may mention the sealed stash ocall.
+func TestGoldenLeakySourceReport(t *testing.T) {
+	iface, err := leaky.Interface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := sgxperf.StaticLint(iface, leakyOpts)
+	// The exhibit deliberately declares its scatter buffer user_check,
+	// so exactly that EDL warning — and nothing from the source pass —
+	// is expected.
+	if len(report.Warnings) != 1 || !strings.Contains(report.Warnings[0], "user_check") {
+		t.Fatalf("source pass warned: %v", report.Warnings)
+	}
+	if !report.HasProblem(sgxperf.ProblemSecretLeak) {
+		t.Error("expected a Secret Data Crossing Boundary finding")
+	}
+	if !report.HasProblem(sgxperf.ProblemDirectionMismatch) {
+		t.Error("expected Boundary Direction Mismatch findings")
+	}
+	if len(report.Flows) != 1 {
+		t.Errorf("flows = %d, want exactly 1 (the sealed backup flow must stay silent)", len(report.Flows))
+	}
+	for _, fl := range report.Flows {
+		if fl.Call == leaky.OcallSealed {
+			t.Errorf("sealed flow %s → %s reported; sealBlob must sanitize it", fl.Source, fl.Sink)
+		}
+	}
+	compareGolden(t, "leaky_source.txt", []byte(report.Render()))
+	raw, err := report.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "leaky_source.json", append(raw, '\n'))
+	wire, err := apiv1.Marshal(apiv1.FromLintReport(report))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "leaky_source.api.json", wire)
+}
+
+// TestGoldenLeakyHybridReport records one single-threaded leaky run
+// (fully deterministic in virtual time) and pins the hybrid report:
+// the unsealed master-key flow is joined with the observed stash-ocall
+// count (the default run exports it three times) and ranked above any
+// never-executed flow.
+func TestGoldenLeakyHybridReport(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := logger.Attach(h, logger.Options{Workload: "leaky"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := h.NewContext("main")
+	w, err := leaky.New(h, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(leaky.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	iface, err := leaky.Interface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sgxperf.HybridLint(iface, l.Trace(), leakyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Flows) != 1 {
+		t.Fatalf("flows = %d, want exactly 1", len(report.Flows))
+	}
+	if got := report.Flows[0].Observed; got != 3 {
+		t.Errorf("unsealed flow observed %d crossings, want 3 (the default run's export count)", got)
+	}
+	compareGolden(t, "leaky_hybrid.txt", []byte(report.Render()))
+	raw, err := report.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "leaky_hybrid.json", append(raw, '\n'))
+	wire, err := apiv1.Marshal(apiv1.FromLintReport(report))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "leaky_hybrid.api.json", wire)
 }
 
 func compareGolden(t *testing.T, name string, got []byte) {

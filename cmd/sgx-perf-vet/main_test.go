@@ -20,9 +20,11 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 // (lockorder), a channel send under a held mutex (heldacross), a field
 // accessed both atomically and plainly (atomicmix), an ocall dispatched
 // inside a loop (transamp), a boundary-buffer value re-read after a
-// crossing (doublefetch), and an enclave pointer passed to an ocall
-// (ptrescape). It lives under testdata so the repository's own lint walk
-// skips it.
+// crossing (doublefetch), an enclave pointer passed to an ocall
+// (ptrescape), a //sgxperf:secret value shipped raw through an ocall
+// (secretflow), and a handler writing a boundary param its EDL declares
+// [in] (edlflow). It lives under testdata so the repository's own lint
+// walk skips it.
 const badRepo = "testdata/badrepo"
 
 // TestGoldenDiagnostics pins sgx-perf-vet's exact output — text and JSON
@@ -34,8 +36,8 @@ func TestGoldenDiagnostics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 8 {
-		t.Errorf("diagnostics = %d, want 8 (one per analyzer):\n%s", n, text.String())
+	if n != 10 {
+		t.Errorf("diagnostics = %d, want 10 (one per analyzer):\n%s", n, text.String())
 	}
 	compareGolden(t, "badrepo.txt", text.Bytes())
 
@@ -54,7 +56,7 @@ func TestEachAnalyzerFires(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := text.String()
-	for _, a := range []string{"vclock", "hotpath", "lockorder", "heldacross", "atomicmix", "transamp", "doublefetch", "ptrescape"} {
+	for _, a := range []string{"vclock", "hotpath", "lockorder", "heldacross", "atomicmix", "transamp", "doublefetch", "ptrescape", "secretflow", "edlflow"} {
 		if got := strings.Count(out, ": "+a+": "); got != 1 {
 			t.Errorf("analyzer %s fired %d times, want 1:\n%s", a, got, out)
 		}

@@ -1,0 +1,37 @@
+// edl.go stubs the interface-builder surface the taint analysis's EDL
+// recovery classifies by name: fixture workloads declare their boundary
+// surface with AddEcall/AddOcall and Param literals exactly like real
+// enclave code declares the sgxperf EDL, so secretflow and edlflow
+// exercise their production code paths over this tree.
+package edl
+
+// PtrDir is an explicit pointer direction annotation.
+type PtrDir int
+
+const (
+	DirValue PtrDir = iota + 1
+	DirIn
+	DirOut
+	DirInOut
+	DirUserCheck
+)
+
+// Param is one declared call parameter.
+type Param struct {
+	Name     string
+	Dir      PtrDir
+	Size     string
+	IsString bool
+}
+
+// Interface is a minimal boundary-interface builder.
+type Interface struct{}
+
+// New returns an empty interface.
+func New() *Interface { return &Interface{} }
+
+// AddEcall declares one ecall.
+func (i *Interface) AddEcall(name string, public bool, params ...Param) {}
+
+// AddOcall declares one ocall.
+func (i *Interface) AddOcall(name string, allow []string, params ...Param) {}

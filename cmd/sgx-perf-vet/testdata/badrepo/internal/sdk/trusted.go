@@ -1,0 +1,9 @@
+// trusted.go stubs the handler-registration surface collectEntries
+// recovers: fixture workloads bind ecall names to TrustedFn handlers in
+// composite literals just like real enclave code, so the ecall→handler
+// map behind the edlflow cross-validation is built from this tree the
+// same way it is from the real one.
+package sdk
+
+// TrustedFn is the in-enclave handler shape.
+type TrustedFn func(env *Env, args any) (any, error)

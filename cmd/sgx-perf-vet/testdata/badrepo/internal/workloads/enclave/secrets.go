@@ -1,0 +1,46 @@
+// secrets.go seeds one violation for each taint analyzer: a
+// //sgxperf:secret value shipped raw through an ocall (secretflow), and
+// a handler writing a boundary param its EDL declares [in] (edlflow).
+package enclave
+
+import (
+	"lintfixture/internal/edl"
+	"lintfixture/internal/sdk"
+)
+
+// vault holds enclave-confidential state.
+type vault struct {
+	//sgxperf:secret long-term sealing key, must never cross unsealed
+	sealKey [16]byte
+	limit   int
+}
+
+// leakKey ships the raw key through an ocall — the secretflow seed.
+func (v *vault) leakKey(env *sdk.Env) error {
+	_, err := env.Ocall("ocall_backup_key", v.sealKey)
+	return err
+}
+
+// clampLen writes the boundary param the EDL below declares [in], so
+// the store is silently dropped at copy-back — the edlflow seed.
+func (v *vault) clampLen(env *sdk.Env, args any) (any, error) {
+	a, ok := args.(*req)
+	if !ok {
+		return nil, nil
+	}
+	a.Len = v.limit
+	return nil, nil
+}
+
+// newVault wires the vault's boundary surface: the handler map the
+// entry recovery reads, and the EDL declaration edlflow validates it
+// against.
+func newVault() (map[string]sdk.TrustedFn, *edl.Interface) {
+	v := &vault{limit: 64}
+	impl := map[string]sdk.TrustedFn{
+		"ecall_clamp_len": v.clampLen,
+	}
+	i := edl.New()
+	i.AddEcall("ecall_clamp_len", true, edl.Param{Name: "len", Dir: edl.DirIn})
+	return impl, i
+}

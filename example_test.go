@@ -204,11 +204,12 @@ func ExampleRunWorkload() {
 }
 
 // ExampleCatalogue prints the problem classes: Table 1's six plus the
-// six the static analysers add (reentrancy, boundary copies,
+// eight the static analysers add (reentrancy, boundary copies,
 // transition-bound calls, locks held across the boundary,
-// loop-amplified transitions, boundary data hazards).
+// loop-amplified transitions, boundary data hazards, secret data
+// crossing the boundary, boundary direction mismatches).
 func ExampleCatalogue() {
 	fmt.Println("problem classes:", len(sgxperf.Catalogue()))
 	// Output:
-	// problem classes: 12
+	// problem classes: 14
 }

@@ -990,15 +990,21 @@ type SyncReport struct {
 // this is the raw analysis for callers that price findings rather than
 // gate commits on them.
 func AnalyzeSync(root string, dirs []string) (*SyncReport, error) {
-	pkgs, fset, err := parseTree(root)
+	tree, err := LoadTree(root)
 	if err != nil {
 		return nil, err
 	}
-	typecheck(root, fset, pkgs)
+	return AnalyzeSyncTree(tree, dirs), nil
+}
+
+// AnalyzeSyncTree is AnalyzeSync over an already-loaded tree, sharing
+// its cached types and engine summaries with other analyses.
+func AnalyzeSyncTree(tree *Tree, dirs []string) *SyncReport {
+	fset := tree.Fset
 	scope := &Analyzer{Name: "sync", Packages: dirs}
 
 	report := &SyncReport{}
-	e := newEngine(fset, pkgs)
+	e := tree.engineFor(nil)
 	edges := newEdgeSet()
 	e.onBoundary = func(fn *dfFunc, held []heldLock, b boundaryHit) {
 		if len(held) == 0 || (b.condWait && len(held) == 1) {
@@ -1019,11 +1025,11 @@ func AnalyzeSync(root string, dirs []string) (*SyncReport, error) {
 	e.onAcquire = func(fn *dfFunc, held []heldLock, op lockOp, pos token.Pos) {
 		edges.add(fset, fn, held, op, pos)
 	}
-	for _, pkg := range pkgs {
+	for _, pkg := range tree.Pkgs {
 		if scope.applies(pkg.Dir) {
 			e.walkPackage(pkg)
 		}
 	}
 	report.Cycles = edges.cycles(fset)
-	return report, nil
+	return report
 }

@@ -25,9 +25,14 @@ var DoubleFetchCheck = &Analyzer{
 }
 
 func runDoubleFetch(p *Pass) error {
-	ip := newInterproc(p.Fset, []*Package{p.Pkg})
+	// The shared whole-tree graph is safe here: fetches are per-function
+	// facts independent of the graph's scope.
+	ip := p.Interproc()
 	for _, full := range ip.order {
 		fn := ip.funcs[full]
+		if fn.pkg != p.Pkg {
+			continue
+		}
 		for _, f := range fn.fetches {
 			cross := p.Fset.Position(f.crossPos)
 			what := "an ocall"

@@ -26,7 +26,7 @@ var HeldAcross = &Analyzer{
 }
 
 func runHeldAcross(p *RepoPass) error {
-	e := newEngine(p.Fset, p.Pkgs)
+	e := p.Engine()
 	type finding struct {
 		pos token.Pos
 		msg string

@@ -1002,12 +1002,18 @@ type InterReport struct {
 // prefixes (all packages when none are given), and entry predictions
 // only for TrustedFn maps found there.
 func AnalyzeInterproc(root string, dirs []string) (*InterReport, error) {
-	pkgs, fset, err := parseTree(root)
+	tree, err := LoadTree(root)
 	if err != nil {
 		return nil, err
 	}
-	typecheck(root, fset, pkgs)
-	ip := newInterproc(fset, pkgs)
+	return AnalyzeInterprocTree(tree, dirs), nil
+}
+
+// AnalyzeInterprocTree is AnalyzeInterproc over an already-loaded tree,
+// sharing its cached types and call graph with other analyses.
+func AnalyzeInterprocTree(tree *Tree, dirs []string) *InterReport {
+	fset := tree.Fset
+	ip := tree.interprocFor(nil)
 	scope := &Analyzer{Name: "interproc", Packages: dirs}
 
 	report := &InterReport{}
@@ -1037,7 +1043,7 @@ func AnalyzeInterproc(root string, dirs []string) (*InterReport, error) {
 
 	// Entry predictions, for the TrustedFn maps registered in scope.
 	scopedEntries := make(map[string]string)
-	for _, pkg := range pkgs {
+	for _, pkg := range tree.Pkgs {
 		if pkg.Info == nil || !scope.applies(pkg.Dir) {
 			continue
 		}
@@ -1061,7 +1067,7 @@ func AnalyzeInterproc(root string, dirs []string) (*InterReport, error) {
 			LoopUnknown: p.loopUnknown, Conditional: p.cond,
 		})
 	}
-	return report, nil
+	return report
 }
 
 // An ipLoop is the raw (token.Pos-keyed) form of a LoopCrossing, kept

@@ -3,7 +3,7 @@
 // (Analyzer → Pass → Diagnostic) on the standard library's go/ast,
 // go/parser and go/types alone, so the tree stays dependency-free.
 //
-// Eight invariants matter enough to machine-check here:
+// Ten invariants matter enough to machine-check here:
 //
 //   - the simulator runs on virtual time, so wall-clock reads in
 //     simulator packages are bugs even when tests pass (see VirtualClock);
@@ -26,14 +26,25 @@
 //     side of an ocall crossing only — a re-read after the crossing is
 //     the §3.6 TOCTOU shape (see DoubleFetchCheck);
 //   - no enclave pointer escapes through an ocall argument (see
-//     PtrEscapeCheck).
+//     PtrEscapeCheck);
+//   - enclave-confidential data (//sgxperf:secret declarations) never
+//     reaches a boundary sink — an ocall argument, a copy-back field,
+//     a user_check write — without passing a seal/encrypt function
+//     (see SecretFlowCheck);
+//   - what an ecall handler does to its boundary buffer matches the
+//     directions its EDL declares: in params stay unwritten, out params
+//     are written before read, user_check pointers are bounds-guarded
+//     before dereference (see EDLFlowCheck).
 //
 // The lockorder/heldacross/atomicmix trio runs on a typed
 // intraprocedural dataflow engine (dataflow.go) that tracks lock-held
 // sets through control flow and summarises which functions transitively
 // block; the last three run on the interprocedural call-graph layer
 // above it (interproc.go), whose per-function summaries also power the
-// staticlint transition predictor. Findings are suppressible
+// staticlint transition predictor; the secretflow/edlflow pair runs on
+// the field-sensitive taint engine (taint.go) that composes
+// taint-in/taint-out summaries over the same call graph. Findings are
+// suppressible
 // site-by-site with a justified //sgxperf:allow(name) annotation (see
 // typecheck.go); lock-order edges with an intentional hierarchy carry
 // //sgxperf:lockorder instead.
@@ -58,6 +69,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		VirtualClock, HotPathLocks, LockOrder, HeldAcross, AtomicMix,
 		TransAmp, DoubleFetchCheck, PtrEscapeCheck,
+		SecretFlowCheck, EDLFlowCheck,
 	}
 }
 
@@ -107,8 +119,15 @@ type Pass struct {
 	Files []*ast.File
 	Dir   string
 
+	tree   *Tree
 	allows *allowSet
 	diags  *[]Diagnostic
+}
+
+// Interproc returns the tree-shared whole-repo call graph (see
+// Tree.interprocFor); per-function facts must be filtered to Pkg.
+func (p *Pass) Interproc() *interproc {
+	return p.tree.interprocFor(nil)
 }
 
 // Reportf records a diagnostic at the given position unless an
@@ -132,8 +151,21 @@ type RepoPass struct {
 	// Pkgs are the in-scope packages, sorted by Dir.
 	Pkgs []*Package
 
+	tree   *Tree
 	allows *allowSet
 	diags  *[]Diagnostic
+}
+
+// Engine returns the tree-shared dataflow engine summarising this
+// pass's scope, with callbacks cleared (see Tree.engineFor).
+func (p *RepoPass) Engine() *engine {
+	return p.tree.engineFor(p.Analyzer.Packages)
+}
+
+// Interproc returns the tree-shared call graph over this pass's scope
+// (see Tree.interprocFor).
+func (p *RepoPass) Interproc() *interproc {
+	return p.tree.interprocFor(p.Analyzer.Packages)
 }
 
 // Reportf records a diagnostic at the given position unless an
@@ -169,30 +201,39 @@ func (d Diagnostic) String() string {
 // broken anyway. Type errors never abort: checking is tolerant and
 // analyzers skip what they cannot resolve.
 func Run(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	pkgs, fset, err := parseTree(root)
+	tree, err := LoadTree(root)
 	if err != nil {
 		return nil, err
 	}
+	return RunTree(tree, analyzers)
+}
+
+// RunTree applies the analyzers to an already-loaded tree, sharing its
+// cached type information, directive sets and engine summaries. Callers
+// that run several analyses over the same root (the vet driver, the
+// staticlint source pass) load one Tree and reuse it.
+func RunTree(tree *Tree, analyzers []*Analyzer) ([]Diagnostic, error) {
 	for _, a := range analyzers {
 		if a.NeedTypes {
-			typecheck(root, fset, pkgs)
+			tree.ensureTypes()
 			break
 		}
 	}
-	allows := collectAllows(fset, pkgs)
+	allows := tree.allowSet()
 
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range tree.Pkgs {
 		for _, a := range analyzers {
 			if a.Run == nil || !a.applies(pkg.Dir) {
 				continue
 			}
 			pass := &Pass{
 				Analyzer: a,
-				Fset:     fset,
+				Fset:     tree.Fset,
 				Pkg:      pkg,
 				Files:    pkg.Files,
 				Dir:      pkg.Dir,
+				tree:     tree,
 				allows:   allows,
 				diags:    &diags,
 			}
@@ -205,16 +246,11 @@ func Run(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.RunRepo == nil {
 			continue
 		}
-		var scoped []*Package
-		for _, pkg := range pkgs {
-			if a.applies(pkg.Dir) {
-				scoped = append(scoped, pkg)
-			}
-		}
 		pass := &RepoPass{
 			Analyzer: a,
-			Fset:     fset,
-			Pkgs:     scoped,
+			Fset:     tree.Fset,
+			Pkgs:     tree.scoped(a.Packages),
+			tree:     tree,
 			allows:   allows,
 			diags:    &diags,
 		}

@@ -248,7 +248,7 @@ func TestRunAbortsOnParseError(t *testing.T) {
 // them. The roster is pinned first, so a silently dropped analyzer can
 // never make this test pass vacuously.
 func TestRepositoryIsClean(t *testing.T) {
-	want := []string{"vclock", "hotpath", "lockorder", "heldacross", "atomicmix", "transamp", "doublefetch", "ptrescape"}
+	want := []string{"vclock", "hotpath", "lockorder", "heldacross", "atomicmix", "transamp", "doublefetch", "ptrescape", "secretflow", "edlflow"}
 	suite := Analyzers()
 	var names []string
 	for _, a := range suite {

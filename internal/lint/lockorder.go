@@ -197,7 +197,7 @@ func (es *edgeSet) renderCycle(fset *token.FileSet, scc []LockID) Cycle {
 }
 
 func runLockOrder(p *RepoPass) error {
-	e := newEngine(p.Fset, p.Pkgs)
+	e := p.Engine()
 	es := newEdgeSet()
 	es.exempt = collectLockOrderMarks(p.Fset, p.Pkgs)
 	e.onAcquire = func(fn *dfFunc, held []heldLock, op lockOp, pos token.Pos) {
@@ -267,31 +267,15 @@ func (t *tarjan) strongConnect(v LockID) {
 
 // --- directive bookkeeping ------------------------------------------------
 
-// a markSet locates //sgxperf:lockorder directives by (file, line).
+// a markSet locates //sgxperf:lockorder directives by (file, line). It is
+// the shared directiveSet with the directive name fixed to "lockorder".
 type markSet struct {
-	fset    *token.FileSet
-	entries map[allowKey]string
-	used    map[allowKey]bool
+	*directiveSet
 }
 
 // collectLockOrderMarks scans every comment for lockorder directives.
 func collectLockOrderMarks(fset *token.FileSet, pkgs []*Package) *markSet {
-	ms := &markSet{fset: fset, entries: make(map[allowKey]string), used: make(map[allowKey]bool)}
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, group := range file.Comments {
-				for _, c := range group.List {
-					m := lockOrderRE.FindStringSubmatch(strings.TrimSpace(c.Text))
-					if m == nil {
-						continue
-					}
-					p := fset.Position(c.Pos())
-					ms.entries[allowKey{p.Filename, p.Line, "lockorder"}] = strings.TrimSpace(m[1])
-				}
-			}
-		}
-	}
-	return ms
+	return &markSet{collectDirectives(fset, pkgs, lockOrderRE, "lockorder")}
 }
 
 // covers reports whether an acquisition at pos is marked, on its own line
@@ -300,36 +284,19 @@ func (ms *markSet) covers(pos token.Pos) bool {
 	if ms == nil {
 		return false
 	}
-	p := ms.fset.Position(pos)
-	for _, line := range []int{p.Line, p.Line - 1} {
-		k := allowKey{p.Filename, line, "lockorder"}
-		if _, ok := ms.entries[k]; ok {
-			ms.used[k] = true
-			return true
-		}
-	}
-	return false
+	return ms.directiveSet.covers("lockorder", pos)
 }
 
 // problems mirrors allowSet.problems for the lockorder directive: a mark
 // needs a justification, and a mark exempting nothing is stale.
 func (ms *markSet) problems(analyzer string) []Diagnostic {
-	var out []Diagnostic
-	for k, why := range ms.entries {
-		switch {
-		case why == "":
-			out = append(out, Diagnostic{
-				Pos:      token.Position{Filename: k.file, Line: k.line, Column: 1},
-				Analyzer: analyzer,
-				Message:  lockOrderDirective + " needs a one-line justification",
-			})
-		case !ms.used[k]:
-			out = append(out, Diagnostic{
-				Pos:      token.Position{Filename: k.file, Line: k.line, Column: 1},
-				Analyzer: analyzer,
-				Message:  "stale " + lockOrderDirective + ": no acquisition edge here to exempt; remove the annotation",
-			})
-		}
+	diags := ms.directiveSet.problems(nil,
+		func(string) string { return lockOrderDirective + " needs a one-line justification" },
+		func(string) string {
+			return "stale " + lockOrderDirective + ": no acquisition edge here to exempt; remove the annotation"
+		})
+	for i := range diags {
+		diags[i].Analyzer = analyzer
 	}
-	return out
+	return diags
 }

@@ -25,9 +25,14 @@ var PtrEscapeCheck = &Analyzer{
 }
 
 func runPtrEscape(p *Pass) error {
-	ip := newInterproc(p.Fset, []*Package{p.Pkg})
+	// The shared whole-tree graph is safe here: escapes are per-function
+	// facts independent of the graph's scope.
+	ip := p.Interproc()
 	for _, full := range ip.order {
 		fn := ip.funcs[full]
+		if fn.pkg != p.Pkg {
+			continue
+		}
 		for _, e := range fn.escapes {
 			what := "an ocall"
 			if e.ocall != "" {

@@ -26,7 +26,7 @@ var TransAmp = &Analyzer{
 }
 
 func runTransAmp(p *RepoPass) error {
-	ip := newInterproc(p.Fset, p.Pkgs)
+	ip := p.Interproc()
 	for _, full := range ip.order {
 		fn := ip.funcs[full]
 		for _, lc := range ip.loopCrossings(fn) {

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// A Tree is one parsed source tree with every expensive derived artifact
+// — the go/types view, the suppression directives, the dataflow-engine
+// summaries and the interprocedural call graphs — computed at most once
+// and shared by every analyzer and exported analysis that runs over it.
+// Before the cache, each of lockorder/heldacross re-summarised the repo
+// and each of transamp/doublefetch/ptrescape rebuilt a call graph, and
+// every Analyze* entry point re-parsed and re-type-checked the tree from
+// scratch; the repo gate now pays for each package once.
+//
+// A Tree is not safe for concurrent use: the driver runs analyzers
+// sequentially, and the memo maps are plain.
+type Tree struct {
+	Root string
+	Fset *token.FileSet
+	// Pkgs are every parsed package, sorted by Dir.
+	Pkgs []*Package
+
+	typed   bool
+	allows  *allowSet
+	engines map[string]*engine
+	graphs  map[string]*interproc
+	taint   *taintGraph
+}
+
+// LoadTree parses every Go package under root. Type checking is lazy:
+// it happens on the first use that needs it.
+func LoadTree(root string) (*Tree, error) {
+	pkgs, fset, err := parseTree(root)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{
+		Root:    root,
+		Fset:    fset,
+		Pkgs:    pkgs,
+		engines: make(map[string]*engine),
+		graphs:  make(map[string]*interproc),
+	}, nil
+}
+
+// ensureTypes resolves types for the whole tree, once.
+func (t *Tree) ensureTypes() {
+	if t.typed {
+		return
+	}
+	typecheck(t.Root, t.Fset, t.Pkgs)
+	t.typed = true
+}
+
+// allowSet returns the memoised suppression directives.
+func (t *Tree) allowSet() *allowSet {
+	if t.allows == nil {
+		t.allows = collectAllows(t.Fset, t.Pkgs)
+	}
+	return t.allows
+}
+
+// scoped returns the packages selected by the dir prefixes (all packages
+// when none are given).
+func (t *Tree) scoped(dirs []string) []*Package {
+	if len(dirs) == 0 {
+		return t.Pkgs
+	}
+	scope := &Analyzer{Packages: dirs}
+	var out []*Package
+	for _, pkg := range t.Pkgs {
+		if scope.applies(pkg.Dir) {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+func scopeKey(dirs []string) string { return strings.Join(dirs, ",") }
+
+// engineFor returns the dataflow engine summarising the packages in
+// scope, building it on first use. Callbacks are cleared on every fetch
+// so one analyzer's hooks never fire during another's walk.
+func (t *Tree) engineFor(dirs []string) *engine {
+	key := scopeKey(dirs)
+	e, ok := t.engines[key]
+	if !ok {
+		t.ensureTypes()
+		e = newEngine(t.Fset, t.scoped(dirs))
+		t.engines[key] = e
+	}
+	e.onAcquire, e.onBoundary = nil, nil
+	return e
+}
+
+// taintGraph returns the whole-tree secret-flow taint analysis, built
+// on first use. Unlike the call graphs it has no per-scope variants:
+// summaries must compose across the whole tree for cross-package flows,
+// and the analyzers scope-filter at reporting time.
+func (t *Tree) taintGraph() *taintGraph {
+	if t.taint == nil {
+		t.taint = newTaintGraph(t)
+	}
+	return t.taint
+}
+
+// interprocFor returns the interprocedural call graph over the packages
+// in scope, building it on first use. The graph's fixpoint (which
+// functions transitively cross the boundary) depends on the scope, so
+// each distinct prefix set gets its own graph.
+func (t *Tree) interprocFor(dirs []string) *interproc {
+	key := scopeKey(dirs)
+	ip, ok := t.graphs[key]
+	if !ok {
+		t.ensureTypes()
+		ip = newInterproc(t.Fset, t.scoped(dirs))
+		t.graphs[key] = ip
+	}
+	return ip
+}

@@ -9,7 +9,6 @@ import (
 	"path"
 	"path/filepath"
 	"regexp"
-	"strings"
 )
 
 // A Package is one parsed directory plus, when an analyzer in the run
@@ -173,34 +172,15 @@ type allowKey struct {
 	analyzer string
 }
 
+// allowSet wraps the shared directiveSet with the allow directive's
+// parse syntax and problem wording.
 type allowSet struct {
-	fset    *token.FileSet
-	entries map[allowKey]string // key → justification
-	used    map[allowKey]bool
+	*directiveSet
 }
 
 // collectAllows scans every comment in the tree for allow directives.
 func collectAllows(fset *token.FileSet, pkgs []*Package) *allowSet {
-	as := &allowSet{
-		fset:    fset,
-		entries: make(map[allowKey]string),
-		used:    make(map[allowKey]bool),
-	}
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, group := range file.Comments {
-				for _, c := range group.List {
-					m := allowRE.FindStringSubmatch(strings.TrimSpace(c.Text))
-					if m == nil {
-						continue
-					}
-					p := fset.Position(c.Pos())
-					as.entries[allowKey{p.Filename, p.Line, m[1]}] = strings.TrimSpace(m[2])
-				}
-			}
-		}
-	}
-	return as
+	return &allowSet{collectDirectives(fset, pkgs, allowRE, "")}
 }
 
 // allowed reports whether a diagnostic of the named analyzer at pos is
@@ -209,40 +189,18 @@ func (as *allowSet) allowed(analyzer string, pos token.Pos) bool {
 	if as == nil {
 		return false
 	}
-	p := as.fset.Position(pos)
-	for _, line := range []int{p.Line, p.Line - 1} {
-		k := allowKey{p.Filename, line, analyzer}
-		if _, ok := as.entries[k]; ok {
-			as.used[k] = true
-			return true
-		}
-	}
-	return false
+	return as.covers(analyzer, pos)
 }
 
 // problems returns diagnostics about the annotations themselves: allows
 // with no justification, and allows for an active analyzer that matched
 // nothing (stale suppressions hide future regressions).
 func (as *allowSet) problems(active map[string]bool) []Diagnostic {
-	var out []Diagnostic
-	for k, why := range as.entries {
-		if !active[k.analyzer] {
-			continue
-		}
-		switch {
-		case why == "":
-			out = append(out, Diagnostic{
-				Pos:      token.Position{Filename: k.file, Line: k.line, Column: 1},
-				Analyzer: k.analyzer,
-				Message:  "//sgxperf:allow(" + k.analyzer + ") needs a one-line justification after the parenthesis",
-			})
-		case !as.used[k]:
-			out = append(out, Diagnostic{
-				Pos:      token.Position{Filename: k.file, Line: k.line, Column: 1},
-				Analyzer: k.analyzer,
-				Message:  "stale //sgxperf:allow(" + k.analyzer + "): no diagnostic here to suppress; remove the annotation",
-			})
-		}
-	}
-	return out
+	return as.directiveSet.problems(active,
+		func(a string) string {
+			return "//sgxperf:allow(" + a + ") needs a one-line justification after the parenthesis"
+		},
+		func(a string) string {
+			return "stale //sgxperf:allow(" + a + "): no diagnostic here to suppress; remove the annotation"
+		})
 }

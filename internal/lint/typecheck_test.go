@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// findPkg returns the parsed package at the given root-relative dir.
+func findPkg(t *testing.T, tree *Tree, dir string) *Package {
+	t.Helper()
+	for _, pkg := range tree.Pkgs {
+		if pkg.Dir == dir {
+			return pkg
+		}
+	}
+	t.Fatalf("no package at %q (have %v)", dir, func() []string {
+		var dirs []string
+		for _, p := range tree.Pkgs {
+			dirs = append(dirs, p.Dir)
+		}
+		return dirs
+	}())
+	return nil
+}
+
+// loadTyped parses and fully type-checks a fixture tree.
+func loadTyped(t *testing.T, files map[string]string) *Tree {
+	t.Helper()
+	root := writeTree(t, files)
+	tree, err := LoadTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.ensureTypes()
+	return tree
+}
+
+// TestTypecheckImportCycle proves an in-tree import cycle — illegal Go,
+// but exactly what a half-edited tree under analysis looks like — cannot
+// hang or abort the checker: the in-progress package degrades to a stub
+// import and both sides still produce a types view for the analyzers.
+func TestTypecheckImportCycle(t *testing.T) {
+	tree := loadTyped(t, map[string]string{
+		"go.mod": "module example.com/fix\n\ngo 1.22\n",
+		"internal/a/a.go": `package a
+
+import "example.com/fix/internal/b"
+
+type Left struct{ R b.Right }
+
+func FromA() int { return 1 }
+`,
+		"internal/b/b.go": `package b
+
+import "example.com/fix/internal/a"
+
+type Right struct{}
+
+func FromB() int { return a.FromA() }
+`,
+	})
+	for _, dir := range []string{"internal/a", "internal/b"} {
+		pkg := findPkg(t, tree, dir)
+		if pkg.Types == nil || pkg.Info == nil {
+			t.Fatalf("%s: nil types view after a cycle; checking aborted", dir)
+		}
+	}
+	// The package checked second still resolves the first for real: Left
+	// sees the genuine b.Right, not a stub.
+	a := findPkg(t, tree, "internal/a")
+	left, ok := a.Types.Scope().Lookup("Left").(*types.TypeName)
+	if !ok {
+		t.Fatal("internal/a: Left not type-checked")
+	}
+	st := left.Type().Underlying().(*types.Struct)
+	if got := st.Field(0).Type().String(); got != "example.com/fix/internal/b.Right" {
+		t.Errorf("Left.R resolved to %s, want the in-tree b.Right", got)
+	}
+}
+
+// TestTypecheckMissingInTreeDep proves an import of a package that does
+// not exist anywhere — not in the tree, not installed — stubs out rather
+// than failing the run, and the rest of the file still type-checks.
+func TestTypecheckMissingInTreeDep(t *testing.T) {
+	tree := loadTyped(t, map[string]string{
+		"go.mod": "module example.com/fix\n\ngo 1.22\n",
+		"internal/app/app.go": `package app
+
+import "example.com/fix/internal/gone"
+
+func broken() { gone.Call() }
+
+func intact() int { return 40 + 2 }
+`,
+	})
+	pkg := findPkg(t, tree, "internal/app")
+	if pkg.Types == nil {
+		t.Fatal("nil types view; a missing dependency aborted checking")
+	}
+	fn, ok := pkg.Types.Scope().Lookup("intact").(*types.Func)
+	if !ok {
+		t.Fatal("intact not type-checked; the missing import poisoned the whole file")
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() != 1 || sig.Results().At(0).Type().String() != "int" {
+		t.Errorf("intact signature = %s, want func() int", sig)
+	}
+}
+
+// TestTypecheckShadowedPackageNames proves two in-tree directories with
+// the same package name stay distinct: each is checked under its full
+// import path, so same-named types from the two never unify and a
+// consumer importing both under aliases resolves each to its own
+// package.
+func TestTypecheckShadowedPackageNames(t *testing.T) {
+	tree := loadTyped(t, map[string]string{
+		"go.mod": "module example.com/fix\n\ngo 1.22\n",
+		"internal/red/util/util.go": `package util
+
+type T struct{ R int }
+`,
+		"internal/blue/util/util.go": `package util
+
+type T struct{ B string }
+`,
+		"internal/app/app.go": `package app
+
+import (
+	bu "example.com/fix/internal/blue/util"
+	ru "example.com/fix/internal/red/util"
+)
+
+func Use(r ru.T, b bu.T) {}
+`,
+	})
+	red := findPkg(t, tree, "internal/red/util")
+	blue := findPkg(t, tree, "internal/blue/util")
+	if red.Types.Name() != "util" || blue.Types.Name() != "util" {
+		t.Fatalf("package names = %q, %q, want both util", red.Types.Name(), blue.Types.Name())
+	}
+	if red.Types.Path() == blue.Types.Path() {
+		t.Fatalf("both util packages checked under %q; shadowed names collided", red.Types.Path())
+	}
+	rt := red.Types.Scope().Lookup("T")
+	bt := blue.Types.Scope().Lookup("T")
+	if rt == nil || bt == nil {
+		t.Fatal("T missing from a util package scope")
+	}
+	if types.Identical(rt.Type(), bt.Type()) {
+		t.Error("red util.T and blue util.T unified; identities must stay per-path")
+	}
+	app := findPkg(t, tree, "internal/app")
+	use, ok := app.Types.Scope().Lookup("Use").(*types.Func)
+	if !ok {
+		t.Fatal("Use not type-checked")
+	}
+	params := use.Type().(*types.Signature).Params()
+	if got := params.At(0).Type(); !types.Identical(got, rt.Type()) {
+		t.Errorf("Use's first param = %s, want the red util.T", got)
+	}
+	if got := params.At(1).Type(); !types.Identical(got, bt.Type()) {
+		t.Errorf("Use's second param = %s, want the blue util.T", got)
+	}
+}
+
+// TestTypecheckNoModuleFallback proves a tree without a go.mod — a bare
+// fixture checkout — still checks under synthetic lintfixture/ paths and
+// in-tree imports cannot accidentally resolve (they stub out instead of
+// hitting the real module cache).
+func TestTypecheckNoModuleFallback(t *testing.T) {
+	tree := loadTyped(t, map[string]string{
+		"pkg/one/one.go": `package one
+
+func One() int { return 1 }
+`,
+	})
+	pkg := findPkg(t, tree, "pkg/one")
+	if got := pkg.ImportPath; got != "lintfixture/pkg/one" {
+		t.Errorf("import path = %q, want lintfixture/pkg/one", got)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("One") == nil {
+		t.Error("module-less package not type-checked")
+	}
+}

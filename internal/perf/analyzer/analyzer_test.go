@@ -735,6 +735,10 @@ func TestCatalogueMatchesTable1(t *testing.T) {
 			SolutionBatch, SolutionSwitchless, SolutionMoveCaller,
 		},
 		ProblemBoundaryDataHazard: {SolutionCheckPointers, SolutionReduceCopies},
+		ProblemSecretLeak: {
+			SolutionCheckPointers, SolutionReduceCopies, SolutionMoveCaller,
+		},
+		ProblemDirectionMismatch: {SolutionCheckPointers, SolutionReduceCopies},
 	}
 	if len(cat) != len(want) {
 		t.Fatalf("catalogue has %d problems, want %d", len(cat), len(want))

@@ -60,6 +60,22 @@ const (
 	// enclave pointer escaping through an ocall argument. Found
 	// statically by the interprocedural call-graph analysis.
 	ProblemBoundaryDataHazard
+	// ProblemSecretLeak flags enclave-confidential data — declarations
+	// carrying //sgxperf:secret — reaching a boundary sink (an ocall
+	// argument, a copy-back field, a user_check write) without passing a
+	// seal/encrypt function (§3.6). Found statically by the secret-flow
+	// taint analysis over the workload sources; the copy itself is also
+	// priced by the machine model, so the leak shows up in the
+	// performance ranking, not just as a security note.
+	ProblemSecretLeak
+	// ProblemDirectionMismatch flags an ecall handler whose boundary
+	// buffer use contradicts the EDL's declared directions: an [in]
+	// parameter written (the write is dropped at copy-back), an [out]
+	// parameter read before its first write (stale enclave memory leaks
+	// to the caller), or a [user_check] pointer dereferenced without a
+	// bounds guard (§3.6). Found statically by the EDL cross-validation
+	// of the taint analysis.
+	ProblemDirectionMismatch
 )
 
 // String names the problem as in the paper.
@@ -89,6 +105,10 @@ func (p Problem) String() string {
 		return "Loop-Amplified Transitions"
 	case ProblemBoundaryDataHazard:
 		return "Boundary Data Hazard"
+	case ProblemSecretLeak:
+		return "Secret Data Crossing Boundary"
+	case ProblemDirectionMismatch:
+		return "Boundary Direction Mismatch"
 	default:
 		return "Unknown"
 	}
@@ -197,6 +217,10 @@ func Catalogue() map[Problem][]Solution {
 			SolutionBatch, SolutionSwitchless, SolutionMoveCaller,
 		},
 		ProblemBoundaryDataHazard: {SolutionCheckPointers, SolutionReduceCopies},
+		ProblemSecretLeak: {
+			SolutionCheckPointers, SolutionReduceCopies, SolutionMoveCaller,
+		},
+		ProblemDirectionMismatch: {SolutionCheckPointers, SolutionReduceCopies},
 	}
 }
 

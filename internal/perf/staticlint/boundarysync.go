@@ -29,10 +29,19 @@ import (
 // //sgxperf:allow gates the repository lint, while this pass prices the
 // pattern for the performance report regardless of intent.
 func AnalyzeSource(root string, dirs []string, opts Options) ([]analyzer.Finding, error) {
-	rep, err := lint.AnalyzeSync(root, dirs)
+	tree, err := lint.LoadTree(root)
 	if err != nil {
 		return nil, fmt.Errorf("staticlint: source analysis: %w", err)
 	}
+	return analyzeSourceTree(tree, dirs, opts), nil
+}
+
+// analyzeSourceTree is AnalyzeSource over an already-loaded tree, so
+// Static's source pass parses and type-checks the repo once for all of
+// the sync, interprocedural and taint analyses.
+func analyzeSourceTree(tree *lint.Tree, dirs []string, opts Options) []analyzer.Finding {
+	root := tree.Root
+	rep := lint.AnalyzeSyncTree(tree, dirs)
 	opts = opts.withDefaults()
 	// A contended acquisition whose holder is off blocking costs the
 	// sleeper the wait ocall and the waker's wake ocall: two round trips.
@@ -83,7 +92,7 @@ func AnalyzeSource(root string, dirs []string, opts Options) ([]analyzer.Finding
 			Score:     float64(len(c.Locks)),
 		})
 	}
-	return out, nil
+	return out
 }
 
 // syncCallName picks the trace-joinable call name for a held site: the

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"sgxperf/internal/edl"
+	"sgxperf/internal/lint"
 	"sgxperf/internal/perf/analyzer"
 	"sgxperf/internal/perf/events"
 	"sgxperf/internal/pool"
@@ -45,17 +46,22 @@ func Static(iface *edl.Interface, opts Options) *Report {
 	r := &Report{Source: SourceStatic, Summary: summarise(iface)}
 	findings := Analyze(iface, opts)
 	if opts.SourceRoot != "" {
-		src, err := AnalyzeSource(opts.SourceRoot, opts.SourceDirs, opts)
+		// One parsed, type-checked tree feeds every source pass: the
+		// concurrency dataflow engine, the interprocedural call graph and
+		// the taint engine. Before the shared lint.Tree each pass re-parsed
+		// and re-type-checked the repo from scratch.
+		tree, err := lint.LoadTree(opts.SourceRoot)
 		if err != nil {
-			r.Warnings = append(r.Warnings, err.Error())
+			r.Warnings = append(r.Warnings, fmt.Sprintf("staticlint: source analysis: %v", err))
+		} else {
+			findings = append(findings, analyzeSourceTree(tree, opts.SourceDirs, opts)...)
+			inter, preds := analyzeInterprocTree(tree, opts.SourceDirs, opts)
+			findings = append(findings, inter...)
+			r.Predicted = preds
+			taintFindings, flows := analyzeTaintTree(tree, opts.SourceDirs, opts)
+			findings = append(findings, taintFindings...)
+			r.Flows = flows
 		}
-		findings = append(findings, src...)
-		inter, preds, err := analyzeInterproc(opts.SourceRoot, opts.SourceDirs, opts)
-		if err != nil {
-			r.Warnings = append(r.Warnings, err.Error())
-		}
-		findings = append(findings, inter...)
-		r.Predicted = preds
 		analyzer.SortFindings(findings)
 	}
 	for _, f := range findings {
@@ -181,6 +187,19 @@ func HybridContext(ctx context.Context, iface *edl.Interface, trace *events.Trac
 	// Predicted vs observed: the static per-entry transition estimates
 	// against what the trace actually recorded (§6's validation loop).
 	joinPredictions(r.Predicted, trace)
+	// Secret flows learn their observed crossing traffic the same way:
+	// a flow whose call never executed is static-only evidence, one that
+	// crossed often is live disclosure and ranks first.
+	for i := range r.Flows {
+		r.Flows[i].Observed = counts[r.Flows[i].Call]
+	}
+	sort.SliceStable(r.Flows, func(i, j int) bool {
+		a, b := r.Flows[i], r.Flows[j]
+		if a.Observed != b.Observed {
+			return a.Observed > b.Observed
+		}
+		return a.Pos < b.Pos
+	})
 
 	if err := ctx.Err(); err != nil {
 		return nil, err

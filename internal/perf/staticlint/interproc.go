@@ -70,10 +70,20 @@ func predictionTolerance(predicted int) float64 {
 // //sgxperf:allow gates the repository lint, while this pass prices the
 // pattern for the performance report regardless of intent.
 func analyzeInterproc(root string, dirs []string, opts Options) ([]analyzer.Finding, []Prediction, error) {
-	rep, err := lint.AnalyzeInterproc(root, dirs)
+	tree, err := lint.LoadTree(root)
 	if err != nil {
 		return nil, nil, fmt.Errorf("staticlint: interprocedural analysis: %w", err)
 	}
+	findings, preds := analyzeInterprocTree(tree, dirs, opts)
+	return findings, preds, nil
+}
+
+// analyzeInterprocTree is analyzeInterproc over an already-loaded tree,
+// so Static's source pass parses and type-checks the repo once for all
+// of the sync, interprocedural and taint analyses.
+func analyzeInterprocTree(tree *lint.Tree, dirs []string, opts Options) ([]analyzer.Finding, []Prediction) {
+	root := tree.Root
+	rep := lint.AnalyzeInterprocTree(tree, dirs)
 	opts = opts.withDefaults()
 	roundTrip := opts.Cost.Frequency.Duration(opts.Cost.RoundTrip())
 
@@ -143,7 +153,7 @@ func analyzeInterproc(root string, dirs []string, opts Options) ([]analyzer.Find
 			LoopUnknown: e.LoopUnknown, Conditional: e.Conditional,
 		})
 	}
-	return out, preds, nil
+	return out, preds
 }
 
 // joinPredictions fills each prediction's observed side from the trace:

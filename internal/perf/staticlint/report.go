@@ -84,6 +84,10 @@ type Report struct {
 	// estimates (source-aware reports only); hybrid reports fill the
 	// observed side and the verdict.
 	Predicted []Prediction
+	// Flows holds the secret-flow witnesses of the taint analysis
+	// (source-aware reports only); hybrid reports fill each flow's
+	// observed crossing count and re-rank by it.
+	Flows []Flow
 	// Warnings are the interface's own Validate warnings.
 	Warnings []string
 }
@@ -180,6 +184,26 @@ func (r *Report) Render() string {
 		}
 		b.WriteByte('\n')
 	}
+	for i, fl := range r.Flows {
+		if i == 0 {
+			b.WriteString("\nsecret flows (source → boundary sink, unsealed):\n")
+		}
+		fmt.Fprintf(&b, "    %s → %s [%s] in %s at %s", fl.Source, fl.Sink, fl.SinkKind, fl.Func, fl.Pos)
+		if fl.Price != "" {
+			fmt.Fprintf(&b, " (%s)", fl.Price)
+		}
+		if r.Source == SourceHybrid {
+			if fl.Observed == 0 {
+				b.WriteString(" — never executed (static-only flow)")
+			} else {
+				fmt.Fprintf(&b, " — crossed %d×", fl.Observed)
+			}
+		}
+		b.WriteByte('\n')
+		for _, h := range fl.Chain {
+			fmt.Fprintf(&b, "        %s (%s)\n", h.Note, h.Pos)
+		}
+	}
 	for i, w := range r.Warnings {
 		if i == 0 {
 			b.WriteString("\ninterface warnings:\n")
@@ -221,6 +245,24 @@ type jsonPrediction struct {
 	Verdict     string  `json:"verdict,omitempty"`
 }
 
+type jsonFlowHop struct {
+	Pos  string `json:"pos"`
+	Note string `json:"note"`
+}
+
+type jsonFlow struct {
+	Source   string        `json:"source"`
+	Sink     string        `json:"sink"`
+	SinkKind string        `json:"sink_kind"`
+	Call     string        `json:"call,omitempty"`
+	Func     string        `json:"func"`
+	Pos      string        `json:"pos"`
+	Bytes    int           `json:"bytes,omitempty"`
+	Price    string        `json:"price,omitempty"`
+	Observed int           `json:"observed,omitempty"`
+	Chain    []jsonFlowHop `json:"chain"`
+}
+
 type jsonReport struct {
 	Workload    string            `json:"workload,omitempty"`
 	Source      string            `json:"source"`
@@ -229,6 +271,7 @@ type jsonReport struct {
 	StaticOnly  []string          `json:"static_only,omitempty"`
 	DynamicOnly []jsonDynamicOnly `json:"dynamic_only,omitempty"`
 	Predicted   []jsonPrediction  `json:"predicted,omitempty"`
+	Flows       []jsonFlow        `json:"flows,omitempty"`
 	Warnings    []string          `json:"warnings,omitempty"`
 }
 
@@ -270,6 +313,17 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 			LoopUnknown: p.LoopUnknown, Conditional: p.Conditional,
 			Observed: p.Observed, Invocations: p.Invocations, Verdict: p.Verdict,
 		})
+	}
+	for _, fl := range r.Flows {
+		jf := jsonFlow{
+			Source: fl.Source, Sink: fl.Sink, SinkKind: fl.SinkKind,
+			Call: fl.Call, Func: fl.Func, Pos: fl.Pos,
+			Bytes: fl.Bytes, Price: fl.Price, Observed: fl.Observed,
+		}
+		for _, h := range fl.Chain {
+			jf.Chain = append(jf.Chain, jsonFlowHop{Pos: h.Pos, Note: h.Note})
+		}
+		out.Flows = append(out.Flows, jf)
 	}
 	out.Warnings = r.Warnings
 	return json.MarshalIndent(out, "", "  ")

@@ -1,0 +1,144 @@
+package staticlint
+
+import (
+	"fmt"
+	"time"
+
+	"sgxperf/internal/lint"
+	"sgxperf/internal/perf/analyzer"
+	"sgxperf/internal/perf/events"
+	"sgxperf/internal/sdk"
+)
+
+// A Flow is one secret-flow witness in the report's typed flows section:
+// an enclave-confidential value (a //sgxperf:secret declaration) that
+// reaches a boundary sink without passing a seal/encrypt function. The
+// section is emitted identically by the CLI's -json mode and the serve
+// endpoint through api/v1.FromLintReport.
+type Flow struct {
+	// Source describes the secret declaration; Sink the boundary
+	// crossing it reaches; SinkKind is "ocall-arg", "out-param",
+	// "user_check" or "boundary-write".
+	Source   string
+	Sink     string
+	SinkKind string
+	// Call is the joinable wire name — the ocall for argument sinks, the
+	// enclosing handler's ecall for buffer-write sinks ("" unknown).
+	Call string
+	// Func contains the sink; Pos is its root-relative position.
+	Func string
+	Pos  string
+	// Bytes is the static size of the leaked value (0 when the size is
+	// only known at runtime); Price is the modelled boundary-copy cost
+	// of one crossing ("" when Bytes is 0).
+	Bytes int
+	Price string
+	// Observed is how often Call executed in the joined trace (hybrid
+	// reports only; zero means the flow never ran and is static-only).
+	Observed int
+	// Chain is the full source→…→sink witness path.
+	Chain []FlowHop
+}
+
+// A FlowHop is one hop of a flow's witness chain.
+type FlowHop struct {
+	Pos  string
+	Note string
+}
+
+// analyzeTaintTree runs the secret-flow taint analysis (internal/lint's
+// taint engine) over an already-loaded tree and converts its raw facts
+// into the analyser's currency:
+//
+//   - every unsealed secret reaching a boundary sink becomes a
+//     ProblemSecretLeak finding, security-noted and priced by the copy
+//     cost of the leaked bytes from the machine model (§3.6), plus a
+//     typed Flow for the report's flows section;
+//   - every EDL direction mismatch — an [in] param written, an [out]
+//     param read before first write, a [user_check] pointer
+//     dereferenced unguarded — becomes a ProblemDirectionMismatch
+//     finding.
+//
+// Like the other source passes, suppression annotations are
+// deliberately ignored: //sgxperf:allow gates the repository lint,
+// while this pass prices the pattern regardless of intent.
+func analyzeTaintTree(tree *lint.Tree, dirs []string, opts Options) ([]analyzer.Finding, []Flow) {
+	root := tree.Root
+	rep := lint.AnalyzeTaintTree(tree, dirs)
+
+	var out []analyzer.Finding
+	var flows []Flow
+	for _, fl := range rep.Flows {
+		kind := events.KindOcall
+		if fl.SinkKind != "ocall-arg" {
+			// Buffer-write sinks leak through the enclosing ecall's
+			// copy-back (or the user_check pointer it carries).
+			kind = events.KindEcall
+		}
+		price := ""
+		if fl.Bytes > 0 {
+			cost := sdk.CostCopyPerKiB * time.Duration((int64(fl.Bytes)+1023)/1024)
+			size := kib(int64(fl.Bytes))
+			if fl.Bytes < 1024 {
+				size = fmt.Sprintf("%d B", fl.Bytes)
+			}
+			price = fmt.Sprintf("%s copied per crossing ≈ %v", size, cost.Round(10*time.Nanosecond))
+		}
+		chain := make([]FlowHop, 0, len(fl.Chain))
+		for _, s := range fl.Chain {
+			chain = append(chain, FlowHop{Pos: relPos(root, s.Pos), Note: s.Note})
+		}
+		flows = append(flows, Flow{
+			Source: fl.Source, Sink: fl.Sink, SinkKind: fl.SinkKind,
+			Call: fl.Call, Func: fl.Func, Pos: relPos(root, fl.Pos),
+			Bytes: fl.Bytes, Price: price, Chain: chain,
+		})
+		evidence := fmt.Sprintf(
+			"%s lets %s reach %s at %s without sealing (§3.6)",
+			fl.Func, fl.Source, fl.Sink, relPos(root, fl.Pos))
+		if price != "" {
+			evidence += "; " + price
+		} else {
+			evidence += "; leaked size unknown until runtime"
+		}
+		evidence += "; seal or encrypt before the crossing"
+		out = append(out, analyzer.Finding{
+			Problem:   analyzer.ProblemSecretLeak,
+			Call:      fl.Call,
+			Kind:      kind,
+			Partner:   fl.Source,
+			Evidence:  evidence,
+			Solutions: []analyzer.Solution{analyzer.SolutionCheckPointers, analyzer.SolutionReduceCopies, analyzer.SolutionMoveCaller},
+			SecurityNote: "the untrusted side reads every byte that crosses the boundary: " +
+				"an unsealed secret in an ocall buffer or copy-back field is plaintext disclosure",
+			Score: 3,
+		})
+	}
+	for _, is := range rep.Issues {
+		out = append(out, analyzer.Finding{
+			Problem: analyzer.ProblemDirectionMismatch,
+			Call:    is.Ecall,
+			Kind:    events.KindEcall,
+			Partner: is.Param,
+			Evidence: fmt.Sprintf("%s at %s (declared [%s], %s)",
+				is.Detail, relPos(root, is.Pos), is.Dir, is.Kind),
+			Solutions:    []analyzer.Solution{analyzer.SolutionCheckPointers, analyzer.SolutionReduceCopies},
+			SecurityNote: directionNote(is.Kind),
+			Score:        2,
+		})
+	}
+	return out, flows
+}
+
+// directionNote explains the security consequence of each mismatch kind.
+func directionNote(kind string) string {
+	switch kind {
+	case "in-written":
+		return "" // a dropped write is a correctness bug, not a disclosure
+	case "out-stale-read":
+		return "an [out] buffer arrives uninitialised: reading it before the first write leaks whatever the copy-back returns to the caller"
+	case "user-check-unguarded":
+		return "user_check pointers are never copied or checked by the SDK: an unguarded dereference reads or writes untrusted memory at an attacker-chosen address"
+	}
+	return ""
+}

@@ -14,11 +14,15 @@ import (
 	"testing"
 	"time"
 
+	"sgxperf"
 	apiv1 "sgxperf/api/v1"
+	"sgxperf/internal/host"
 	"sgxperf/internal/perf/analyzer"
 	"sgxperf/internal/perf/events"
+	"sgxperf/internal/perf/logger"
 	"sgxperf/internal/sgx"
 	"sgxperf/internal/vtime"
+	"sgxperf/internal/workloads/leaky"
 )
 
 // --- synthetic trace helpers -------------------------------------------
@@ -494,6 +498,80 @@ func TestSourceLintEndpoint(t *testing.T) {
 	if len(plain.Predicted) != 0 {
 		t.Fatalf("plain lint gained predictions %v; the source artifact leaked across cache keys", plain.Predicted)
 	}
+}
+
+// TestSourceLintFlowsByteIdentical records one leaky run and proves the
+// typed flows section is one schema end to end: the daemon's
+// `GET /v1/traces/{id}/lint?source=1` answer and the api/v1 document
+// `sgx-perf-lint -workload leaky -trace … -source ../.. -source-dirs
+// internal/workloads/leaky -json` emits offline carry byte-identical
+// `flows` — same marshaller, same order, no drift between the two
+// surfaces.
+func TestSourceLintFlowsByteIdentical(t *testing.T) {
+	h, err := host.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := logger.Attach(h, logger.Options{Workload: "leaky"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := h.NewContext("main")
+	w, err := leaky.New(h, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(leaky.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	trace := l.Trace()
+
+	s := New(Options{
+		SourceRoot: "../..",
+		SourceDirs: []string{"internal/workloads/leaky"},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	upload(t, ts, "leaky", trace)
+	status, raw := doReq(t, "GET", ts.URL+"/v1/traces/leaky/lint?source=1", nil)
+	if status != http.StatusOK {
+		t.Fatalf("source lint: status %d: %s", status, raw)
+	}
+
+	iface, err := leaky.Interface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sgxperf.HybridLint(iface, trace, sgxperf.LintOptions{
+		SourceRoot: "../..",
+		SourceDirs: []string{"internal/workloads/leaky"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := apiv1.Marshal(apiv1.FromLintReport(report))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := rawSection(t, offline, "flows")
+	got := rawSection(t, raw, "flows")
+	if len(want) == 0 {
+		t.Fatal("offline report has no flows section; the leaky exhibit should leak")
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("flows sections differ between the endpoint and the offline CLI path.\n--- serve\n%s\n--- offline\n%s", got, want)
+	}
+}
+
+// rawSection extracts one top-level key of a JSON document verbatim.
+func rawSection(t testing.TB, doc []byte, key string) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(doc, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m[key]
 }
 
 // TestErrorStatuses drives each sentinel through the HTTP surface.

@@ -1,0 +1,375 @@
+// Package leaky is the confidentiality counterpart of the amplify
+// exhibit: a small key-vault enclave that commits, in one interface,
+// every sin the secret-flow taint analysis exists to catch. Its export
+// ecall ships the raw //sgxperf:secret master key through an ocall (the
+// unsealed flow secretflow traces source→sink); its stamp ecall writes
+// a boundary param its EDL declares [in] (the write is dropped at
+// copy-back); its readout ecall reads its [out] buffer before the first
+// write (stale enclave memory leaks to the caller); and its scatter
+// ecall dereferences a user_check buffer without a bounds guard. A
+// fifth, backup ecall crosses the same key through the seal sanitizer
+// and must stay silent in every report — the discipline the analysis
+// enforces, demonstrated. Every sin is annotated for the repository
+// lint (the exhibit is intentional) but the staticlint source pass
+// ignores suppressions and keeps pricing them, which is the point.
+package leaky
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sgxperf/internal/edl"
+	"sgxperf/internal/host"
+	"sgxperf/internal/sdk"
+	"sgxperf/internal/sgx"
+	"sgxperf/internal/workloads"
+)
+
+// The enclave interface: five ecalls, each exhibiting one secret-flow
+// or direction shape, and the two stash ocalls the key crosses through.
+const (
+	EcallExport  = "sgx_ecall_export_key"
+	EcallBackup  = "sgx_ecall_backup_key"
+	EcallStamp   = "sgx_ecall_stamp"
+	EcallReadout = "sgx_ecall_readout"
+	EcallScatter = "sgx_ecall_scatter"
+	OcallStash   = "ocall_stash_key"
+	OcallSealed  = "ocall_stash_sealed"
+)
+
+// In-enclave work costs (virtual time).
+const (
+	costExport  = 300 * time.Nanosecond
+	costSeal    = 900 * time.Nanosecond
+	costStamp   = 150 * time.Nanosecond
+	costReadout = 150 * time.Nanosecond
+	costScatter = 200 * time.Nanosecond
+	// Untrusted-side cost of the stash ocall implementations.
+	costStash = 1200 * time.Nanosecond
+)
+
+// stampArgs is the boundary buffer of EcallStamp; its EDL declares the
+// tag [in], so the handler's write to it is dropped at copy-back.
+type stampArgs struct {
+	Tag int
+}
+
+// readoutArgs is the boundary buffer of EcallReadout; its EDL declares
+// the sum [out], so the buffer arrives uninitialised.
+type readoutArgs struct {
+	Sum int
+}
+
+// scatterArgs is the boundary buffer of EcallScatter; its EDL declares
+// the buffer user_check, so the SDK copies and checks nothing for it.
+type scatterArgs struct {
+	Buf []byte
+	N   int
+}
+
+// vault is the trusted side: the secret master key and a public epoch
+// counter the direction exhibits use as harmless payload.
+type vault struct {
+	//sgxperf:secret device master key, provisioned at enclave build; must never cross unsealed
+	masterKey [32]byte
+	epoch     int
+	// mu is the Go-level guard for the simulation's own memory safety
+	// when the driver runs threaded; it charges no virtual time.
+	mu sync.Mutex
+}
+
+// Workload is one configured key-vault enclave.
+type Workload struct {
+	h       *host.Host
+	app     *sdk.AppEnclave
+	proxies map[string]sdk.Proxy
+	s       *vault
+}
+
+// Interface builds the key-vault EDL interface. The scatter buffer is
+// deliberately user_check and the stamp tag deliberately [in] — the
+// directions the handlers then contradict.
+func Interface() (*edl.Interface, error) {
+	iface := edl.NewInterface()
+	if _, err := iface.AddEcall(EcallExport, true); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddEcall(EcallBackup, true); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddEcall(EcallStamp, true,
+		edl.Param{Name: "tag", Dir: edl.DirIn}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddEcall(EcallReadout, true,
+		edl.Param{Name: "sum", Dir: edl.DirOut}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddEcall(EcallScatter, true,
+		edl.Param{Name: "buf", Dir: edl.DirUserCheck},
+		edl.Param{Name: "n"}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallStash, nil,
+		edl.Param{Name: "key"}); err != nil {
+		return nil, err
+	}
+	if _, err := iface.AddOcall(OcallSealed, nil,
+		edl.Param{Name: "blob", Dir: edl.DirIn}); err != nil {
+		return nil, err
+	}
+	return iface, nil
+}
+
+// New builds the key-vault enclave.
+func New(h *host.Host, ctx *sgx.Context) (*Workload, error) {
+	w := &Workload{h: h, s: &vault{}}
+	for i := range w.s.masterKey {
+		w.s.masterKey[i] = byte(i*7 + 3)
+	}
+	iface, err := Interface()
+	if err != nil {
+		return nil, err
+	}
+	impl := map[string]sdk.TrustedFn{
+		EcallExport:  w.handleExport,
+		EcallBackup:  w.handleBackup,
+		EcallStamp:   w.handleStamp,
+		EcallReadout: w.handleReadout,
+		EcallScatter: w.handleScatter,
+	}
+	app, err := h.URTS.CreateEnclave(ctx, sgx.Config{
+		Name:       "leaky",
+		CodeBytes:  8 * sgx.PageSize,
+		HeapBytes:  16 * sgx.PageSize,
+		StackBytes: 4 * sgx.PageSize,
+		NumTCS:     8,
+	}, iface, impl)
+	if err != nil {
+		return nil, fmt.Errorf("leaky: %w", err)
+	}
+	ocalls := map[string]sdk.OcallFn{
+		OcallStash: func(ctx *sgx.Context, args any) (any, error) {
+			ctx.Compute(costStash)
+			return nil, nil
+		},
+		OcallSealed: func(ctx *sgx.Context, args any) (any, error) {
+			ctx.Compute(costStash)
+			return nil, nil
+		},
+	}
+	otab, err := sdk.BuildOcallTable(iface, h.URTS, ocalls)
+	if err != nil {
+		return nil, err
+	}
+	w.app = app
+	w.proxies = sdk.Proxies(app, h.Proc, otab)
+	return w, nil
+}
+
+// handleExport stashes the raw master key with the untrusted side — the
+// unsealed secret flow the taint analysis traces source→sink.
+func (w *Workload) handleExport(env *sdk.Env, args any) (any, error) {
+	env.Compute(costExport)
+	//sgxperf:allow(secretflow) deliberate exhibit: stashing the raw master key is the unsealed flow the taint analysis demo reproduces
+	return env.Ocall(OcallStash, w.s.masterKey)
+}
+
+// handleBackup crosses the same key sealed: sealBlob is a recognised
+// sanitizer, so this flow must stay silent in every report.
+func (w *Workload) handleBackup(env *sdk.Env, args any) (any, error) {
+	env.Compute(costSeal)
+	return env.Ocall(OcallSealed, sealBlob(w.s.masterKey))
+}
+
+// sealBlob stands in for authenticated sealing in the simulation: the
+// taint analysis recognises seal/encrypt functions by name and treats
+// their result as safe to cross the boundary.
+func sealBlob(key [32]byte) []byte {
+	out := make([]byte, len(key))
+	for i, b := range key {
+		out[i] = b ^ 0xa5
+	}
+	return out
+}
+
+// handleStamp writes the boundary tag its EDL declares [in]: the store
+// is silently dropped at copy-back, so the caller never sees the epoch.
+func (w *Workload) handleStamp(env *sdk.Env, args any) (any, error) {
+	a, ok := args.(*stampArgs)
+	if !ok {
+		return nil, fmt.Errorf("leaky: bad stampArgs %T", args)
+	}
+	env.Compute(costStamp)
+	w.s.mu.Lock()
+	epoch := w.s.epoch
+	w.s.mu.Unlock()
+	//sgxperf:allow(edlflow) deliberate exhibit: writing an [in] param is the dropped copy-back the EDL cross-validation demo reproduces
+	a.Tag = epoch
+	return epoch, nil
+}
+
+// handleReadout reads its [out] buffer before the first write: the
+// buffer arrives uninitialised, so the read hands back whatever the
+// copy-back machinery returns — stale memory, leaked.
+func (w *Workload) handleReadout(env *sdk.Env, args any) (any, error) {
+	a, ok := args.(*readoutArgs)
+	if !ok {
+		return nil, fmt.Errorf("leaky: bad readoutArgs %T", args)
+	}
+	env.Compute(costReadout)
+	//sgxperf:allow(edlflow) deliberate exhibit: reading the [out] buffer before its first write is the stale-data leak the EDL cross-validation demo reproduces
+	stale := a.Sum
+	a.Sum = stale + 1
+	return a.Sum, nil
+}
+
+// handleScatter dereferences the user_check buffer without consulting
+// the bound that travels next to it — the unchecked untrusted pointer
+// §3.6 warns about.
+func (w *Workload) handleScatter(env *sdk.Env, args any) (any, error) {
+	a, ok := args.(*scatterArgs)
+	if !ok {
+		return nil, fmt.Errorf("leaky: bad scatterArgs %T", args)
+	}
+	env.Compute(costScatter)
+	w.s.mu.Lock()
+	epoch := w.s.epoch
+	w.s.mu.Unlock()
+	//sgxperf:allow(edlflow) deliberate exhibit: dereferencing the user_check buffer unguarded is the unchecked-pointer hazard the EDL cross-validation demo reproduces
+	a.Buf[0] = byte(epoch)
+	return len(a.Buf), nil
+}
+
+// Export invokes the raw-key export ecall from untrusted code.
+func (w *Workload) Export(ctx *sgx.Context) error {
+	_, err := w.proxies[EcallExport](ctx, nil)
+	return err
+}
+
+// Backup invokes the sealed-backup ecall from untrusted code.
+func (w *Workload) Backup(ctx *sgx.Context) error {
+	_, err := w.proxies[EcallBackup](ctx, nil)
+	return err
+}
+
+// Stamp invokes the stamp ecall from untrusted code.
+func (w *Workload) Stamp(ctx *sgx.Context) (int, error) {
+	res, err := w.proxies[EcallStamp](ctx, &stampArgs{})
+	if err != nil {
+		return 0, err
+	}
+	n, _ := res.(int)
+	return n, nil
+}
+
+// Readout invokes the readout ecall from untrusted code.
+func (w *Workload) Readout(ctx *sgx.Context) (int, error) {
+	res, err := w.proxies[EcallReadout](ctx, &readoutArgs{})
+	if err != nil {
+		return 0, err
+	}
+	n, _ := res.(int)
+	return n, nil
+}
+
+// Scatter invokes the scatter ecall from untrusted code.
+func (w *Workload) Scatter(ctx *sgx.Context) error {
+	_, err := w.proxies[EcallScatter](ctx, &scatterArgs{Buf: make([]byte, 8), N: 8})
+	return err
+}
+
+// Enclave returns the key-vault enclave.
+func (w *Workload) Enclave() *sgx.Enclave { return w.app.Enclave() }
+
+// RunOptions configures a run.
+type RunOptions struct {
+	// Exports is the number of raw-key export ecalls (default 3) —
+	// each one crosses the unsealed secret.
+	Exports int
+	// Backups is the number of sealed-backup ecalls (default 2) —
+	// silent in every report.
+	Backups int
+	// Stamps, Readouts and Scatters drive the direction exhibits
+	// (defaults 4, 2 and 2).
+	Stamps   int
+	Readouts int
+	Scatters int
+}
+
+// Run drives the exhibit single-threaded so hybrid reports are
+// deterministic: the unsealed flow crosses Exports times, the sealed
+// flow Backups times, and each direction sin executes its default
+// count.
+func (w *Workload) Run(opts RunOptions) (workloads.Result, error) {
+	if opts.Exports <= 0 {
+		opts.Exports = 3
+	}
+	if opts.Backups <= 0 {
+		opts.Backups = 2
+	}
+	if opts.Stamps <= 0 {
+		opts.Stamps = 4
+	}
+	if opts.Readouts <= 0 {
+		opts.Readouts = 2
+	}
+	if opts.Scatters <= 0 {
+		opts.Scatters = 2
+	}
+	var (
+		wg     sync.WaitGroup
+		runErr error
+	)
+	wg.Add(1)
+	if err := w.h.Spawn("leaky-driver", func(ctx *sgx.Context) {
+		defer wg.Done()
+		runErr = w.drive(ctx, opts)
+	}); err != nil {
+		return workloads.Result{}, err
+	}
+	wg.Wait()
+	w.h.Wait()
+	if runErr != nil {
+		return workloads.Result{}, fmt.Errorf("leaky: %w", runErr)
+	}
+	return workloads.Result{
+		Workload: "leaky",
+		Variant:  "secret-flow",
+		Ops:      opts.Exports + opts.Backups + opts.Stamps + opts.Readouts + opts.Scatters,
+		Extra: map[string]float64{
+			"exports": float64(opts.Exports),
+			"backups": float64(opts.Backups),
+		},
+	}, nil
+}
+
+func (w *Workload) drive(ctx *sgx.Context, opts RunOptions) error {
+	for i := 0; i < opts.Exports; i++ {
+		if err := w.Export(ctx); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < opts.Backups; i++ {
+		if err := w.Backup(ctx); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < opts.Stamps; i++ {
+		if _, err := w.Stamp(ctx); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < opts.Readouts; i++ {
+		if _, err := w.Readout(ctx); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < opts.Scatters; i++ {
+		if err := w.Scatter(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -214,6 +214,13 @@ const (
 	// dispatch; double fetches and pointer escapes at the boundary).
 	ProblemTransitionAmplification = analyzer.ProblemTransitionAmplification
 	ProblemBoundaryDataHazard      = analyzer.ProblemBoundaryDataHazard
+
+	// ProblemSecretLeak and ProblemDirectionMismatch come from the
+	// secret-flow taint analysis (//sgxperf:secret data reaching a
+	// boundary sink unsealed; handlers contradicting their EDL's
+	// declared directions).
+	ProblemSecretLeak        = analyzer.ProblemSecretLeak
+	ProblemDirectionMismatch = analyzer.ProblemDirectionMismatch
 )
 
 // StaticLint runs the static interface analysis: findings from the EDL

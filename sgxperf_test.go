@@ -284,11 +284,11 @@ func TestRunWorkloadWithWorkingSet(t *testing.T) {
 }
 
 func TestCatalogueAndWeightsExposed(t *testing.T) {
-	// Table 1's six problem classes plus the six static classes
+	// Table 1's six problem classes plus the eight static classes
 	// (reentrancy, boundary copies, transition-bound calls, locks held
 	// across the boundary, loop-amplified transitions, boundary data
-	// hazards).
-	if len(sgxperf.Catalogue()) != 12 {
+	// hazards, secret leaks, direction mismatches).
+	if len(sgxperf.Catalogue()) != 14 {
 		t.Fatal("problem catalogue incomplete")
 	}
 	w := sgxperf.DefaultWeights()
